@@ -1,0 +1,27 @@
+"""T-SUMMARY: the tutorial's closing capability matrix.
+
+Generated from the live method registry, so the table stays true to the
+implementations rather than to a transcription.
+"""
+
+from conftest import run_once
+
+from repro.evaluation.reporting import format_table
+from repro.experiments import tables
+
+
+def test_summary_table(benchmark):
+    rows = run_once(benchmark, tables.summary_table)
+    print()
+    print(format_table(rows, title="Method capability summary"))
+
+    by_name = {r["Method"]: r for r in rows}
+    assert len(rows) == 9
+    # Spot-check against the tutorial's table.
+    assert by_name["WeSTClass"]["Backbone"] == "embedding"
+    assert by_name["ConWea"]["Backbone"] == "pretrained-lm"
+    assert by_name["LOTClass"]["Supervision Format"] == "LabelNames"
+    assert by_name["WeSHClass"]["Single vs. Multi-label"] == "path"
+    assert by_name["TaxoClass"]["Single vs. Multi-label"] == "multi-label"
+    assert by_name["MetaCat"]["Supervision Format"] == "LabeledDocuments"
+    assert by_name["MICoL"]["Single vs. Multi-label"] == "multi-label"

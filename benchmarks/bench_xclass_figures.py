@@ -1,0 +1,33 @@
+"""F-XCLASS-PCA / F-XCLASS-CONF: representation-quality figures.
+
+Paper shape: average-pooled PLM document representations separate domains
+in 2D PCA, and k-means on them (k = #classes) recovers the classes with a
+strongly diagonal confusion matrix.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import figures
+
+
+def test_pca_domain_figure(benchmark):
+    result = run_once(benchmark, lambda: figures.pca_domain_figure(seed=0))
+    print()
+    print(figures.render_pca_ascii(result["coordinates"], result["labels"]))
+    print(f"separation ratio: {result['separation_ratio']:.2f}")
+    assert result["separation_ratio"] > 1.0
+
+
+def test_clustering_confusion_figure(benchmark):
+    result = run_once(benchmark,
+                      lambda: figures.clustering_confusion_figure(seed=0))
+    print()
+    print(result["rendered"])
+    print(f"clustering accuracy: {result['clustering_accuracy']:.3f}")
+    matrix = result["matrix"]
+    assert result["clustering_accuracy"] > 0.6
+    # Diagonal dominance per row (each class mostly lands in one cluster).
+    diagonal = np.diag(matrix)
+    row_sums = matrix.sum(axis=1)
+    assert (diagonal >= row_sums * 0.4).mean() > 0.6

@@ -1,0 +1,56 @@
+"""Benchmark-suite configuration.
+
+Each bench regenerates one paper table/figure and asserts its qualitative
+*shape* (who wins, ablation directions, crossovers) — absolute numbers
+are CPU-scale and not expected to match the paper.
+
+Set ``REPRO_BENCH_FULL=1`` to run every dataset of every table (slower);
+the default covers one representative dataset per table.
+"""
+
+import builtins
+import os
+import sys
+
+import pytest
+
+FULL = os.environ.get("REPRO_BENCH_FULL") == "1"
+
+# The bench tables ARE the deliverable: route print() past pytest's
+# capture (including the default fd-level capture) so
+# `pytest benchmarks/ --benchmark-only | tee ...` records them without
+# needing -s. Scoped to the benchmark suite by living in this conftest.
+_original_print = builtins.print
+_CAPTURE_MANAGER = []
+
+
+def pytest_configure(config):
+    _CAPTURE_MANAGER.append(config.pluginmanager.getplugin("capturemanager"))
+
+
+def _uncaptured_print(*args, **kwargs):
+    manager = _CAPTURE_MANAGER[0] if _CAPTURE_MANAGER else None
+    if manager is not None:
+        with manager.global_and_fixture_disabled():
+            kwargs.setdefault("flush", True)
+            _original_print(*args, **kwargs)
+    else:
+        _original_print(*args, **kwargs)
+
+
+builtins.print = _uncaptured_print
+
+
+@pytest.fixture(scope="session")
+def full_mode():
+    return FULL
+
+
+def run_once(benchmark, fn):
+    """Time ``fn`` exactly once (tables are minutes-scale, deterministic)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def by_method(rows, dataset_key="Dataset"):
+    """Index rows as {(dataset, method): row}."""
+    return {(r.get(dataset_key, ""), r["Method"]): r for r in rows}

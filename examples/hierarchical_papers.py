@@ -1,0 +1,87 @@
+"""Hierarchical classification of scientific papers (WeSHClass + TaxoClass).
+
+Two hierarchical settings from the tutorial:
+
+- **tree, single path** (WeSHClass): each paper belongs to one root-to-leaf
+  path of an arXiv-style subject tree; supervision is a few keywords per
+  node;
+- **DAG, multi-label** (TaxoClass): each product/paper carries several
+  labels across a DAG taxonomy; supervision is class *names only*.
+
+Run: ``python examples/hierarchical_papers.py``
+"""
+
+from repro.datasets import load_profile
+from repro.evaluation import (
+    example_f1,
+    format_table,
+    macro_f1,
+    micro_f1,
+    precision_at_k,
+)
+from repro.methods import TaxoClass, WeSHClass
+
+
+def tree_demo() -> None:
+    bundle = load_profile("arxiv_tree", seed=0)
+    tree = bundle.tree
+    print(f"subject tree: {tree}")
+    for top in tree.level(1):
+        children = ", ".join(tree.children(top))
+        print(f"  {top} -> {children}")
+
+    classifier = WeSHClass(tree=tree, seed=0)
+    classifier.fit(bundle.train_corpus, bundle.keywords())
+
+    gold_leaves = [doc.labels[0] for doc in bundle.test_corpus]
+    predicted = classifier.predict(bundle.test_corpus)
+    coarse_gold = bundle.coarse_gold(bundle.test_corpus)
+    coarse_predicted = classifier.predict_level(bundle.test_corpus, 1)
+    print(format_table(
+        [
+            {"Level": "coarse (areas)",
+             "Micro-F1": micro_f1(coarse_gold, coarse_predicted),
+             "Macro-F1": macro_f1(coarse_gold, coarse_predicted)},
+            {"Level": "fine (leaves)",
+             "Micro-F1": micro_f1(gold_leaves, predicted),
+             "Macro-F1": macro_f1(gold_leaves, predicted)},
+        ],
+        title="\nWeSHClass on the arXiv-style tree (keyword supervision)",
+    ))
+
+
+def dag_demo() -> None:
+    bundle = load_profile("amazon_dag", seed=0)
+    dag = bundle.dag
+    print(f"\nproduct taxonomy: {dag} "
+          f"({len(dag.leaves())} leaves over {len(dag.levels())} levels)")
+
+    print("fitting TaxoClass from class names only "
+          "(relevance model + top-down search; ~1 min)...")
+    classifier = TaxoClass(dag=dag, seed=0)
+    classifier.fit(bundle.train_corpus, bundle.label_names())
+
+    gold = [set(doc.labels) for doc in bundle.test_corpus]
+    predicted = classifier.predict(bundle.test_corpus)
+    ranking = classifier.rank(bundle.test_corpus)
+    print(format_table(
+        [{
+            "Example-F1": example_f1(gold, predicted),
+            "P@1": precision_at_k(gold, ranking, 1),
+            "P@3": precision_at_k(gold, ranking, 3),
+        }],
+        title="TaxoClass on the product DAG (class names only)",
+    ))
+
+    doc = bundle.test_corpus[0]
+    print(f"\nsample document labels: gold={sorted(doc.labels)}")
+    print(f"predicted: {sorted(predicted[0])}")
+
+
+def main() -> None:
+    tree_demo()
+    dag_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Metadata-aware classification (MetaCat) and zero-shot tagging (MICoL).
+
+Two metadata settings from the tutorial:
+
+- **MetaCat**: GitHub-style repositories with users and tags, a handful of
+  labeled examples per class — metadata compensates for tiny corpora;
+- **MICoL**: a bibliographic corpus (venues, authors, references) where
+  meta-paths over the citation graph induce contrastive training pairs,
+  enabling zero-shot multi-label tagging against label descriptions.
+
+Run: ``python examples/metadata_and_zero_shot.py``
+"""
+
+from repro.baselines import Doc2VecRanker
+from repro.datasets import load_profile
+from repro.evaluation import format_table, micro_f1, ndcg_at_k, precision_at_k
+from repro.hin.graph import HeterogeneousGraph
+from repro.hin.metapath import P_REF_P, metapath_pairs
+from repro.methods import MetaCat, MICoL
+
+
+def metacat_demo() -> None:
+    bundle = load_profile("github_bio", seed=0)
+    doc = bundle.train_corpus[0]
+    print("a repository with metadata:")
+    print(f"  text: {' '.join(doc.tokens[:12])} ...")
+    print(f"  user: {doc.metadata['user']}  tags: {doc.metadata.get('tags')}")
+
+    supervision = bundle.labeled_documents(5, seed=0)
+    gold = [d.labels[0] for d in bundle.test_corpus]
+
+    rows = []
+    for name, use_metadata in (("MetaCat", True), ("text only", False)):
+        classifier = MetaCat(use_metadata=use_metadata, seed=0)
+        classifier.fit(bundle.train_corpus, supervision)
+        rows.append({
+            "Variant": name,
+            "Micro-F1": micro_f1(gold, classifier.predict(bundle.test_corpus)),
+        })
+    print(format_table(
+        rows, title="\nMetaCat with 5 labeled docs/class (tiny corpus)"
+    ))
+
+
+def micol_demo() -> None:
+    bundle = load_profile("magcs", seed=0)
+    graph = HeterogeneousGraph.from_corpus(bundle.train_corpus)
+    pairs = metapath_pairs(graph, P_REF_P, n_pairs=5, seed=0)
+    print(f"\nbibliographic network: {graph}")
+    print(f"sample P->P<-P positive pairs (co-citing papers): {pairs[:3]}")
+
+    gold = [set(d.labels) for d in bundle.test_corpus]
+    rows = []
+    print("fitting MICoL (zero-shot, metadata-contrastive; ~1 min)...")
+    micol = MICoL(encoder="cross", seed=0)
+    micol.fit(bundle.train_corpus, bundle.label_names())
+    ranking = micol.rank(bundle.test_corpus)
+    rows.append({
+        "Method": "MICoL (cross-encoder)",
+        "P@1": precision_at_k(gold, ranking, 1),
+        "P@3": precision_at_k(gold, ranking, 3),
+        "NDCG@5": ndcg_at_k(gold, ranking, 5),
+    })
+    doc2vec = Doc2VecRanker(seed=0)
+    doc2vec.fit(bundle.train_corpus, bundle.label_names())
+    ranking = doc2vec.rank(bundle.test_corpus)
+    rows.append({
+        "Method": "Doc2Vec baseline",
+        "P@1": precision_at_k(gold, ranking, 1),
+        "P@3": precision_at_k(gold, ranking, 3),
+        "NDCG@5": ndcg_at_k(gold, ranking, 5),
+    })
+    print(format_table(rows, title="zero-shot multi-label tagging (MAG-CS)"))
+
+
+def main() -> None:
+    metacat_demo()
+    micol_demo()
+
+
+if __name__ == "__main__":
+    main()

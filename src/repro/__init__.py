@@ -1,0 +1,40 @@
+"""repro: weakly-supervised text classification with pre-trained language models.
+
+This package reproduces the systems surveyed in the EDBT 2023 tutorial
+*Mining Structures from Massive Texts by Exploring the Power of Pre-trained
+Language Models* (Part III: weakly-supervised text classification):
+
+- Flat classification: WeSTClass, ConWea, LOTClass, X-Class, PromptClass
+- Hierarchical classification: WeSHClass, TaxoClass
+- Metadata-aware classification: MetaCat, MICoL
+
+plus every substrate they depend on (tokenization, static embeddings, a
+from-scratch numpy pre-trained language model, neural classifiers, label
+taxonomies, heterogeneous information networks) and the baselines from the
+tutorial's evaluation tables.
+
+Quickstart::
+
+    from repro.datasets import load_profile
+    from repro.methods import XClass
+
+    bundle = load_profile("agnews", seed=0)
+    clf = XClass(seed=0)
+    clf.fit(bundle.train_corpus, bundle.label_names())
+    predictions = clf.predict(bundle.test_corpus)
+"""
+
+from repro.core.supervision import Keywords, LabeledDocuments, LabelNames
+from repro.core.types import Corpus, Document, LabelSet
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Corpus",
+    "Document",
+    "LabelSet",
+    "LabelNames",
+    "Keywords",
+    "LabeledDocuments",
+    "__version__",
+]

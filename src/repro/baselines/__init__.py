@@ -1,0 +1,65 @@
+"""Comparator systems from the tutorial's evaluation tables."""
+
+from repro.baselines.augmentation import (
+    EDAContrastive,
+    UDAContrastive,
+    UDASemiSupervised,
+    eda_augment,
+)
+from repro.baselines.bert_match import BertSimpleMatch
+from repro.baselines.classkg import ClassKG
+from repro.baselines.dataless import Dataless, HierDataless
+from repro.baselines.doc2cube import Doc2Cube
+from repro.baselines.doc2vec_rank import Doc2VecRanker
+from repro.baselines.graph import ESim, HIN2Vec, Metapath2Vec, TextGCN
+from repro.baselines.hier_svm import HierSVM
+from repro.baselines.ir_tfidf import IRWithTfidf
+from repro.baselines.match import MATCH
+from repro.baselines.pcem import PCEM
+from repro.baselines.pte import PTE
+from repro.baselines.semi_bert import SemiBERT
+from repro.baselines.supervised import (
+    SupervisedBERT,
+    SupervisedCharCNN,
+    SupervisedCNN,
+    SupervisedHAN,
+)
+from repro.baselines.topic_model import PLSATopicModel
+from repro.baselines.unec import UNEC
+from repro.baselines.zeroshot import (
+    HierZeroShotTC,
+    ZeroShotEntail,
+    ZeroShotEntailRanker,
+)
+
+__all__ = [
+    "IRWithTfidf",
+    "PLSATopicModel",
+    "Dataless",
+    "HierDataless",
+    "UNEC",
+    "PTE",
+    "Doc2Cube",
+    "BertSimpleMatch",
+    "ClassKG",
+    "SupervisedCNN",
+    "SupervisedHAN",
+    "SupervisedCharCNN",
+    "SupervisedBERT",
+    "HierSVM",
+    "PCEM",
+    "SemiBERT",
+    "ZeroShotEntail",
+    "ZeroShotEntailRanker",
+    "HierZeroShotTC",
+    "EDAContrastive",
+    "UDAContrastive",
+    "UDASemiSupervised",
+    "eda_augment",
+    "Doc2VecRanker",
+    "MATCH",
+    "ESim",
+    "Metapath2Vec",
+    "HIN2Vec",
+    "TextGCN",
+]

@@ -1,0 +1,181 @@
+"""Text augmentation baselines: EDA and UDA.
+
+:func:`eda_augment` implements Wei & Zou's four EDA operations (synonym
+replacement via embedding neighbours, random insertion, swap, deletion).
+``EDAContrastive`` / ``UDAContrastive`` fine-tune the MICoL bi-encoder on
+*augmentation-induced* positive pairs instead of metadata-induced ones —
+the contrastive baselines of the MICoL table. ``UDASemiSupervised`` is the
+semi-supervised consistency-training row of the LOTClass table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import MultiLabelTextClassifier, WeaklySupervisedTextClassifier
+from repro.core.seeding import derive_rng, ensure_rng
+from repro.core.supervision import (
+    LabeledDocuments,
+    LabelNames,
+    Supervision,
+    require,
+)
+from repro.core.types import Corpus
+from repro.classifiers import LogisticRegression
+from repro.methods.micol.encoders import BiEncoder
+from repro.plm.model import PretrainedLM
+from repro.plm.provider import get_pretrained_lm
+from repro.text.tokenizer import tokenize
+
+
+def eda_augment(tokens: list, word_vectors, rng: np.random.Generator,
+                alpha: float = 0.1) -> list:
+    """One EDA-augmented copy of ``tokens``.
+
+    Applies synonym replacement (nearest embedding neighbours), random
+    insertion, random swap, and random deletion, each touching about
+    ``alpha`` of the tokens.
+    """
+    tokens = list(tokens)
+    n = max(1, int(alpha * len(tokens)))
+    # Synonym replacement.
+    for _ in range(n):
+        if not tokens:
+            break
+        pos = int(rng.integers(0, len(tokens)))
+        neighbours = word_vectors.most_similar(tokens[pos], k=3)
+        if neighbours:
+            tokens[pos] = neighbours[int(rng.integers(0, len(neighbours)))][0]
+    # Random insertion.
+    for _ in range(n):
+        pos = int(rng.integers(0, len(tokens)))
+        neighbours = word_vectors.most_similar(tokens[pos], k=3)
+        if neighbours:
+            tokens.insert(int(rng.integers(0, len(tokens) + 1)),
+                          neighbours[0][0])
+    # Random swap.
+    for _ in range(n):
+        if len(tokens) < 2:
+            break
+        a, b = rng.integers(0, len(tokens), size=2)
+        tokens[a], tokens[b] = tokens[b], tokens[a]
+    # Random deletion.
+    keep = rng.random(len(tokens)) > alpha
+    survivors = [t for t, k in zip(tokens, keep) if k]
+    return survivors or tokens[:1]
+
+
+class _AugmentationContrastive(MultiLabelTextClassifier):
+    """Bi-encoder fine-tuned on (document, augmented copy) pairs."""
+
+    #: subclasses set the augmentation strength
+    alpha = 0.1
+
+    def __init__(self, plm: "PretrainedLM | None" = None, n_pairs: int = 300,
+                 seed=0):
+        super().__init__(seed=seed)
+        self.plm = plm
+        self.n_pairs = n_pairs
+        self._bi: "BiEncoder | None" = None
+        self._label_embeddings: "np.ndarray | None" = None
+
+    def _fit(self, corpus: Corpus, supervision: Supervision) -> None:
+        require(supervision, LabelNames)
+        assert self.label_set is not None
+        rng = derive_rng(self.rng, type(self).__name__)
+        if self.plm is None:
+            self.plm = get_pretrained_lm(target_corpus=corpus,
+                                         seed=int(rng.integers(2**16)) % 7)
+        from repro.embeddings.ppmi_svd import PPMISVDEmbeddings
+
+        svd = PPMISVDEmbeddings(dim=32).fit(corpus.token_lists(),
+                                            seed=int(rng.integers(2**31)))
+        idx = rng.integers(0, len(corpus), size=min(self.n_pairs, len(corpus)))
+        anchors_tokens = [corpus[int(i)].tokens for i in idx]
+        positive_tokens = [eda_augment(t, svd, rng, alpha=self.alpha)
+                           for t in anchors_tokens]
+        anchors = self.plm.doc_embeddings(anchors_tokens)
+        positives = self.plm.doc_embeddings(positive_tokens)
+        self._bi = BiEncoder(self.plm.dim, seed=int(rng.integers(2**31)))
+        self._bi.train_contrastive(anchors, positives, seed=rng)
+        texts = []
+        for label in self.label_set:
+            tokens = list(self.label_set.name_tokens(label))
+            tokens += tokenize(self.label_set.description_of(label))
+            texts.append(tokens)
+        self._label_embeddings = self.plm.doc_embeddings(texts)
+
+    def _score(self, corpus: Corpus) -> np.ndarray:
+        assert self._bi is not None and self._label_embeddings is not None
+        assert self.plm is not None
+        docs = self._bi.encode(self.plm.doc_embeddings(corpus.token_lists()))
+        return docs @ self._bi.encode(self._label_embeddings).T
+
+
+class EDAContrastive(_AugmentationContrastive):
+    """EDA-pair contrastive fine-tuning (light augmentation)."""
+
+    alpha = 0.1
+
+
+class UDAContrastive(_AugmentationContrastive):
+    """UDA-style consistency pairs (stronger augmentation)."""
+
+    alpha = 0.25
+
+
+class UDASemiSupervised(WeaklySupervisedTextClassifier):
+    """Semi-supervised UDA row: labeled docs + consistency on unlabeled.
+
+    Trains a head on the labeled documents, then adds high-confidence
+    pseudo-labels whose augmented copies agree with the original
+    prediction (the consistency filter).
+    """
+
+    def __init__(self, plm: "PretrainedLM | None" = None, rounds: int = 2, seed=0):
+        super().__init__(seed=seed)
+        self.plm = plm
+        self.rounds = rounds
+        self._head: "LogisticRegression | None" = None
+
+    def _fit(self, corpus: Corpus, supervision: Supervision) -> None:
+        supervision = require(supervision, LabeledDocuments)
+        assert self.label_set is not None
+        rng = derive_rng(self.rng, "uda-semisup")
+        if self.plm is None:
+            self.plm = get_pretrained_lm(target_corpus=corpus,
+                                         seed=int(rng.integers(2**16)) % 7)
+        from repro.embeddings.ppmi_svd import PPMISVDEmbeddings
+
+        svd = PPMISVDEmbeddings(dim=32).fit(corpus.token_lists(),
+                                            seed=int(rng.integers(2**31)))
+        labeled_tokens = [d.tokens for d, _ in supervision.pairs()]
+        labeled_targets = np.array(
+            [self.label_set.index(l) for _, l in supervision.pairs()]
+        )
+        features = self.plm.doc_embeddings(corpus.token_lists())
+        labeled_features = self.plm.doc_embeddings(labeled_tokens)
+        augmented = [eda_augment(t, svd, rng, alpha=0.2)
+                     for t in corpus.token_lists()]
+        augmented_features = self.plm.doc_embeddings(augmented)
+
+        self._head = LogisticRegression(features.shape[1], len(self.label_set),
+                                        seed=int(rng.integers(2**31)))
+        self._head.fit(labeled_features, labeled_targets, epochs=80)
+        for _ in range(self.rounds):
+            proba = self._head.predict_proba(features)
+            proba_aug = self._head.predict_proba(augmented_features)
+            agree = proba.argmax(axis=1) == proba_aug.argmax(axis=1)
+            confident = proba.max(axis=1) > 0.7
+            take = np.flatnonzero(agree & confident)
+            if take.size == 0:
+                break
+            stacked = np.vstack([labeled_features, features[take]])
+            targets = np.concatenate([labeled_targets, proba[take].argmax(axis=1)])
+            self._head.fit(stacked, targets, epochs=40)
+
+    def _predict_proba(self, corpus: Corpus) -> np.ndarray:
+        assert self._head is not None and self.plm is not None
+        return self._head.predict_proba(
+            self.plm.doc_embeddings(corpus.token_lists())
+        )

@@ -1,0 +1,43 @@
+"""BERT with simple match (the LOTClass table's weak PLM baseline).
+
+Counts label-name occurrences; documents with no match receive a uniform
+distribution (the baseline's whole point is that string matching alone
+has poor coverage). No training.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import WeaklySupervisedTextClassifier
+from repro.core.supervision import LabelNames, Supervision, require
+from repro.core.types import Corpus
+from repro.plm.model import PretrainedLM
+
+
+class BertSimpleMatch(WeaklySupervisedTextClassifier):
+    """Label-name counting; uniform fallback for unmatched documents.
+
+    The ``plm`` argument is accepted for API symmetry with the other
+    PLM-family baselines but unused — simple match needs no model.
+    """
+
+    def __init__(self, plm: "PretrainedLM | None" = None, seed=0):
+        super().__init__(seed=seed)
+        self.plm = plm
+
+    def _fit(self, corpus: Corpus, supervision: Supervision) -> None:
+        require(supervision, LabelNames)
+
+    def _predict_proba(self, corpus: Corpus) -> np.ndarray:
+        assert self.label_set is not None
+        labels = list(self.label_set)
+        name_sets = {l: set(self.label_set.name_tokens(l)) for l in labels}
+        counts = np.zeros((len(corpus), len(labels)))
+        for i, doc in enumerate(corpus):
+            for j, label in enumerate(labels):
+                counts[i, j] = sum(doc.tokens.count(t) for t in name_sets[label])
+        proba = np.full_like(counts, 1.0 / len(labels))
+        matched = counts.sum(axis=1) > 0
+        proba[matched] = counts[matched] / counts[matched].sum(axis=1, keepdims=True)
+        return proba

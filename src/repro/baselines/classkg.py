@@ -1,0 +1,144 @@
+"""ClassKG-style keyword-graph classifier (Zhang et al. 2021), simplified.
+
+Seed keywords form a keyword co-occurrence graph; label affinity
+propagates from seeds to co-occurring keywords over the graph, the scored
+keyword set pseudo-labels documents, and a classifier trains on the
+confident ones — iterated. The strongest weak baseline of the PromptClass
+table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.classifiers import AttentiveClassifier
+from repro.core.base import WeaklySupervisedTextClassifier
+from repro.core.seeding import derive_rng
+from repro.core.supervision import Keywords, LabelNames, Supervision, require
+from repro.core.types import Corpus
+from repro.text.stopwords import STOPWORDS
+from repro.text.vocabulary import Vocabulary
+
+
+class ClassKG(WeaklySupervisedTextClassifier):
+    """Keyword-graph label propagation + iterative classifier."""
+
+    def __init__(self, propagation_rounds: int = 2, damping: float = 0.6,
+                 iterations: int = 2, epochs: int = 12, window: int = 5, seed=0):
+        super().__init__(seed=seed)
+        self.propagation_rounds = propagation_rounds
+        self.damping = damping
+        self.iterations = iterations
+        self.epochs = epochs
+        self.window = window
+        self._classifier = None
+        self.keyword_scores: dict = {}
+
+    def _cooccurrence(self, token_lists: list, vocab: Vocabulary):
+        from repro.embeddings.ppmi_svd import cooccurrence_matrix, ppmi
+
+        return ppmi(cooccurrence_matrix(token_lists, vocab, window=self.window))
+
+    def _fit(self, corpus: Corpus, supervision: Supervision) -> None:
+        require(supervision, LabelNames, Keywords)
+        assert self.label_set is not None
+        rng = derive_rng(self.rng, "classkg")
+        labels = list(self.label_set)
+        token_lists = corpus.token_lists()
+        vocab = Vocabulary.build(token_lists, min_count=2)
+        graph = self._cooccurrence(token_lists, vocab)
+        # Row-normalize for propagation.
+        row_sums = np.asarray(graph.sum(axis=1)).ravel()
+        row_sums[row_sums == 0] = 1.0
+        from scipy import sparse
+
+        transition = sparse.diags(1.0 / row_sums) @ graph
+
+        affinity = np.zeros((len(vocab), len(labels)))
+        for c, label in enumerate(labels):
+            seeds = (
+                supervision.for_label(label)
+                if isinstance(supervision, Keywords)
+                else self.label_set.name_tokens(label)
+            )
+            for word in seeds:
+                if word in vocab:
+                    affinity[vocab.id(word), c] = 1.0
+        anchor = affinity.copy()
+        for _ in range(self.propagation_rounds):
+            affinity = (
+                self.damping * anchor
+                + (1.0 - self.damping) * (transition @ affinity)
+            )
+        for special_id in vocab.special_ids:
+            affinity[special_id] = 0.0
+        for word in STOPWORDS:
+            if word in vocab:
+                affinity[vocab.id(word)] = 0.0
+        # Keep only class-dominant keywords: words whose affinity spreads
+        # over several classes (graph hubs) indicate nothing.
+        sorted_aff = np.sort(affinity, axis=1)
+        second_best = sorted_aff[:, -2] if affinity.shape[1] > 1 else 0.0
+        dominant = affinity.max(axis=1) >= 1.5 * (second_best + 1e-12)
+        affinity[~dominant] = 0.0
+        self.keyword_scores = {
+            labels[c]: affinity[:, c] for c in range(len(labels))
+        }
+
+        from repro.embeddings.ppmi_svd import PPMISVDEmbeddings
+        from repro.methods.conwea.ranking import label_term_scores
+
+        svd = PPMISVDEmbeddings(dim=32).fit(token_lists, vocabulary=vocab,
+                                            seed=int(rng.integers(2**31)))
+        classifier_seed = int(rng.integers(2**31))
+        for _ in range(self.iterations):
+            doc_scores = np.zeros((len(token_lists), len(labels)))
+            for i, tokens in enumerate(token_lists):
+                for token in tokens:
+                    j = vocab.id(token)
+                    if j != vocab.unk_id:
+                        doc_scores[i] += affinity[j]
+            totals = doc_scores.sum(axis=1)
+            confident = totals > np.quantile(totals, 0.3)
+            hard = doc_scores.argmax(axis=1)
+            take = np.flatnonzero(confident)
+            self._classifier = AttentiveClassifier(
+                vocab, len(labels), dim=32, embedding_table=svd.matrix(),
+                seed=classifier_seed,
+            )
+            self._classifier.fit([token_lists[i] for i in take], hard[take],
+                                 epochs=self.epochs)
+            proba = self._classifier.predict_proba(token_lists)
+            # Classifier feedback re-scores the keyword graph: comparative
+            # term scores over confidently-predicted documents, restricted
+            # to class-dominant words (hubs stay zeroed).
+            sure = np.flatnonzero(proba.max(axis=1) > 0.6)
+            if sure.size < len(labels) * 2:
+                break
+            scores = label_term_scores(
+                [token_lists[i] for i in sure],
+                [labels[int(proba[i].argmax())] for i in sure],
+                labels,
+            )
+            affinity_new = np.zeros_like(affinity)
+            for c, label in enumerate(labels):
+                for word, score in scores[label].items():
+                    if word in vocab:
+                        affinity_new[vocab.id(word), c] = score
+            best = affinity_new.max(axis=1)
+            runner = np.sort(affinity_new, axis=1)[:, -2] if len(labels) > 1 else 0.0
+            affinity_new[best < 1.5 * (runner + 1e-12)] = 0.0
+            # Keep a bounded keyword set per class (top 15), scaled below
+            # the seed anchors so seeds keep dominating doc scores.
+            bounded = np.zeros_like(affinity_new)
+            for c in range(len(labels)):
+                column = affinity_new[:, c]
+                top = np.argsort(-column)[:15]
+                top = top[column[top] > 0]
+                if top.size:
+                    bounded[top, c] = 0.5 * column[top] / column[top].max()
+            affinity = np.maximum(anchor, bounded)
+
+    def _predict_proba(self, corpus: Corpus) -> np.ndarray:
+        assert self._classifier is not None
+        return self._classifier.predict_proba(corpus.token_lists())

@@ -1,0 +1,46 @@
+"""Doc2Vec zero-shot ranker (MICoL baseline).
+
+Documents and label texts embed via PV-DBOW inference; labels rank by
+cosine. No supervision of any kind.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import MultiLabelTextClassifier
+from repro.core.seeding import derive_rng
+from repro.core.supervision import LabelNames, Supervision, require
+from repro.core.types import Corpus
+from repro.embeddings.doc2vec import Doc2Vec
+from repro.nn.functional import l2_normalize
+from repro.text.tokenizer import tokenize
+
+
+class Doc2VecRanker(MultiLabelTextClassifier):
+    """PV-DBOW cosine ranking of label descriptions."""
+
+    def __init__(self, dim: int = 48, seed=0):
+        super().__init__(seed=seed)
+        self.dim = dim
+        self.model: "Doc2Vec | None" = None
+        self._label_matrix: "np.ndarray | None" = None
+
+    def _fit(self, corpus: Corpus, supervision: Supervision) -> None:
+        require(supervision, LabelNames)
+        assert self.label_set is not None
+        rng = derive_rng(self.rng, "doc2vec")
+        self.model = Doc2Vec(dim=self.dim, epochs=3,
+                             seed=int(rng.integers(2**31)))
+        self.model.fit(corpus.token_lists())
+        texts = []
+        for label in self.label_set:
+            tokens = list(self.label_set.name_tokens(label))
+            tokens += tokenize(self.label_set.description_of(label))
+            texts.append(tokens)
+        self._label_matrix = l2_normalize(self.model.infer(texts))
+
+    def _score(self, corpus: Corpus) -> np.ndarray:
+        assert self.model is not None and self._label_matrix is not None
+        docs = l2_normalize(self.model.infer(corpus.token_lists()))
+        return docs @ self._label_matrix.T

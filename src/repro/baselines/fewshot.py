@@ -1,0 +1,110 @@
+"""Few-shot neural baselines trained on the labeled documents only.
+
+The MetaCat table's CNN / HAN / BERT rows: standard classifiers fitted on
+the handful of labeled documents (no pseudo data, no self-training) — the
+"deep nets need more data than this" rows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.classifiers import (
+    AttentiveClassifier,
+    LogisticRegression,
+    TextCNNClassifier,
+)
+from repro.core.base import WeaklySupervisedTextClassifier
+from repro.core.seeding import derive_rng
+from repro.core.supervision import LabeledDocuments, Supervision, require
+from repro.core.types import Corpus
+from repro.embeddings.ppmi_svd import PPMISVDEmbeddings
+from repro.plm.model import PretrainedLM
+from repro.plm.provider import get_pretrained_lm
+from repro.text.vocabulary import Vocabulary
+
+
+class _FewShotNeural(WeaklySupervisedTextClassifier):
+    """Shared plumbing: fit a token classifier on the labeled docs."""
+
+    def __init__(self, epochs: int = 25, dim: int = 48, seed=0):
+        super().__init__(seed=seed)
+        self.epochs = epochs
+        self.dim = dim
+        self._classifier = None
+
+    def _build(self, vocab, table, rng):
+        raise NotImplementedError
+
+    def _fit(self, corpus: Corpus, supervision: Supervision) -> None:
+        supervision = require(supervision, LabeledDocuments)
+        assert self.label_set is not None
+        rng = derive_rng(self.rng, type(self).__name__)
+        token_lists = corpus.token_lists()
+        vocab = Vocabulary.build(token_lists, min_count=1)
+        svd = PPMISVDEmbeddings(dim=self.dim).fit(
+            token_lists, vocabulary=vocab, seed=int(rng.integers(2**31))
+        )
+        self._classifier = self._build(vocab, svd.matrix(), rng)
+        docs = [d.tokens for d, _ in supervision.pairs()]
+        targets = np.array(
+            [self.label_set.index(l) for _, l in supervision.pairs()]
+        )
+        self._classifier.fit(docs, targets, epochs=self.epochs)
+
+    def _predict_proba(self, corpus: Corpus) -> np.ndarray:
+        assert self._classifier is not None
+        return self._classifier.predict_proba(corpus.token_lists())
+
+
+class FewShotCNN(_FewShotNeural):
+    """TextCNN on the labeled documents only."""
+
+    def _build(self, vocab, table, rng):
+        assert self.label_set is not None
+        return TextCNNClassifier(vocab, len(self.label_set), dim=self.dim,
+                                 embedding_table=table,
+                                 seed=int(rng.integers(2**31)))
+
+
+class FewShotHAN(_FewShotNeural):
+    """Attention classifier on the labeled documents only."""
+
+    def _build(self, vocab, table, rng):
+        assert self.label_set is not None
+        return AttentiveClassifier(vocab, len(self.label_set), dim=self.dim,
+                                   embedding_table=table,
+                                   seed=int(rng.integers(2**31)))
+
+
+class FewShotBERT(WeaklySupervisedTextClassifier):
+    """PLM head fine-tuned on the labeled documents only."""
+
+    def __init__(self, plm: "PretrainedLM | None" = None, epochs: int = 80, seed=0):
+        super().__init__(seed=seed)
+        self.plm = plm
+        self.epochs = epochs
+        self._head: "LogisticRegression | None" = None
+
+    def _fit(self, corpus: Corpus, supervision: Supervision) -> None:
+        supervision = require(supervision, LabeledDocuments)
+        assert self.label_set is not None
+        rng = derive_rng(self.rng, "fewshot-bert")
+        if self.plm is None:
+            self.plm = get_pretrained_lm(target_corpus=corpus,
+                                         seed=int(rng.integers(2**16)) % 7)
+        features = self.plm.doc_embeddings(
+            [d.tokens for d, _ in supervision.pairs()]
+        )
+        targets = np.array(
+            [self.label_set.index(l) for _, l in supervision.pairs()]
+        )
+        self._head = LogisticRegression(features.shape[1], len(self.label_set),
+                                        seed=int(rng.integers(2**31)))
+        self._head.fit(features, targets, epochs=self.epochs)
+
+    def _predict_proba(self, corpus: Corpus) -> np.ndarray:
+        assert self._head is not None and self.plm is not None
+        return self._head.predict_proba(
+            self.plm.doc_embeddings(corpus.token_lists())
+        )

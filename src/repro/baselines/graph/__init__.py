@@ -1,0 +1,8 @@
+"""Graph-based baselines over the heterogeneous metadata network."""
+
+from repro.baselines.graph.esim import ESim
+from repro.baselines.graph.hin2vec import HIN2Vec
+from repro.baselines.graph.metapath2vec import Metapath2Vec
+from repro.baselines.graph.textgcn import TextGCN
+
+__all__ = ["ESim", "Metapath2Vec", "HIN2Vec", "TextGCN"]

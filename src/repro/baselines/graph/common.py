@@ -1,0 +1,88 @@
+"""Shared plumbing for HIN-embedding baselines.
+
+Each baseline produces node embeddings over the corpus's metadata network
+(documents included); classification is a logistic head over document-node
+embeddings trained on the few labeled documents, with a word-embedding
+fallback for test documents that have no node (unseen at embedding time).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.classifiers import LogisticRegression
+from repro.core.base import WeaklySupervisedTextClassifier
+from repro.core.seeding import derive_rng
+from repro.core.supervision import LabeledDocuments, Supervision, require
+from repro.core.types import Corpus
+from repro.embeddings.word2vec import Word2Vec
+from repro.hin.graph import HeterogeneousGraph
+from repro.nn.functional import l2_normalize
+
+
+class HINEmbeddingBaseline(WeaklySupervisedTextClassifier):
+    """Template: build graph -> node streams -> SGNS -> logistic head."""
+
+    def __init__(self, dim: int = 48, epochs: int = 4, seed=0):
+        super().__init__(seed=seed)
+        self.dim = dim
+        self.epochs = epochs
+        self.model: "Word2Vec | None" = None
+        self._head: "LogisticRegression | None" = None
+
+    # -- subclass hook -------------------------------------------------------
+    def _streams(self, graph: HeterogeneousGraph, corpus: Corpus,
+                 rng: np.random.Generator) -> list:
+        """Token streams over graph nodes (and optionally words)."""
+        raise NotImplementedError
+
+    # -- shared pipeline -------------------------------------------------------
+    def _doc_vector(self, doc) -> np.ndarray:
+        """Mean of the document's metadata-entity vectors.
+
+        Graph-embedding baselines are *structure-only*: they never read
+        the text (the MetaCat paper's central criticism of them). A test
+        document is represented by the embeddings of the entities it
+        attaches to; documents with no known entity get a zero vector.
+        """
+        assert self.model is not None and self.model.vocabulary is not None
+        vocab = self.model.vocabulary
+        meta = doc.metadata
+        entities = []
+        if "user" in meta:
+            entities.append(f"user:{meta['user']}")
+        for author in meta.get("authors", []):
+            entities.append(f"author:{author}")
+        if "venue" in meta:
+            entities.append(f"venue:{meta['venue']}")
+        for tag in meta.get("tags", []):
+            entities.append(f"tag:{tag}")
+        entities = [e for e in entities if e in vocab]
+        if not entities:
+            return np.zeros(self.dim)
+        vecs = [self.model.vector(e) for e in entities]
+        return l2_normalize(np.mean(vecs, axis=0)[None, :])[0]
+
+    def _fit(self, corpus: Corpus, supervision: Supervision) -> None:
+        supervision = require(supervision, LabeledDocuments)
+        assert self.label_set is not None
+        rng = derive_rng(self.rng, type(self).__name__)
+        graph = HeterogeneousGraph.from_corpus(corpus)
+        streams = self._streams(graph, corpus, rng)
+        self.model = Word2Vec(dim=self.dim, window=4, epochs=self.epochs,
+                              seed=int(rng.integers(2**31)))
+        self.model.fit(streams)
+        features = np.stack(
+            [self._doc_vector(doc) for doc, _ in supervision.pairs()]
+        )
+        targets = np.array(
+            [self.label_set.index(l) for _, l in supervision.pairs()]
+        )
+        self._head = LogisticRegression(self.dim, len(self.label_set),
+                                        seed=int(rng.integers(2**31)))
+        self._head.fit(features, targets, epochs=80)
+
+    def _predict_proba(self, corpus: Corpus) -> np.ndarray:
+        assert self._head is not None
+        features = np.stack([self._doc_vector(d) for d in corpus])
+        return self._head.predict_proba(features)

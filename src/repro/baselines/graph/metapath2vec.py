@@ -1,0 +1,52 @@
+"""metapath2vec (Dong et al. 2017), simplified.
+
+Meta-path guided random walks over the metadata network feed SGNS.
+Word streams anchored at document nodes are added so unseen documents can
+embed through their words.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.graph.common import HINEmbeddingBaseline
+from repro.core.types import Corpus
+from repro.hin.graph import HeterogeneousGraph
+from repro.hin.metapath import P_TAG_P, P_USER_P, MetaPath
+from repro.hin.random_walk import metapath_random_walks
+
+
+class Metapath2Vec(HINEmbeddingBaseline):
+    """Meta-path guided walks + skip-gram."""
+
+    def __init__(self, dim: int = 48, epochs: int = 4,
+                 metapaths: "tuple | None" = None, seed=0):
+        super().__init__(dim=dim, epochs=epochs, seed=seed)
+        self.metapaths = metapaths
+
+    def _default_paths(self, graph: HeterogeneousGraph) -> list:
+        paths = []
+        if "user" in graph.node_types:
+            paths.append(P_USER_P)
+        if "tag" in graph.node_types:
+            paths.append(P_TAG_P)
+        if "author" in graph.node_types:
+            paths.append(MetaPath(("doc", "author", "doc"), name="P-A-P"))
+        if "venue" in graph.node_types:
+            paths.append(MetaPath(("doc", "venue", "doc"), name="P-V-P"))
+        return paths or [MetaPath(("doc", "doc", "doc"),
+                                  ("doc-ref", "doc-ref"), name="P-P-P")]
+
+    def _streams(self, graph: HeterogeneousGraph, corpus: Corpus,
+                 rng: np.random.Generator) -> list:
+        streams: list[list[str]] = []
+        paths = list(self.metapaths or self._default_paths(graph))
+        for path in paths:
+            streams.extend(
+                metapath_random_walks(graph, path, walks_per_node=3,
+                                      walk_length=12, seed=rng)
+            )
+        # Word anchoring streams.
+        for doc in corpus:
+            streams.append([f"doc:{doc.doc_id}"] + list(doc.tokens))
+        return streams

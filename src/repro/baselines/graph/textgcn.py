@@ -1,0 +1,130 @@
+"""TextGCN (Yao et al. 2019) in numpy.
+
+A two-layer graph convolution over the word-document graph: doc-word
+edges weighted by TF-IDF, word-word edges by PMI, identity self-loops,
+symmetric normalization. Transductive: the graph is built over train and
+test documents together at prediction time (as in the paper), with
+supervision only on the labeled training documents.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from repro.core.base import WeaklySupervisedTextClassifier
+from repro.core.seeding import derive_rng
+from repro.core.supervision import LabeledDocuments, Supervision, require
+from repro.core.types import Corpus
+from repro.embeddings.ppmi_svd import cooccurrence_matrix, ppmi
+from repro.nn.layers import Linear
+from repro.nn.losses import cross_entropy
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor
+from repro.text.tfidf import TfidfVectorizer
+from repro.text.vocabulary import Vocabulary
+
+
+def _normalized_adjacency(adj: sparse.csr_matrix) -> sparse.csr_matrix:
+    adj = adj + sparse.eye(adj.shape[0], format="csr")
+    degrees = np.asarray(adj.sum(axis=1)).ravel()
+    degrees[degrees == 0] = 1.0
+    inv_sqrt = sparse.diags(1.0 / np.sqrt(degrees))
+    return inv_sqrt @ adj @ inv_sqrt
+
+
+class TextGCN(WeaklySupervisedTextClassifier):
+    """Two-layer GCN over the heterogeneous word-document graph."""
+
+    def __init__(self, hidden: int = 48, epochs: int = 60, lr: float = 2e-2,
+                 seed=0):
+        super().__init__(seed=seed)
+        self.hidden = hidden
+        self.epochs = epochs
+        self.lr = lr
+        self._supervision: "LabeledDocuments | None" = None
+        self._train_corpus: "Corpus | None" = None
+
+    def _fit(self, corpus: Corpus, supervision: Supervision) -> None:
+        self._supervision = require(supervision, LabeledDocuments)
+        self._train_corpus = corpus
+
+    def _build_graph(self, docs: list) -> tuple:
+        token_lists = [d.tokens for d in docs]
+        vocab = Vocabulary.build(token_lists, min_count=2)
+        n_docs, n_words = len(docs), len(vocab)
+        vectorizer = TfidfVectorizer(min_count=2)
+        tfidf = vectorizer.fit_transform(token_lists)
+        # Map vectorizer vocabulary columns onto the graph's word indices.
+        assert vectorizer.vocabulary is not None
+        col_map = np.array(
+            [vocab.id(vectorizer.vocabulary.token(j))
+             for j in range(len(vectorizer.vocabulary))]
+        )
+        coo = tfidf.tocoo()
+        doc_word = sparse.csr_matrix(
+            (coo.data, (coo.row, col_map[coo.col])), shape=(n_docs, n_words)
+        )
+        word_word = ppmi(cooccurrence_matrix(token_lists, vocab, window=5))
+        adj = sparse.bmat(
+            [
+                [None, doc_word],
+                [doc_word.T, word_word],
+            ],
+            format="csr",
+        )
+        return _normalized_adjacency(adj), vocab, n_docs
+
+    def _predict_proba(self, corpus: Corpus) -> np.ndarray:
+        assert self._supervision is not None and self._train_corpus is not None
+        assert self.label_set is not None
+        rng = derive_rng(self.rng, "textgcn")
+        docs = list(self._train_corpus) + list(corpus)
+        adj, vocab, n_docs = self._build_graph(docs)
+        n_nodes = adj.shape[0]
+
+        labeled_idx = []
+        labeled_targets = []
+        positions = {d.doc_id: i for i, d in enumerate(docs)}
+        for doc, label in self._supervision.pairs():
+            if doc.doc_id in positions:
+                labeled_idx.append(positions[doc.doc_id])
+                labeled_targets.append(self.label_set.index(label))
+        labeled_idx = np.asarray(labeled_idx)
+        labeled_targets = np.asarray(labeled_targets)
+
+        node_rng = np.random.default_rng(int(rng.integers(2**31)))
+        # One-hot input features realized as a trainable embedding (the
+        # TextGCN formulation with X = I folds the first layer's weight
+        # into per-node vectors).
+        embed = Tensor(node_rng.normal(0, 0.05, size=(n_nodes, self.hidden)),
+                       requires_grad=True)
+        out_layer = Linear(self.hidden, len(self.label_set),
+                           np.random.default_rng(int(rng.integers(2**31))))
+        optimizer = Adam([embed] + out_layer.parameters(), lr=self.lr,
+                         weight_decay=1e-4)
+        adj_dense = None
+        if n_nodes <= 4000:
+            adj_dense = Tensor(np.asarray(adj.todense()))
+        for _ in range(self.epochs):
+            if adj_dense is not None:
+                hidden = (adj_dense @ embed).relu()
+                logits_all = adj_dense @ out_layer(hidden)
+            else:  # pragma: no cover - large-graph fallback
+                hidden = Tensor(adj @ embed.data).relu()
+                logits_all = Tensor(adj @ out_layer(hidden).data)
+            logits = logits_all[labeled_idx]
+            loss = cross_entropy(logits, labeled_targets)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        if adj_dense is not None:
+            hidden = (adj_dense @ embed).relu()
+            logits_all = (adj_dense @ out_layer(hidden)).data
+        else:  # pragma: no cover
+            hidden = np.maximum(adj @ embed.data, 0.0)
+            logits_all = adj @ out_layer(Tensor(hidden)).data
+        test_logits = logits_all[len(self._train_corpus) : n_docs]
+        shifted = test_logits - test_logits.max(axis=1, keepdims=True)
+        proba = np.exp(shifted)
+        return proba / proba.sum(axis=1, keepdims=True)

@@ -1,0 +1,95 @@
+"""Hier-SVM: per-node linear SVMs over TF-IDF features (WeSHClass baseline).
+
+Each internal tree node trains a one-vs-rest linear SVM (hinge loss) over
+its children from the few labeled documents; prediction descends greedily.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import WeaklySupervisedTextClassifier
+from repro.core.seeding import derive_rng
+from repro.core.supervision import LabeledDocuments, Supervision, require
+from repro.core.types import Corpus
+from repro.nn.layers import Linear
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor
+from repro.taxonomy.tree import ROOT, LabelTree
+from repro.text.tfidf import TfidfVectorizer
+
+
+def _train_linear_svm(features: np.ndarray, targets: np.ndarray, n_classes: int,
+                      rng: np.random.Generator, epochs: int = 40,
+                      margin: float = 1.0) -> Linear:
+    """Multiclass hinge-loss (Crammer-Singer style) linear model."""
+    linear = Linear(features.shape[1], n_classes, rng)
+    optimizer = Adam(linear.parameters(), lr=5e-2, weight_decay=1e-4)
+    n = features.shape[0]
+    for _ in range(epochs):
+        order = rng.permutation(n)
+        for start in range(0, n, 64):
+            take = order[start : start + 64]
+            logits = linear(Tensor(features[take]))
+            correct_mask = np.zeros((take.size, n_classes))
+            correct_mask[np.arange(take.size), targets[take]] = 1.0
+            correct = (logits * Tensor(correct_mask)).sum(axis=1, keepdims=True)
+            violations = (logits - correct + margin) * Tensor(1.0 - correct_mask)
+            loss = violations.relu().sum(axis=1).mean()
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+    return linear
+
+
+class HierSVM(WeaklySupervisedTextClassifier):
+    """Greedy descent over per-node linear SVMs."""
+
+    def __init__(self, tree: LabelTree, seed=0):
+        super().__init__(seed=seed)
+        self.tree = tree
+        self._vectorizer: "TfidfVectorizer | None" = None
+        self._local: dict = {}
+
+    def _fit(self, corpus: Corpus, supervision: Supervision) -> None:
+        supervision = require(supervision, LabeledDocuments)
+        assert self.label_set is not None
+        rng = derive_rng(self.rng, "hier-svm")
+        self._vectorizer = TfidfVectorizer(max_size=2000)
+        self._vectorizer.fit(corpus.token_lists())
+        pairs = supervision.pairs()
+        for parent in [ROOT] + self.tree.internal():
+            children = self.tree.children(parent)
+            if len(children) < 2:
+                continue
+            features, targets = [], []
+            for doc, leaf in pairs:
+                path = set(self.tree.path_to_root(leaf))
+                hits = [i for i, c in enumerate(children) if c in path]
+                if hits:
+                    features.append(doc.tokens)
+                    targets.append(hits[0])
+            if len(set(targets)) < 2:
+                continue
+            mat = np.asarray(self._vectorizer.transform(features).todense())
+            model = _train_linear_svm(
+                mat, np.asarray(targets), len(children),
+                np.random.default_rng(int(rng.integers(2**31))),
+            )
+            self._local[parent] = (model, children)
+
+    def _predict_proba(self, corpus: Corpus) -> np.ndarray:
+        assert self.label_set is not None and self._vectorizer is not None
+        mat = np.asarray(self._vectorizer.transform(corpus.token_lists()).todense())
+        out = np.zeros((len(corpus), len(self.label_set)))
+        for i in range(mat.shape[0]):
+            node = ROOT
+            while node in self._local:
+                model, children = self._local[node]
+                logits = model(Tensor(mat[i : i + 1])).data[0]
+                node = children[int(logits.argmax())]
+            if node in self.label_set:
+                out[i, self.label_set.index(node)] = 1.0
+        empty = out.sum(axis=1) == 0
+        out[empty] = 1.0 / len(self.label_set)
+        return out

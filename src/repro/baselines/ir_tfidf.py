@@ -1,0 +1,63 @@
+"""IR with TF-IDF: retrieval-style classification from seed queries.
+
+Each class is a query (its label name, keywords, or the top TF-IDF terms
+of its labeled documents); documents are assigned to the class whose query
+they match best under TF-IDF cosine. The weakest baseline in the WeSTClass
+and ConWea tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import WeaklySupervisedTextClassifier
+from repro.core.supervision import (
+    Keywords,
+    LabeledDocuments,
+    LabelNames,
+    Supervision,
+    require,
+)
+from repro.core.types import Corpus
+from repro.text.tfidf import TfidfVectorizer
+
+
+class IRWithTfidf(WeaklySupervisedTextClassifier):
+    """TF-IDF retrieval against per-class seed queries."""
+
+    def __init__(self, seed=0):
+        super().__init__(seed=seed)
+        self._vectorizer: "TfidfVectorizer | None" = None
+        self._query_matrix: "np.ndarray | None" = None
+
+    def _queries(self, supervision: Supervision) -> list:
+        assert self.label_set is not None
+        if isinstance(supervision, Keywords):
+            return [supervision.for_label(l) for l in self.label_set]
+        if isinstance(supervision, LabelNames):
+            return [self.label_set.name_tokens(l) for l in self.label_set]
+        supervision = require(supervision, LabeledDocuments)
+        assert self._vectorizer is not None
+        queries = []
+        for label in self.label_set:
+            docs = supervision.for_label(label)
+            terms = self._vectorizer.top_terms([d.tokens for d in docs], k=10)
+            queries.append(sorted({t for doc_terms in terms for t in doc_terms}))
+        return queries
+
+    def _fit(self, corpus: Corpus, supervision: Supervision) -> None:
+        require(supervision, LabelNames, Keywords, LabeledDocuments)
+        self._vectorizer = TfidfVectorizer()
+        self._vectorizer.fit(corpus.token_lists())
+        queries = self._queries(supervision)
+        self._query_matrix = np.asarray(
+            self._vectorizer.transform(queries).todense()
+        )
+
+    def _predict_proba(self, corpus: Corpus) -> np.ndarray:
+        assert self._vectorizer is not None and self._query_matrix is not None
+        docs = self._vectorizer.transform(corpus.token_lists())
+        scores = np.asarray((docs @ self._query_matrix.T))
+        # Softmax with uniform fallback for score-less documents.
+        exp = np.exp((scores - scores.max(axis=1, keepdims=True)) * 10.0)
+        return exp / exp.sum(axis=1, keepdims=True)

@@ -1,0 +1,73 @@
+"""PCEM: semi-supervised naive Bayes with EM (Nigam et al. 2000 family).
+
+Seeded from a few labeled documents, class-conditional word distributions
+are re-estimated with EM over the unlabeled corpus. The PCEM row of the
+MetaCat table and (as SS-PCEM) the TaxoClass table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import WeaklySupervisedTextClassifier
+from repro.core.supervision import LabeledDocuments, Supervision, require
+from repro.core.types import Corpus
+from repro.text.vocabulary import Vocabulary
+
+
+class PCEM(WeaklySupervisedTextClassifier):
+    """Multinomial naive Bayes + EM over unlabeled documents."""
+
+    def __init__(self, iterations: int = 8, smoothing: float = 0.1, seed=0):
+        super().__init__(seed=seed)
+        self.iterations = iterations
+        self.smoothing = smoothing
+        self.vocabulary: "Vocabulary | None" = None
+        self.log_prior: "np.ndarray | None" = None
+        self.log_word: "np.ndarray | None" = None  # (K, V)
+
+    def _counts(self, token_lists: list) -> np.ndarray:
+        assert self.vocabulary is not None
+        mat = np.zeros((len(token_lists), len(self.vocabulary)))
+        for i, tokens in enumerate(token_lists):
+            for token in tokens:
+                j = self.vocabulary.id(token)
+                if j != self.vocabulary.unk_id:
+                    mat[i, j] += 1
+        return mat
+
+    def _m_step(self, counts: np.ndarray, resp: np.ndarray) -> None:
+        class_mass = resp.sum(axis=0) + 1e-9
+        self.log_prior = np.log(class_mass / class_mass.sum())
+        word_counts = resp.T @ counts + self.smoothing
+        self.log_word = np.log(word_counts / word_counts.sum(axis=1, keepdims=True))
+
+    def _e_step(self, counts: np.ndarray) -> np.ndarray:
+        assert self.log_prior is not None and self.log_word is not None
+        logp = counts @ self.log_word.T + self.log_prior
+        logp -= logp.max(axis=1, keepdims=True)
+        proba = np.exp(logp)
+        return proba / proba.sum(axis=1, keepdims=True)
+
+    def _fit(self, corpus: Corpus, supervision: Supervision) -> None:
+        supervision = require(supervision, LabeledDocuments)
+        assert self.label_set is not None
+        token_lists = corpus.token_lists()
+        self.vocabulary = Vocabulary.build(token_lists, min_count=2)
+        counts = self._counts(token_lists)
+        k = len(self.label_set)
+        labeled_counts = self._counts(
+            [doc.tokens for doc, _ in supervision.pairs()]
+        )
+        labeled_resp = np.zeros((labeled_counts.shape[0], k))
+        for i, (_, label) in enumerate(supervision.pairs()):
+            labeled_resp[i, self.label_set.index(label)] = 1.0
+        self._m_step(labeled_counts, labeled_resp)
+        for _ in range(self.iterations):
+            resp = self._e_step(counts)
+            stacked_counts = np.vstack([labeled_counts, counts])
+            stacked_resp = np.vstack([labeled_resp, resp])
+            self._m_step(stacked_counts, stacked_resp)
+
+    def _predict_proba(self, corpus: Corpus) -> np.ndarray:
+        return self._e_step(self._counts(corpus.token_lists()))

@@ -1,0 +1,59 @@
+"""PTE: predictive text embedding (Tang et al. 2015), simplified.
+
+Heterogeneous skip-gram over word-word, word-document, and word-label
+edges (labels from the supervision's labeled documents). Documents embed
+as the mean of their word vectors; a logistic head trained on the labeled
+documents classifies. Appears in the WeSTClass and MetaCat tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.classifiers import LogisticRegression
+from repro.core.base import WeaklySupervisedTextClassifier
+from repro.core.seeding import derive_rng
+from repro.core.supervision import LabeledDocuments, Supervision, require
+from repro.core.types import Corpus
+from repro.embeddings.doc import doc_embeddings
+from repro.embeddings.word2vec import Word2Vec
+
+
+class PTE(WeaklySupervisedTextClassifier):
+    """Heterogeneous predictive text embeddings + logistic head."""
+
+    def __init__(self, dim: int = 48, epochs: int = 5, seed=0):
+        super().__init__(seed=seed)
+        self.dim = dim
+        self.epochs = epochs
+        self.model: "Word2Vec | None" = None
+        self._head: "LogisticRegression | None" = None
+
+    def _fit(self, corpus: Corpus, supervision: Supervision) -> None:
+        supervision = require(supervision, LabeledDocuments)
+        assert self.label_set is not None
+        rng = derive_rng(self.rng, "pte")
+        # Streams = documents, plus label-token streams for labeled docs
+        # (word-label edges), plus doc-token streams (word-doc edges).
+        streams = []
+        for doc in corpus:
+            streams.append([f"__doc__{doc.doc_id}"] + list(doc.tokens))
+        for doc, label in supervision.pairs():
+            streams.append([f"__label__{label}"] + list(doc.tokens))
+        self.model = Word2Vec(dim=self.dim, window=6, epochs=self.epochs,
+                              seed=int(rng.integers(2**31)))
+        self.model.fit(streams)
+        features, targets = [], []
+        for doc, label in supervision.pairs():
+            features.append(
+                doc_embeddings([doc.tokens], self.model)[0]
+            )
+            targets.append(self.label_set.index(label))
+        self._head = LogisticRegression(self.dim, len(self.label_set),
+                                        seed=int(rng.integers(2**31)))
+        self._head.fit(np.stack(features), np.asarray(targets), epochs=80)
+
+    def _predict_proba(self, corpus: Corpus) -> np.ndarray:
+        assert self.model is not None and self._head is not None
+        docs = doc_embeddings(corpus.token_lists(), self.model)
+        return self._head.predict_proba(docs)

@@ -1,0 +1,72 @@
+"""Semi-BERT: PLM head fine-tuned on a fraction of gold training labels.
+
+The TaxoClass table's semi-supervised comparator (30% of the training set)
+and the machinery behind the MATCH-at-N-examples rows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import MultiLabelTextClassifier
+from repro.core.seeding import derive_rng
+from repro.core.supervision import Supervision
+from repro.core.types import Corpus
+from repro.nn.layers import Linear
+from repro.nn.losses import binary_cross_entropy_with_logits
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor
+from repro.plm.model import PretrainedLM
+from repro.plm.provider import get_pretrained_lm
+
+
+class SemiBERT(MultiLabelTextClassifier):
+    """One-vs-all PLM head trained on ``fraction`` of gold labels.
+
+    Deliberately *not* weakly supervised: it reads gold labels from the
+    corpus for the sampled fraction (a semi-supervised comparator).
+    """
+
+    def __init__(self, plm: "PretrainedLM | None" = None, fraction: float = 0.3,
+                 epochs: int = 60, seed=0):
+        super().__init__(seed=seed)
+        self.plm = plm
+        self.fraction = fraction
+        self.epochs = epochs
+        self._head: "Linear | None" = None
+
+    def _fit(self, corpus: Corpus, supervision: Supervision) -> None:
+        assert self.label_set is not None
+        rng = derive_rng(self.rng, "semi-bert")
+        if self.plm is None:
+            self.plm = get_pretrained_lm(target_corpus=corpus,
+                                         seed=int(rng.integers(2**16)) % 7)
+        n = len(corpus)
+        take = rng.permutation(n)[: max(len(self.label_set), int(n * self.fraction))]
+        features = self.plm.doc_embeddings(
+            [corpus[int(i)].tokens for i in take]
+        )
+        label_index = {l: j for j, l in enumerate(self.label_set)}
+        targets = np.zeros((take.size, len(self.label_set)))
+        for row, i in enumerate(take):
+            for label in corpus[int(i)].labels:
+                if label in label_index:
+                    targets[row, label_index[label]] = 1.0
+        self._head = Linear(features.shape[1], len(self.label_set),
+                            np.random.default_rng(int(rng.integers(2**31))))
+        optimizer = Adam(self._head.parameters(), lr=5e-2, weight_decay=1e-4)
+        for _ in range(self.epochs):
+            order = rng.permutation(take.size)
+            for start in range(0, take.size, 64):
+                batch = order[start : start + 64]
+                logits = self._head(Tensor(features[batch]))
+                loss = binary_cross_entropy_with_logits(logits, targets[batch])
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+
+    def _score(self, corpus: Corpus) -> np.ndarray:
+        assert self._head is not None and self.plm is not None
+        features = self.plm.doc_embeddings(corpus.token_lists())
+        logits = self._head(Tensor(features)).data
+        return 1.0 / (1.0 + np.exp(-logits))

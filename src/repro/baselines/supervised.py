@@ -1,0 +1,133 @@
+"""Fully supervised upper bounds (CNN, HAN, char-CNN, BERT head).
+
+These train on the *gold* labels of the training corpus and bound what the
+weakly-supervised methods can hope for in every table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.classifiers import (
+    AttentiveClassifier,
+    LogisticRegression,
+    TextCNNClassifier,
+)
+from repro.core.base import WeaklySupervisedTextClassifier
+from repro.core.seeding import derive_rng
+from repro.core.supervision import Supervision
+from repro.core.types import Corpus
+from repro.embeddings.ppmi_svd import PPMISVDEmbeddings
+from repro.plm.model import PretrainedLM
+from repro.plm.provider import get_pretrained_lm
+from repro.text.vocabulary import Vocabulary
+
+
+class _SupervisedBase(WeaklySupervisedTextClassifier):
+    """Shared gold-label training plumbing.
+
+    ``fit`` ignores the weak-supervision payload beyond the label set and
+    reads gold labels straight from the corpus (these are *upper bounds*,
+    not weakly-supervised systems).
+    """
+
+    def __init__(self, epochs: int = 12, dim: int = 48, seed=0):
+        super().__init__(seed=seed)
+        self.epochs = epochs
+        self.dim = dim
+        self._classifier = None
+
+    def _gold_targets(self, corpus: Corpus) -> np.ndarray:
+        assert self.label_set is not None
+        return np.array([self.label_set.index(d.labels[0]) for d in corpus])
+
+    def _tokens(self, corpus: Corpus) -> list:
+        return corpus.token_lists()
+
+    def _build(self, vocab: Vocabulary, table: "np.ndarray | None", rng) -> object:
+        raise NotImplementedError
+
+    def _fit(self, corpus: Corpus, supervision: Supervision) -> None:
+        rng = derive_rng(self.rng, type(self).__name__)
+        tokens = self._tokens(corpus)
+        vocab = Vocabulary.build(tokens, min_count=1)
+        svd = PPMISVDEmbeddings(dim=self.dim).fit(
+            tokens, vocabulary=vocab, seed=int(rng.integers(2**31))
+        )
+        self._classifier = self._build(vocab, svd.matrix(), rng)
+        self._classifier.fit(tokens, self._gold_targets(corpus),
+                             epochs=self.epochs)
+
+    def _predict_proba(self, corpus: Corpus) -> np.ndarray:
+        assert self._classifier is not None
+        return self._classifier.predict_proba(self._tokens(corpus))
+
+
+class SupervisedCNN(_SupervisedBase):
+    """TextCNN trained on gold labels."""
+
+    def _build(self, vocab, table, rng):
+        assert self.label_set is not None
+        return TextCNNClassifier(vocab, len(self.label_set), dim=self.dim,
+                                 embedding_table=table,
+                                 seed=int(rng.integers(2**31)))
+
+
+class SupervisedHAN(_SupervisedBase):
+    """Attention classifier trained on gold labels."""
+
+    def _build(self, vocab, table, rng):
+        assert self.label_set is not None
+        return AttentiveClassifier(vocab, len(self.label_set), dim=self.dim,
+                                   embedding_table=table,
+                                   seed=int(rng.integers(2**31)))
+
+
+class SupervisedCharCNN(_SupervisedBase):
+    """Character-level CNN trained on gold labels (char-CNN row)."""
+
+    def _tokens(self, corpus: Corpus) -> list:
+        # Character streams; the CNN's windows recover sub-word patterns.
+        return [list(" ".join(d.tokens))[:200] for d in corpus]
+
+    def _build(self, vocab, table, rng):
+        assert self.label_set is not None
+        return TextCNNClassifier(vocab, len(self.label_set), dim=24,
+                                 max_len=200, window_sizes=(3, 5),
+                                 filters=24, seed=int(rng.integers(2**31)))
+
+    def _fit(self, corpus: Corpus, supervision: Supervision) -> None:
+        rng = derive_rng(self.rng, "charcnn")
+        tokens = self._tokens(corpus)
+        vocab = Vocabulary.build(tokens, min_count=1)
+        self._classifier = self._build(vocab, None, rng)
+        self._classifier.fit(tokens, self._gold_targets(corpus),
+                             epochs=self.epochs)
+
+
+class SupervisedBERT(WeaklySupervisedTextClassifier):
+    """Head-token fine-tuning on gold labels over the PLM (BERT row)."""
+
+    def __init__(self, plm: "PretrainedLM | None" = None, epochs: int = 80, seed=0):
+        super().__init__(seed=seed)
+        self.plm = plm
+        self.epochs = epochs
+        self._head: "LogisticRegression | None" = None
+
+    def _fit(self, corpus: Corpus, supervision: Supervision) -> None:
+        assert self.label_set is not None
+        rng = derive_rng(self.rng, "supervised-bert")
+        if self.plm is None:
+            self.plm = get_pretrained_lm(target_corpus=corpus,
+                                         seed=int(rng.integers(2**16)) % 7)
+        features = self.plm.doc_embeddings(corpus.token_lists())
+        targets = np.array([self.label_set.index(d.labels[0]) for d in corpus])
+        self._head = LogisticRegression(features.shape[1], len(self.label_set),
+                                        seed=int(rng.integers(2**31)))
+        self._head.fit(features, targets, epochs=self.epochs)
+
+    def _predict_proba(self, corpus: Corpus) -> np.ndarray:
+        assert self._head is not None and self.plm is not None
+        return self._head.predict_proba(
+            self.plm.doc_embeddings(corpus.token_lists())
+        )

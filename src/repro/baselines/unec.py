@@ -1,0 +1,82 @@
+"""UNEC-style unsupervised embedding clustering baseline.
+
+Documents are clustered (k = number of classes) in a local static
+embedding space; each cluster is mapped to the label whose name embedding
+is closest to the cluster centroid. Appears in the WeSTClass table's
+LABELS column.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import WeaklySupervisedTextClassifier
+from repro.core.seeding import derive_rng
+from repro.core.supervision import LabelNames, Supervision, require
+from repro.core.types import Corpus
+from repro.embeddings.doc import doc_embeddings
+from repro.embeddings.ppmi_svd import PPMISVDEmbeddings
+from repro.evaluation.clustering import kmeans
+from repro.nn.functional import l2_normalize
+
+
+class UNEC(WeaklySupervisedTextClassifier):
+    """k-means over document embeddings + name-based cluster labeling."""
+
+    def __init__(self, dim: int = 48, seed=0):
+        super().__init__(seed=seed)
+        self.dim = dim
+        self.space: "PPMISVDEmbeddings | None" = None
+        self._centroids: "np.ndarray | None" = None  # aligned with label order
+
+    def _fit(self, corpus: Corpus, supervision: Supervision) -> None:
+        require(supervision, LabelNames)
+        assert self.label_set is not None
+        rng = derive_rng(self.rng, "unec")
+        self.space = PPMISVDEmbeddings(dim=self.dim).fit(
+            corpus.token_lists(), seed=int(rng.integers(2**31))
+        )
+        docs = doc_embeddings(corpus.token_lists(), self.space)
+        k = len(self.label_set)
+        assignment = kmeans(docs, k, seed=int(rng.integers(2**31)))
+        centroids = np.stack(
+            [
+                docs[assignment == j].mean(axis=0)
+                if (assignment == j).any()
+                else docs.mean(axis=0)
+                for j in range(k)
+            ]
+        )
+        label_vecs = l2_normalize(
+            np.stack(
+                [
+                    np.mean(
+                        [self.space.vector(t) for t in self.label_set.name_tokens(l)],
+                        axis=0,
+                    )
+                    for l in self.label_set
+                ]
+            )
+        )
+        sims = l2_normalize(centroids) @ label_vecs.T  # (k clusters, k labels)
+        # Greedy one-to-one cluster->label matching.
+        ordered: dict[int, int] = {}
+        flat = [(-sims[c, l], c, l) for c in range(k) for l in range(k)]
+        used_c: set[int] = set()
+        used_l: set[int] = set()
+        for _, c, l in sorted(flat):
+            if c in used_c or l in used_l:
+                continue
+            ordered[l] = c
+            used_c.add(c)
+            used_l.add(l)
+        self._centroids = l2_normalize(
+            np.stack([centroids[ordered[l]] for l in range(k)])
+        )
+
+    def _predict_proba(self, corpus: Corpus) -> np.ndarray:
+        assert self.space is not None and self._centroids is not None
+        docs = doc_embeddings(corpus.token_lists(), self.space)
+        scores = docs @ self._centroids.T
+        exp = np.exp((scores - scores.max(axis=1, keepdims=True)) / 0.05)
+        return exp / exp.sum(axis=1, keepdims=True)

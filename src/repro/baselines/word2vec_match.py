@@ -1,0 +1,52 @@
+"""Word2Vec similarity matching (the ConWea table's "Word2Vec" row).
+
+Label vectors are seed-word means in a locally trained word2vec space;
+documents match by cosine of their mean word vector. No classifier.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import WeaklySupervisedTextClassifier
+from repro.core.seeding import derive_rng
+from repro.core.supervision import Keywords, LabelNames, Supervision, require
+from repro.core.types import Corpus
+from repro.embeddings.doc import doc_embeddings
+from repro.embeddings.word2vec import Word2Vec
+from repro.nn.functional import l2_normalize
+
+
+class Word2VecMatch(WeaklySupervisedTextClassifier):
+    """Nearest seed-mean vector in a local SGNS space."""
+
+    def __init__(self, dim: int = 48, epochs: int = 6, seed=0):
+        super().__init__(seed=seed)
+        self.dim = dim
+        self.epochs = epochs
+        self.model: "Word2Vec | None" = None
+        self._label_matrix: "np.ndarray | None" = None
+
+    def _fit(self, corpus: Corpus, supervision: Supervision) -> None:
+        require(supervision, LabelNames, Keywords)
+        assert self.label_set is not None
+        rng = derive_rng(self.rng, "w2v-match")
+        self.model = Word2Vec(dim=self.dim, epochs=self.epochs,
+                              seed=int(rng.integers(2**31)))
+        self.model.fit(corpus.token_lists())
+        rows = []
+        for label in self.label_set:
+            seeds = (
+                supervision.for_label(label)
+                if isinstance(supervision, Keywords)
+                else self.label_set.name_tokens(label)
+            )
+            rows.append(np.mean([self.model.vector(w) for w in seeds], axis=0))
+        self._label_matrix = l2_normalize(np.stack(rows))
+
+    def _predict_proba(self, corpus: Corpus) -> np.ndarray:
+        assert self.model is not None and self._label_matrix is not None
+        docs = doc_embeddings(corpus.token_lists(), self.model)
+        scores = docs @ self._label_matrix.T
+        exp = np.exp((scores - scores.max(axis=1, keepdims=True)) / 0.05)
+        return exp / exp.sum(axis=1, keepdims=True)

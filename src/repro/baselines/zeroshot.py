@@ -1,0 +1,106 @@
+"""Zero-shot entailment baselines (Yin et al. 2019 family).
+
+``ZeroShotEntail`` ranks labels by the NLI relevance model's entailment
+probability, no training. ``HierZeroShotTC`` descends a taxonomy with the
+same scorer and emits the visited path (the TaxoClass baseline).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import MultiLabelTextClassifier, WeaklySupervisedTextClassifier
+from repro.core.seeding import derive_rng
+from repro.core.supervision import LabelNames, Supervision, require
+from repro.core.types import Corpus
+from repro.methods.taxoclass.exploration import candidate_matrix
+from repro.plm.model import PretrainedLM
+from repro.plm.provider import get_pretrained_lm, get_relevance_model
+from repro.taxonomy.dag import LabelDAG
+
+
+class ZeroShotEntail(WeaklySupervisedTextClassifier):
+    """Flat zero-shot classification by entailment probability."""
+
+    def __init__(self, plm: "PretrainedLM | None" = None, seed=0):
+        super().__init__(seed=seed)
+        self.plm = plm
+        self._relevance = None
+
+    def _fit(self, corpus: Corpus, supervision: Supervision) -> None:
+        require(supervision, LabelNames)
+        rng = derive_rng(self.rng, "zeroshot")
+        if self.plm is None:
+            self.plm = get_pretrained_lm(target_corpus=corpus,
+                                         seed=int(rng.integers(2**16)) % 7)
+        self._relevance = get_relevance_model(self.plm)
+
+    def _predict_proba(self, corpus: Corpus) -> np.ndarray:
+        assert self.label_set is not None and self._relevance is not None
+        scores = self._relevance.relevance_matrix(
+            corpus.token_lists(),
+            [self.label_set.name_tokens(l) for l in self.label_set],
+        )
+        totals = scores.sum(axis=1, keepdims=True)
+        totals[totals == 0] = 1.0
+        return scores / totals
+
+
+class ZeroShotEntailRanker(MultiLabelTextClassifier):
+    """Multi-label variant: raw entailment scores as the ranking."""
+
+    def __init__(self, plm: "PretrainedLM | None" = None, seed=0):
+        super().__init__(seed=seed)
+        self.plm = plm
+        self._relevance = None
+
+    def _fit(self, corpus: Corpus, supervision: Supervision) -> None:
+        require(supervision, LabelNames)
+        rng = derive_rng(self.rng, "zeroshot-rank")
+        if self.plm is None:
+            self.plm = get_pretrained_lm(target_corpus=corpus,
+                                         seed=int(rng.integers(2**16)) % 7)
+        self._relevance = get_relevance_model(self.plm)
+
+    def _score(self, corpus: Corpus) -> np.ndarray:
+        assert self.label_set is not None and self._relevance is not None
+        return self._relevance.relevance_matrix(
+            corpus.token_lists(),
+            [self.label_set.name_tokens(l) for l in self.label_set],
+        )
+
+
+class HierZeroShotTC(MultiLabelTextClassifier):
+    """Top-down zero-shot taxonomy descent (no training at all)."""
+
+    def __init__(self, dag: LabelDAG, plm: "PretrainedLM | None" = None,
+                 beam: int = 2, seed=0):
+        super().__init__(seed=seed)
+        self.dag = dag
+        self.plm = plm
+        self.beam = beam
+        self._relevance = None
+
+    def _fit(self, corpus: Corpus, supervision: Supervision) -> None:
+        require(supervision, LabelNames)
+        rng = derive_rng(self.rng, "hier-zeroshot")
+        if self.plm is None:
+            self.plm = get_pretrained_lm(target_corpus=corpus,
+                                         seed=int(rng.integers(2**16)) % 7)
+        self._relevance = get_relevance_model(self.plm)
+
+    def _score(self, corpus: Corpus) -> np.ndarray:
+        assert self.label_set is not None and self._relevance is not None
+        labels = list(self.label_set)
+        relevance = self._relevance.relevance_matrix(
+            corpus.token_lists(), [self.label_set.name_tokens(l) for l in labels]
+        )
+        candidates = candidate_matrix(self.dag, relevance, labels,
+                                      beam=self.beam, max_candidates=12)
+        label_index = {l: i for i, l in enumerate(labels)}
+        scores = np.zeros_like(relevance)
+        for i, cand in enumerate(candidates):
+            for label in cand:
+                j = label_index[label]
+                scores[i, j] = relevance[i, j]
+        return scores

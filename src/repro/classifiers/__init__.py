@@ -1,0 +1,18 @@
+"""Neural text classifiers (numpy) + the generic self-training loop."""
+
+from repro.classifiers.base import TokenClassifier
+from repro.classifiers.han import AttentiveClassifier
+from repro.classifiers.logistic import LogisticRegression
+from repro.classifiers.mlp import BagOfEmbeddingsClassifier
+from repro.classifiers.self_training import SelfTrainingLoop, sharpen_distribution
+from repro.classifiers.textcnn import TextCNNClassifier
+
+__all__ = [
+    "TokenClassifier",
+    "TextCNNClassifier",
+    "AttentiveClassifier",
+    "BagOfEmbeddingsClassifier",
+    "LogisticRegression",
+    "SelfTrainingLoop",
+    "sharpen_distribution",
+]

@@ -1,0 +1,41 @@
+"""Attention-pooled classifier (HAN-style).
+
+A single-level hierarchical-attention network: a position-wise feature
+transform followed by learned soft attention over tokens, then a linear
+head. Stands in for the word-level half of Yang et al.'s HAN (our
+documents are single-"sentence" token streams, so the sentence level
+collapses).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.classifiers.base import TokenClassifier
+from repro.nn import functional as F
+from repro.nn.layers import Linear
+from repro.nn.tensor import Tensor
+
+
+class AttentiveClassifier(TokenClassifier):
+    """Token attention pooling + linear head."""
+
+    def __init__(self, vocabulary, n_classes: int, dim: int = 48,
+                 max_len: int = 48, hidden: int = 32, embedding_table=None,
+                 seed=0):
+        super().__init__(vocabulary, n_classes, dim=dim, max_len=max_len,
+                         embedding_table=embedding_table, seed=seed)
+        self.transform = Linear(dim, hidden, self.rng)
+        self.attention_vector = Linear(hidden, 1, self.rng, bias=False)
+        self.head = Linear(dim, n_classes, self.rng)
+        self.last_attention: "np.ndarray | None" = None
+
+    def _forward(self, ids: np.ndarray, pad_mask: np.ndarray) -> Tensor:
+        x = self.embedding(ids)  # (B, T, D)
+        u = self.transform(x).tanh()  # (B, T, H)
+        scores = self.attention_vector(u).reshape(ids.shape[0], ids.shape[1])
+        scores = scores.masked_fill(pad_mask, -1e9)
+        alpha = F.softmax(scores, axis=-1)  # (B, T)
+        self.last_attention = alpha.data
+        pooled = (x * alpha.reshape(ids.shape[0], ids.shape[1], 1)).sum(axis=1)
+        return self.head(pooled)

@@ -1,0 +1,59 @@
+"""Multinomial logistic regression over precomputed feature vectors."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exceptions import NotFittedError
+from repro.core.seeding import ensure_rng
+from repro.nn.layers import Linear
+from repro.nn.losses import soft_cross_entropy
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor
+
+
+class LogisticRegression:
+    """Softmax regression on dense features (fine-tuning heads, probes)."""
+
+    def __init__(self, n_features: int, n_classes: int, l2: float = 1e-4,
+                 seed: "int | np.random.Generator" = 0):
+        self.rng = ensure_rng(seed)
+        self.linear = Linear(n_features, n_classes, self.rng)
+        self.n_classes = n_classes
+        self.l2 = l2
+        self._fitted = False
+
+    def fit(self, features: np.ndarray, targets, epochs: int = 60,
+            batch_size: int = 64, lr: float = 5e-2) -> "LogisticRegression":
+        """Train on (features, targets); targets may be hard ints or soft rows."""
+        from repro.classifiers.base import as_soft_targets
+
+        features = np.asarray(features, dtype=float)
+        soft = as_soft_targets(targets, self.n_classes)
+        optimizer = Adam(self.linear.parameters(), lr=lr,
+                         weight_decay=self.l2)
+        n = features.shape[0]
+        for _ in range(epochs):
+            order = self.rng.permutation(n)
+            for start in range(0, n, batch_size):
+                take = order[start : start + batch_size]
+                logits = self.linear(Tensor(features[take]))
+                loss = soft_cross_entropy(logits, soft[take])
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+        self._fitted = True
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """(N, n_classes) softmax probabilities."""
+        if not self._fitted:
+            raise NotFittedError("LogisticRegression is not fitted")
+        logits = self.linear(Tensor(np.asarray(features, dtype=float))).data
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        probs = np.exp(shifted)
+        return probs / probs.sum(axis=1, keepdims=True)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Argmax class indices."""
+        return self.predict_proba(features).argmax(axis=1)

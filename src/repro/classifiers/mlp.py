@@ -1,0 +1,33 @@
+"""Bag-of-embeddings MLP classifier."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.classifiers.base import TokenClassifier
+from repro.nn.layers import Linear
+from repro.nn.tensor import Tensor
+
+
+class BagOfEmbeddingsClassifier(TokenClassifier):
+    """Mean-of-embeddings followed by a one-hidden-layer MLP.
+
+    The cheapest neural classifier in the library; used wherever the paper
+    fine-tunes a simple head over pooled representations.
+    """
+
+    def __init__(self, vocabulary, n_classes: int, dim: int = 48,
+                 max_len: int = 48, hidden: int = 32, embedding_table=None,
+                 seed=0):
+        super().__init__(vocabulary, n_classes, dim=dim, max_len=max_len,
+                         embedding_table=embedding_table, seed=seed)
+        self.fc1 = Linear(dim, hidden, self.rng)
+        self.head = Linear(hidden, n_classes, self.rng)
+
+    def _forward(self, ids: np.ndarray, pad_mask: np.ndarray) -> Tensor:
+        x = self.embedding(ids)  # (B, T, D)
+        keep = Tensor((~pad_mask).astype(float)[:, :, None])
+        summed = (x * keep).sum(axis=1)
+        counts = np.maximum((~pad_mask).sum(axis=1, keepdims=True), 1).astype(float)
+        mean = summed * Tensor(1.0 / counts)
+        return self.head(self.fc1(mean).tanh())

@@ -1,0 +1,63 @@
+"""Generic self-training with target sharpening.
+
+WeSTClass-style bootstrapping: iterate (predict on the unlabeled corpus ->
+sharpen the prediction distribution -> retrain toward the sharpened
+targets) until predictions stabilize. The sharpening follows the DEC-style
+target ``q_ic proportional to p_ic^2 / f_c`` where ``f_c`` is the soft class
+frequency — high-confidence assignments get reinforced and frequent classes
+are downweighted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def sharpen_distribution(proba: np.ndarray) -> np.ndarray:
+    """DEC self-training targets from current predictions."""
+    proba = np.asarray(proba, dtype=float)
+    freq = proba.sum(axis=0)
+    freq[freq == 0] = 1.0
+    weighted = proba**2 / freq
+    totals = weighted.sum(axis=1, keepdims=True)
+    totals[totals == 0] = 1.0
+    return weighted / totals
+
+
+class SelfTrainingLoop:
+    """Drives self-training of any classifier with fit/predict_proba.
+
+    Parameters
+    ----------
+    max_iterations:
+        Cap on self-training rounds.
+    tolerance:
+        Stop when the fraction of documents whose argmax changed between
+        rounds falls below this value.
+    epochs_per_iteration / lr:
+        Passed to the classifier's ``fit``.
+    """
+
+    def __init__(self, max_iterations: int = 5, tolerance: float = 0.02,
+                 epochs_per_iteration: int = 2, lr: float = 1e-3):
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self.epochs_per_iteration = epochs_per_iteration
+        self.lr = lr
+        self.history: list[float] = []
+
+    def run(self, classifier, token_lists: list) -> "SelfTrainingLoop":
+        """Self-train ``classifier`` on the unlabeled ``token_lists``."""
+        previous = classifier.predict_proba(token_lists).argmax(axis=1)
+        for _ in range(self.max_iterations):
+            proba = classifier.predict_proba(token_lists)
+            targets = sharpen_distribution(proba)
+            classifier.fit(token_lists, targets,
+                           epochs=self.epochs_per_iteration, lr=self.lr)
+            current = classifier.predict_proba(token_lists).argmax(axis=1)
+            changed = float(np.mean(current != previous))
+            self.history.append(changed)
+            previous = current
+            if changed < self.tolerance:
+                break
+        return self

@@ -1,0 +1,39 @@
+"""Framework core: shared types, supervision formats, base classes, registry."""
+
+from repro.core.base import MultiLabelTextClassifier, WeaklySupervisedTextClassifier
+from repro.core.exceptions import (
+    ConfigurationError,
+    NotFittedError,
+    ReproError,
+    SupervisionError,
+)
+from repro.core.registry import MethodInfo, method_registry, register_method
+from repro.core.seeding import derive_rng, ensure_rng
+from repro.core.supervision import (
+    Keywords,
+    LabeledDocuments,
+    LabelNames,
+    Supervision,
+)
+from repro.core.types import Corpus, Document, LabelSet
+
+__all__ = [
+    "Corpus",
+    "Document",
+    "LabelSet",
+    "Supervision",
+    "LabelNames",
+    "Keywords",
+    "LabeledDocuments",
+    "WeaklySupervisedTextClassifier",
+    "MultiLabelTextClassifier",
+    "ReproError",
+    "NotFittedError",
+    "SupervisionError",
+    "ConfigurationError",
+    "ensure_rng",
+    "derive_rng",
+    "MethodInfo",
+    "register_method",
+    "method_registry",
+]

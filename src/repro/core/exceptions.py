@@ -1,0 +1,29 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch package failures with a single ``except`` clause.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class NotFittedError(ReproError):
+    """Raised when ``predict`` (or similar) is called before ``fit``."""
+
+
+class SupervisionError(ReproError):
+    """Raised when a method receives a supervision format it cannot consume."""
+
+
+class ConfigurationError(ReproError):
+    """Raised for invalid hyper-parameters or inconsistent configuration."""
+
+
+class VocabularyError(ReproError):
+    """Raised on out-of-vocabulary lookups or invalid vocabulary state."""
+
+
+class TaxonomyError(ReproError):
+    """Raised for malformed label trees or DAGs."""

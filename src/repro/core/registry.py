@@ -1,0 +1,73 @@
+"""Method registry and capability matrix.
+
+The tutorial closes with a summary table characterizing each surveyed
+method along four axes (flat vs. hierarchical, single- vs. multi-label,
+supervision format, static embedding vs. pre-trained LM). The registry
+records exactly those attributes per method so the summary table bench
+(`T-SUMMARY`) is generated from code rather than transcribed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class MethodInfo:
+    """Capability descriptor for a registered method."""
+
+    name: str
+    venue: str
+    structure: str  # "flat", "hierarchical", or "flat & hierarchical"
+    label_arity: str  # "single-label", "multi-label", "single-label & path", "path"
+    supervision: tuple[str, ...]  # supported supervision format names
+    backbone: str  # "embedding" or "pretrained-lm"
+    cls: "type | None" = field(default=None, compare=False)
+
+
+_REGISTRY: dict[str, MethodInfo] = {}
+
+
+def register_method(info: MethodInfo) -> MethodInfo:
+    """Register a method descriptor (idempotent per name)."""
+    _REGISTRY[info.name] = info
+    return info
+
+
+def method_registry() -> dict[str, MethodInfo]:
+    """A copy of the current registry keyed by method name."""
+    # Import triggers registration of all built-in methods.
+    import repro.methods  # noqa: F401
+
+    return dict(_REGISTRY)
+
+
+def summary_rows() -> list[dict]:
+    """Rows of the tutorial's summary table, in tutorial order."""
+    order = [
+        "WeSTClass",
+        "ConWea",
+        "LOTClass",
+        "X-Class",
+        "WeSHClass",
+        "TaxoClass",
+        "MetaCat",
+        "MICoL",
+        "PromptClass",
+    ]
+    registry = method_registry()
+    rows = []
+    for name in order:
+        if name not in registry:
+            continue
+        info = registry[name]
+        rows.append(
+            {
+                "Method": info.name,
+                "Flat vs. Hierarchical": info.structure,
+                "Single vs. Multi-label": info.label_arity,
+                "Supervision Format": " / ".join(info.supervision),
+                "Backbone": info.backbone,
+            }
+        )
+    return rows

@@ -1,0 +1,99 @@
+"""Weak supervision formats.
+
+The tutorial distinguishes two levels of weak supervision:
+
+- **keyword-level**: category names only (:class:`LabelNames`) or a few
+  relevant keywords per category (:class:`Keywords`);
+- **document-level**: a small set of labeled documents
+  (:class:`LabeledDocuments`).
+
+Every method's ``fit`` accepts a :class:`Supervision` instance and raises
+:class:`~repro.core.exceptions.SupervisionError` for formats it does not
+support (mirroring the tutorial's summary table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.exceptions import SupervisionError
+from repro.core.types import Corpus, Document, LabelSet
+
+
+@dataclass(frozen=True)
+class Supervision:
+    """Base class for supervision formats; carries the target label set."""
+
+    label_set: LabelSet
+
+    @property
+    def labels(self) -> tuple[str, ...]:
+        return self.label_set.labels
+
+
+@dataclass(frozen=True)
+class LabelNames(Supervision):
+    """Category names only — the weakest supervision format.
+
+    The surface names inside ``label_set`` are the entire signal
+    (LOTClass, X-Class, TaxoClass, MICoL setting).
+    """
+
+
+@dataclass(frozen=True)
+class Keywords(Supervision):
+    """A few user-provided keywords per category (WeSTClass/ConWea setting).
+
+    ``keywords`` maps each label id to its seed-word list. Seed words may be
+    ambiguous across classes; disambiguation is the method's job.
+    """
+
+    keywords: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        missing = [l for l in self.label_set.labels if not self.keywords.get(l)]
+        if missing:
+            raise SupervisionError(f"no keywords supplied for labels: {missing}")
+
+    def for_label(self, label: str) -> list[str]:
+        return list(self.keywords[label])
+
+
+@dataclass(frozen=True)
+class LabeledDocuments(Supervision):
+    """A small set of labeled documents per category.
+
+    ``documents`` maps each label id to the example documents a user
+    annotated (typically a handful per class).
+    """
+
+    documents: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        missing = [l for l in self.label_set.labels if not self.documents.get(l)]
+        if missing:
+            raise SupervisionError(f"no labeled documents for labels: {missing}")
+
+    def for_label(self, label: str) -> list[Document]:
+        return list(self.documents[label])
+
+    def as_corpus(self) -> Corpus:
+        """All labeled documents flattened into one corpus."""
+        docs = [d for label in self.label_set for d in self.documents[label]]
+        return Corpus(docs, name="labeled-seed-docs")
+
+    def pairs(self) -> list[tuple[Document, str]]:
+        """(document, label) training pairs."""
+        return [
+            (d, label) for label in self.label_set for d in self.documents[label]
+        ]
+
+
+def require(supervision: Supervision, *allowed: type) -> Supervision:
+    """Validate that ``supervision`` is one of the ``allowed`` formats."""
+    if not isinstance(supervision, tuple(allowed)):
+        names = ", ".join(t.__name__ for t in allowed)
+        raise SupervisionError(
+            f"{type(supervision).__name__} not supported; expected one of: {names}"
+        )
+    return supervision

@@ -1,0 +1,170 @@
+"""Fundamental data types: documents, corpora, and label sets.
+
+These types are deliberately simple containers. A :class:`Document` carries
+its raw text, a cached token list, optional metadata (author, venue, tags,
+...) and optional gold labels (used only for evaluation and for the
+document-level supervision formats). A :class:`Corpus` is an ordered,
+indexable collection of documents. A :class:`LabelSet` names the target
+categories, optionally with surface-name tokens and human descriptions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+
+from repro.core.exceptions import ConfigurationError
+
+
+@dataclass
+class Document:
+    """A single text unit (document or sentence) with optional annotations.
+
+    Parameters
+    ----------
+    doc_id:
+        Unique identifier within its corpus.
+    text:
+        Raw text. May be empty for purely synthetic token documents.
+    tokens:
+        Pre-tokenized form. When constructed by the dataset generator the
+        tokens are authoritative and ``text`` is their join.
+    metadata:
+        Arbitrary metadata, e.g. ``{"author": "u13", "venue": "v2",
+        "tags": ["nlp"], "references": ["d4", "d9"]}``.
+    labels:
+        Gold label ids (strings). Single-label documents carry one entry;
+        multi-label documents several. Hidden from weakly-supervised
+        methods except through explicit document-level supervision.
+    """
+
+    doc_id: str
+    text: str = ""
+    tokens: list[str] = field(default_factory=list)
+    metadata: dict = field(default_factory=dict)
+    labels: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.tokens and self.text:
+            # Lazy default tokenization; dataset-generated docs always set
+            # tokens explicitly, so this is only the convenience path.
+            from repro.text.tokenizer import tokenize
+
+            self.tokens = tokenize(self.text)
+        if not self.text and self.tokens:
+            self.text = " ".join(self.tokens)
+
+    @property
+    def label(self) -> str:
+        """The single gold label; raises if the document is multi-label."""
+        if len(self.labels) != 1:
+            raise ConfigurationError(
+                f"document {self.doc_id!r} has {len(self.labels)} labels; "
+                "use .labels for multi-label access"
+            )
+        return self.labels[0]
+
+    def __len__(self) -> int:
+        return len(self.tokens)
+
+
+class Corpus(Sequence[Document]):
+    """An ordered, indexable collection of :class:`Document` objects."""
+
+    def __init__(self, documents: Iterable[Document], name: str = "corpus"):
+        self._documents: list[Document] = list(documents)
+        self.name = name
+        self._by_id = {d.doc_id: i for i, d in enumerate(self._documents)}
+        if len(self._by_id) != len(self._documents):
+            raise ConfigurationError(f"corpus {name!r} contains duplicate doc_ids")
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def __iter__(self) -> Iterator[Document]:
+        return iter(self._documents)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return Corpus(self._documents[index], name=self.name)
+        return self._documents[index]
+
+    def get(self, doc_id: str) -> Document:
+        """Look a document up by its id."""
+        return self._documents[self._by_id[doc_id]]
+
+    def __contains__(self, item) -> bool:
+        if isinstance(item, str):
+            return item in self._by_id
+        return item in self._documents
+
+    def texts(self) -> list[str]:
+        """Raw text of every document, in corpus order."""
+        return [d.text for d in self._documents]
+
+    def token_lists(self) -> list[list[str]]:
+        """Token list of every document, in corpus order."""
+        return [d.tokens for d in self._documents]
+
+    def gold_labels(self) -> list[tuple[str, ...]]:
+        """Gold label tuples for every document (evaluation only)."""
+        return [d.labels for d in self._documents]
+
+    def subset(self, indices: Iterable[int], name: "str | None" = None) -> "Corpus":
+        """A new corpus containing the documents at ``indices``."""
+        docs = [self._documents[i] for i in indices]
+        return Corpus(docs, name=name or f"{self.name}-subset")
+
+    def __repr__(self) -> str:
+        return f"Corpus(name={self.name!r}, size={len(self)})"
+
+
+@dataclass(frozen=True)
+class LabelSet:
+    """The categories a classifier predicts over.
+
+    Parameters
+    ----------
+    labels:
+        Canonical label ids, e.g. ``("sports", "politics")``.
+    names:
+        Human-readable surface name per label (defaults to the id). Surface
+        names may be multi-word phrases (TaxoClass setting).
+    descriptions:
+        Optional one-sentence description per label (MICoL setting).
+    """
+
+    labels: tuple[str, ...]
+    names: dict = field(default_factory=dict)
+    descriptions: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(set(self.labels)) != len(self.labels):
+            raise ConfigurationError("duplicate labels in LabelSet")
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.labels)
+
+    def __contains__(self, label: str) -> bool:
+        return label in self.labels
+
+    def name_of(self, label: str) -> str:
+        """Surface name of ``label`` (falls back to the label id)."""
+        return self.names.get(label, label)
+
+    def name_tokens(self, label: str) -> list[str]:
+        """Tokenized surface name of ``label``."""
+        from repro.text.tokenizer import tokenize
+
+        return tokenize(self.name_of(label))
+
+    def description_of(self, label: str) -> str:
+        """Description of ``label`` (falls back to the surface name)."""
+        return self.descriptions.get(label, self.name_of(label))
+
+    def index(self, label: str) -> int:
+        """Position of ``label`` in the canonical order."""
+        return self.labels.index(label)

@@ -1,0 +1,27 @@
+"""Synthetic dataset substrate: generator, profiles, benchmark catalog."""
+
+from repro.datasets.bundle import DatasetBundle, load_bundle
+from repro.datasets.catalog import available_profiles, get_profile, load_profile
+from repro.datasets.generator import build_world, generate_corpora
+from repro.datasets.pretraining import general_corpus
+from repro.datasets.profiles import (
+    ClassSpec,
+    DatasetProfile,
+    MetadataSpec,
+    MixtureSpec,
+)
+
+__all__ = [
+    "DatasetBundle",
+    "load_bundle",
+    "load_profile",
+    "get_profile",
+    "available_profiles",
+    "build_world",
+    "generate_corpora",
+    "general_corpus",
+    "ClassSpec",
+    "DatasetProfile",
+    "MetadataSpec",
+    "MixtureSpec",
+]

@@ -1,0 +1,135 @@
+"""Dataset bundle: generated corpora plus supervision constructors.
+
+A :class:`DatasetBundle` is what ``load_profile`` returns — everything an
+experiment needs: train/test corpora, the label set, the taxonomy (when
+hierarchical), and factory methods for each weak-supervision format
+(label names, seed keywords, labeled documents).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.seeding import ensure_rng
+from repro.core.supervision import Keywords, LabeledDocuments, LabelNames
+from repro.core.types import Corpus, Document, LabelSet
+from repro.datasets.generator import GeneratorWorld, build_label_set, generate_corpora
+from repro.datasets.profiles import DatasetProfile
+from repro.taxonomy.dag import LabelDAG
+from repro.taxonomy.tree import LabelTree
+
+
+@dataclass
+class DatasetBundle:
+    """Generated dataset: corpora, labels, taxonomy, supervision factories."""
+
+    profile: DatasetProfile
+    world: GeneratorWorld
+    train_corpus: Corpus
+    test_corpus: Corpus
+    label_set: LabelSet
+
+    # -- structure ----------------------------------------------------------
+    @property
+    def tree(self) -> "LabelTree | None":
+        return self.world.tree
+
+    @property
+    def dag(self) -> "LabelDAG | None":
+        return self.world.dag
+
+    # -- supervision formats -------------------------------------------------
+    def label_names(self) -> LabelNames:
+        """Category-name-only supervision (LOTClass/X-Class/TaxoClass)."""
+        return LabelNames(label_set=self.label_set)
+
+    def keywords(self, per_class: int = 3, include_ambiguous: bool = True) -> Keywords:
+        """Seed-keyword supervision.
+
+        Takes the label name plus the next most-probable core words; when
+        ``include_ambiguous`` and the class has ambiguous surface forms,
+        one replaces the last slot (matching ConWea's setting where user
+        seeds are not guaranteed unambiguous).
+        """
+        keywords: dict[str, list[str]] = {}
+        for label in self.label_set:
+            lexicon = self.world.lexicons[label]
+            seeds = list(lexicon[:per_class])
+            pool = self.world.ambiguous.get(label, [])
+            if include_ambiguous and pool and per_class > 1:
+                seeds[-1] = pool[0]
+            keywords[label] = seeds
+        return Keywords(label_set=self.label_set, keywords=keywords)
+
+    def labeled_documents(self, per_class: int = 5,
+                          seed: "int | np.random.Generator" = 0) -> LabeledDocuments:
+        """Document-level supervision: ``per_class`` training docs per label.
+
+        For multi-label profiles a document counts toward each of its core
+        labels; selection is without replacement per label.
+        """
+        rng = ensure_rng(seed)
+        by_label: dict[str, list[Document]] = {l: [] for l in self.label_set}
+        order = rng.permutation(len(self.train_corpus))
+        for i in order:
+            doc = self.train_corpus[int(i)]
+            core = doc.metadata.get("core_labels", list(doc.labels))
+            for label in core:
+                if label in by_label and len(by_label[label]) < per_class:
+                    by_label[label].append(doc)
+        return LabeledDocuments(label_set=self.label_set, documents=by_label)
+
+    # -- hierarchical views ---------------------------------------------------
+    def coarse_label_set(self) -> LabelSet:
+        """Top-level labels of a tree profile."""
+        if self.tree is None:
+            raise ValueError(f"profile {self.profile.name!r} is not a tree")
+        labels = tuple(self.tree.level(1))
+        return LabelSet(
+            labels=labels,
+            names={l: self.world.names[l] for l in labels},
+            descriptions={l: self.label_set.descriptions.get(l, l) for l in labels},
+        )
+
+    def coarse_gold(self, corpus: Corpus) -> list:
+        """Gold top-level label per document of a tree profile."""
+        if self.tree is None:
+            raise ValueError(f"profile {self.profile.name!r} is not a tree")
+        out = []
+        for doc in corpus:
+            leaf = doc.labels[0]
+            out.append(self.tree.ancestor_at_depth(leaf, 1))
+        return out
+
+    # -- statistics -----------------------------------------------------------
+    def stats(self) -> dict:
+        """Dataset statistics (X-Class dataset table)."""
+        counts: dict[str, int] = {l: 0 for l in self.label_set}
+        for doc in list(self.train_corpus) + list(self.test_corpus):
+            for label in doc.labels:
+                if label in counts:
+                    counts[label] += 1
+        nonzero = [c for c in counts.values() if c > 0]
+        imbalance = max(nonzero) / min(nonzero) if nonzero else float("nan")
+        return {
+            "name": self.profile.name,
+            "domain": self.profile.domain,
+            "criterion": self.profile.criterion,
+            "n_classes": len(self.label_set),
+            "n_documents": len(self.train_corpus) + len(self.test_corpus),
+            "imbalance": round(imbalance, 2),
+        }
+
+
+def load_bundle(profile: DatasetProfile, seed: "int | np.random.Generator" = 0) -> DatasetBundle:
+    """Generate the dataset for ``profile`` deterministically from ``seed``."""
+    world, train, test = generate_corpora(profile, seed=seed)
+    return DatasetBundle(
+        profile=profile,
+        world=world,
+        train_corpus=train,
+        test_corpus=test,
+        label_set=build_label_set(world),
+    )

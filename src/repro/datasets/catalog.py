@@ -1,0 +1,308 @@
+"""Catalog of benchmark look-alike dataset profiles.
+
+Each profile mirrors the *structure* of a corpus used in the tutorial's
+evaluation tables (class count, imbalance, hierarchy shape, metadata,
+multi-labelness) at a CPU-friendly scale. Absolute corpus sizes are scaled
+down by roughly two orders of magnitude; the benches compare method
+*orderings*, which the scale preserves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.bundle import DatasetBundle, load_bundle
+from repro.datasets.profiles import ClassSpec, DatasetProfile, MetadataSpec, MixtureSpec
+
+
+def _flat(name: str, themes: list, n_train: int, n_test: int,
+          weights: "list | None" = None, domain: str = "news",
+          criterion: str = "topics", **kwargs) -> DatasetProfile:
+    """Helper for flat single-label profiles (one class per theme)."""
+    weights = weights or [1.0] * len(themes)
+    classes = tuple(
+        ClassSpec(label=theme, theme=theme, weight=w)
+        for theme, w in zip(themes, weights)
+    )
+    return DatasetProfile(
+        name=name, classes=classes, n_train=n_train, n_test=n_test,
+        domain=domain, criterion=criterion, **kwargs,
+    )
+
+
+def _two_level_tree(name: str, coarse_to_fine: dict, n_train: int, n_test: int,
+                    **kwargs) -> DatasetProfile:
+    """Helper for two-level tree profiles.
+
+    ``coarse_to_fine`` maps each coarse theme to its number of fine
+    subclasses; fine classes get factory sub-themes under the coarse one.
+    """
+    classes: list[ClassSpec] = []
+    for coarse, n_fine in coarse_to_fine.items():
+        classes.append(ClassSpec(label=coarse, theme=coarse))
+        for i in range(n_fine):
+            classes.append(
+                ClassSpec(
+                    label=f"{coarse}.{i}",
+                    theme=f"{coarse}-sub{i}",
+                    parent=coarse,
+                )
+            )
+    return DatasetProfile(
+        name=name, classes=tuple(classes), n_train=n_train, n_test=n_test,
+        structure="tree", **kwargs,
+    )
+
+
+def _dag(name: str, top_themes: list, mids_per_top: int, leaves_per_mid: int,
+         n_train: int, n_test: int, **kwargs) -> DatasetProfile:
+    """Helper for three-level DAG profiles.
+
+    Every third mid-level node receives a second parent (the next top
+    node), making the taxonomy a true DAG rather than a tree.
+    """
+    classes: list[ClassSpec] = []
+    mid_labels: list[str] = []
+    for t, top in enumerate(top_themes):
+        classes.append(ClassSpec(label=top, theme=top))
+        for m in range(mids_per_top):
+            label = f"{top}.m{m}"
+            parents = [top]
+            if (t * mids_per_top + m) % 3 == 2 and len(top_themes) > 1:
+                parents.append(top_themes[(t + 1) % len(top_themes)])
+            classes.append(
+                ClassSpec(label=label, theme=f"{top}-mid{m}", parents=tuple(parents))
+            )
+            mid_labels.append(label)
+    for mid in mid_labels:
+        for l in range(leaves_per_mid):
+            classes.append(
+                ClassSpec(
+                    label=f"{mid}.l{l}",
+                    theme=f"{mid}-leaf{l}",
+                    parents=(mid,),
+                )
+            )
+    return DatasetProfile(
+        name=name, classes=tuple(classes), n_train=n_train, n_test=n_test,
+        structure="dag", multi_label=True, **kwargs,
+    )
+
+
+def _build_catalog() -> dict:
+    """All profiles, keyed by catalog name."""
+    catalog: dict[str, DatasetProfile] = {}
+
+    # ---- flat single-label profiles (WeSTClass/LOTClass/X-Class/Prompt) ----
+    catalog["agnews"] = _flat(
+        "agnews", ["politics", "sports", "business", "technology"],
+        n_train=480, n_test=240,
+        description="AG's News look-alike: 4 balanced news topics",
+    )
+    catalog["nyt_small"] = _flat(
+        "nyt_small", ["politics", "arts", "business", "science", "sports"],
+        n_train=400, n_test=200, weights=[16, 8, 4, 2, 1],
+        description="NYT-Small look-alike: 5 imbalanced news topics",
+    )
+    catalog["nyt_topic"] = _flat(
+        "nyt_topic",
+        ["politics", "arts", "business", "science", "sports",
+         "health", "education", "realestate", "technology"],
+        n_train=540, n_test=270, weights=[27, 18, 12, 8, 6, 4, 3, 2, 1],
+        description="NYT-Topic look-alike: 9 imbalanced news topics",
+    )
+    catalog["nyt_location"] = _flat(
+        "nyt_location", [f"location{i}" for i in range(10)],
+        n_train=500, n_test=250,
+        weights=[16, 12, 9, 7, 5, 4, 3, 2, 1.5, 1],
+        criterion="locations",
+        description="NYT-Location look-alike: 10 location classes",
+    )
+    catalog["yelp"] = _flat(
+        "yelp", ["positive", "negative"], n_train=400, n_test=200,
+        domain="reviews", criterion="sentiment",
+        description="Yelp polarity look-alike",
+    )
+    catalog["imdb"] = _flat(
+        "imdb", ["positive", "negative"], n_train=400, n_test=200,
+        domain="reviews", criterion="sentiment",
+        description="IMDB polarity look-alike",
+    )
+    catalog["amazon_polarity"] = _flat(
+        "amazon_polarity", ["positive", "negative"], n_train=400, n_test=200,
+        domain="reviews", criterion="sentiment",
+        description="Amazon review polarity look-alike",
+    )
+    catalog["dbpedia"] = _flat(
+        "dbpedia",
+        ["business", "education", "arts", "sports", "politics", "autos",
+         "realestate", "nature", "military", "music", "film", "health",
+         "travel", "weather"],
+        n_train=560, n_test=280, domain="wikipedia", criterion="ontology",
+        description="DBpedia-14 look-alike: 14 balanced ontology classes",
+    )
+
+    # ---- coarse/fine tree profiles (ConWea / WeSHClass) --------------------
+    catalog["nyt_fine"] = _two_level_tree(
+        "nyt_fine",
+        {"politics": 5, "arts": 5, "business": 5, "science": 5, "sports": 5},
+        n_train=600, n_test=300,
+        n_shared_ambiguous=10,
+        description="NYT look-alike tree: 5 coarse / 25 fine classes",
+    )
+    catalog["twenty_news"] = _two_level_tree(
+        "twenty_news",
+        {"technology": 5, "sports": 4, "science": 4, "politics": 3,
+         "religion": 2, "business": 2},
+        n_train=600, n_test=300,
+        n_shared_ambiguous=10,
+        description="20 Newsgroups look-alike tree: 6 coarse / 20 fine",
+    )
+    catalog["arxiv_tree"] = _two_level_tree(
+        "arxiv_tree",
+        {"technology": 3, "science": 3, "space": 3},
+        n_train=450, n_test=225, domain="papers",
+        description="arXiv look-alike tree: 3 coarse / 9 fine areas",
+    )
+    catalog["yelp_tree"] = _two_level_tree(
+        "yelp_tree",
+        {"positive": 2, "negative": 2},
+        n_train=400, n_test=200, domain="reviews", criterion="sentiment",
+        description="Yelp look-alike tree: polarity over intensity levels",
+    )
+
+    # ---- DAG multi-label profiles (TaxoClass) -------------------------------
+    # Multi-label documents split their core mass across labels, so these
+    # profiles use richer mixtures and longer documents (product pages and
+    # encyclopedia articles are long and topical).
+    multilabel_mixture = MixtureSpec(core=0.40, ancestor=0.12, ambiguous=0.04,
+                                     background=0.32, noise=0.12)
+    catalog["amazon_dag"] = _dag(
+        "amazon_dag",
+        ["technology", "food", "fashion", "gaming", "autos", "music"],
+        mids_per_top=3, leaves_per_mid=2,
+        n_train=500, n_test=250, domain="products", criterion="catalog",
+        core_labels_per_doc=(1, 3), doc_len=(36, 72),
+        mixture=multilabel_mixture,
+        description="Amazon-531 look-alike DAG (60 nodes, scaled)",
+    )
+    catalog["dbpedia_dag"] = _dag(
+        "dbpedia_dag",
+        ["arts", "nature", "politics", "sports", "business"],
+        mids_per_top=3, leaves_per_mid=1,
+        n_train=400, n_test=200, domain="wikipedia", criterion="ontology",
+        core_labels_per_doc=(1, 2), doc_len=(36, 72),
+        mixture=multilabel_mixture,
+        description="DBpedia-298 look-alike DAG (35 nodes, scaled)",
+    )
+
+    # ---- metadata profiles (MetaCat) ----------------------------------------
+    github_meta = MetadataSpec(n_users=40, user_affinity=0.75,
+                               tags_per_class=4, tags_per_doc=(1, 3), tag_noise=0.25)
+    catalog["github_bio"] = _flat(
+        "github_bio",
+        ["science", "health", "nature", "technology", "education",
+         "energy", "space", "food", "weather", "crime"],
+        n_train=120, n_test=60, domain="github", metadata=github_meta,
+        description="GitHub-Bio look-alike: 10 classes, tiny corpus, user+tag metadata",
+    )
+    catalog["github_ai"] = _flat(
+        "github_ai",
+        ["technology", "science", "gaming", "music", "film", "finance",
+         "health", "autos", "space", "business", "education", "law",
+         "arts", "sports"],
+        n_train=220, n_test=110, domain="github", metadata=github_meta,
+        description="GitHub-AI look-alike: 14 classes, small corpus, user+tag metadata",
+    )
+    catalog["github_sec"] = _flat(
+        "github_sec", ["crime", "technology", "military"],
+        n_train=700, n_test=350, domain="github", metadata=github_meta,
+        description="GitHub-Sec look-alike: 3 classes, larger corpus, user+tag metadata",
+    )
+    catalog["amazon_meta"] = _flat(
+        "amazon_meta",
+        ["technology", "food", "fashion", "gaming", "autos",
+         "music", "film", "sports", "health", "travel"],
+        n_train=500, n_test=250, domain="reviews", metadata=github_meta,
+        description="Amazon look-alike with user+product-tag metadata",
+    )
+    catalog["twitter"] = _flat(
+        "twitter",
+        ["politics", "sports", "music", "film", "food", "travel",
+         "technology", "weather", "crime"],
+        n_train=450, n_test=225, domain="tweets",
+        metadata=MetadataSpec(n_users=60, user_affinity=0.8,
+                              tags_per_class=3, tags_per_doc=(1, 2), tag_noise=0.2),
+        doc_len=(12, 30),
+        description="Twitter look-alike: 9 classes, short texts, user+hashtag metadata",
+    )
+
+    # ---- bibliographic multi-label profiles (MICoL) --------------------------
+    biblio_meta = MetadataSpec(
+        n_venues=12, venue_affinity=0.85,
+        n_authors=60, authors_per_doc=(1, 3), author_affinity=0.8,
+        references_per_doc=(2, 6), reference_same_label=0.8,
+    )
+    catalog["magcs"] = DatasetProfile(
+        name="magcs",
+        classes=tuple(
+            [ClassSpec(label=t, theme=t) for t in
+             ["technology", "science", "gaming", "finance", "space"]]
+            + [ClassSpec(label=f"cstopic{i}", theme=f"cstopic{i}") for i in range(25)]
+        ),
+        n_train=500, n_test=250, multi_label=True, core_labels_per_doc=(1, 3),
+        doc_len=(36, 72), mixture=multilabel_mixture,
+        metadata=biblio_meta, domain="papers", criterion="fields",
+        description="MAG-CS look-alike: 30 labels, multi-label, venue/author/reference metadata",
+    )
+    catalog["pubmed"] = DatasetProfile(
+        name="pubmed",
+        classes=tuple(
+            [ClassSpec(label=t, theme=t) for t in
+             ["health", "science", "nature", "food", "energy"]]
+            + [ClassSpec(label=f"mesh{i}", theme=f"mesh{i}") for i in range(25)]
+        ),
+        n_train=500, n_test=250, multi_label=True, core_labels_per_doc=(1, 3),
+        doc_len=(36, 72), mixture=multilabel_mixture,
+        metadata=biblio_meta, domain="papers", criterion="mesh-terms",
+        description="PubMed look-alike: 30 labels, multi-label, venue/author/reference metadata",
+    )
+
+    # ---- mixed-domain corpus for the X-Class PCA/clustering figures ---------
+    catalog["mixed_domains"] = _flat(
+        "mixed_domains",
+        ["sports", "technology", "food", "law", "space"],
+        n_train=300, n_test=150,
+        description="5 well-separated domains for representation-quality figures",
+    )
+    return catalog
+
+
+_CATALOG = _build_catalog()
+
+
+def available_profiles() -> list:
+    """Names of all catalog profiles."""
+    return sorted(_CATALOG)
+
+
+def get_profile(name: str) -> DatasetProfile:
+    """The :class:`DatasetProfile` registered under ``name``."""
+    try:
+        return _CATALOG[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown profile {name!r}; available: {', '.join(available_profiles())}"
+        ) from None
+
+
+def load_profile(name: str, seed: "int | np.random.Generator" = 0,
+                 scale: float = 1.0) -> DatasetBundle:
+    """Generate the dataset bundle for catalog profile ``name``.
+
+    ``scale`` multiplies the train/test sizes (used by tests for speed).
+    """
+    profile = get_profile(name)
+    if scale != 1.0:
+        profile = profile.scaled(scale)
+    return load_bundle(profile, seed=seed)

@@ -1,0 +1,110 @@
+"""Metadata attachment for MetaCat / MICoL profiles.
+
+Each metadata entity (user, author, venue) is assigned a *home class*;
+attachments agree with a document's primary class with the configured
+affinity and are uniform otherwise. Tags are drawn from class-specific tag
+inventories with a noise rate. References preferentially link documents
+sharing a label — exactly the structural signal MICoL's meta-paths exploit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.types import Document
+from repro.datasets.generator import GeneratorWorld
+from repro.datasets.words import WordFactory
+
+
+def _assign_homes(entities: list, labels: list, rng: np.random.Generator) -> dict:
+    """Round-robin home-class assignment with shuffled entity order."""
+    order = list(entities)
+    rng.shuffle(order)
+    return {e: labels[i % len(labels)] for i, e in enumerate(order)}
+
+
+def _pick_affine(entities_by_home: dict, home: str, affinity: float,
+                 all_entities: list, rng: np.random.Generator) -> str:
+    """Pick an entity agreeing with ``home`` with probability ``affinity``."""
+    candidates = entities_by_home.get(home, [])
+    if candidates and rng.random() < affinity:
+        return candidates[int(rng.integers(0, len(candidates)))]
+    return all_entities[int(rng.integers(0, len(all_entities)))]
+
+
+def attach_metadata(world: GeneratorWorld, documents: list, rng: np.random.Generator) -> None:
+    """Attach metadata in-place to ``documents`` per the profile's spec."""
+    spec = world.profile.metadata
+    if spec is None:
+        return
+    labels = [c.label for c in world.profile.classes]
+    factory = WordFactory()
+
+    users = [f"u{i}" for i in range(spec.n_users)]
+    user_home = _assign_homes(users, labels, rng) if users else {}
+    users_by_home: dict[str, list[str]] = {}
+    for user, home in user_home.items():
+        users_by_home.setdefault(home, []).append(user)
+
+    authors = [f"a{i}" for i in range(spec.n_authors)]
+    author_home = _assign_homes(authors, labels, rng) if authors else {}
+    authors_by_home: dict[str, list[str]] = {}
+    for author, home in author_home.items():
+        authors_by_home.setdefault(home, []).append(author)
+
+    venues = [f"v{i}" for i in range(spec.n_venues)]
+    venue_home = _assign_homes(venues, labels, rng) if venues else {}
+    venues_by_home: dict[str, list[str]] = {}
+    for venue, home in venue_home.items():
+        venues_by_home.setdefault(home, []).append(venue)
+
+    tags_of_class = {
+        label: factory.words(f"tag:{label}", spec.tags_per_class)
+        for label in labels
+    } if spec.tags_per_doc[1] > 0 else {}
+    all_tags = [t for tags in tags_of_class.values() for t in tags]
+
+    docs_by_label: dict[str, list[str]] = {}
+
+    for doc in documents:
+        primary = doc.metadata.get("core_labels", list(doc.labels))[0]
+        if users:
+            doc.metadata["user"] = _pick_affine(
+                users_by_home, primary, spec.user_affinity, users, rng
+            )
+        if authors:
+            lo, hi = spec.authors_per_doc
+            count = int(rng.integers(lo, hi + 1))
+            doc.metadata["authors"] = [
+                _pick_affine(authors_by_home, primary, spec.author_affinity, authors, rng)
+                for _ in range(count)
+            ]
+        if venues:
+            doc.metadata["venue"] = _pick_affine(
+                venues_by_home, primary, spec.venue_affinity, venues, rng
+            )
+        if tags_of_class:
+            lo, hi = spec.tags_per_doc
+            count = int(rng.integers(lo, hi + 1))
+            tags = []
+            for _ in range(count):
+                if rng.random() < spec.tag_noise:
+                    tags.append(all_tags[int(rng.integers(0, len(all_tags)))])
+                else:
+                    pool = tags_of_class[primary]
+                    tags.append(pool[int(rng.integers(0, len(pool)))])
+            doc.metadata["tags"] = sorted(set(tags))
+        if spec.references_per_doc[1] > 0:
+            lo, hi = spec.references_per_doc
+            count = int(rng.integers(lo, hi + 1))
+            refs: list[str] = []
+            same = docs_by_label.get(primary, [])
+            everything = [d for pool in docs_by_label.values() for d in pool]
+            for _ in range(count):
+                if same and rng.random() < spec.reference_same_label:
+                    refs.append(same[int(rng.integers(0, len(same)))])
+                elif everything:
+                    refs.append(everything[int(rng.integers(0, len(everything)))])
+            doc.metadata["references"] = sorted(set(refs))
+        for label in doc.labels:
+            docs_by_label.setdefault(label, []).append(doc.doc_id)

@@ -1,0 +1,148 @@
+"""Dataset profile specifications.
+
+A :class:`DatasetProfile` declares everything the synthetic generator needs
+to emit a benchmark look-alike: the class structure (flat list, tree, or
+DAG), corpus sizes, document length, the token-mixture knobs that control
+task difficulty, and optional metadata (users, tags, authors, venues,
+references).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class ClassSpec:
+    """One category in a profile.
+
+    Parameters
+    ----------
+    label:
+        Canonical label id (unique within the profile).
+    theme:
+        Lexicon namespace; curated themes get hand-written words, others
+        get factory pseudo-words.
+    name:
+        Surface name shown to label-name-only methods. Defaults to the
+        first lexicon word of the theme.
+    weight:
+        Relative sampling proportion (drives class imbalance).
+    parent:
+        Tree parent label (``None`` = top level). Only for tree profiles.
+    parents:
+        DAG parent labels. Only for DAG profiles (empty = top level).
+    """
+
+    label: str
+    theme: str
+    name: "str | None" = None
+    weight: float = 1.0
+    parent: "str | None" = None
+    parents: tuple = ()
+
+
+@dataclass(frozen=True)
+class MixtureSpec:
+    """Token-mixture knobs controlling task difficulty.
+
+    Probabilities of drawing each document token from: the class's core
+    lexicon, its ancestors' lexicons (tree/DAG only), its ambiguous-word
+    pool, the shared background vocabulary, or uniform cross-class noise.
+    ``name_prob`` is the per-document probability of injecting the label's
+    surface-name token explicitly (the label-name coverage knob LOTClass
+    depends on).
+    """
+
+    core: float = 0.22
+    ancestor: float = 0.08
+    ambiguous: float = 0.08
+    background: float = 0.44
+    noise: float = 0.18
+    name_prob: float = 0.45
+    #: Zipf exponent for within-lexicon word distributions.
+    zipf: float = 0.4
+
+
+@dataclass(frozen=True)
+class MetadataSpec:
+    """Metadata generation knobs (MetaCat / MICoL profiles).
+
+    Affinity values are the probability that a metadata item attached to a
+    document agrees with the document's class; the remainder is drawn
+    uniformly, making metadata an informative-but-noisy signal.
+    """
+
+    n_users: int = 0
+    user_affinity: float = 0.85
+    tags_per_class: int = 4
+    tags_per_doc: tuple = (0, 0)
+    tag_noise: float = 0.15
+    n_venues: int = 0
+    venue_affinity: float = 0.85
+    n_authors: int = 0
+    authors_per_doc: tuple = (1, 3)
+    author_affinity: float = 0.80
+    references_per_doc: tuple = (0, 0)
+    reference_same_label: float = 0.80
+
+
+@dataclass(frozen=True)
+class DatasetProfile:
+    """Complete recipe for one synthetic benchmark look-alike."""
+
+    name: str
+    classes: tuple
+    n_train: int
+    n_test: int
+    doc_len: tuple = (18, 40)
+    lexicon_size: int = 48
+    mixture: MixtureSpec = field(default_factory=MixtureSpec)
+    structure: str = "flat"  # "flat" | "tree" | "dag"
+    multi_label: bool = False
+    core_labels_per_doc: tuple = (1, 3)
+    include_ancestors_in_labels: bool = True
+    #: Extra factory-generated ambiguous words shared between class pairs.
+    n_shared_ambiguous: int = 0
+    metadata: "MetadataSpec | None" = None
+    domain: str = "news"
+    criterion: str = "topics"
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        labels = [c.label for c in self.classes]
+        if len(set(labels)) != len(labels):
+            raise ValueError(f"profile {self.name!r} has duplicate class labels")
+        if self.structure not in ("flat", "tree", "dag"):
+            raise ValueError(f"unknown structure {self.structure!r}")
+
+    def scaled(self, factor: float) -> "DatasetProfile":
+        """A copy with corpus sizes scaled by ``factor`` (min 8 docs each)."""
+        return replace(
+            self,
+            n_train=max(8, int(self.n_train * factor)),
+            n_test=max(8, int(self.n_test * factor)),
+        )
+
+    def class_by_label(self, label: str) -> ClassSpec:
+        """The :class:`ClassSpec` with the given ``label``."""
+        for spec in self.classes:
+            if spec.label == label:
+                return spec
+        raise KeyError(label)
+
+    def leaf_specs(self) -> list:
+        """Classes that documents are sampled from.
+
+        Flat profiles: all classes. Tree profiles: classes that are not a
+        parent of any other class. DAG profiles: all non-top classes plus
+        leaves (documents pick core classes anywhere below the top level).
+        """
+        if self.structure == "flat":
+            return list(self.classes)
+        if self.structure == "tree":
+            parents = {c.parent for c in self.classes if c.parent}
+            return [c for c in self.classes if c.label not in parents]
+        # DAG: any class can be a core class, but prefer deeper ones; the
+        # generator handles the bias. Here we return every class.
+        return list(self.classes)

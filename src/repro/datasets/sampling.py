@@ -1,0 +1,53 @@
+"""Fast categorical sampling helpers for the corpus generator."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class ZipfSampler:
+    """Samples words from a Zipf-weighted categorical distribution.
+
+    Rank-``i`` (0-based) word gets weight ``1 / (i + 2) ** s``. Sampling is
+    via a precomputed CDF and ``searchsorted``, which is far faster than
+    repeated ``Generator.choice`` calls with probabilities.
+    """
+
+    def __init__(self, words: list, zipf: float = 0.85):
+        if not words:
+            raise ValueError("ZipfSampler needs at least one word")
+        self.words = list(words)
+        weights = 1.0 / np.power(np.arange(2, len(words) + 2, dtype=float), zipf)
+        self.probs = weights / weights.sum()
+        self._cdf = np.cumsum(self.probs)
+        self._cdf[-1] = 1.0
+
+    def sample(self, rng: np.random.Generator, count: int) -> list:
+        """``count`` i.i.d. words."""
+        if count <= 0:
+            return []
+        idx = np.searchsorted(self._cdf, rng.random(count), side="right")
+        return [self.words[i] for i in idx]
+
+    def probability(self, word: str) -> float:
+        """Probability mass of ``word`` (0 if absent)."""
+        try:
+            return float(self.probs[self.words.index(word)])
+        except ValueError:
+            return 0.0
+
+
+class UniformSampler:
+    """Uniform categorical sampling over a word list."""
+
+    def __init__(self, words: list):
+        if not words:
+            raise ValueError("UniformSampler needs at least one word")
+        self.words = list(words)
+
+    def sample(self, rng: np.random.Generator, count: int) -> list:
+        """``count`` i.i.d. uniform words."""
+        if count <= 0:
+            return []
+        idx = rng.integers(0, len(self.words), size=count)
+        return [self.words[i] for i in idx]

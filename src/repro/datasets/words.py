@@ -1,0 +1,195 @@
+"""Lexicon construction for the synthetic corpus generator.
+
+Real benchmark corpora are unavailable offline, so the generator builds
+class-conditional vocabularies from two sources:
+
+- **curated lexicons**: small hand-written thematic word lists for common
+  categories (sports, politics, ...) so examples and seed words read
+  naturally;
+- **a word factory**: deterministic pseudo-word synthesis from syllables,
+  used to pad every lexicon to a target size and to create vocabulary for
+  programmatically generated categories (fine-grained label sets, large
+  taxonomies).
+
+Ambiguous words — surface forms shared between two categories whose sense
+depends on context — are first-class citizens because ConWea's entire
+contribution is disambiguating them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.text.stopwords import STOPWORDS
+
+#: Hand-written thematic lexicons. The first entry doubles as the default
+#: label-name token of a category with that theme.
+CURATED_LEXICONS: dict = {
+    "sports": """sports soccer football basketball baseball hockey tennis
+        tournament championship league coach stadium athlete playoff striker
+        referee olympics marathon""".split(),
+    "politics": """politics election senate congress president campaign
+        legislation democrat republican parliament diplomat governor policy
+        ballot candidate constitution treaty""".split(),
+    "technology": """technology software computer internet startup chip
+        processor smartphone robotics encryption browser server database
+        algorithm silicon gadget hardware""".split(),
+    "business": """business market economy trade profit merger investor
+        revenue shares earnings banking retail manufacturing startup ceo
+        commerce inflation""".split(),
+    "science": """science research physics chemistry biology experiment
+        laboratory theory quantum genome particle telescope hypothesis
+        molecule discovery researcher""".split(),
+    "health": """health medicine hospital doctor vaccine disease patient
+        therapy surgery clinic symptom diagnosis epidemic nutrition wellness
+        pharmaceutical""".split(),
+    "arts": """arts museum painting gallery sculpture theater opera ballet
+        exhibition artist canvas curator portrait masterpiece festival
+        aesthetic""".split(),
+    "law": """law judge court lawsuit attorney verdict trial justice
+        prosecutor defendant appeal statute felony testimony jury
+        litigation""".split(),
+    "food": """food restaurant recipe chef cuisine flavor dessert
+        ingredient delicious kitchen menu organic bakery roasted savory
+        gourmet""".split(),
+    "travel": """travel airline hotel tourism passport destination cruise
+        itinerary resort luggage adventure sightseeing airport vacation
+        tropical journey""".split(),
+    "education": """education school university student teacher curriculum
+        tuition scholarship campus lecture homework graduate classroom
+        professor semester literacy""".split(),
+    "military": """military army soldier battalion weapon missile warfare
+        combat troops defense general infantry artillery deployment
+        ceasefire veteran""".split(),
+    "music": """music concert album guitar orchestra melody singer rhythm
+        symphony chorus lyrics band piano jazz vinyl acoustic""".split(),
+    "film": """film movie cinema director actor screenplay premiere studio
+        documentary trailer blockbuster animation oscar sequel audience
+        script""".split(),
+    "finance": """finance bond currency hedge portfolio dividend equity
+        mortgage credit interest asset liquidity broker futures yield
+        treasury""".split(),
+    "weather": """weather storm hurricane forecast rainfall temperature
+        blizzard drought humidity thunder tornado climate snowfall sunshine
+        barometer frost""".split(),
+    "crime": """crime police robbery arrest detective homicide burglary
+        suspect investigation fraud smuggling warrant forensic gang vandal
+        theft""".split(),
+    "space": """space nasa rocket satellite orbit astronaut galaxy lunar
+        spacecraft cosmos asteroid telescope mars module launch
+        interstellar""".split(),
+    "gaming": """gaming videogame console player quest multiplayer arcade
+        esports joystick avatar level dungeon streamer tournament pixel
+        modding""".split(),
+    "nature": """nature forest wildlife river mountain ecosystem species
+        conservation habitat glacier wetland biodiversity canyon meadow
+        coral ranger""".split(),
+    "energy": """energy solar petroleum pipeline turbine reactor electricity
+        renewable grid drilling refinery coal hydrogen wind nuclear
+        barrel""".split(),
+    "autos": """autos automobile engine sedan dealership hybrid motor
+        chassis transmission horsepower roadster braking mileage
+        convertible diesel suv""".split(),
+    "religion": """religion church temple prayer faith scripture worship
+        clergy pilgrimage monastery ritual sermon sacred theology
+        congregation bishop""".split(),
+    "fashion": """fashion designer runway couture fabric boutique apparel
+        stylist garment trend silhouette tailoring accessories vogue
+        textile wardrobe""".split(),
+    "realestate": """realestate property apartment landlord mortgage tenant
+        condominium brokerage renovation listing suburb zoning skyscraper
+        lease downtown acreage""".split(),
+    "positive": """excellent wonderful amazing fantastic delightful superb
+        perfect loved brilliant charming impressive outstanding terrific
+        enjoyable refreshing marvelous""".split(),
+    "negative": """terrible awful horrible disappointing mediocre rude
+        dirty broken worst unacceptable bland overpriced slow noisy
+        frustrating dreadful""".split(),
+}
+
+#: Ambiguous surface forms shared by two themes; sense = document class.
+#: Each tuple is (word, theme_a, theme_b). ConWea seed lists deliberately
+#: include some of these.
+AMBIGUOUS_WORDS: list = [
+    ("penalty", "sports", "law"),
+    ("court", "sports", "law"),
+    ("goal", "sports", "business"),
+    ("pitch", "sports", "business"),
+    ("apple", "technology", "food"),
+    ("stock", "business", "food"),
+    ("cell", "science", "crime"),
+    ("virus", "health", "technology"),
+    ("star", "space", "film"),
+    ("interest", "finance", "education"),
+    ("charge", "law", "energy"),
+    ("conductor", "music", "energy"),
+    ("race", "sports", "politics"),
+    ("party", "politics", "food"),
+    ("bank", "finance", "nature"),
+]
+
+_CONSONANTS = "bcdfglmnprstvz"
+_VOWELS = "aeiou"
+_SYLLABLES = [c + v for c in _CONSONANTS for v in _VOWELS]
+
+
+class WordFactory:
+    """Deterministic pseudo-word synthesis.
+
+    Words are built from consonant-vowel syllables. The sequence for a
+    given ``(namespace, index)`` is a pure function of those inputs, so the
+    same topic always receives the same vocabulary across runs and
+    processes. Collisions with stop words, curated words, and previously
+    issued words are resolved by probing.
+    """
+
+    def __init__(self) -> None:
+        self._issued: set[str] = set()
+        for lexicon in CURATED_LEXICONS.values():
+            self._issued.update(lexicon)
+
+    def _candidate(self, namespace: str, index: int, probe: int) -> str:
+        digest = hashlib.sha256(f"{namespace}|{index}|{probe}".encode()).digest()
+        n_syll = 2 + digest[0] % 3
+        return "".join(
+            _SYLLABLES[digest[1 + i] % len(_SYLLABLES)] for i in range(n_syll)
+        )
+
+    def word(self, namespace: str, index: int) -> str:
+        """The ``index``-th pseudo-word of ``namespace``."""
+        for probe in range(64):
+            cand = self._candidate(namespace, index, probe)
+            if cand in STOPWORDS or cand in self._issued:
+                continue
+            self._issued.add(cand)
+            return cand
+        raise RuntimeError(f"word factory exhausted for {namespace}:{index}")
+
+    def words(self, namespace: str, count: int, start: int = 0) -> list[str]:
+        """``count`` consecutive pseudo-words of ``namespace``."""
+        return [self.word(namespace, start + i) for i in range(count)]
+
+
+def build_lexicon(theme: str, size: int, factory: WordFactory) -> list[str]:
+    """A ``size``-word lexicon for ``theme``.
+
+    Starts from the curated list when one exists (its first word is the
+    theme's label name) and pads with factory words. For unknown themes
+    the first factory word acts as the label name.
+    """
+    base = list(CURATED_LEXICONS.get(theme, []))
+    if len(base) >= size:
+        return base[:size]
+    base += factory.words(theme, size - len(base))
+    return base
+
+
+def background_lexicon(factory: WordFactory, size: int = 120) -> list[str]:
+    """Class-neutral filler vocabulary (generic nouns/verbs)."""
+    curated = """said today report people group city official week
+        member plan public state place work program news service area
+        house street company world country national day home part case
+        point question story change team office water line month result""".split()
+    if len(curated) >= size:
+        return curated[:size]
+    return curated + factory.words("background", size - len(curated))

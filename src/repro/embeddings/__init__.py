@@ -1,0 +1,19 @@
+"""Static embedding substrate: PPMI-SVD, SGNS word2vec, doc2vec, vMF."""
+
+from repro.embeddings.doc import doc_embeddings, tfidf_weighted_doc_embeddings
+from repro.embeddings.doc2vec import Doc2Vec
+from repro.embeddings.joint import JointEmbeddingSpace
+from repro.embeddings.ppmi_svd import PPMISVDEmbeddings, cooccurrence_matrix
+from repro.embeddings.vmf import VonMisesFisher
+from repro.embeddings.word2vec import Word2Vec
+
+__all__ = [
+    "PPMISVDEmbeddings",
+    "cooccurrence_matrix",
+    "Word2Vec",
+    "Doc2Vec",
+    "VonMisesFisher",
+    "JointEmbeddingSpace",
+    "doc_embeddings",
+    "tfidf_weighted_doc_embeddings",
+]

@@ -1,0 +1,45 @@
+"""Document embeddings from word vectors."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.functional import l2_normalize
+from repro.text.stopwords import STOPWORDS
+
+
+def doc_embeddings(token_lists: list, word_vectors, normalize: bool = True,
+                   drop_stopwords: bool = True) -> np.ndarray:
+    """Mean of word vectors per document.
+
+    ``word_vectors`` is anything with a ``vector(word)`` method and a
+    ``__contains__`` or vocabulary; unknown words fall back to the UNK
+    vector of the embedding model.
+    """
+    dim = word_vectors.matrix().shape[1]
+    out = np.zeros((len(token_lists), dim))
+    for i, tokens in enumerate(token_lists):
+        if drop_stopwords:
+            tokens = [t for t in tokens if t not in STOPWORDS]
+        if not tokens:
+            continue
+        vecs = np.stack([word_vectors.vector(t) for t in tokens])
+        out[i] = vecs.mean(axis=0)
+    return l2_normalize(out) if normalize else out
+
+
+def tfidf_weighted_doc_embeddings(token_lists: list, word_vectors,
+                                  normalize: bool = True) -> np.ndarray:
+    """TF-IDF weighted mean of word vectors per document."""
+    from repro.text.tfidf import TfidfVectorizer
+
+    vectorizer = TfidfVectorizer()
+    mat = vectorizer.fit_transform(token_lists)
+    assert vectorizer.vocabulary is not None
+    vocab = vectorizer.vocabulary
+    table = np.stack([word_vectors.vector(vocab.token(j)) for j in range(len(vocab))])
+    out = mat @ table
+    weights = np.asarray(mat.sum(axis=1)).ravel()
+    weights[weights == 0] = 1.0
+    out = out / weights[:, None]
+    return l2_normalize(out) if normalize else np.asarray(out)

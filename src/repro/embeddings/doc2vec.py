@@ -1,0 +1,85 @@
+"""Doc2Vec (PV-DBOW) in numpy — a MICoL baseline.
+
+Distributed bag-of-words paragraph vectors: each document vector is trained
+to predict (via negative sampling) the words it contains. Unseen documents
+are embedded by the same objective with word tables frozen.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.seeding import ensure_rng
+from repro.text.vocabulary import Vocabulary
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -30, 30)))
+
+
+class Doc2Vec:
+    """PV-DBOW paragraph vectors with negative sampling."""
+
+    def __init__(self, dim: int = 48, negatives: int = 5, epochs: int = 5,
+                 lr: float = 0.05, seed: "int | np.random.Generator" = 0):
+        self.dim = dim
+        self.negatives = negatives
+        self.epochs = epochs
+        self.lr = lr
+        self.rng = ensure_rng(seed)
+        self.vocabulary: "Vocabulary | None" = None
+        self.word_vectors: "np.ndarray | None" = None
+        self.doc_vectors: "np.ndarray | None" = None
+
+    def fit(self, token_lists: list) -> "Doc2Vec":
+        """Train document and word tables on ``token_lists``."""
+        self.vocabulary = Vocabulary.build(token_lists, min_count=1)
+        size = len(self.vocabulary)
+        self.word_vectors = np.zeros((size, self.dim))
+        self.doc_vectors = (self.rng.random((len(token_lists), self.dim)) - 0.5) / self.dim
+        noise = self.vocabulary.unigram_distribution()
+        self._train(token_lists, self.doc_vectors, update_words=True, noise=noise)
+        return self
+
+    def _train(self, token_lists: list, doc_table: np.ndarray,
+               update_words: bool, noise: np.ndarray) -> None:
+        assert self.vocabulary is not None and self.word_vectors is not None
+        unk = self.vocabulary.unk_id
+        for _ in range(self.epochs):
+            for d, tokens in enumerate(token_lists):
+                ids = np.array(
+                    [self.vocabulary.id(t) for t in tokens if self.vocabulary.id(t) != unk],
+                    dtype=np.int64,
+                )
+                if ids.size == 0:
+                    continue
+                negs = self.rng.choice(len(noise), size=(ids.size, self.negatives), p=noise)
+                v_d = doc_table[d]
+                u_pos = self.word_vectors[ids]
+                u_neg = self.word_vectors[negs]
+                g_pos = (_sigmoid(u_pos @ v_d) - 1.0)[:, None]
+                g_neg = _sigmoid(np.einsum("d,nkd->nk", v_d, u_neg))[:, :, None]
+                grad_d = (g_pos * u_pos).sum(axis=0) + (g_neg * u_neg).sum(axis=(0, 1))
+                doc_table[d] -= self.lr * grad_d
+                if update_words:
+                    np.add.at(self.word_vectors, ids, -self.lr * g_pos * v_d)
+                    np.add.at(
+                        self.word_vectors,
+                        negs.reshape(-1),
+                        -self.lr * (g_neg * v_d).reshape(-1, self.dim),
+                    )
+
+    def infer(self, token_lists: list) -> np.ndarray:
+        """Embed new documents with frozen word tables."""
+        if self.vocabulary is None or self.word_vectors is None:
+            raise RuntimeError("Doc2Vec not fitted")
+        table = (self.rng.random((len(token_lists), self.dim)) - 0.5) / self.dim
+        noise = self.vocabulary.unigram_distribution()
+        self._train(token_lists, table, update_words=False, noise=noise)
+        return table
+
+    def matrix(self) -> np.ndarray:
+        """(n_train_docs, dim) trained document vectors."""
+        if self.doc_vectors is None:
+            raise RuntimeError("Doc2Vec not fitted")
+        return self.doc_vectors

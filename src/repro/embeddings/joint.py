@@ -1,0 +1,86 @@
+"""Joint embedding space of words, labels, and documents.
+
+WeSTClass's first stage places words, label seeds, and documents in one
+latent sphere: word vectors come from a static embedding model trained on
+the local corpus; a label's vector is the normalized mean of its seed-word
+vectors; a document's vector is the normalized mean of its word vectors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.embeddings.doc import doc_embeddings
+from repro.embeddings.word2vec import Word2Vec
+from repro.nn.functional import cosine_similarity, l2_normalize
+
+
+class JointEmbeddingSpace:
+    """Words, labels, and documents embedded on a shared unit sphere.
+
+    ``backend`` selects the static word-embedding model: ``"svd"``
+    (PPMI + truncated SVD; robust on the small corpora this library
+    targets, the default) or ``"word2vec"`` (SGNS, the original
+    WeSTClass choice). A pre-fitted model can be injected via
+    ``word_model`` instead.
+    """
+
+    def __init__(self, word_model=None, dim: int = 48, epochs: int = 8,
+                 backend: str = "svd", seed: int = 0):
+        if word_model is not None:
+            self.word_model = word_model
+        elif backend == "svd":
+            from repro.embeddings.ppmi_svd import PPMISVDEmbeddings
+
+            self.word_model = PPMISVDEmbeddings(dim=dim)
+        elif backend == "word2vec":
+            self.word_model = Word2Vec(dim=dim, epochs=epochs, seed=seed)
+        else:
+            raise ValueError(f"unknown backend {backend!r}")
+        self._fitted_words = word_model is not None
+        self.label_vectors: dict = {}
+
+    def fit(self, token_lists: list) -> "JointEmbeddingSpace":
+        """Train the word embeddings on the local corpus."""
+        if not self._fitted_words:
+            self.word_model.fit(token_lists)
+            self._fitted_words = True
+        return self
+
+    def word_vector(self, word: str) -> np.ndarray:
+        """Unit-normalized word vector."""
+        return l2_normalize(self.word_model.vector(word)[None, :])[0]
+
+    def set_label_seeds(self, seeds: dict) -> None:
+        """Define each label's vector as the mean of its seed-word vectors."""
+        for label, words in seeds.items():
+            vecs = np.stack([self.word_vector(w) for w in words])
+            self.label_vectors[label] = l2_normalize(vecs.mean(axis=0)[None, :])[0]
+
+    def label_vector(self, label: str) -> np.ndarray:
+        """The label's seed-mean vector (set via :meth:`set_label_seeds`)."""
+        return self.label_vectors[label]
+
+    def document_vectors(self, token_lists: list) -> np.ndarray:
+        """Unit-normalized mean-of-words document vectors."""
+        return doc_embeddings(token_lists, self.word_model, normalize=True)
+
+    def nearest_words_to_label(self, label: str, k: int = 20,
+                               exclude: "set | None" = None) -> list:
+        """Words nearest a label vector (keyword expansion from label names)."""
+        vocab = self.word_model.vocabulary
+        assert vocab is not None
+        table = self.word_model.matrix()
+        sims = cosine_similarity(self.label_vectors[label][None, :], table).ravel()
+        for special_id in vocab.special_ids:
+            sims[special_id] = -np.inf
+        exclude = exclude or set()
+        out: list[str] = []
+        for i in np.argsort(-sims):
+            word = vocab.token(int(i))
+            if word in exclude:
+                continue
+            out.append(word)
+            if len(out) == k:
+                break
+        return out

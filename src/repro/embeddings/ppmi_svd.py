@@ -1,0 +1,113 @@
+"""Count-based static embeddings: PPMI matrix + truncated SVD.
+
+Fast and deterministic, these serve two roles: a strong static-embedding
+baseline in their own right, and the initialization of the PLM's token
+embedding table (giving the synthetic "pre-trained" model topical token
+identity before MLM training refines it).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse.linalg import svds
+
+from repro.core.exceptions import VocabularyError
+from repro.text.vocabulary import Vocabulary
+
+
+def cooccurrence_matrix(token_lists: list, vocabulary: Vocabulary,
+                        window: int = 5) -> sparse.csr_matrix:
+    """Symmetric within-window co-occurrence counts over the vocabulary."""
+    rows: list[int] = []
+    cols: list[int] = []
+    unk = vocabulary.unk_id
+    for tokens in token_lists:
+        ids = [vocabulary.id(t) for t in tokens]
+        ids = [i for i in ids if i != unk]
+        for center in range(len(ids)):
+            lo = max(0, center - window)
+            for other in range(lo, center):
+                rows.append(ids[center])
+                cols.append(ids[other])
+                rows.append(ids[other])
+                cols.append(ids[center])
+    data = np.ones(len(rows), dtype=float)
+    size = len(vocabulary)
+    mat = sparse.csr_matrix((data, (rows, cols)), shape=(size, size))
+    mat.sum_duplicates()
+    return mat
+
+
+def ppmi(counts: sparse.csr_matrix, shift: float = 1.0) -> sparse.csr_matrix:
+    """Positive pointwise mutual information of a co-occurrence matrix."""
+    total = counts.sum()
+    if total == 0:
+        raise VocabularyError("empty co-occurrence matrix")
+    row_sums = np.asarray(counts.sum(axis=1)).ravel()
+    col_sums = np.asarray(counts.sum(axis=0)).ravel()
+    coo = counts.tocoo()
+    with np.errstate(divide="ignore"):
+        pmi = np.log(
+            (coo.data * total)
+            / (row_sums[coo.row] * col_sums[coo.col])
+        ) - np.log(shift)
+    keep = pmi > 0
+    return sparse.csr_matrix(
+        (pmi[keep], (coo.row[keep], coo.col[keep])), shape=counts.shape
+    )
+
+
+class PPMISVDEmbeddings:
+    """Word vectors from truncated SVD of the PPMI matrix."""
+
+    def __init__(self, dim: int = 48, window: int = 5, shift: float = 1.0):
+        self.dim = dim
+        self.window = window
+        self.shift = shift
+        self.vocabulary: "Vocabulary | None" = None
+        self.vectors: "np.ndarray | None" = None
+
+    def fit(self, token_lists: list, vocabulary: "Vocabulary | None" = None,
+            seed: int = 0) -> "PPMISVDEmbeddings":
+        """Fit embeddings on tokenized documents."""
+        self.vocabulary = vocabulary or Vocabulary.build(token_lists, min_count=1)
+        counts = cooccurrence_matrix(token_lists, self.vocabulary, window=self.window)
+        matrix = ppmi(counts, shift=self.shift)
+        k = min(self.dim, min(matrix.shape) - 1)
+        rng = np.random.default_rng(seed)
+        v0 = rng.normal(size=min(matrix.shape))
+        u, s, _ = svds(matrix.asfptype(), k=k, v0=v0)
+        order = np.argsort(-s)
+        vectors = u[:, order] * np.sqrt(s[order])
+        if k < self.dim:
+            vectors = np.hstack([vectors, np.zeros((vectors.shape[0], self.dim - k))])
+        self.vectors = vectors
+        return self
+
+    def __contains__(self, word: str) -> bool:
+        return self.vocabulary is not None and word in self.vocabulary
+
+    def vector(self, word: str) -> np.ndarray:
+        """Embedding of ``word`` (UNK vector if out of vocabulary)."""
+        if self.vocabulary is None or self.vectors is None:
+            raise VocabularyError("embeddings not fitted")
+        return self.vectors[self.vocabulary.id(word)]
+
+    def matrix(self) -> np.ndarray:
+        """(vocab_size, dim) embedding table."""
+        if self.vectors is None:
+            raise VocabularyError("embeddings not fitted")
+        return self.vectors
+
+    def most_similar(self, word: str, k: int = 10) -> list:
+        """Top-``k`` nearest words by cosine similarity."""
+        from repro.nn.functional import cosine_similarity
+
+        assert self.vocabulary is not None and self.vectors is not None
+        sims = cosine_similarity(self.vector(word)[None, :], self.vectors).ravel()
+        sims[self.vocabulary.id(word)] = -np.inf
+        for special_id in self.vocabulary.special_ids:
+            sims[special_id] = -np.inf
+        idx = np.argsort(-sims)[:k]
+        return [(self.vocabulary.token(i), float(sims[i])) for i in idx]

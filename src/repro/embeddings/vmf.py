@@ -1,0 +1,73 @@
+"""von Mises–Fisher distributions on the unit hypersphere.
+
+WeSTClass models each class as a vMF distribution fitted to its seed-word
+embeddings and samples pseudo-document keywords from it. We implement the
+standard approximate MLE for the concentration parameter and Wood's (1994)
+rejection sampler.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.seeding import ensure_rng
+from repro.nn.functional import l2_normalize
+
+
+class VonMisesFisher:
+    """vMF distribution with mean direction ``mu`` and concentration ``kappa``."""
+
+    def __init__(self, mu: np.ndarray, kappa: float):
+        mu = np.asarray(mu, dtype=float)
+        norm = np.linalg.norm(mu)
+        if norm == 0:
+            raise ValueError("vMF mean direction must be nonzero")
+        self.mu = mu / norm
+        self.kappa = float(kappa)
+        self.dim = mu.shape[0]
+
+    @classmethod
+    def fit(cls, points: np.ndarray) -> "VonMisesFisher":
+        """Approximate MLE (Banerjee et al. 2005) from unit-normalized rows."""
+        points = l2_normalize(np.asarray(points, dtype=float))
+        mean = points.mean(axis=0)
+        r_norm = np.linalg.norm(mean)
+        dim = points.shape[1]
+        if r_norm >= 1.0 - 1e-9 or len(points) == 1:
+            kappa = 1e4  # degenerate: all points identical
+        else:
+            r_bar = min(r_norm, 1.0 - 1e-6)
+            kappa = r_bar * (dim - r_bar**2) / (1.0 - r_bar**2)
+        return cls(mean, max(kappa, 1e-3))
+
+    def sample(self, count: int, seed: "int | np.random.Generator" = 0) -> np.ndarray:
+        """Draw ``count`` unit vectors via Wood's rejection sampler."""
+        rng = ensure_rng(seed)
+        dim = self.dim
+        kappa = self.kappa
+        b = (-2.0 * kappa + np.sqrt(4.0 * kappa**2 + (dim - 1.0) ** 2)) / (dim - 1.0)
+        x0 = (1.0 - b) / (1.0 + b)
+        c = kappa * x0 + (dim - 1.0) * np.log(1.0 - x0**2)
+
+        results = np.empty((count, dim))
+        for i in range(count):
+            while True:
+                z = rng.beta((dim - 1.0) / 2.0, (dim - 1.0) / 2.0)
+                w = (1.0 - (1.0 + b) * z) / (1.0 - (1.0 - b) * z)
+                u = rng.random()
+                if kappa * w + (dim - 1.0) * np.log(1.0 - x0 * w) - c >= np.log(u + 1e-300):
+                    break
+            # Uniform direction orthogonal to mu.
+            v = rng.normal(size=dim)
+            v -= v.dot(self.mu) * self.mu
+            v /= np.linalg.norm(v) + 1e-12
+            results[i] = w * self.mu + np.sqrt(max(0.0, 1.0 - w**2)) * v
+        return results
+
+    def log_density_direction(self, points: np.ndarray) -> np.ndarray:
+        """Unnormalized log density ``kappa * mu . x`` for unit rows."""
+        points = l2_normalize(np.asarray(points, dtype=float))
+        return self.kappa * points @ self.mu
+
+    def __repr__(self) -> str:
+        return f"VonMisesFisher(dim={self.dim}, kappa={self.kappa:.2f})"

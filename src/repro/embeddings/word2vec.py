@@ -1,0 +1,144 @@
+"""Skip-gram with negative sampling (SGNS) word2vec in numpy.
+
+Vectorized mini-batch training: each step samples a batch of
+(center, context) pairs plus ``k`` negatives per pair and applies the
+standard SGNS gradient to both embedding tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exceptions import VocabularyError
+from repro.core.seeding import ensure_rng
+from repro.text.vocabulary import Vocabulary
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -30, 30)))
+
+
+class Word2Vec:
+    """SGNS word embeddings.
+
+    Parameters
+    ----------
+    dim:
+        Embedding dimensionality.
+    window:
+        Max distance between center and context (actual window is sampled
+        uniformly in [1, window] per center, as in the original tool).
+    negatives:
+        Negative samples per positive pair.
+    epochs / lr:
+        Training passes over the pair list and (linearly decayed) learning
+        rate.
+    """
+
+    def __init__(self, dim: int = 48, window: int = 5, negatives: int = 5,
+                 epochs: int = 3, lr: float = 0.05, batch_size: int = 512,
+                 seed: "int | np.random.Generator" = 0):
+        self.dim = dim
+        self.window = window
+        self.negatives = negatives
+        self.epochs = epochs
+        self.lr = lr
+        self.batch_size = batch_size
+        self.rng = ensure_rng(seed)
+        self.vocabulary: "Vocabulary | None" = None
+        self.vectors: "np.ndarray | None" = None  # input embeddings
+        self.context_vectors: "np.ndarray | None" = None
+
+    def _pairs(self, token_lists: list) -> np.ndarray:
+        """All (center, context) id pairs with per-center random windows."""
+        assert self.vocabulary is not None
+        unk = self.vocabulary.unk_id
+        pairs: list[tuple[int, int]] = []
+        for tokens in token_lists:
+            ids = [self.vocabulary.id(t) for t in tokens]
+            ids = [i for i in ids if i != unk]
+            n = len(ids)
+            if n < 2:
+                continue
+            spans = self.rng.integers(1, self.window + 1, size=n)
+            for center in range(n):
+                span = int(spans[center])
+                for other in range(max(0, center - span), min(n, center + span + 1)):
+                    if other != center:
+                        pairs.append((ids[center], ids[other]))
+        if not pairs:
+            raise VocabularyError("no training pairs (corpus too small?)")
+        return np.asarray(pairs, dtype=np.int64)
+
+    def fit(self, token_lists: list, vocabulary: "Vocabulary | None" = None) -> "Word2Vec":
+        """Train on tokenized documents."""
+        self.vocabulary = vocabulary or Vocabulary.build(token_lists, min_count=1)
+        size = len(self.vocabulary)
+        self.vectors = (self.rng.random((size, self.dim)) - 0.5) / self.dim
+        self.context_vectors = np.zeros((size, self.dim))
+        pairs = self._pairs(token_lists)
+        noise = self.vocabulary.unigram_distribution(power=0.75)
+
+        total_steps = max(1, self.epochs * (len(pairs) // self.batch_size + 1))
+        step = 0
+        for _ in range(self.epochs):
+            order = self.rng.permutation(len(pairs))
+            for start in range(0, len(pairs), self.batch_size):
+                batch = pairs[order[start : start + self.batch_size]]
+                lr = self.lr * max(0.1, 1.0 - step / total_steps)
+                self._step(batch, noise, lr)
+                step += 1
+        return self
+
+    def _step(self, batch: np.ndarray, noise: np.ndarray, lr: float) -> None:
+        assert self.vectors is not None and self.context_vectors is not None
+        centers, contexts = batch[:, 0], batch[:, 1]
+        b = len(batch)
+        negs = self.rng.choice(len(noise), size=(b, self.negatives), p=noise)
+
+        v_c = self.vectors[centers]  # (B, D)
+        u_pos = self.context_vectors[contexts]  # (B, D)
+        u_neg = self.context_vectors[negs]  # (B, K, D)
+
+        pos_score = _sigmoid((v_c * u_pos).sum(axis=1))  # (B,)
+        neg_score = _sigmoid(np.einsum("bd,bkd->bk", v_c, u_neg))  # (B, K)
+
+        g_pos = (pos_score - 1.0)[:, None]  # (B, 1)
+        g_neg = neg_score[:, :, None]  # (B, K, 1)
+
+        grad_v = g_pos * u_pos + (g_neg * u_neg).sum(axis=1)
+        grad_u_pos = g_pos * v_c
+        grad_u_neg = g_neg * v_c[:, None, :]
+
+        np.add.at(self.vectors, centers, -lr * grad_v)
+        np.add.at(self.context_vectors, contexts, -lr * grad_u_pos)
+        np.add.at(
+            self.context_vectors,
+            negs.reshape(-1),
+            -lr * grad_u_neg.reshape(-1, self.dim),
+        )
+
+    # -- lookup ----------------------------------------------------------------
+    def vector(self, word: str) -> np.ndarray:
+        """Embedding of ``word`` (UNK vector if unseen)."""
+        if self.vocabulary is None or self.vectors is None:
+            raise VocabularyError("Word2Vec not fitted")
+        return self.vectors[self.vocabulary.id(word)]
+
+    def matrix(self) -> np.ndarray:
+        """(vocab_size, dim) input-embedding table."""
+        if self.vectors is None:
+            raise VocabularyError("Word2Vec not fitted")
+        return self.vectors
+
+    def most_similar(self, word: str, k: int = 10) -> list:
+        """Top-``k`` nearest words by cosine similarity."""
+        from repro.nn.functional import cosine_similarity
+
+        assert self.vocabulary is not None and self.vectors is not None
+        sims = cosine_similarity(self.vector(word)[None, :], self.vectors).ravel()
+        sims[self.vocabulary.id(word)] = -np.inf
+        for special_id in self.vocabulary.special_ids:
+            sims[special_id] = -np.inf
+        idx = np.argsort(-sims)[:k]
+        return [(self.vocabulary.token(i), float(sims[i])) for i in idx]

@@ -1,0 +1,30 @@
+"""Evaluation substrate: classification, ranking, clustering metrics, tables."""
+
+from repro.evaluation.clustering import align_clusters, confusion_matrix, purity
+from repro.evaluation.metrics import (
+    accuracy,
+    f1_scores,
+    macro_f1,
+    micro_f1,
+    per_class_f1,
+)
+from repro.evaluation.ranking import example_f1, ndcg_at_k, precision_at_k
+from repro.evaluation.reporting import format_table
+from repro.evaluation.significance import bootstrap_interval, paired_bootstrap_pvalue
+
+__all__ = [
+    "accuracy",
+    "micro_f1",
+    "macro_f1",
+    "f1_scores",
+    "per_class_f1",
+    "example_f1",
+    "precision_at_k",
+    "ndcg_at_k",
+    "confusion_matrix",
+    "align_clusters",
+    "purity",
+    "format_table",
+    "bootstrap_interval",
+    "paired_bootstrap_pvalue",
+]

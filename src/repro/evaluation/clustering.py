@@ -1,0 +1,78 @@
+"""Clustering evaluation: confusion matrices, Hungarian alignment, purity."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import linear_sum_assignment
+
+
+def confusion_matrix(gold: list, predicted: list, labels: "list | None" = None) -> tuple:
+    """(matrix, labels): rows = gold classes, columns = predicted classes."""
+    if labels is None:
+        labels = sorted(set(gold) | set(predicted))
+    index = {label: i for i, label in enumerate(labels)}
+    mat = np.zeros((len(labels), len(labels)), dtype=int)
+    for g, p in zip(gold, predicted):
+        mat[index[g], index[p]] += 1
+    return mat, list(labels)
+
+
+def align_clusters(gold: list, cluster_ids: list) -> dict:
+    """Best cluster-to-label assignment (Hungarian on the overlap matrix).
+
+    Returns ``{cluster_id: gold_label}`` maximizing total overlap.
+    """
+    gold_labels = sorted(set(gold))
+    clusters = sorted(set(cluster_ids))
+    overlap = np.zeros((len(clusters), len(gold_labels)))
+    for g, c in zip(gold, cluster_ids):
+        overlap[clusters.index(c), gold_labels.index(g)] += 1
+    rows, cols = linear_sum_assignment(-overlap)
+    mapping = {clusters[r]: gold_labels[c] for r, c in zip(rows, cols)}
+    # Unassigned clusters (more clusters than labels) map to their modal label.
+    for i, cluster in enumerate(clusters):
+        if cluster not in mapping:
+            mapping[cluster] = gold_labels[int(overlap[i].argmax())]
+    return mapping
+
+
+def purity(gold: list, cluster_ids: list) -> float:
+    """Cluster purity: fraction of points in their cluster's modal class."""
+    total = 0
+    for cluster in set(cluster_ids):
+        members = [g for g, c in zip(gold, cluster_ids) if c == cluster]
+        counts: dict = {}
+        for g in members:
+            counts[g] = counts.get(g, 0) + 1
+        total += max(counts.values())
+    return total / len(gold)
+
+
+def kmeans(points: np.ndarray, k: int, seed: int = 0, iterations: int = 50) -> np.ndarray:
+    """Plain k-means (k-means++ init); returns integer cluster ids."""
+    rng = np.random.default_rng(seed)
+    points = np.asarray(points, dtype=float)
+    n = points.shape[0]
+    if k > n:
+        raise ValueError(f"k={k} exceeds number of points {n}")
+    # k-means++ seeding.
+    centers = [points[int(rng.integers(0, n))]]
+    for _ in range(1, k):
+        dists = np.min(
+            [np.sum((points - c) ** 2, axis=1) for c in centers], axis=0
+        )
+        probs = dists / dists.sum() if dists.sum() > 0 else np.full(n, 1.0 / n)
+        centers.append(points[int(rng.choice(n, p=probs))])
+    centers = np.stack(centers)
+    assignment = np.full(n, -1, dtype=int)
+    for _ in range(iterations):
+        dists = ((points[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+        new_assignment = dists.argmin(axis=1)
+        if (new_assignment == assignment).all():
+            break
+        assignment = new_assignment
+        for j in range(k):
+            members = points[assignment == j]
+            if len(members):
+                centers[j] = members.mean(axis=0)
+    return assignment

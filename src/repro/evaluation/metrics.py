@@ -1,0 +1,60 @@
+"""Single-label classification metrics."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+
+def _validate(gold: Sequence, predicted: Sequence) -> None:
+    if len(gold) != len(predicted):
+        raise ValueError(f"length mismatch: {len(gold)} gold vs {len(predicted)} predicted")
+    if len(gold) == 0:
+        raise ValueError("empty evaluation set")
+
+
+def accuracy(gold: Sequence, predicted: Sequence) -> float:
+    """Fraction of exact matches."""
+    _validate(gold, predicted)
+    return float(np.mean([g == p for g, p in zip(gold, predicted)]))
+
+
+def per_class_f1(gold: Sequence, predicted: Sequence,
+                 labels: "Sequence | None" = None) -> dict:
+    """Per-class precision/recall/F1.
+
+    Returns ``{label: (precision, recall, f1, support)}`` over ``labels``
+    (defaults to all labels present in gold or predictions).
+    """
+    _validate(gold, predicted)
+    if labels is None:
+        labels = sorted(set(gold) | set(predicted))
+    out: dict = {}
+    for label in labels:
+        tp = sum(1 for g, p in zip(gold, predicted) if g == label and p == label)
+        fp = sum(1 for g, p in zip(gold, predicted) if g != label and p == label)
+        fn = sum(1 for g, p in zip(gold, predicted) if g == label and p != label)
+        precision = tp / (tp + fp) if tp + fp else 0.0
+        recall = tp / (tp + fn) if tp + fn else 0.0
+        f1 = 2 * precision * recall / (precision + recall) if precision + recall else 0.0
+        out[label] = (precision, recall, f1, tp + fn)
+    return out
+
+
+def micro_f1(gold: Sequence, predicted: Sequence) -> float:
+    """Micro-averaged F1 (= accuracy for single-label problems)."""
+    return accuracy(gold, predicted)
+
+
+def macro_f1(gold: Sequence, predicted: Sequence,
+             labels: "Sequence | None" = None) -> float:
+    """Unweighted mean of per-class F1."""
+    stats = per_class_f1(gold, predicted, labels=labels)
+    return float(np.mean([f1 for _, _, f1, _ in stats.values()]))
+
+
+def f1_scores(gold: Sequence, predicted: Sequence,
+              labels: "Sequence | None" = None) -> tuple:
+    """(micro_f1, macro_f1)."""
+    return micro_f1(gold, predicted), macro_f1(gold, predicted, labels=labels)

@@ -1,0 +1,55 @@
+"""Multi-label and ranking metrics (TaxoClass / MICoL tables)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def example_f1(gold_sets: list, predicted_sets: list) -> float:
+    """Mean per-document F1 between gold and predicted label sets.
+
+    ``Example-F1 = mean_i 2|gold_i ∩ pred_i| / (|gold_i| + |pred_i|)``.
+    """
+    if len(gold_sets) != len(predicted_sets):
+        raise ValueError("length mismatch")
+    scores = []
+    for gold, pred in zip(gold_sets, predicted_sets):
+        gold, pred = set(gold), set(pred)
+        denom = len(gold) + len(pred)
+        scores.append(2 * len(gold & pred) / denom if denom else 1.0)
+    return float(np.mean(scores))
+
+
+def per_example_precision_at_k(gold_sets: list, rankings: list, k: int) -> np.ndarray:
+    """Per-document P@k scores (for bootstrap significance tests)."""
+    if len(gold_sets) != len(rankings):
+        raise ValueError("length mismatch")
+    scores = []
+    for gold, ranking in zip(gold_sets, rankings):
+        gold = set(gold)
+        top = ranking[:k]
+        scores.append(sum(1 for label in top if label in gold) / k)
+    return np.asarray(scores, dtype=float)
+
+
+def precision_at_k(gold_sets: list, rankings: list, k: int) -> float:
+    """Mean fraction of the top-``k`` ranked labels that are relevant."""
+    return float(per_example_precision_at_k(gold_sets, rankings, k).mean())
+
+
+def ndcg_at_k(gold_sets: list, rankings: list, k: int) -> float:
+    """Mean NDCG@k with binary relevance."""
+    if len(gold_sets) != len(rankings):
+        raise ValueError("length mismatch")
+    discounts = 1.0 / np.log2(np.arange(2, k + 2))
+    scores = []
+    for gold, ranking in zip(gold_sets, rankings):
+        gold = set(gold)
+        gains = np.array([1.0 if label in gold else 0.0 for label in ranking[:k]])
+        if gains.size < k:
+            gains = np.pad(gains, (0, k - gains.size))
+        dcg = float((gains * discounts).sum())
+        ideal_hits = min(len(gold), k)
+        idcg = float(discounts[:ideal_hits].sum()) if ideal_hits else 0.0
+        scores.append(dcg / idcg if idcg else 0.0)
+    return float(np.mean(scores))

@@ -1,0 +1,46 @@
+"""Plain-text table rendering for the benchmark harness."""
+
+from __future__ import annotations
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(rows: list, columns: "list | None" = None,
+                 title: "str | None" = None) -> str:
+    """Render dict rows as an aligned text table.
+
+    ``columns`` fixes the column order (defaults to first row's keys).
+    """
+    if not rows:
+        return title or "(empty table)"
+    columns = columns or list(rows[0].keys())
+    rendered = [[_format_cell(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(str(col)), max(len(r[i]) for r in rendered))
+        for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(col).ljust(w) for col, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for r in rendered:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def format_matrix(matrix, row_labels: list, col_labels: list,
+                  title: "str | None" = None) -> str:
+    """Render a confusion matrix with labels."""
+    rows = []
+    for label, row in zip(row_labels, matrix):
+        entry = {"gold \\ pred": label}
+        for col, value in zip(col_labels, row):
+            entry[str(col)] = int(value)
+        rows.append(entry)
+    return format_table(rows, title=title)

@@ -1,0 +1,10 @@
+"""Experiment harness: one spec per paper table/figure."""
+
+from repro.experiments.runner import (
+    evaluate_flat,
+    evaluate_multilabel,
+    run_rows,
+)
+from repro.experiments import figures, tables
+
+__all__ = ["evaluate_flat", "evaluate_multilabel", "run_rows", "tables", "figures"]

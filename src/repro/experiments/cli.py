@@ -1,0 +1,95 @@
+"""Command-line experiment runner.
+
+Regenerate any paper table or figure without pytest::
+
+    python -m repro.experiments.cli --list
+    python -m repro.experiments.cli westclass
+    python -m repro.experiments.cli micol --full --seed 1
+    python -m repro.experiments.cli pca-figure
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.evaluation.reporting import format_table
+from repro.experiments import figures, tables
+
+TABLES = {
+    "westclass": (tables.westclass_table, "WeSTClass results table"),
+    "conwea": (tables.conwea_table, "ConWea results table"),
+    "lotclass-predictions": (
+        lambda seed=0, fast=True: tables.lotclass_prediction_rows(seed=seed),
+        "LOTClass Table 1 (MLM replacement predictions)",
+    ),
+    "lotclass": (tables.lotclass_table, "LOTClass results table"),
+    "xclass-data": (tables.xclass_dataset_table, "X-Class dataset statistics"),
+    "xclass": (tables.xclass_table, "X-Class results table"),
+    "promptclass": (tables.promptclass_table, "PromptClass results table"),
+    "weshclass": (tables.weshclass_table, "WeSHClass results table"),
+    "taxoclass": (tables.taxoclass_table, "TaxoClass results table"),
+    "metacat": (tables.metacat_tables, "MetaCat results tables"),
+    "micol": (tables.micol_table, "MICoL results table"),
+    "summary": (lambda seed=0, fast=True: tables.summary_table(),
+                "Method capability summary"),
+}
+
+FIGURES = {
+    "pca-figure": "PCA of pooled PLM document representations",
+    "confusion-figure": "k-means confusion matrix on pooled representations",
+}
+
+
+def _run_figure(name: str, seed: int) -> None:
+    if name == "pca-figure":
+        result = figures.pca_domain_figure(seed=seed)
+        print(figures.render_pca_ascii(result["coordinates"], result["labels"]))
+        print(f"separation ratio: {result['separation_ratio']:.2f}")
+    else:
+        result = figures.clustering_confusion_figure(seed=seed)
+        print(result["rendered"])
+        print(f"clustering accuracy: {result['clustering_accuracy']:.3f}")
+
+
+def main(argv: "list | None" = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        description="Regenerate the tutorial's tables and figures."
+    )
+    parser.add_argument("experiment", nargs="?",
+                        help="experiment id (see --list)")
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiments")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--full", action="store_true",
+                        help="run every dataset of the table (slower)")
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiment:
+        print("tables:")
+        for key, (_, description) in TABLES.items():
+            print(f"  {key:<22} {description}")
+        print("figures:")
+        for key, description in FIGURES.items():
+            print(f"  {key:<22} {description}")
+        return 0
+
+    name = args.experiment
+    start = time.time()
+    if name in FIGURES:
+        _run_figure(name, args.seed)
+    elif name in TABLES:
+        fn, description = TABLES[name]
+        rows = fn(seed=args.seed, fast=not args.full)
+        print(format_table(rows, title=description))
+    else:
+        print(f"unknown experiment {name!r}; use --list", file=sys.stderr)
+        return 2
+    print(f"\n[{time.time() - start:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,98 @@
+"""Figure reproductions, rendered as data + text (no plotting deps).
+
+- :func:`pca_domain_figure` — the X-Class/tutorial figure showing that
+  average-pooled PLM representations separate domains in 2D PCA;
+- :func:`clustering_confusion_figure` — the k-means-on-representations
+  confusion matrix (k = number of classes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets import load_profile
+from repro.evaluation.clustering import align_clusters, confusion_matrix, kmeans
+from repro.evaluation.reporting import format_matrix
+from repro.plm.provider import get_pretrained_lm
+
+
+def pca_2d(points: np.ndarray) -> np.ndarray:
+    """Project rows onto their top two principal components."""
+    centered = points - points.mean(axis=0)
+    _, _, vt = np.linalg.svd(centered, full_matrices=False)
+    return centered @ vt[:2].T
+
+
+def domain_separation_ratio(coords: np.ndarray, labels: list) -> float:
+    """Between-class vs within-class scatter of 2D coordinates.
+
+    > 1 means classes separate visually — the property the paper's PCA
+    figure demonstrates.
+    """
+    classes = sorted(set(labels))
+    overall = coords.mean(axis=0)
+    within, between = 0.0, 0.0
+    for cls in classes:
+        members = coords[[i for i, l in enumerate(labels) if l == cls]]
+        center = members.mean(axis=0)
+        within += float(((members - center) ** 2).sum())
+        between += len(members) * float(((center - overall) ** 2).sum())
+    return between / max(within, 1e-12)
+
+
+def pca_domain_figure(profile: str = "mixed_domains", seed: int = 0,
+                      max_docs: int = 250) -> dict:
+    """PCA coordinates + separation statistics for pooled PLM reps."""
+    bundle = load_profile(profile, seed=seed)
+    plm = get_pretrained_lm(target_corpus=bundle.train_corpus, seed=seed % 7)
+    corpus = bundle.train_corpus[:max_docs]
+    reps = plm.doc_embeddings(corpus.token_lists())
+    coords = pca_2d(reps)
+    labels = [d.labels[0] for d in corpus]
+    return {
+        "coordinates": coords,
+        "labels": labels,
+        "separation_ratio": domain_separation_ratio(coords, labels),
+    }
+
+
+def clustering_confusion_figure(profile: str = "mixed_domains", seed: int = 0,
+                                max_docs: int = 250) -> dict:
+    """k-means over pooled reps, Hungarian-aligned confusion matrix."""
+    bundle = load_profile(profile, seed=seed)
+    plm = get_pretrained_lm(target_corpus=bundle.train_corpus, seed=seed % 7)
+    corpus = bundle.train_corpus[:max_docs]
+    reps = plm.doc_embeddings(corpus.token_lists())
+    gold = [d.labels[0] for d in corpus]
+    k = len(bundle.label_set)
+    clusters = kmeans(reps, k, seed=seed)
+    mapping = align_clusters(gold, list(clusters))
+    predicted = [mapping[c] for c in clusters]
+    matrix, labels = confusion_matrix(gold, predicted,
+                                      labels=list(bundle.label_set))
+    accuracy = float(np.trace(matrix)) / max(1, matrix.sum())
+    return {
+        "matrix": matrix,
+        "labels": labels,
+        "clustering_accuracy": accuracy,
+        "rendered": format_matrix(matrix, labels, labels,
+                                  title=f"k-means confusion on {profile}"),
+    }
+
+
+def render_pca_ascii(coords: np.ndarray, labels: list, width: int = 60,
+                     height: int = 20) -> str:
+    """ASCII scatter of the PCA figure (one letter per class)."""
+    classes = sorted(set(labels))
+    glyphs = {cls: chr(ord("A") + i % 26) for i, cls in enumerate(classes)}
+    x = coords[:, 0]
+    y = coords[:, 1]
+    x_lo, x_hi = float(x.min()), float(x.max())
+    y_lo, y_hi = float(y.min()), float(y.max())
+    grid = [[" "] * width for _ in range(height)]
+    for (px, py), label in zip(coords, labels):
+        col = int((px - x_lo) / (x_hi - x_lo + 1e-12) * (width - 1))
+        row = int((py - y_lo) / (y_hi - y_lo + 1e-12) * (height - 1))
+        grid[height - 1 - row][col] = glyphs[label]
+    legend = "  ".join(f"{glyph}={cls}" for cls, glyph in glyphs.items())
+    return "\n".join("".join(row) for row in grid) + "\n" + legend

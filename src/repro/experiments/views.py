@@ -1,0 +1,68 @@
+"""Dataset views: coarse relabeling of tree profiles, DAG-to-tree casts."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.types import Corpus, Document, LabelSet
+from repro.datasets.bundle import DatasetBundle
+from repro.taxonomy.dag import LabelDAG
+from repro.taxonomy.tree import ROOT, LabelTree
+
+
+def _relabel(corpus: Corpus, mapping, name_suffix: str) -> Corpus:
+    docs = []
+    for d in corpus:
+        labels = tuple(sorted({mapping(l) for l in d.labels}))
+        meta = dict(d.metadata)
+        meta["core_labels"] = [mapping(l) for l in meta.get("core_labels", d.labels)]
+        docs.append(
+            Document(doc_id=d.doc_id, tokens=list(d.tokens), labels=labels,
+                     metadata=meta)
+        )
+    return Corpus(docs, name=f"{corpus.name}-{name_suffix}")
+
+
+def coarse_view(bundle: DatasetBundle) -> DatasetBundle:
+    """A flat view of a tree profile at its top level.
+
+    Documents are relabeled with their depth-1 ancestor; the label set
+    becomes the top-level nodes (whose lexicons the world already has, so
+    keyword supervision keeps working).
+    """
+    tree = bundle.tree
+    if tree is None:
+        raise ValueError(f"profile {bundle.profile.name!r} is not a tree")
+
+    def to_coarse(label: str) -> str:
+        return tree.ancestor_at_depth(label, 1) if label in tree else label
+
+    labels = tuple(tree.level(1))
+    label_set = LabelSet(
+        labels=labels,
+        names={l: bundle.world.names[l] for l in labels},
+        descriptions={l: bundle.label_set.descriptions.get(l, l) for l in labels},
+    )
+    return DatasetBundle(
+        profile=replace(bundle.profile, name=f"{bundle.profile.name}-coarse",
+                        structure="flat",
+                        classes=tuple(c for c in bundle.profile.classes
+                                      if c.label in labels)),
+        world=bundle.world,
+        train_corpus=_relabel(bundle.train_corpus, to_coarse, "coarse"),
+        test_corpus=_relabel(bundle.test_corpus, to_coarse, "coarse"),
+        label_set=label_set,
+    )
+
+
+def dag_as_tree(dag: LabelDAG) -> LabelTree:
+    """Cast a DAG to a tree by keeping each node's first parent.
+
+    Used to run tree-only methods (WeSHClass, Hier-SVM) on DAG profiles,
+    as the TaxoClass paper does for its hierarchical baselines.
+    """
+    parent_of = {}
+    for node in dag.nodes:
+        parents = [p for p in dag.parents(node) if p != "<ROOT>"]
+        parent_of[node] = parents[0] if parents else ROOT
+    return LabelTree(parent_of)

@@ -1,0 +1,12 @@
+"""Heterogeneous information network substrate."""
+
+from repro.hin.graph import HeterogeneousGraph
+from repro.hin.metapath import MetaPath, metapath_pairs
+from repro.hin.random_walk import metapath_random_walks
+
+__all__ = [
+    "HeterogeneousGraph",
+    "MetaPath",
+    "metapath_pairs",
+    "metapath_random_walks",
+]

@@ -1,0 +1,103 @@
+"""Typed heterogeneous graph over documents and their metadata.
+
+Node ids are ``(node_type, name)`` tuples. Edges are undirected and typed
+by their endpoint types (e.g. a doc-author edge has type
+``("doc", "author")`` regardless of direction). Reference edges between
+documents get the distinguishing type ``("doc", "ref")``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.core.types import Corpus
+
+
+class HeterogeneousGraph:
+    """Adjacency-list heterogeneous graph."""
+
+    def __init__(self) -> None:
+        self._adjacency: dict = {}
+        self.node_types: dict = {}
+
+    # -- construction -----------------------------------------------------------
+    def add_node(self, node_type: str, name: str) -> tuple:
+        """Register (and return) the node ``(node_type, name)``."""
+        node = (node_type, name)
+        if node not in self._adjacency:
+            self._adjacency[node] = {}
+            self.node_types.setdefault(node_type, set()).add(name)
+        return node
+
+    def add_edge(self, a: tuple, b: tuple, edge_type: "str | None" = None) -> None:
+        """Add an undirected typed edge (idempotent)."""
+        self.add_node(*a)
+        self.add_node(*b)
+        edge_type = edge_type or "-".join(sorted((a[0], b[0])))
+        self._adjacency[a].setdefault(edge_type, set()).add(b)
+        self._adjacency[b].setdefault(edge_type, set()).add(a)
+
+    @classmethod
+    def from_corpus(cls, corpus: Corpus,
+                    include: Iterable = ("user", "authors", "venue", "tags",
+                                         "references")) -> "HeterogeneousGraph":
+        """Build the metadata network of a corpus.
+
+        Documents become ``doc`` nodes; metadata fields named in
+        ``include`` become typed neighbours. References become
+        ``doc-ref`` edges to the cited documents (when present in the
+        corpus or not — dangling refs become doc nodes too).
+        """
+        graph = cls()
+        include = set(include)
+        for doc in corpus:
+            doc_node = graph.add_node("doc", doc.doc_id)
+            meta = doc.metadata
+            if "user" in include and "user" in meta:
+                graph.add_edge(doc_node, ("user", meta["user"]))
+            if "venue" in include and "venue" in meta:
+                graph.add_edge(doc_node, ("venue", meta["venue"]))
+            if "authors" in include:
+                for author in meta.get("authors", []):
+                    graph.add_edge(doc_node, ("author", author))
+            if "tags" in include:
+                for tag in meta.get("tags", []):
+                    graph.add_edge(doc_node, ("tag", tag))
+            if "references" in include:
+                for ref in meta.get("references", []):
+                    graph.add_edge(doc_node, ("doc", ref), edge_type="doc-ref")
+        return graph
+
+    # -- queries -----------------------------------------------------------------
+    def nodes(self, node_type: "str | None" = None) -> list:
+        """All nodes, optionally restricted to one type."""
+        if node_type is None:
+            return list(self._adjacency)
+        return [(node_type, name) for name in sorted(self.node_types.get(node_type, ()))]
+
+    def neighbors(self, node: tuple, node_type: "str | None" = None,
+                  edge_type: "str | None" = None) -> list:
+        """Neighbours of ``node``, optionally filtered by type."""
+        buckets = self._adjacency.get(node, {})
+        out: list[tuple] = []
+        for etype, targets in buckets.items():
+            if edge_type is not None and etype != edge_type:
+                continue
+            for target in targets:
+                if node_type is None or target[0] == node_type:
+                    out.append(target)
+        return sorted(out)
+
+    def degree(self, node: tuple) -> int:
+        """Total edge count of ``node`` across edge types."""
+        return sum(len(t) for t in self._adjacency.get(node, {}).values())
+
+    def __contains__(self, node: tuple) -> bool:
+        return node in self._adjacency
+
+    def __len__(self) -> int:
+        return len(self._adjacency)
+
+    def __repr__(self) -> str:
+        counts = {t: len(names) for t, names in self.node_types.items()}
+        return f"HeterogeneousGraph({counts})"

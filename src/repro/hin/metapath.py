@@ -1,0 +1,81 @@
+"""Meta-paths: typed walks defining semantic document-document similarity.
+
+MICoL's positive pairs come from meta-paths such as P->P<-P (two papers
+citing a common paper) and P<-(PP)->P (two papers co-cited by a third).
+Here a :class:`MetaPath` is a sequence of node types with optional edge
+types; :func:`metapath_pairs` samples (start, end) document pairs connected
+by an instance of the path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.seeding import ensure_rng
+from repro.hin.graph import HeterogeneousGraph
+
+
+@dataclass(frozen=True)
+class MetaPath:
+    """A sequence of node types, e.g. ``("doc", "author", "doc")``.
+
+    ``edge_types`` optionally constrains each hop (same length as the
+    number of hops); ``name`` is the display form used in the tables.
+    """
+
+    node_types: tuple
+    edge_types: "tuple | None" = None
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if len(self.node_types) < 2:
+            raise ValueError("meta-path needs at least two node types")
+        if self.edge_types is not None and len(self.edge_types) != len(self.node_types) - 1:
+            raise ValueError("edge_types must have one entry per hop")
+
+    def __str__(self) -> str:
+        return self.name or "-".join(self.node_types)
+
+
+#: MICoL's two bibliographic meta-paths over reference edges.
+P_REF_P = MetaPath(("doc", "doc", "doc"), ("doc-ref", "doc-ref"), name="P->P<-P")
+P_COCITED_P = MetaPath(("doc", "doc", "doc"), ("doc-ref", "doc-ref"), name="P<-(PP)->P")
+P_AUTHOR_P = MetaPath(("doc", "author", "doc"), name="P-A-P")
+P_VENUE_P = MetaPath(("doc", "venue", "doc"), name="P-V-P")
+P_USER_P = MetaPath(("doc", "user", "doc"), name="D-U-D")
+P_TAG_P = MetaPath(("doc", "tag", "doc"), name="D-T-D")
+
+
+def metapath_pairs(graph: HeterogeneousGraph, path: MetaPath, n_pairs: int,
+                   seed: "int | np.random.Generator" = 0) -> list:
+    """Sample up to ``n_pairs`` distinct (start_doc, end_doc) name pairs.
+
+    Each sample walks the meta-path from a random start node of the first
+    type; walks that dead-end or loop back to the start are discarded.
+    """
+    rng = ensure_rng(seed)
+    starts = graph.nodes(path.node_types[0])
+    if not starts:
+        return []
+    pairs: set = set()
+    attempts = 0
+    max_attempts = n_pairs * 20
+    while len(pairs) < n_pairs and attempts < max_attempts:
+        attempts += 1
+        node = starts[int(rng.integers(0, len(starts)))]
+        start = node
+        ok = True
+        for hop in range(len(path.node_types) - 1):
+            edge_type = path.edge_types[hop] if path.edge_types else None
+            candidates = graph.neighbors(node, node_type=path.node_types[hop + 1],
+                                         edge_type=edge_type)
+            candidates = [c for c in candidates if c != start]
+            if not candidates:
+                ok = False
+                break
+            node = candidates[int(rng.integers(0, len(candidates)))]
+        if ok and node != start:
+            pairs.add((start[1], node[1]))
+    return sorted(pairs)

@@ -1,0 +1,43 @@
+"""Meta-path guided random walks (metapath2vec's corpus generator)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.seeding import ensure_rng
+from repro.hin.graph import HeterogeneousGraph
+from repro.hin.metapath import MetaPath
+
+
+def metapath_random_walks(graph: HeterogeneousGraph, path: MetaPath,
+                          walks_per_node: int = 4, walk_length: int = 20,
+                          seed: "int | np.random.Generator" = 0) -> list:
+    """Walks that repeat the meta-path's type pattern.
+
+    The path must start and end with the same node type (e.g. doc-user-doc)
+    so it can cycle. Each walk is a list of string node tokens of the form
+    ``"type:name"`` consumable by the skip-gram trainer.
+    """
+    if path.node_types[0] != path.node_types[-1]:
+        raise ValueError("cyclic meta-path required (same first/last type)")
+    rng = ensure_rng(seed)
+    pattern = list(path.node_types[1:])  # types to visit after the anchor
+    walks: list[list[str]] = []
+    for start in graph.nodes(path.node_types[0]):
+        for _ in range(walks_per_node):
+            walk = [f"{start[0]}:{start[1]}"]
+            node = start
+            step = 0
+            while len(walk) < walk_length:
+                want = pattern[step % len(pattern)]
+                edge_type = path.edge_types[step % len(pattern)] if path.edge_types else None
+                candidates = graph.neighbors(node, node_type=want,
+                                             edge_type=edge_type)
+                if not candidates:
+                    break
+                node = candidates[int(rng.integers(0, len(candidates)))]
+                walk.append(f"{node[0]}:{node[1]}")
+                step += 1
+            if len(walk) > 1:
+                walks.append(walk)
+    return walks

@@ -1,0 +1,27 @@
+"""The tutorial's surveyed methods.
+
+Importing this package registers every method's capability descriptor in
+:mod:`repro.core.registry` (the source of the summary-table bench).
+"""
+
+from repro.methods.conwea import ConWea
+from repro.methods.lotclass import LOTClass
+from repro.methods.metacat import MetaCat
+from repro.methods.micol import MICoL
+from repro.methods.promptclass import PromptClass
+from repro.methods.taxoclass import TaxoClass
+from repro.methods.weshclass import WeSHClass
+from repro.methods.westclass import WeSTClass
+from repro.methods.xclass import XClass
+
+__all__ = [
+    "WeSTClass",
+    "ConWea",
+    "LOTClass",
+    "XClass",
+    "PromptClass",
+    "WeSHClass",
+    "TaxoClass",
+    "MetaCat",
+    "MICoL",
+]

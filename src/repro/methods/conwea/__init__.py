@@ -1,0 +1,6 @@
+"""ConWea: contextualized weak supervision for text classification [ACL'20]."""
+
+from repro.methods.conwea.contextualize import Contextualizer
+from repro.methods.conwea.model import ConWea
+
+__all__ = ["ConWea", "Contextualizer"]

@@ -1,0 +1,131 @@
+"""Corpus contextualization: splitting word occurrences into senses.
+
+For every tracked word, ConWea collects the contextualized representations
+of all its corpus occurrences (from the PLM), clusters them, and — when the
+clusters are sufficiently separated — rewrites each occurrence as
+``word$<sense>``. Downstream components then operate on the sense-tagged
+corpus, so an ambiguous seed like "penalty" stops conflating soccer and law
+contexts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.types import Corpus
+from repro.evaluation.clustering import kmeans
+from repro.nn.functional import l2_normalize
+from repro.plm.model import PretrainedLM
+
+
+class Contextualizer:
+    """Sense-splits tracked words using PLM contextual vectors.
+
+    Parameters
+    ----------
+    plm:
+        The pre-trained model providing contextual token vectors.
+    max_senses:
+        Upper bound on senses per word (the paper's cluster count is
+        chosen data-driven; we test k=1 vs k=2..max by separation gain).
+    min_occurrences:
+        Words with fewer corpus occurrences stay unsplit.
+    separation_threshold:
+        Minimum ratio of (inter-centroid distance) to (mean intra-cluster
+        distance) required to accept a split.
+    """
+
+    def __init__(self, plm: PretrainedLM, max_senses: int = 2,
+                 min_occurrences: int = 8, separation_threshold: float = 1.0,
+                 seed: int = 0):
+        self.plm = plm
+        self.max_senses = max_senses
+        self.min_occurrences = min_occurrences
+        self.separation_threshold = separation_threshold
+        self.seed = seed
+        #: word -> list of (doc_index, position, sense_id)
+        self.assignments: dict = {}
+        #: word -> (n_senses, centroid matrix)
+        self.senses: dict = {}
+
+    def contextualize(self, corpus: Corpus, tracked_words: set) -> list:
+        """Sense-tagged token lists for ``corpus``.
+
+        Only ``tracked_words`` are candidates for splitting; everything
+        else passes through unchanged.
+        """
+        token_lists = [list(d.tokens) for d in corpus]
+        encoded = self.plm.encode_tokens(token_lists)
+        occurrences: dict[str, list] = {w: [] for w in tracked_words}
+        for doc_idx, (tokens, hidden) in enumerate(zip(token_lists, encoded)):
+            limit = hidden.shape[0]
+            for pos, word in enumerate(tokens[:limit]):
+                if word in occurrences:
+                    occurrences[word].append((doc_idx, pos, hidden[pos]))
+
+        output = [list(tokens) for tokens in token_lists]
+        for word, occs in occurrences.items():
+            if len(occs) < self.min_occurrences:
+                continue
+            vectors = l2_normalize(np.stack([v for _, _, v in occs]))
+            split = self._split(word, vectors)
+            if split is None:
+                continue
+            assignment, centroids = split
+            self.senses[word] = (centroids.shape[0], centroids)
+            records = []
+            for (doc_idx, pos, _), sense in zip(occs, assignment):
+                output[doc_idx][pos] = f"{word}${int(sense)}"
+                records.append((doc_idx, pos, int(sense)))
+            self.assignments[word] = records
+        return output
+
+    def _split(self, word: str, vectors: np.ndarray):
+        """Cluster occurrence vectors; None when one sense suffices."""
+        import zlib
+
+        best = None
+        for k in range(2, self.max_senses + 1):
+            if len(vectors) < k * 3:
+                break
+            # crc32, not hash(): Python string hashing is randomized per
+            # process and would break cross-run determinism.
+            word_seed = self.seed + zlib.crc32(word.encode()) % 1000
+            assignment = kmeans(vectors, k, seed=word_seed)
+            centroids = np.stack(
+                [vectors[assignment == j].mean(axis=0) for j in range(k)]
+            )
+            intra = np.mean(
+                [
+                    np.linalg.norm(vectors[assignment == j] - centroids[j], axis=1).mean()
+                    for j in range(k)
+                    if (assignment == j).any()
+                ]
+            )
+            inter = np.mean(
+                [
+                    np.linalg.norm(centroids[a] - centroids[b])
+                    for a in range(k)
+                    for b in range(a + 1, k)
+                ]
+            )
+            score = inter / (intra + 1e-9)
+            if score >= self.separation_threshold and (best is None or score > best[0]):
+                best = (score, assignment, centroids)
+        if best is None:
+            return None
+        return best[1], best[2]
+
+    def tag_new_docs(self, token_lists: list) -> list:
+        """Apply learned senses to unseen documents (nearest centroid)."""
+        encoded = self.plm.encode_tokens(token_lists)
+        output = [list(tokens) for tokens in token_lists]
+        for doc_idx, (tokens, hidden) in enumerate(zip(token_lists, encoded)):
+            limit = hidden.shape[0]
+            for pos, word in enumerate(tokens[:limit]):
+                if word in self.senses:
+                    _, centroids = self.senses[word]
+                    vec = hidden[pos] / (np.linalg.norm(hidden[pos]) + 1e-12)
+                    sense = int(np.argmax(centroids @ vec))
+                    output[doc_idx][pos] = f"{word}${sense}"
+        return output

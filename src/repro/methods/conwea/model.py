@@ -1,0 +1,205 @@
+"""The ConWea classifier.
+
+Pipeline (Mekala & Shang, ACL'20):
+
+1. contextualize the corpus: sense-split seed words (and their expansion
+   candidates) by clustering PLM contextual vectors;
+2. pseudo-label documents by seed matching on the sense-tagged corpus;
+3. comparative ranking: expand seed sets and prune class-inconsistent
+   seed senses;
+4. train an attention classifier on pseudo-labeled documents and iterate.
+
+Ablation switches: ``contextualize=False`` (ConWea-NoCon),
+``expand=False`` (ConWea-NoExpan), ``wsd_mode=True`` (ConWea-WSD: senses
+from static window averages instead of PLM vectors).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.classifiers import AttentiveClassifier
+from repro.core.base import WeaklySupervisedTextClassifier
+from repro.core.registry import MethodInfo, register_method
+from repro.core.seeding import derive_rng
+from repro.core.supervision import Keywords, LabelNames, Supervision, require
+from repro.core.types import Corpus
+from repro.methods.conwea.contextualize import Contextualizer
+from repro.methods.conwea.ranking import (
+    disambiguate_seeds,
+    expand_seeds,
+    label_term_scores,
+    prune_seed_senses,
+)
+from repro.plm.model import PretrainedLM
+from repro.plm.provider import get_pretrained_lm
+from repro.text.vocabulary import Vocabulary
+
+
+class ConWea(WeaklySupervisedTextClassifier):
+    """Contextualized weak supervision with seed expansion.
+
+    Parameters
+    ----------
+    plm:
+        Pre-trained model (built/domain-adapted automatically if omitted).
+    contextualize / expand:
+        Ablation switches for the NoCon / NoExpan variants.
+    wsd_mode:
+        ConWea-WSD variant: sense clusters come from *static* window-mean
+        embeddings rather than PLM contextual vectors.
+    expand_per_class:
+        Seed set size after comparative-ranking expansion.
+    iterations:
+        Pseudo-label / retrain rounds.
+    """
+
+    def __init__(self, plm: "PretrainedLM | None" = None, contextualize: bool = True,
+                 expand: bool = True, wsd_mode: bool = False,
+                 expand_per_class: int = 10, iterations: int = 2,
+                 epochs: int = 10, seed=0):
+        super().__init__(seed=seed)
+        self.plm = plm
+        self.do_contextualize = contextualize
+        self.do_expand = expand
+        self.wsd_mode = wsd_mode
+        self.expand_per_class = expand_per_class
+        self.iterations = iterations
+        self.epochs = epochs
+        self.contextualizer: "Contextualizer | None" = None
+        self.seeds: dict = {}
+        self._classifier = None
+        self._vocab: "Vocabulary | None" = None
+
+    # -- helpers -----------------------------------------------------------------
+    def _seed_match_proba(self, token_lists: list) -> np.ndarray:
+        """Soft pseudo-labels from normalized seed-hit counts."""
+        assert self.label_set is not None
+        labels = list(self.label_set)
+        counts = np.zeros((len(token_lists), len(labels)))
+        seed_index = {
+            word: c for c, label in enumerate(labels) for word in self.seeds[label]
+        }
+        idf = {}
+        for tokens in token_lists:
+            for word in set(tokens):
+                if word in seed_index:
+                    idf[word] = idf.get(word, 0) + 1
+        n = max(len(token_lists), 1)
+        for i, tokens in enumerate(token_lists):
+            for word in tokens:
+                c = seed_index.get(word)
+                if c is not None:
+                    counts[i, c] += np.log(1.0 + n / (1 + idf.get(word, 1)))
+        totals = counts.sum(axis=1, keepdims=True)
+        uniform = np.full(len(labels), 1.0 / len(labels))
+        proba = np.where(totals > 0, counts / np.maximum(totals, 1e-9), uniform)
+        return proba
+
+    def _static_contextualize(self, corpus: Corpus, tracked: set) -> list:
+        """WSD-mode sense splitting from static window means."""
+        from repro.embeddings.word2vec import Word2Vec
+        from repro.evaluation.clustering import kmeans
+
+        w2v = Word2Vec(dim=32, epochs=4, seed=int(self.rng.integers(2**31)))
+        w2v.fit(corpus.token_lists())
+        token_lists = [list(d.tokens) for d in corpus]
+        output = [list(t) for t in token_lists]
+        for word in tracked:
+            occs = []
+            for doc_idx, tokens in enumerate(token_lists):
+                for pos, tok in enumerate(tokens):
+                    if tok == word:
+                        lo, hi = max(0, pos - 3), pos + 4
+                        window = [t for t in tokens[lo:hi] if t != word]
+                        if window:
+                            vec = np.mean([w2v.vector(t) for t in window], axis=0)
+                            occs.append((doc_idx, pos, vec))
+            if len(occs) < 8:
+                continue
+            vectors = np.stack([v for _, _, v in occs])
+            assignment = kmeans(vectors, 2, seed=0)
+            for (doc_idx, pos, _), sense in zip(occs, assignment):
+                output[doc_idx][pos] = f"{word}${int(sense)}"
+        return output
+
+    # -- fit -----------------------------------------------------------------------
+    def _fit(self, corpus: Corpus, supervision: Supervision) -> None:
+        require(supervision, LabelNames, Keywords)
+        assert self.label_set is not None
+        rng = derive_rng(self.rng, "conwea")
+        labels = list(self.label_set)
+        if isinstance(supervision, Keywords):
+            self.seeds = {l: list(supervision.for_label(l)) for l in labels}
+        else:
+            self.seeds = {l: self.label_set.name_tokens(l) for l in labels}
+
+        tracked = {w for seeds in self.seeds.values() for w in seeds}
+        if self.do_contextualize and not self.wsd_mode:
+            if self.plm is None:
+                self.plm = get_pretrained_lm(target_corpus=corpus,
+                                             seed=int(rng.integers(2**16)) % 7)
+            self.contextualizer = Contextualizer(self.plm,
+                                                 seed=int(rng.integers(2**31)))
+            token_lists = self.contextualizer.contextualize(corpus, tracked)
+            sense_words = {
+                f"{w}${i}" for w, (k, _) in self.contextualizer.senses.items()
+                for i in range(k)
+            }
+            self.seeds = disambiguate_seeds(self.seeds, sense_words)
+        elif self.wsd_mode:
+            token_lists = self._static_contextualize(corpus, tracked)
+            sense_words = {t for tokens in token_lists for t in tokens if "$" in t}
+            self.seeds = disambiguate_seeds(self.seeds, sense_words)
+        else:
+            token_lists = [list(d.tokens) for d in corpus]
+
+        self._vocab = Vocabulary.build(token_lists, min_count=1)
+        classifier_seed = int(rng.integers(2**31))
+        for iteration in range(self.iterations):
+            proba = self._seed_match_proba(token_lists)
+            hard = proba.argmax(axis=1)
+            confidence = proba.max(axis=1)
+            # Keep confidently pseudo-labeled docs (above uniform).
+            threshold = 1.0 / len(labels) + 0.05
+            keep = np.flatnonzero(confidence > threshold)
+            if keep.size < len(labels) * 2:
+                keep = np.argsort(-confidence)[: len(labels) * 5]
+            doc_labels = [labels[hard[i]] for i in keep]
+            kept_tokens = [token_lists[i] for i in keep]
+
+            scores = label_term_scores(kept_tokens, doc_labels, labels)
+            self.seeds = prune_seed_senses(self.seeds, scores)
+            if self.do_expand:
+                self.seeds = expand_seeds(scores, self.seeds, self.expand_per_class)
+
+            self._classifier = AttentiveClassifier(
+                self._vocab, len(labels), dim=32, seed=classifier_seed
+            )
+            self._classifier.fit(kept_tokens, hard[keep], epochs=self.epochs)
+            # Classifier predictions refine the pseudo-labels next round.
+            proba = self._classifier.predict_proba(token_lists)
+            token_lists_labels = proba.argmax(axis=1)
+            hard = token_lists_labels
+
+    def _prepare_tokens(self, corpus: Corpus) -> list:
+        if self.contextualizer is not None:
+            return self.contextualizer.tag_new_docs(corpus.token_lists())
+        return corpus.token_lists()
+
+    def _predict_proba(self, corpus: Corpus) -> np.ndarray:
+        assert self._classifier is not None
+        return self._classifier.predict_proba(self._prepare_tokens(corpus))
+
+
+register_method(
+    MethodInfo(
+        name="ConWea",
+        venue="ACL'20",
+        structure="flat",
+        label_arity="single-label",
+        supervision=("LabelNames", "Keywords"),
+        backbone="pretrained-lm",
+        cls=ConWea,
+    )
+)

@@ -1,0 +1,108 @@
+"""Seed expansion by comparative ranking.
+
+Given current pseudo-labels, a word's affinity for class ``c`` compares its
+relative frequency inside class-``c`` documents against its overall
+frequency, scaled by coverage — ConWea's "comparative ranking" that both
+expands the seed sets and disambiguates seed senses.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.text.stopwords import STOPWORDS
+
+
+def label_term_scores(token_lists: list, doc_labels: list, labels: list,
+                      min_count: int = 3) -> dict:
+    """Per-class comparative term scores.
+
+    Returns ``{label: {word: score}}`` with
+    ``score = (count_in_class / count_total) * log(1 + count_in_class)`` —
+    high for words concentrated in one class and frequent there.
+    """
+    total_counts: dict[str, int] = {}
+    class_counts: dict[str, dict[str, int]] = {l: {} for l in labels}
+    for tokens, label in zip(token_lists, doc_labels):
+        for word in tokens:
+            if word in STOPWORDS:
+                continue
+            total_counts[word] = total_counts.get(word, 0) + 1
+            if label in class_counts:
+                bucket = class_counts[label]
+                bucket[word] = bucket.get(word, 0) + 1
+    scores: dict[str, dict[str, float]] = {}
+    for label in labels:
+        bucket = class_counts[label]
+        scores[label] = {
+            word: (count / total_counts[word]) * math.log1p(count)
+            for word, count in bucket.items()
+            if total_counts[word] >= min_count
+        }
+    return scores
+
+
+def expand_seeds(scores: dict, current_seeds: dict, per_class: int) -> dict:
+    """Grow each class's seed set to ``per_class`` words by top score.
+
+    A word may serve only one class (ties broken by score), mirroring
+    ConWea's exclusive seed sets.
+    """
+    claims: list[tuple[float, str, str]] = []
+    for label, table in scores.items():
+        for word, score in table.items():
+            claims.append((score, label, word))
+    claims.sort(reverse=True)
+    assigned: dict[str, str] = {}
+    expanded = {label: list(seeds) for label, seeds in current_seeds.items()}
+    for label, seeds in expanded.items():
+        for word in seeds:
+            assigned.setdefault(word, label)
+    for score, label, word in claims:
+        if word in assigned:
+            continue
+        if len(expanded[label]) >= per_class:
+            continue
+        expanded[label].append(word)
+        assigned[word] = label
+    return expanded
+
+
+def disambiguate_seeds(seeds: dict, sense_words: set) -> dict:
+    """Replace split seed words by their sense variants.
+
+    A seed word that was sense-split contributes all its ``word$i``
+    variants initially; comparative ranking on the contextualized corpus
+    then keeps only the class-consistent senses (the caller re-ranks).
+    """
+    out: dict[str, list[str]] = {}
+    for label, words in seeds.items():
+        new_words: list[str] = []
+        for word in words:
+            variants = sorted(w for w in sense_words if w.split("$")[0] == word)
+            new_words.extend(variants if variants else [word])
+        out[label] = new_words
+    return out
+
+
+def prune_seed_senses(seeds: dict, scores: dict, keep_fraction: float = 0.5) -> dict:
+    """Drop sense variants that rank poorly for their class.
+
+    For each class, sense-tagged seeds scoring in the bottom of that
+    class's comparative ranking are removed (the disambiguation step).
+    """
+    out: dict[str, list[str]] = {}
+    for label, words in seeds.items():
+        table = scores.get(label, {})
+        sense_words = [w for w in words if "$" in w]
+        plain = [w for w in words if "$" not in w]
+        if not sense_words:
+            out[label] = list(words)
+            continue
+        ranked = sorted(sense_words, key=lambda w: table.get(w, 0.0), reverse=True)
+        keep = max(1, int(np.ceil(len(ranked) * keep_fraction)))
+        kept = [w for w in ranked[:keep] if table.get(w, 0.0) > 0.0] or ranked[:1]
+        out[label] = plain + kept
+    return out

@@ -1,0 +1,6 @@
+"""LOTClass: text classification with label names only [EMNLP'20]."""
+
+from repro.methods.lotclass.category_vocab import build_category_vocabulary
+from repro.methods.lotclass.model import LOTClass
+
+__all__ = ["LOTClass", "build_category_vocabulary"]

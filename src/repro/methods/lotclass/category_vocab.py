@@ -1,0 +1,95 @@
+"""Category vocabulary construction via MLM replacement ranking.
+
+For each occurrence of a label name in the corpus, the PLM predicts which
+words could replace it in that context; aggregating predictions over
+occurrences yields the category vocabulary — words the model considers
+interchangeable with the label name (LOTClass §2.1, the tutorial's Table 1
+mechanism). Words claimed by multiple categories and stop words are
+removed.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core.types import Corpus, LabelSet
+from repro.plm.model import PretrainedLM
+from repro.text.stopwords import STOPWORDS
+
+
+def collect_name_occurrences(corpus: Corpus, name_token: str,
+                             max_occurrences: int = 40) -> list:
+    """(doc_tokens, position) pairs where ``name_token`` occurs."""
+    out: list[tuple[list, int]] = []
+    for doc in corpus:
+        for pos, token in enumerate(doc.tokens):
+            if token == name_token:
+                out.append((doc.tokens, pos))
+                break  # one occurrence per document is enough signal
+        if len(out) >= max_occurrences:
+            break
+    return out
+
+
+def build_category_vocabulary(plm: PretrainedLM, corpus: Corpus,
+                              label_set: LabelSet, top_k: int = 20,
+                              vocab_size: int = 40,
+                              max_occurrences: int = 40,
+                              max_df_ratio: float = 0.35) -> dict:
+    """``{label: [vocab words]}`` from MLM replacement ranking.
+
+    Words occurring in more than ``max_df_ratio`` of documents are treated
+    as topic-neutral and excluded (corpus-wide words cannot indicate a
+    category, no matter how often the MLM proposes them).
+    """
+    df: Counter = Counter()
+    for doc in corpus:
+        df.update(set(doc.tokens))
+    df_cap = max_df_ratio * len(corpus)
+    raw: dict[str, Counter] = {}
+    for label in label_set:
+        counter: Counter = Counter()
+        for name_token in label_set.name_tokens(label):
+            occurrences = collect_name_occurrences(corpus, name_token,
+                                                   max_occurrences)
+            if not occurrences:
+                # Label name absent from corpus: fall back to a bare
+                # prompt so the category still gets a vocabulary.
+                occurrences = [([name_token], 0)]
+            token_lists = [toks for toks, _ in occurrences]
+            positions = [min(pos, plm.max_len - 1) for _, pos in occurrences]
+            logits = plm.mask_logits_batch(token_lists, positions)
+            for row in logits:
+                order = row.argsort()[::-1]
+                taken = 0
+                for idx in order:
+                    word = plm.vocabulary.token(int(idx))
+                    if word in STOPWORDS or word.startswith("["):
+                        continue
+                    if df.get(word, 0) > df_cap:
+                        continue
+                    counter[word] += 1
+                    taken += 1
+                    if taken >= top_k:
+                        break
+        raw[label] = counter
+
+    # Resolve multi-category words: a word joins a category's vocabulary
+    # only when that category's prediction count clearly dominates every
+    # other category's (words the MLM proposes everywhere — generic
+    # context fillers — indicate nothing and are dropped entirely).
+    vocabulary: dict[str, list] = {}
+    for label, counter in raw.items():
+        words = []
+        for word, count in counter.most_common():
+            rival = max(
+                (other[word] for l2, other in raw.items() if l2 != label),
+                default=0,
+            )
+            if count >= 2 * max(rival, 1):
+                words.append(word)
+            if len(words) >= vocab_size:
+                break
+        name_tokens = [t for t in label_set.name_tokens(label) if t not in words]
+        vocabulary[label] = name_tokens + words
+    return vocabulary

@@ -1,0 +1,195 @@
+"""The LOTClass classifier.
+
+Pipeline (Meng et al., EMNLP'20):
+
+1. build each category's vocabulary by MLM replacement ranking of its
+   label name;
+2. masked category prediction (MCP): a token is *category-indicative*
+   when its own top replacement words overlap a category vocabulary
+   strongly enough; a category-prediction head is trained on the PLM's
+   contextual vector at those positions;
+3. self-training: document-level soft targets from aggregated MCP
+   predictions train a document classifier, sharpened over rounds.
+
+``self_train=False`` reproduces the "Ours w/o. self train" ablation row.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.classifiers import (
+    AttentiveClassifier,
+    LogisticRegression,
+    SelfTrainingLoop,
+)
+from repro.core.base import WeaklySupervisedTextClassifier
+from repro.core.registry import MethodInfo, register_method
+from repro.core.seeding import derive_rng
+from repro.core.supervision import LabelNames, Supervision, require
+from repro.core.types import Corpus
+from repro.methods.lotclass.category_vocab import build_category_vocabulary
+from repro.plm.model import PretrainedLM
+from repro.plm.provider import get_pretrained_lm
+
+
+class LOTClass(WeaklySupervisedTextClassifier):
+    """Label-name-only classification via category vocabularies and MCP.
+
+    Parameters
+    ----------
+    plm:
+        Pre-trained model (built/domain-adapted automatically if omitted).
+    top_k / overlap_threshold:
+        A position is category-indicative when at least
+        ``overlap_threshold`` of its ``top_k`` MLM replacements fall in
+        one category's vocabulary.
+    positions_per_doc:
+        Budget of candidate positions probed per document.
+    self_train:
+        Disable for the "w/o self train" ablation.
+    """
+
+    def __init__(self, plm: "PretrainedLM | None" = None, top_k: int = 20,
+                 overlap_threshold: int = 5, positions_per_doc: int = 4,
+                 vocab_size: int = 40, self_train: bool = True,
+                 self_train_iterations: int = 4, seed=0):
+        super().__init__(seed=seed)
+        self.plm = plm
+        self.top_k = top_k
+        self.overlap_threshold = overlap_threshold
+        self.positions_per_doc = positions_per_doc
+        self.vocab_size = vocab_size
+        self.self_train = self_train
+        self.self_train_iterations = self_train_iterations
+        self.category_vocab: dict = {}
+        self._mcp_head: "LogisticRegression | None" = None
+        self._doc_classifier = None
+        self._doc_proba_cache: "np.ndarray | None" = None
+
+    # -- MCP ----------------------------------------------------------------
+    def _candidate_positions(self, tokens: list, vocab_index: dict) -> list:
+        """Positions whose token belongs to some category vocabulary."""
+        hits = [
+            (pos, token) for pos, token in enumerate(tokens[: self.plm.max_len])
+            if token in vocab_index
+        ]
+        return [pos for pos, _ in hits[: self.positions_per_doc]]
+
+    def _masked_category_data(self, corpus: Corpus) -> tuple:
+        """(features at indicative positions, category ids, doc indices)."""
+        assert self.label_set is not None and self.plm is not None
+        labels = list(self.label_set)
+        vocab_sets = {l: set(v) for l, v in self.category_vocab.items()}
+        vocab_index = {w: l for l, ws in vocab_sets.items() for w in ws}
+
+        probe_tokens: list[list] = []
+        probe_positions: list[int] = []
+        probe_docs: list[int] = []
+        for doc_idx, doc in enumerate(corpus):
+            for pos in self._candidate_positions(doc.tokens, vocab_index):
+                probe_tokens.append(doc.tokens)
+                probe_positions.append(pos)
+                probe_docs.append(doc_idx)
+        if not probe_tokens:
+            return np.zeros((0, self.plm.dim)), np.zeros(0, dtype=int), []
+
+        logits = self.plm.mask_logits_batch(probe_tokens, probe_positions)
+        top = np.argsort(-logits, axis=1)[:, : self.top_k]
+        plm_vocab = self.plm.vocabulary
+
+        indicative: list[tuple[int, int, int]] = []  # (probe idx, doc idx, cat)
+        for i, row in enumerate(top):
+            words = {plm_vocab.token(int(j)) for j in row}
+            best_label, best_overlap = None, 0
+            for c, label in enumerate(labels):
+                overlap = len(words & vocab_sets[label])
+                if overlap > best_overlap:
+                    best_label, best_overlap = c, overlap
+            if best_label is not None and best_overlap >= self.overlap_threshold:
+                indicative.append((i, probe_docs[i], best_label))
+        if not indicative:
+            return np.zeros((0, self.plm.dim)), np.zeros(0, dtype=int), []
+
+        # Contextual features at the indicative positions (unmasked pass).
+        by_doc: dict[int, list] = {}
+        for probe_idx, doc_idx, cat in indicative:
+            by_doc.setdefault(doc_idx, []).append((probe_positions[probe_idx], cat))
+        doc_indices = sorted(by_doc)
+        encoded = self.plm.encode_tokens(
+            [corpus[i].tokens for i in doc_indices]
+        )
+        features, cats, docs = [], [], []
+        for hidden, doc_idx in zip(encoded, doc_indices):
+            for pos, cat in by_doc[doc_idx]:
+                if pos < hidden.shape[0]:
+                    features.append(hidden[pos])
+                    cats.append(cat)
+                    docs.append(doc_idx)
+        return np.stack(features), np.asarray(cats), docs
+
+    # -- fit -------------------------------------------------------------------
+    def _fit(self, corpus: Corpus, supervision: Supervision) -> None:
+        require(supervision, LabelNames)
+        assert self.label_set is not None
+        rng = derive_rng(self.rng, "lotclass")
+        if self.plm is None:
+            self.plm = get_pretrained_lm(target_corpus=corpus,
+                                         seed=int(rng.integers(2**16)) % 7)
+        labels = list(self.label_set)
+        self.category_vocab = build_category_vocabulary(
+            self.plm, corpus, self.label_set, top_k=self.top_k,
+            vocab_size=self.vocab_size,
+        )
+        features, cats, docs = self._masked_category_data(corpus)
+        n_classes = len(labels)
+        doc_proba = np.full((len(corpus), n_classes), 1.0 / n_classes)
+        if len(cats) >= n_classes:
+            self._mcp_head = LogisticRegression(
+                features.shape[1], n_classes, seed=int(rng.integers(2**31))
+            )
+            self._mcp_head.fit(features, cats, epochs=40)
+            token_proba = self._mcp_head.predict_proba(features)
+            sums = np.zeros((len(corpus), n_classes))
+            counts = np.zeros(len(corpus))
+            for row, doc_idx in zip(token_proba, docs):
+                sums[doc_idx] += row
+                counts[doc_idx] += 1
+            has = counts > 0
+            doc_proba[has] = sums[has] / counts[has, None]
+        self._doc_proba_cache = doc_proba
+
+        # Document classifier trained on MCP-derived targets.
+        self._doc_classifier = AttentiveClassifier(
+            self.plm.vocabulary, n_classes, dim=self.plm.dim,
+            embedding_table=self.plm.encoder.token_embedding.weight.data,
+            max_len=self.plm.max_len, seed=int(rng.integers(2**31)),
+        )
+        confident = doc_proba.max(axis=1) > 1.0 / n_classes + 0.1
+        train_idx = np.flatnonzero(confident)
+        if train_idx.size < n_classes * 2:
+            train_idx = np.arange(len(corpus))
+        token_lists = corpus.token_lists()
+        self._doc_classifier.fit(
+            [token_lists[i] for i in train_idx], doc_proba[train_idx], epochs=8
+        )
+        if self.self_train:
+            loop = SelfTrainingLoop(max_iterations=self.self_train_iterations)
+            loop.run(self._doc_classifier, token_lists)
+
+    def _predict_proba(self, corpus: Corpus) -> np.ndarray:
+        assert self._doc_classifier is not None
+        return self._doc_classifier.predict_proba(corpus.token_lists())
+
+
+register_method(
+    MethodInfo(
+        name="LOTClass",
+        venue="EMNLP'20",
+        structure="flat",
+        label_arity="single-label",
+        supervision=("LabelNames",),
+        backbone="pretrained-lm",
+        cls=LOTClass,
+    )
+)

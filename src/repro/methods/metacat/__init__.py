@@ -1,0 +1,6 @@
+"""MetaCat: minimally supervised categorization of text with metadata [SIGIR'20]."""
+
+from repro.methods.metacat.embedding import MetadataEmbeddingSpace
+from repro.methods.metacat.model import MetaCat
+
+__all__ = ["MetaCat", "MetadataEmbeddingSpace"]

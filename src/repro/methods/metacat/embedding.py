@@ -1,0 +1,147 @@
+"""Joint embedding of words, documents, metadata, and labels.
+
+MetaCat's generative process (user -> document -> words, document -> tags,
+label -> document) is trained by maximizing the likelihood of the observed
+links. We realize that objective as skip-gram with negative sampling over
+*heterogeneous context streams*: for each document, a stream containing
+its user token, its label token (when known), its tag tokens, and its
+words. Entities co-occurring in a stream are pulled together, which is
+exactly the generative model's MLE direction under the log-bilinear
+parameterization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.types import Corpus
+from repro.embeddings.word2vec import Word2Vec
+from repro.nn.functional import l2_normalize
+
+
+def _entity_token(kind: str, name: str) -> str:
+    return f"__{kind}__{name}"
+
+
+class MetadataEmbeddingSpace:
+    """Words + metadata entities + labels on one sphere."""
+
+    def __init__(self, dim: int = 48, epochs: int = 6,
+                 seed: "int | np.random.Generator" = 0):
+        self.dim = dim
+        self.epochs = epochs
+        self.seed = seed
+        self.model: "Word2Vec | None" = None
+
+    def build_streams(self, corpus: Corpus, doc_labels: "dict | None" = None) -> list:
+        """Heterogeneous context streams, one per document.
+
+        ``doc_labels`` optionally maps doc_id -> label for the (few)
+        labeled documents; their label token joins the stream.
+        """
+        streams: list[list[str]] = []
+        doc_labels = doc_labels or {}
+        for doc in corpus:
+            meta = doc.metadata
+            globals_: list[str] = []  # global metadata "causes" every word
+            if "user" in meta:
+                globals_.append(_entity_token("user", meta["user"]))
+            for author in meta.get("authors", []):
+                globals_.append(_entity_token("author", author))
+            if "venue" in meta:
+                globals_.append(_entity_token("venue", meta["venue"]))
+            if doc.doc_id in doc_labels:
+                globals_.append(_entity_token("label", doc_labels[doc.doc_id]))
+            # Broadcast global tokens through the word stream: the
+            # generative process conditions every word on them, so their
+            # co-occurrence statistics must span the whole document, not
+            # just a window at the front.
+            stream: list[str] = []
+            for i, word in enumerate(doc.tokens):
+                if globals_ and i % 6 == 0:
+                    stream.append(globals_[(i // 6) % len(globals_)])
+                stream.append(word)
+            stream.extend(globals_)
+            for tag in meta.get("tags", []):  # local metadata describes the doc
+                stream.append(_entity_token("tag", tag))
+            streams.append(stream)
+        return streams
+
+    def fit(self, corpus: Corpus, doc_labels: "dict | None" = None) -> "MetadataEmbeddingSpace":
+        """Train the joint space on the corpus + metadata streams."""
+        streams = self.build_streams(corpus, doc_labels)
+        # Wide window so metadata tokens at the stream edges reach words.
+        self.model = Word2Vec(dim=self.dim, window=8, epochs=self.epochs,
+                              seed=self.seed)
+        self.model.fit(streams)
+        return self
+
+    # -- lookups --------------------------------------------------------------
+    def word_vector(self, word: str) -> np.ndarray:
+        """Unit-normalized word embedding."""
+        assert self.model is not None
+        return l2_normalize(self.model.vector(word)[None, :])[0]
+
+    def entity_vector(self, kind: str, name: str) -> np.ndarray:
+        """Unit-normalized embedding of a metadata entity."""
+        return self.word_vector(_entity_token(kind, name))
+
+    def label_vector(self, label: str) -> np.ndarray:
+        """Unit-normalized embedding of a label token."""
+        return self.entity_vector("label", label)
+
+    def has_entity(self, kind: str, name: str) -> bool:
+        """True when the entity token was seen during fitting."""
+        assert self.model is not None and self.model.vocabulary is not None
+        return _entity_token(kind, name) in self.model.vocabulary
+
+    def document_stream_vector(self, doc) -> np.ndarray:
+        """Mean embedding of a document's words and metadata tokens."""
+        assert self.model is not None
+        tokens = list(doc.tokens)
+        meta = doc.metadata
+        if "user" in meta:
+            tokens.append(_entity_token("user", meta["user"]))
+        for tag in meta.get("tags", []):
+            tokens.append(_entity_token("tag", tag))
+        vecs = [self.model.vector(t) for t in tokens]
+        return l2_normalize(np.mean(vecs, axis=0)[None, :])[0]
+
+    def top_entities_for_label(self, label: str, kinds: tuple = ("user", "tag"),
+                               k: int = 8) -> list:
+        """Metadata entity tokens nearest the label embedding."""
+        assert self.model is not None and self.model.vocabulary is not None
+        from repro.nn.functional import cosine_similarity
+
+        vocab = self.model.vocabulary
+        vec = self.label_vector(label)
+        table = self.model.matrix()
+        sims = cosine_similarity(vec[None, :], table).ravel()
+        prefixes = tuple(f"__{kind}__" for kind in kinds)
+        out: list[str] = []
+        for i in np.argsort(-sims):
+            word = vocab.token(int(i))
+            if word.startswith(prefixes):
+                out.append(word)
+                if len(out) == k:
+                    break
+        return out
+
+    def top_words_for_label(self, label: str, k: int = 50) -> list:
+        """Vocabulary words nearest the label embedding (word synthesis pool)."""
+        assert self.model is not None and self.model.vocabulary is not None
+        from repro.nn.functional import cosine_similarity
+
+        vocab = self.model.vocabulary
+        vec = self.label_vector(label)
+        table = self.model.matrix()
+        sims = cosine_similarity(vec[None, :], table).ravel()
+        out: list[tuple[str, float]] = []
+        for i in np.argsort(-sims):
+            word = vocab.token(int(i))
+            if word.startswith("__") or word.startswith("["):
+                continue
+            out.append((word, float(sims[i])))
+            if len(out) == k:
+                break
+        return out

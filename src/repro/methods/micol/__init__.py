@@ -1,0 +1,5 @@
+"""MICoL: metadata-induced contrastive learning [WWW'22]."""
+
+from repro.methods.micol.model import MICoL
+
+__all__ = ["MICoL"]

@@ -1,0 +1,9 @@
+"""PromptClass: zero-shot prompting + head-token co-training."""
+
+from repro.methods.promptclass.model import PromptClass
+from repro.methods.promptclass.zero_shot import (
+    electra_zero_shot_proba,
+    mlm_zero_shot_proba,
+)
+
+__all__ = ["PromptClass", "mlm_zero_shot_proba", "electra_zero_shot_proba"]

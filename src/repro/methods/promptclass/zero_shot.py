@@ -1,0 +1,72 @@
+"""Zero-shot prompting scorers.
+
+Two families from the tutorial:
+
+- **MLM prompting** (RoBERTa-style): render ``<doc> this article is about
+  [MASK]`` and read the verbalizer tokens' probabilities from the MLM head.
+- **RTD prompting** (ELECTRA-style): render the prompt once per label with
+  the verbalizer filled in and score how *original* the discriminator
+  finds the label token in that context.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.types import Corpus, LabelSet
+from repro.plm.electra import ElectraDiscriminator
+from repro.plm.model import PretrainedLM
+from repro.plm.prompts import PromptTemplate, Verbalizer
+from repro.text.vocabulary import MASK
+
+
+def mlm_zero_shot_proba(plm: PretrainedLM, corpus: Corpus, label_set: LabelSet,
+                        template: "PromptTemplate | None" = None,
+                        verbalizer: "Verbalizer | None" = None) -> np.ndarray:
+    """(n_docs, n_labels) probabilities from MLM prompting."""
+    template = template or PromptTemplate()
+    verbalizer = verbalizer or Verbalizer.from_label_names(label_set)
+    vocab = plm.vocabulary
+    head_ids = [vocab.id(verbalizer.head_token(l)) for l in label_set]
+    prompts, positions = [], []
+    for doc in corpus:
+        tokens = template.render_masked(doc.tokens, plm.max_len)
+        prompts.append(tokens)
+        positions.append(tokens.index(MASK))
+    logits = plm.mask_logits_batch(prompts, positions)
+    picked = logits[:, head_ids]
+    picked -= picked.max(axis=1, keepdims=True)
+    proba = np.exp(picked)
+    return proba / proba.sum(axis=1, keepdims=True)
+
+
+def electra_zero_shot_proba(discriminator: ElectraDiscriminator, corpus: Corpus,
+                            label_set: LabelSet,
+                            template: "PromptTemplate | None" = None,
+                            verbalizer: "Verbalizer | None" = None,
+                            temperature: float = 0.1) -> np.ndarray:
+    """(n_docs, n_labels) probabilities from replaced-token-detection.
+
+    For each label, the verbalizer fills the template and the label token's
+    originality score becomes its logit (softmax over labels).
+    """
+    template = template or PromptTemplate()
+    verbalizer = verbalizer or Verbalizer.from_label_names(label_set)
+    plm = discriminator.plm
+    labels = list(label_set)
+    scores = np.zeros((len(corpus), len(labels)))
+    for c, label in enumerate(labels):
+        fill = verbalizer.tokens(label)
+        prompts, positions = [], []
+        for doc in corpus:
+            tokens, pos = template.render_filled(doc.tokens, fill, plm.max_len)
+            prompts.append(tokens)
+            positions.append(pos)
+        originality = discriminator.originality(prompts)
+        scores[:, c] = [
+            row[min(pos, len(row) - 1)] for row, pos in zip(originality, positions)
+        ]
+    logits = scores / temperature
+    logits -= logits.max(axis=1, keepdims=True)
+    proba = np.exp(logits)
+    return proba / proba.sum(axis=1, keepdims=True)

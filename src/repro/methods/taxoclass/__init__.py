@@ -1,0 +1,6 @@
+"""TaxoClass: hierarchical multi-label classification from class names [NAACL'21]."""
+
+from repro.methods.taxoclass.exploration import top_down_search
+from repro.methods.taxoclass.model import TaxoClass
+
+__all__ = ["TaxoClass", "top_down_search"]

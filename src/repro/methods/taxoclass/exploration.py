@@ -1,0 +1,55 @@
+"""Top-down taxonomy exploration (TaxoClass §3.2).
+
+The label space of a large taxonomy is shrunk per document by descending
+from the root: at every visited node, only the ``beam`` most relevant
+children (per the document-class relevance model) are expanded. The
+returned candidate set is the union of visited nodes — typically a tiny
+fraction of the taxonomy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.taxonomy.dag import ROOT, LabelDAG
+
+
+def top_down_search(dag: LabelDAG, relevance_of: dict, beam: int = 3,
+                    max_candidates: int = 24) -> list:
+    """Candidate labels for one document.
+
+    ``relevance_of`` maps every label to its relevance score for the
+    document (higher = more relevant). Children outside the per-node beam
+    are pruned along with their whole subtrees.
+    """
+    visited: list[str] = []
+    frontier = [ROOT]
+    seen = set()
+    while frontier and len(visited) < max_candidates:
+        next_frontier: list[str] = []
+        for node in frontier:
+            children = [c for c in dag.children(node) if c not in seen]
+            if not children:
+                continue
+            ranked = sorted(children, key=lambda c: relevance_of.get(c, 0.0),
+                            reverse=True)
+            for child in ranked[:beam]:
+                seen.add(child)
+                visited.append(child)
+                next_frontier.append(child)
+        frontier = next_frontier
+    return visited[:max_candidates]
+
+
+def candidate_matrix(dag: LabelDAG, relevance: np.ndarray, labels: list,
+                     beam: int = 3, max_candidates: int = 24) -> list:
+    """Per-document candidate label lists from a relevance matrix.
+
+    ``relevance`` is (n_docs, n_labels) aligned with ``labels``.
+    """
+    out: list[list[str]] = []
+    for row in relevance:
+        rel = {label: float(score) for label, score in zip(labels, row)}
+        out.append(top_down_search(dag, rel, beam=beam,
+                                   max_candidates=max_candidates))
+    return out

@@ -1,0 +1,180 @@
+"""The TaxoClass multi-label classifier.
+
+Pipeline (Shen et al., NAACL'21):
+
+1. **document-class relevance** from an NLI-style relevance model
+   (premise = document, hypothesis = "this document is about <class>");
+2. **top-down exploration** shrinks each document's label search space;
+3. **core classes**: each document's most confidently relevant candidate
+   classes become positive pseudo-labels;
+4. **bootstrap + self-training**: a one-vs-all classifier over PLM
+   document embeddings trains on core classes, then expands its own
+   confident predictions (closed upward along the DAG) for another round.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import MultiLabelTextClassifier
+from repro.core.registry import MethodInfo, register_method
+from repro.core.seeding import derive_rng
+from repro.core.supervision import LabelNames, Supervision, require
+from repro.core.types import Corpus
+from repro.methods.taxoclass.exploration import candidate_matrix
+from repro.nn.layers import Linear
+from repro.nn.losses import binary_cross_entropy_with_logits
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor
+from repro.plm.model import PretrainedLM
+from repro.plm.provider import get_pretrained_lm, get_relevance_model
+from repro.taxonomy.dag import LabelDAG
+
+
+class _OneVsAllHead:
+    """Independent binary logits per label over document features."""
+
+    def __init__(self, n_features: int, n_labels: int, rng: np.random.Generator):
+        self.linear = Linear(n_features, n_labels, rng)
+
+    def fit(self, features: np.ndarray, targets: np.ndarray,
+            mask: "np.ndarray | None" = None, epochs: int = 60,
+            lr: float = 5e-2, batch_size: int = 64,
+            rng: "np.random.Generator | None" = None) -> None:
+        """Train with element-wise BCE; ``mask`` weights the known entries."""
+        rng = rng or np.random.default_rng(0)
+        optimizer = Adam(self.linear.parameters(), lr=lr, weight_decay=1e-4)
+        n = features.shape[0]
+        for _ in range(epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, batch_size):
+                take = order[start : start + batch_size]
+                logits = self.linear(Tensor(features[take]))
+                weights = mask[take] if mask is not None else None
+                loss = binary_cross_entropy_with_logits(
+                    logits, targets[take], weights=weights
+                )
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+
+    def scores(self, features: np.ndarray) -> np.ndarray:
+        """Per-label sigmoid probabilities."""
+        logits = self.linear(Tensor(np.asarray(features, dtype=float))).data
+        return 1.0 / (1.0 + np.exp(-logits))
+
+
+class TaxoClass(MultiLabelTextClassifier):
+    """Hierarchical multi-label classification using only class names.
+
+    Parameters
+    ----------
+    dag:
+        The label DAG covering the supervision's label set.
+    beam / max_candidates:
+        Top-down exploration width and candidate cap.
+    core_top:
+        Core classes per document (top scorers among candidates).
+    rounds:
+        Bootstrap/self-training rounds after the initial fit.
+    """
+
+    def __init__(self, dag: LabelDAG, plm: "PretrainedLM | None" = None,
+                 beam: int = 3, max_candidates: int = 24, core_top: int = 2,
+                 rounds: int = 2, confidence: float = 0.75, seed=0):
+        super().__init__(seed=seed)
+        self.dag = dag
+        self.plm = plm
+        self.beam = beam
+        self.max_candidates = max_candidates
+        self.core_top = core_top
+        self.rounds = rounds
+        self.confidence = confidence
+        self._head: "_OneVsAllHead | None" = None
+        self._relevance = None
+
+    def _features(self, corpus: Corpus) -> np.ndarray:
+        assert self.plm is not None
+        return self.plm.doc_embeddings(corpus.token_lists())
+
+    def _fit(self, corpus: Corpus, supervision: Supervision) -> None:
+        require(supervision, LabelNames)
+        assert self.label_set is not None
+        rng = derive_rng(self.rng, "taxoclass")
+        if self.plm is None:
+            self.plm = get_pretrained_lm(target_corpus=corpus,
+                                         seed=int(rng.integers(2**16)) % 7)
+        self._relevance = get_relevance_model(self.plm)
+        labels = list(self.label_set)
+        name_tokens = [self.label_set.name_tokens(l) for l in labels]
+        relevance = self._relevance.relevance_matrix(corpus.token_lists(),
+                                                     name_tokens)
+
+        # Shrink the label space per document, then pick core classes.
+        candidates = candidate_matrix(self.dag, relevance, labels,
+                                      beam=self.beam,
+                                      max_candidates=self.max_candidates)
+        label_index = {l: i for i, l in enumerate(labels)}
+        n, m = len(corpus), len(labels)
+        targets = np.zeros((n, m))
+        known = np.zeros((n, m))
+        for i, cand in enumerate(candidates):
+            if not cand:
+                continue
+            ranked = sorted(cand, key=lambda l: relevance[i, label_index[l]],
+                            reverse=True)
+            core = ranked[: self.core_top]
+            positives = self.dag.closure(core) & set(labels)
+            for label in positives:
+                targets[i, label_index[label]] = 1.0
+            # Candidates judged irrelevant are confident negatives; labels
+            # never explored stay unknown (zero weight).
+            for label in cand:
+                known[i, label_index[label]] = 1.0
+            for label in positives:
+                known[i, label_index[label]] = 1.0
+
+        # Unexplored labels are weak negatives: without them the head has
+        # no global calibration and over-predicts shallow labels.
+        known = np.maximum(known, 0.15)
+
+        features = self._features(corpus)
+        self._head = _OneVsAllHead(features.shape[1], m,
+                                   np.random.default_rng(int(rng.integers(2**31))))
+        self._head.fit(features, targets, mask=known, rng=rng)
+
+        # Self-training: confident predictions (closed upward) become new
+        # supervision for another round.
+        for _ in range(self.rounds):
+            scores = self._head.scores(features)
+            new_targets = targets.copy()
+            new_known = known.copy()
+            for i in range(n):
+                confident_pos = np.flatnonzero(scores[i] >= self.confidence)
+                pos_labels = {labels[j] for j in confident_pos}
+                closed = self.dag.closure(pos_labels) & set(labels)
+                for label in closed:
+                    new_targets[i, label_index[label]] = 1.0
+                    new_known[i, label_index[label]] = 1.0
+                confident_neg = np.flatnonzero(scores[i] <= 1.0 - self.confidence)
+                new_known[i, confident_neg] = 1.0
+            self._head.fit(features, new_targets, mask=new_known, epochs=30,
+                           rng=rng)
+            targets, known = new_targets, new_known
+
+    def _score(self, corpus: Corpus) -> np.ndarray:
+        assert self._head is not None
+        return self._head.scores(self._features(corpus))
+
+
+register_method(
+    MethodInfo(
+        name="TaxoClass",
+        venue="NAACL'21",
+        structure="hierarchical",
+        label_arity="multi-label",
+        supervision=("LabelNames",),
+        backbone="pretrained-lm",
+        cls=TaxoClass,
+    )
+)

@@ -1,0 +1,5 @@
+"""WeSHClass: weakly-supervised hierarchical text classification [AAAI'19]."""
+
+from repro.methods.weshclass.model import WeSHClass
+
+__all__ = ["WeSHClass"]

@@ -1,0 +1,285 @@
+"""The WeSHClass hierarchical classifier.
+
+Pipeline (Meng et al., AAAI'19):
+
+- **local classifier per node**: each internal node trains a WeSTClass-style
+  flat classifier over its children, pre-trained on vMF pseudo-documents
+  from the children's seed distributions;
+- **global classifier per level**: the probability of a depth-k node is the
+  product of local probabilities along its root path (the ensemble of all
+  local classifiers from the root down to level k);
+- **self-training per level**, top-down, with sharpened global targets.
+
+Predictions descend greedily; the public label space is the tree's leaves.
+Ablations: ``use_global=False`` (No-global: leaf decision from the deepest
+local classifier alone after an unweighted top-down pass — here identical
+mechanics but without level-wise global self-training), ``use_vmf=False``
+(No-vMF), ``self_train=False`` (No-self-train).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.classifiers import TextCNNClassifier, sharpen_distribution
+from repro.core.base import WeaklySupervisedTextClassifier
+from repro.core.exceptions import SupervisionError
+from repro.core.registry import MethodInfo, register_method
+from repro.core.seeding import derive_rng
+from repro.core.supervision import (
+    Keywords,
+    LabeledDocuments,
+    LabelNames,
+    Supervision,
+    require,
+)
+from repro.core.types import Corpus
+from repro.embeddings.joint import JointEmbeddingSpace
+from repro.methods.westclass.pseudo import PseudoDocumentGenerator
+from repro.taxonomy.tree import ROOT, LabelTree
+from repro.text.tfidf import TfidfVectorizer
+
+
+class WeSHClass(WeaklySupervisedTextClassifier):
+    """Hierarchical classification from keyword- or document-level seeds.
+
+    Parameters
+    ----------
+    tree:
+        The label tree. Must cover the supervision's label set as leaves.
+    use_global / use_vmf / self_train:
+        Ablation switches (No-global, No-vMF, No-self-train).
+    """
+
+    def __init__(self, tree: LabelTree, use_global: bool = True,
+                 use_vmf: bool = True, self_train: bool = True,
+                 pseudo_per_class: int = 30, pseudo_len: int = 25,
+                 expand_to: int = 8, dim: int = 48, pretrain_epochs: int = 10,
+                 self_train_rounds: int = 3, seed=0):
+        super().__init__(seed=seed)
+        self.tree = tree
+        self.use_global = use_global
+        self.use_vmf = use_vmf
+        self.self_train = self_train
+        self.pseudo_per_class = pseudo_per_class
+        self.pseudo_len = pseudo_len
+        self.expand_to = expand_to
+        self.dim = dim
+        self.pretrain_epochs = pretrain_epochs
+        self.self_train_rounds = self_train_rounds
+        self.space: "JointEmbeddingSpace | None" = None
+        self.node_seeds: dict = {}
+        #: internal node -> (classifier, ordered children)
+        self._local: dict = {}
+
+    # -- seeds -------------------------------------------------------------------
+    def _node_seed_words(self, corpus: Corpus, supervision: Supervision) -> dict:
+        """Seed words for every tree node (leaves and internals)."""
+        assert self.space is not None
+        vocab = self.space.word_model.vocabulary
+        assert vocab is not None
+        seeds: dict[str, list[str]] = {}
+        if isinstance(supervision, Keywords):
+            for label, words in supervision.keywords.items():
+                seeds[label] = [w for w in words if w in vocab] or list(words)[:1]
+        elif isinstance(supervision, LabeledDocuments):
+            vectorizer = TfidfVectorizer()
+            vectorizer.fit(corpus.token_lists())
+            for label in supervision.label_set:
+                docs = supervision.for_label(label)
+                terms = vectorizer.top_terms([d.tokens for d in docs],
+                                             k=self.expand_to)
+                merged: list[str] = []
+                for doc_terms in terms:
+                    for term in doc_terms:
+                        if term not in merged:
+                            merged.append(term)
+                seeds[label] = merged[: self.expand_to] or [label]
+        else:  # LabelNames
+            for label in supervision.label_set:
+                seeds[label] = [label]
+        # Expand every seeded node via embedding neighbours.
+        for label, words in list(seeds.items()):
+            anchor = [w for w in words if w in vocab] or words[:1]
+            self.space.set_label_seeds({label: anchor})
+            expanded = self.space.nearest_words_to_label(
+                label, k=self.expand_to, exclude=set(anchor)
+            )
+            seeds[label] = (anchor + expanded)[: self.expand_to]
+        # Internal nodes inherit the union of their children's seeds when
+        # they were not seeded directly (keyword supervision often seeds
+        # leaves only).
+        for node in reversed(self.tree.nodes):  # bottom-up
+            if node in seeds:
+                continue
+            children = self.tree.children(node)
+            pooled: list[str] = []
+            for child in children:
+                pooled.extend(seeds.get(child, [])[:3])
+            seeds[node] = pooled or [node]
+        return seeds
+
+    # -- fitting ------------------------------------------------------------------
+    def _fit(self, corpus: Corpus, supervision: Supervision) -> None:
+        require(supervision, LabelNames, Keywords, LabeledDocuments)
+        assert self.label_set is not None
+        missing = [l for l in self.label_set if l not in self.tree]
+        if missing:
+            raise SupervisionError(f"labels missing from tree: {missing}")
+        rng = derive_rng(self.rng, "weshclass")
+        self.space = JointEmbeddingSpace(dim=self.dim,
+                                         seed=int(rng.integers(2**31)))
+        self.space.fit(corpus.token_lists())
+        self.node_seeds = self._node_seed_words(corpus, supervision)
+
+        token_lists = corpus.token_lists()
+        # Train local classifiers per internal node (ROOT included).
+        for parent in [ROOT] + self.tree.internal():
+            children = self.tree.children(parent)
+            if len(children) < 2:
+                continue
+            child_seeds = {c: self.node_seeds[c] for c in children}
+            self.space.set_label_seeds(child_seeds)
+            generator = PseudoDocumentGenerator(self.space, child_seeds,
+                                                use_vmf=self.use_vmf)
+            pseudo_docs, targets = generator.generate_all(
+                self.pseudo_per_class, doc_len=self.pseudo_len, seed=rng
+            )
+            if isinstance(supervision, LabeledDocuments):
+                for doc, leaf in supervision.pairs():
+                    path = set(self.tree.path_to_root(leaf))
+                    hits = [i for i, c in enumerate(children) if c in path]
+                    if hits:
+                        pseudo_docs.append(doc.tokens)
+                        row = np.zeros(len(children))
+                        row[hits[0]] = 1.0
+                        targets = np.vstack([targets, row])
+            vocab = self.space.word_model.vocabulary
+            assert vocab is not None
+            classifier = TextCNNClassifier(
+                vocab, len(children), dim=self.dim,
+                embedding_table=self.space.word_model.matrix(),
+                seed=int(rng.integers(2**31)),
+            )
+            classifier.fit(pseudo_docs, targets, epochs=self.pretrain_epochs)
+            self._local[parent] = (classifier, children)
+
+        if self.self_train:
+            self._global_self_train(token_lists)
+
+    def _level_global_proba(self, token_lists: list, depth: int,
+                            cache: dict) -> tuple:
+        """(nodes at depth, product-of-path global probabilities)."""
+        nodes = self.tree.level(depth)
+        proba = np.zeros((len(token_lists), len(nodes)))
+        for j, node in enumerate(nodes):
+            path = self.tree.path_from_root(node)
+            column = np.ones(len(token_lists))
+            parent = ROOT
+            for hop in path:
+                if parent in self._local:
+                    classifier, children = self._local[parent]
+                    if parent not in cache:
+                        cache[parent] = classifier.predict_proba(token_lists)
+                    column = column * cache[parent][:, children.index(hop)]
+                parent = hop
+            proba[:, j] = column
+        totals = proba.sum(axis=1, keepdims=True)
+        totals[totals == 0] = 1.0
+        return nodes, proba / totals
+
+    def _global_self_train(self, token_lists: list) -> None:
+        """Level-wise self-training with sharpened global targets."""
+        for depth in range(1, self.tree.max_depth() + 1):
+            for _ in range(self.self_train_rounds):
+                cache: dict = {}
+                nodes, global_proba = self._level_global_proba(
+                    token_lists, depth, cache
+                )
+                targets = sharpen_distribution(global_proba)
+                # Push the sharpened targets into each parent's local
+                # classifier, marginalizing target mass over its children.
+                parents = sorted({self.tree.parent(n) for n in nodes})
+                for parent in parents:
+                    if parent not in self._local:
+                        continue
+                    classifier, children = self._local[parent]
+                    child_cols = {
+                        c: [j for j, n in enumerate(nodes)
+                            if c in self.tree.path_from_root(n)]
+                        for c in children
+                    }
+                    local_targets = np.zeros((len(token_lists), len(children)))
+                    for k, child in enumerate(children):
+                        cols = child_cols[child]
+                        if cols:
+                            local_targets[:, k] = targets[:, cols].sum(axis=1)
+                    mass = local_targets.sum(axis=1)
+                    keep = mass > 1e-6
+                    if not keep.any():
+                        continue
+                    local_targets[keep] /= mass[keep, None]
+                    classifier.fit(
+                        [token_lists[i] for i in np.flatnonzero(keep)],
+                        local_targets[keep], epochs=1, lr=1e-3,
+                    )
+
+    # -- prediction ------------------------------------------------------------------
+    def _predict_proba(self, corpus: Corpus) -> np.ndarray:
+        assert self.label_set is not None
+        token_lists = corpus.token_lists()
+        cache: dict = {}
+        if self.use_global:
+            depth = self.tree.max_depth()
+            nodes, proba = self._level_global_proba(token_lists, depth, cache)
+            # Map deepest-level nodes onto the leaf label set (leaves at a
+            # shallower depth keep their path product).
+            out = np.zeros((len(token_lists), len(self.label_set)))
+            for j, node in enumerate(nodes):
+                if node in self.label_set:
+                    out[:, self.label_set.index(node)] = proba[:, j]
+            missing = [l for l in self.label_set if l not in nodes]
+            for leaf in missing:
+                _, leaf_proba = self._level_global_proba(
+                    token_lists, self.tree.depth(leaf), cache
+                )
+                level_nodes = self.tree.level(self.tree.depth(leaf))
+                out[:, self.label_set.index(leaf)] = leaf_proba[
+                    :, level_nodes.index(leaf)
+                ]
+        else:
+            # No-global: greedy top-down descent with local probabilities.
+            out = np.zeros((len(token_lists), len(self.label_set)))
+            for i, tokens in enumerate(token_lists):
+                node, prob = ROOT, 1.0
+                while node in self._local:
+                    classifier, children = self._local[node]
+                    local = classifier.predict_proba([tokens])[0]
+                    best = int(local.argmax())
+                    prob *= float(local[best])
+                    node = children[best]
+                if node in self.label_set:
+                    out[i, self.label_set.index(node)] = prob
+        totals = out.sum(axis=1, keepdims=True)
+        totals[totals == 0] = 1.0
+        return out / totals
+
+    def predict_level(self, corpus: Corpus, depth: int) -> list:
+        """Predicted labels at tree depth ``depth`` (global ensemble)."""
+        self._check_fitted()
+        cache: dict = {}
+        nodes, proba = self._level_global_proba(corpus.token_lists(), depth, cache)
+        return [nodes[int(i)] for i in proba.argmax(axis=1)]
+
+
+register_method(
+    MethodInfo(
+        name="WeSHClass",
+        venue="AAAI'19",
+        structure="hierarchical",
+        label_arity="path",
+        supervision=("LabelNames", "Keywords", "LabeledDocuments"),
+        backbone="embedding",
+        cls=WeSHClass,
+    )
+)

@@ -1,0 +1,6 @@
+"""WeSTClass: weakly-supervised neural text classification [CIKM'18]."""
+
+from repro.methods.westclass.model import WeSTClass
+from repro.methods.westclass.pseudo import PseudoDocumentGenerator
+
+__all__ = ["WeSTClass", "PseudoDocumentGenerator"]

@@ -1,0 +1,174 @@
+"""The WeSTClass classifier.
+
+Pipeline (Meng et al., CIKM'18):
+
+1. embed words, labels, and documents into one latent sphere;
+2. derive class seed words from whichever supervision the user supplied
+   (label names -> nearest neighbours; keywords -> as given; labeled
+   documents -> top TF-IDF terms);
+3. generate vMF pseudo-documents and pre-train a neural classifier
+   (CNN or HAN variant) on them with smoothed labels;
+4. self-train on the unlabeled corpus with sharpened targets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.classifiers import (
+    AttentiveClassifier,
+    SelfTrainingLoop,
+    TextCNNClassifier,
+)
+from repro.core.base import WeaklySupervisedTextClassifier
+from repro.core.registry import MethodInfo, register_method
+from repro.core.seeding import derive_rng
+from repro.core.supervision import (
+    Keywords,
+    LabeledDocuments,
+    LabelNames,
+    Supervision,
+    require,
+)
+from repro.core.types import Corpus
+from repro.embeddings.joint import JointEmbeddingSpace
+from repro.methods.westclass.pseudo import PseudoDocumentGenerator
+from repro.text.tfidf import TfidfVectorizer
+
+
+class WeSTClass(WeaklySupervisedTextClassifier):
+    """Weakly-supervised neural text classification via pseudo documents.
+
+    Parameters
+    ----------
+    classifier:
+        ``"cnn"`` (WeSTClass-CNN) or ``"han"`` (WeSTClass-HAN).
+    self_train:
+        Disable for the NoST ablation rows.
+    use_vmf:
+        Disable for the No-vMF ablation (fixed mean direction).
+    pseudo_per_class / pseudo_len:
+        Pseudo-document corpus size and length.
+    expand_to:
+        Seed count when expanding from label names.
+    """
+
+    def __init__(self, classifier: str = "cnn", self_train: bool = True,
+                 use_vmf: bool = True, pseudo_per_class: int = 40,
+                 pseudo_len: int = 30, expand_to: int = 8, dim: int = 48,
+                 pretrain_epochs: int = 12, self_train_iterations: int = 4,
+                 seed=0):
+        super().__init__(seed=seed)
+        if classifier not in ("cnn", "han"):
+            raise ValueError(f"classifier must be 'cnn' or 'han', got {classifier!r}")
+        self.classifier_kind = classifier
+        self.self_train = self_train
+        self.use_vmf = use_vmf
+        self.pseudo_per_class = pseudo_per_class
+        self.pseudo_len = pseudo_len
+        self.expand_to = expand_to
+        self.dim = dim
+        self.pretrain_epochs = pretrain_epochs
+        self.self_train_iterations = self_train_iterations
+        self.space: "JointEmbeddingSpace | None" = None
+        self.seeds: dict = {}
+        self._classifier = None
+
+    # -- seed derivation ---------------------------------------------------------
+    def _derive_seeds(self, corpus: Corpus, supervision: Supervision) -> dict:
+        assert self.label_set is not None
+        vocab = self.space.word_model.vocabulary  # type: ignore[union-attr]
+        if isinstance(supervision, Keywords):
+            return {
+                label: [w for w in supervision.for_label(label) if w in vocab]
+                or supervision.for_label(label)[:1]
+                for label in self.label_set
+            }
+        if isinstance(supervision, LabelNames):
+            seeds: dict[str, list[str]] = {}
+            for label in self.label_set:
+                name_tokens = [
+                    t for t in self.label_set.name_tokens(label) if t in vocab
+                ]
+                anchor = name_tokens or [self.label_set.name_of(label)]
+                self.space.set_label_seeds({label: anchor})  # type: ignore[union-attr]
+                expanded = self.space.nearest_words_to_label(  # type: ignore[union-attr]
+                    label, k=self.expand_to, exclude=set(anchor)
+                )
+                seeds[label] = anchor + expanded[: self.expand_to - len(anchor)]
+            return seeds
+        supervision = require(supervision, LabeledDocuments)
+        vectorizer = TfidfVectorizer()
+        vectorizer.fit(corpus.token_lists())
+        seeds = {}
+        for label in self.label_set:
+            docs = supervision.for_label(label)  # type: ignore[union-attr]
+            terms = vectorizer.top_terms([d.tokens for d in docs], k=self.expand_to)
+            merged: list[str] = []
+            for doc_terms in terms:
+                for term in doc_terms:
+                    if term not in merged:
+                        merged.append(term)
+            seeds[label] = merged[: self.expand_to] or [label]
+        return seeds
+
+    # -- fitting --------------------------------------------------------------------
+    def _fit(self, corpus: Corpus, supervision: Supervision) -> None:
+        require(supervision, LabelNames, Keywords, LabeledDocuments)
+        assert self.label_set is not None
+        rng = derive_rng(self.rng, "westclass")
+        self.space = JointEmbeddingSpace(dim=self.dim, seed=int(rng.integers(2**31)))
+        self.space.fit(corpus.token_lists())
+        self.seeds = self._derive_seeds(corpus, supervision)
+        self.space.set_label_seeds(self.seeds)
+
+        generator = PseudoDocumentGenerator(self.space, self.seeds,
+                                            use_vmf=self.use_vmf)
+        pseudo_docs, targets = generator.generate_all(
+            self.pseudo_per_class, doc_len=self.pseudo_len, seed=rng
+        )
+        # Labeled documents join the pseudo-training set when available.
+        if isinstance(supervision, LabeledDocuments):
+            extra_rows = []
+            for doc, label in supervision.pairs():
+                pseudo_docs.append(doc.tokens)
+                row = np.zeros(len(self.label_set))
+                row[self.label_set.index(label)] = 1.0
+                extra_rows.append(row)
+            targets = np.vstack([targets, np.stack(extra_rows)])
+
+        vocab = self.space.word_model.vocabulary
+        assert vocab is not None
+        table = self.space.word_model.matrix()
+        cls_seed = int(rng.integers(2**31))
+        if self.classifier_kind == "cnn":
+            self._classifier = TextCNNClassifier(
+                vocab, len(self.label_set), dim=self.dim,
+                embedding_table=table, seed=cls_seed,
+            )
+        else:
+            self._classifier = AttentiveClassifier(
+                vocab, len(self.label_set), dim=self.dim,
+                embedding_table=table, seed=cls_seed,
+            )
+        self._classifier.fit(pseudo_docs, targets, epochs=self.pretrain_epochs)
+        if self.self_train:
+            loop = SelfTrainingLoop(max_iterations=self.self_train_iterations)
+            loop.run(self._classifier, corpus.token_lists())
+
+    def _predict_proba(self, corpus: Corpus) -> np.ndarray:
+        assert self._classifier is not None
+        return self._classifier.predict_proba(corpus.token_lists())
+
+
+register_method(
+    MethodInfo(
+        name="WeSTClass",
+        venue="CIKM'18",
+        structure="flat",
+        label_arity="single-label",
+        supervision=("LabelNames", "Keywords", "LabeledDocuments"),
+        backbone="embedding",
+        cls=WeSTClass,
+    )
+)

@@ -1,0 +1,15 @@
+"""X-Class: text classification with extremely weak supervision [NAACL'21]."""
+
+from repro.methods.xclass.hierarchical import HierarchicalXClass
+from repro.methods.xclass.model import XClass
+from repro.methods.xclass.representations import (
+    class_oriented_doc_representations,
+    class_representations,
+)
+
+__all__ = [
+    "XClass",
+    "HierarchicalXClass",
+    "class_representations",
+    "class_oriented_doc_representations",
+]

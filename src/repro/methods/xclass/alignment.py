@@ -1,0 +1,80 @@
+"""Document-class alignment via prior-initialized Gaussian mixtures.
+
+X-Class clusters the class-oriented document representations with a GMM
+whose components are initialized at the per-class centroids of the
+nearest-class-representation assignment, keeping cluster j aligned with
+class j throughout EM. Posteriors double as confidence for selecting the
+classifier's training subset.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class AlignedGaussianMixture:
+    """Spherical-covariance GMM with fixed component-class identity."""
+
+    def __init__(self, n_components: int, iterations: int = 30,
+                 min_variance: float = 1e-4):
+        self.n_components = n_components
+        self.iterations = iterations
+        self.min_variance = min_variance
+        self.means: "np.ndarray | None" = None
+        self.variances: "np.ndarray | None" = None
+        self.weights: "np.ndarray | None" = None
+
+    def fit(self, points: np.ndarray, init_assignment: np.ndarray) -> "AlignedGaussianMixture":
+        """EM from an initial hard assignment (cluster j starts at class j's
+        centroid, preserving alignment)."""
+        points = np.asarray(points, dtype=float)
+        n, dim = points.shape
+        k = self.n_components
+        means = np.zeros((k, dim))
+        variances = np.full(k, 1.0)
+        weights = np.full(k, 1.0 / k)
+        global_mean = points.mean(axis=0)
+        for j in range(k):
+            members = points[init_assignment == j]
+            means[j] = members.mean(axis=0) if len(members) else global_mean
+            if len(members) > 1:
+                variances[j] = max(self.min_variance,
+                                   float(((members - means[j]) ** 2).mean()))
+            weights[j] = max(1, len(members)) / n
+        weights /= weights.sum()
+
+        for _ in range(self.iterations):
+            resp = self._responsibilities(points, means, variances, weights)
+            mass = resp.sum(axis=0) + 1e-12
+            weights = mass / n
+            means = (resp.T @ points) / mass[:, None]
+            for j in range(k):
+                diff = points - means[j]
+                variances[j] = max(
+                    self.min_variance,
+                    float((resp[:, j] @ (diff**2).sum(axis=1)) / (mass[j] * dim)),
+                )
+        self.means, self.variances, self.weights = means, variances, weights
+        return self
+
+    def _responsibilities(self, points, means, variances, weights) -> np.ndarray:
+        n, dim = points.shape
+        log_prob = np.zeros((n, self.n_components))
+        for j in range(self.n_components):
+            diff = points - means[j]
+            log_prob[:, j] = (
+                -0.5 * (diff**2).sum(axis=1) / variances[j]
+                - 0.5 * dim * np.log(2 * np.pi * variances[j])
+                + np.log(weights[j] + 1e-12)
+            )
+        log_prob -= log_prob.max(axis=1, keepdims=True)
+        resp = np.exp(log_prob)
+        return resp / resp.sum(axis=1, keepdims=True)
+
+    def posterior(self, points: np.ndarray) -> np.ndarray:
+        """(n, k) class posteriors."""
+        if self.means is None:
+            raise RuntimeError("mixture not fitted")
+        return self._responsibilities(
+            np.asarray(points, dtype=float), self.means, self.variances, self.weights
+        )

@@ -1,0 +1,123 @@
+"""Hierarchical X-Class.
+
+The tutorial's summary table lists X-Class as supporting hierarchical
+(path) classification. This wrapper realizes that: one X-Class instance
+per internal tree node, each classifying among that node's children using
+class-oriented representations computed over the documents routed to it —
+greedy top-down at prediction time, exactly the local-classifier-per-node
+pattern WeSHClass uses, but with X-Class's label-names-only machinery.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import WeaklySupervisedTextClassifier
+from repro.core.exceptions import SupervisionError
+from repro.core.seeding import derive_rng
+from repro.core.supervision import LabelNames, Supervision, require
+from repro.core.types import Corpus, LabelSet
+from repro.methods.xclass.model import XClass
+from repro.plm.model import PretrainedLM
+from repro.plm.provider import get_pretrained_lm
+from repro.taxonomy.tree import ROOT, LabelTree
+
+
+class HierarchicalXClass(WeaklySupervisedTextClassifier):
+    """Top-down X-Class over a label tree (category names only).
+
+    Parameters
+    ----------
+    tree:
+        Label tree whose leaves are the supervision's label set.
+    min_node_docs:
+        Internal nodes routed fewer documents than this fall back to the
+        parent's assignment confidence (their X-Class would be unstable).
+    """
+
+    def __init__(self, tree: LabelTree, plm: "PretrainedLM | None" = None,
+                 min_node_docs: int = 12, seed=0):
+        super().__init__(seed=seed)
+        self.tree = tree
+        self.plm = plm
+        self.min_node_docs = min_node_docs
+        #: internal node -> (fitted XClass over its children, children)
+        self._local: dict = {}
+
+    def _names_for(self, nodes: list, supervision: Supervision) -> LabelSet:
+        names = dict(supervision.label_set.names)
+        return LabelSet(labels=tuple(nodes),
+                        names={n: names.get(n, n) for n in nodes})
+
+    def _fit(self, corpus: Corpus, supervision: Supervision) -> None:
+        require(supervision, LabelNames)
+        assert self.label_set is not None
+        missing = [l for l in self.label_set if l not in self.tree]
+        if missing:
+            raise SupervisionError(f"labels missing from tree: {missing}")
+        rng = derive_rng(self.rng, "hier-xclass")
+        if self.plm is None:
+            self.plm = get_pretrained_lm(target_corpus=corpus,
+                                         seed=int(rng.integers(2**16)) % 7)
+        # Route documents down the tree, fitting one X-Class per node.
+        assignments = {ROOT: list(range(len(corpus)))}
+        frontier = [ROOT]
+        while frontier:
+            node = frontier.pop()
+            children = self.tree.children(node)
+            if len(children) < 2:
+                continue
+            doc_indices = assignments.get(node, [])
+            if len(doc_indices) < self.min_node_docs:
+                continue
+            subset = corpus.subset(doc_indices,
+                                   name=f"{corpus.name}@{node}")
+            local = XClass(plm=self.plm, seed=int(rng.integers(2**31)))
+            local.fit(subset, LabelNames(
+                label_set=self._names_for(children, supervision)))
+            self._local[node] = (local, children)
+            predicted = local.predict(subset)
+            for child in children:
+                assignments[child] = [
+                    doc_indices[i] for i, p in enumerate(predicted)
+                    if p == child
+                ]
+                frontier.append(child)
+
+    def _predict_proba(self, corpus: Corpus) -> np.ndarray:
+        assert self.label_set is not None
+        out = np.zeros((len(corpus), len(self.label_set)))
+        # Greedy descent with probability products, batched per node.
+        current = {ROOT: (list(range(len(corpus))), np.ones(len(corpus)))}
+        while current:
+            node, (indices, mass) = current.popitem()
+            if node in self.label_set and node not in self._local:
+                for i in indices:
+                    out[i, self.label_set.index(node)] = mass[i]
+                continue
+            if node not in self._local:
+                # Unmodeled internal node: spread over its subtree leaves.
+                leaves = [l for l in self.tree.subtree_leaves(node)
+                          if l in self.label_set]
+                for i in indices:
+                    for leaf in leaves:
+                        out[i, self.label_set.index(leaf)] = (
+                            mass[i] / len(leaves)
+                        )
+                continue
+            local, children = self._local[node]
+            subset = corpus.subset(indices, name=f"{corpus.name}@predict")
+            proba = local.predict_proba(subset)
+            hard = proba.argmax(axis=1)
+            for c, child in enumerate(children):
+                routed = [indices[i] for i in np.flatnonzero(hard == c)]
+                if not routed:
+                    continue
+                new_mass = mass.copy()
+                for i, idx in enumerate(indices):
+                    if hard[i] == c:
+                        new_mass[idx] = mass[idx] * proba[i, c]
+                current[child] = (routed, new_mass)
+        totals = out.sum(axis=1, keepdims=True)
+        totals[totals == 0] = 1.0
+        return out / totals

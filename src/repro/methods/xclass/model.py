@@ -1,0 +1,115 @@
+"""The X-Class classifier.
+
+Pipeline (Wang et al., NAACL'21): class representations from label names,
+class-oriented document representations, prior-aligned GMM clustering, and
+a final classifier trained on the most confident cluster assignments.
+
+``variant`` selects the paper's ablation rows:
+
+- ``"rep"``  (X-Class-Rep): nearest class representation directly;
+- ``"align"`` (X-Class-Align): GMM posterior assignment;
+- ``"full"`` (X-Class): classifier trained on confident assignments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.classifiers import LogisticRegression
+from repro.core.base import WeaklySupervisedTextClassifier
+from repro.core.registry import MethodInfo, register_method
+from repro.core.seeding import derive_rng
+from repro.core.supervision import LabelNames, Supervision, require
+from repro.core.types import Corpus
+from repro.methods.xclass.alignment import AlignedGaussianMixture
+from repro.methods.xclass.representations import (
+    class_oriented_doc_representations,
+    class_representations,
+)
+from repro.plm.model import PretrainedLM
+from repro.plm.provider import get_pretrained_lm
+
+
+class XClass(WeaklySupervisedTextClassifier):
+    """Extremely-weak-supervision classification via class-oriented reps.
+
+    Parameters
+    ----------
+    variant:
+        ``"full"``, ``"align"``, or ``"rep"`` (ablation rows).
+    confidence_fraction:
+        Fraction of most-confident documents used to train the final
+        classifier.
+    """
+
+    def __init__(self, plm: "PretrainedLM | None" = None, variant: str = "full",
+                 confidence_fraction: float = 0.5, expand_words: int = 10,
+                 seed=0):
+        super().__init__(seed=seed)
+        if variant not in ("full", "align", "rep"):
+            raise ValueError(f"unknown variant {variant!r}")
+        self.plm = plm
+        self.variant = variant
+        self.confidence_fraction = confidence_fraction
+        self.expand_words = expand_words
+        self.class_reps: "np.ndarray | None" = None
+        self.mixture: "AlignedGaussianMixture | None" = None
+        self._classifier: "LogisticRegression | None" = None
+
+    def _doc_reps(self, corpus: Corpus) -> np.ndarray:
+        assert self.plm is not None and self.class_reps is not None
+        return class_oriented_doc_representations(self.plm, corpus, self.class_reps)
+
+    def _fit(self, corpus: Corpus, supervision: Supervision) -> None:
+        require(supervision, LabelNames)
+        assert self.label_set is not None
+        rng = derive_rng(self.rng, "xclass")
+        if self.plm is None:
+            self.plm = get_pretrained_lm(target_corpus=corpus,
+                                         seed=int(rng.integers(2**16)) % 7)
+        self.class_reps = class_representations(self.plm, corpus, self.label_set,
+                                                expand_words=self.expand_words)
+        reps = self._doc_reps(corpus)
+        initial = (reps @ self.class_reps.T).argmax(axis=1)
+        if self.variant == "rep":
+            return
+        self.mixture = AlignedGaussianMixture(len(self.label_set))
+        self.mixture.fit(reps, initial)
+        if self.variant == "align":
+            return
+        posterior = self.mixture.posterior(reps)
+        confidence = posterior.max(axis=1)
+        assignment = posterior.argmax(axis=1)
+        keep_n = max(len(self.label_set) * 2,
+                     int(len(corpus) * self.confidence_fraction))
+        keep = np.argsort(-confidence)[:keep_n]
+        self._classifier = LogisticRegression(
+            reps.shape[1], len(self.label_set), seed=int(rng.integers(2**31))
+        )
+        self._classifier.fit(reps[keep], assignment[keep], epochs=60)
+
+    def _predict_proba(self, corpus: Corpus) -> np.ndarray:
+        reps = self._doc_reps(corpus)
+        assert self.class_reps is not None
+        if self.variant == "rep":
+            sims = reps @ self.class_reps.T
+            exp = np.exp((sims - sims.max(axis=1, keepdims=True)) / 0.05)
+            return exp / exp.sum(axis=1, keepdims=True)
+        if self.variant == "align":
+            assert self.mixture is not None
+            return self.mixture.posterior(reps)
+        assert self._classifier is not None
+        return self._classifier.predict_proba(reps)
+
+
+register_method(
+    MethodInfo(
+        name="X-Class",
+        venue="NAACL'21",
+        structure="flat & hierarchical",
+        label_arity="single-label & path",
+        supervision=("LabelNames",),
+        backbone="pretrained-lm",
+        cls=XClass,
+    )
+)

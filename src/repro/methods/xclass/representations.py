@@ -1,0 +1,112 @@
+"""Class-oriented representation learning (X-Class §3).
+
+All representations live in the encoder's *contextual* space: a word's
+static representation is the average of its contextualized occurrence
+vectors over the corpus (X-Class's trick), a class representation starts
+at its label-name's static representation and is refined with nearest
+words, and a document representation is a weighted average of contextual
+token vectors where a token's weight reflects its similarity to the most
+similar class. The same corpus therefore yields different document
+geometry under different label sets (topics vs. locations vs. sentiment) —
+X-Class's core idea.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.types import Corpus, LabelSet
+from repro.nn.functional import cosine_similarity, l2_normalize
+from repro.plm.model import PretrainedLM
+from repro.text.stopwords import STOPWORDS
+
+
+def contextual_word_table(plm: PretrainedLM, corpus: Corpus) -> tuple:
+    """Average contextual vector per vocabulary word over ``corpus``.
+
+    Returns ``(table (V, dim), counts (V,))``; rows with zero count are
+    zero vectors.
+    """
+    vocab = plm.vocabulary
+    table = np.zeros((len(vocab), plm.dim))
+    counts = np.zeros(len(vocab))
+    encoded = plm.encode_tokens(corpus.token_lists())
+    for tokens, hidden in zip(corpus.token_lists(), encoded):
+        ids = [vocab.id(t) for t in tokens[: hidden.shape[0]]]
+        np.add.at(table, ids, hidden)
+        np.add.at(counts, ids, 1.0)
+    nonzero = counts > 0
+    table[nonzero] /= counts[nonzero, None]
+    return table, counts
+
+
+def class_representations(plm: PretrainedLM, corpus: Corpus, label_set: LabelSet,
+                          expand_words: int = 10,
+                          word_table: "np.ndarray | None" = None,
+                          word_counts: "np.ndarray | None" = None) -> np.ndarray:
+    """(n_classes, dim) class representations in contextual space.
+
+    Each class starts at the mean contextual-average embedding of its name
+    tokens and is refined once with its ``expand_words`` nearest vocabulary
+    words (harmonically weighted, as in the paper).
+    """
+    vocab = plm.vocabulary
+    if word_table is None or word_counts is None:
+        word_table, word_counts = contextual_word_table(plm, corpus)
+    candidate_ids = np.array(
+        [
+            vocab.id(w)
+            for w in vocab.content_tokens()
+            if w not in STOPWORDS and word_counts[vocab.id(w)] >= 2
+        ]
+    )
+    reps = []
+    for label in label_set:
+        name_ids = [
+            vocab.id(t) for t in label_set.name_tokens(label)
+            if t in vocab and word_counts[vocab.id(t)] > 0
+        ]
+        if name_ids:
+            anchor = word_table[name_ids].mean(axis=0)
+        else:
+            # Name absent from corpus: fall back to the static embedding
+            # projected through the word table's nearest in-corpus word.
+            static = np.mean(
+                [plm.word_embedding(t) for t in label_set.name_tokens(label)], axis=0
+            )
+            static_table = plm.encoder.token_embedding.weight.data
+            sims = cosine_similarity(static[None, :], static_table[candidate_ids]).ravel()
+            anchor = word_table[candidate_ids[int(np.argmax(sims))]]
+        sims = cosine_similarity(anchor[None, :], word_table[candidate_ids]).ravel()
+        top = candidate_ids[np.argsort(-sims)[:expand_words]]
+        weights = 1.0 / np.arange(1, len(top) + 2)
+        stack = np.vstack([anchor[None, :], word_table[top]])
+        rep = (stack * weights[: len(stack), None]).sum(axis=0) / weights[: len(stack)].sum()
+        reps.append(rep)
+    return l2_normalize(np.stack(reps))
+
+
+def class_oriented_doc_representations(plm: PretrainedLM, corpus: Corpus,
+                                       class_reps: np.ndarray,
+                                       temperature: float = 0.05) -> np.ndarray:
+    """(n_docs, dim) class-attended document representations.
+
+    Token weights are a softmax (over positions) of each token's maximum
+    cosine similarity to any class representation; the document vector is
+    the weighted mean of contextual token vectors.
+    """
+    encoded = plm.encode_tokens(corpus.token_lists())
+    out = np.zeros((len(corpus), class_reps.shape[1]))
+    for i, hidden in enumerate(encoded):
+        normed = l2_normalize(hidden)
+        sims = (normed @ class_reps.T).max(axis=1)  # (T,)
+        weights = np.exp((sims - sims.max()) / temperature)
+        weights /= weights.sum()
+        out[i] = (hidden * weights[:, None]).sum(axis=0)
+    return l2_normalize(out)
+
+
+def average_doc_representations(plm: PretrainedLM, corpus: Corpus) -> np.ndarray:
+    """Plain average-pooled document representations (the paper's Figure 1
+    baseline geometry, before class orientation)."""
+    return plm.doc_embeddings(corpus.token_lists())

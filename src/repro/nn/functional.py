@@ -1,0 +1,57 @@
+"""Composite tensor functions built from primitive autograd ops."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def layer_norm(x: Tensor, gain: Tensor, bias: Tensor, eps: float = 1e-5) -> Tensor:
+    """Layer normalization over the last axis."""
+    mean = x.mean(axis=-1, keepdims=True)
+    centered = x - mean
+    var = (centered * centered).mean(axis=-1, keepdims=True)
+    normed = centered * (var + eps) ** -0.5
+    return normed * gain + bias
+
+
+def attention_scores(q: Tensor, k: Tensor, mask: "np.ndarray | None" = None) -> Tensor:
+    """Scaled dot-product attention logits with optional padding mask.
+
+    ``q``/``k`` are (..., T, Dh); ``mask`` is broadcastable to (..., T, T)
+    and True where attention must be blocked.
+    """
+    d_head = q.shape[-1]
+    logits = (q @ k.swapaxes(-1, -2)) * (1.0 / np.sqrt(d_head))
+    if mask is not None:
+        logits = logits.masked_fill(mask, -1e9)
+    return logits
+
+
+def cosine_similarity(a: np.ndarray, b: np.ndarray, eps: float = 1e-12) -> np.ndarray:
+    """Plain numpy cosine similarity between row sets: (n, d) x (m, d) -> (n, m)."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    a_norm = a / (np.linalg.norm(a, axis=-1, keepdims=True) + eps)
+    b_norm = b / (np.linalg.norm(b, axis=-1, keepdims=True) + eps)
+    return a_norm @ b_norm.T
+
+
+def l2_normalize(x: np.ndarray, eps: float = 1e-12) -> np.ndarray:
+    """Row-wise L2 normalization (plain numpy)."""
+    x = np.asarray(x, dtype=float)
+    return x / (np.linalg.norm(x, axis=-1, keepdims=True) + eps)

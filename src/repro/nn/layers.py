@@ -1,0 +1,253 @@
+"""Neural-network layers on top of the autograd tensor.
+
+Weight initialization uses explicit generators so models are reproducible;
+every layer exposes ``parameters()`` for the optimizers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor, concatenate
+
+
+class Module:
+    """Base class: parameter collection and train/eval mode."""
+
+    def __init__(self) -> None:
+        self.training = True
+
+    def parameters(self) -> list:
+        """All trainable tensors of this module and its children."""
+        params: list[Tensor] = []
+        seen: set[int] = set()
+        for value in self.__dict__.values():
+            found: list[Tensor] = []
+            if isinstance(value, Tensor) and value.requires_grad:
+                found = [value]
+            elif isinstance(value, Module):
+                found = value.parameters()
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        found.extend(item.parameters())
+                    elif isinstance(item, Tensor) and item.requires_grad:
+                        found.append(item)
+            for p in found:
+                if id(p) not in seen:
+                    seen.add(id(p))
+                    params.append(p)
+        return params
+
+    def zero_grad(self) -> None:
+        """Clear gradients of all parameters."""
+        for p in self.parameters():
+            p.zero_grad()
+
+    def train(self) -> "Module":
+        """Switch to training mode (dropout active)."""
+        self._set_mode(True)
+        return self
+
+    def eval(self) -> "Module":
+        """Switch to inference mode (dropout off)."""
+        self._set_mode(False)
+        return self
+
+    def _set_mode(self, training: bool) -> None:
+        self.training = training
+        for value in self.__dict__.values():
+            if isinstance(value, Module):
+                value._set_mode(training)
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        item._set_mode(training)
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def num_parameters(self) -> int:
+        """Total scalar parameter count."""
+        return sum(p.data.size for p in self.parameters())
+
+    def state_dict(self) -> list:
+        """Flat list of parameter arrays (copy), in parameters() order."""
+        return [p.data.copy() for p in self.parameters()]
+
+    def load_state_dict(self, state: list) -> None:
+        """Load arrays saved by :meth:`state_dict`."""
+        params = self.parameters()
+        if len(state) != len(params):
+            raise ValueError(
+                f"state has {len(state)} arrays, model has {len(params)} parameters"
+            )
+        for p, array in zip(params, state):
+            if p.data.shape != array.shape:
+                raise ValueError(f"shape mismatch: {p.data.shape} vs {array.shape}")
+            p.data = array.copy()
+
+
+class Linear(Module):
+    """Affine map ``x @ W + b`` with Glorot-uniform init."""
+
+    def __init__(self, in_features: int, out_features: int,
+                 rng: np.random.Generator, bias: bool = True):
+        super().__init__()
+        limit = np.sqrt(6.0 / (in_features + out_features))
+        self.weight = Tensor(
+            rng.uniform(-limit, limit, size=(in_features, out_features)),
+            requires_grad=True,
+        )
+        self.bias = Tensor(np.zeros(out_features), requires_grad=True) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Embedding(Module):
+    """Token-id to vector lookup table."""
+
+    def __init__(self, num_embeddings: int, dim: int, rng: np.random.Generator,
+                 scale: float = 0.02):
+        super().__init__()
+        self.weight = Tensor(
+            rng.normal(0.0, scale, size=(num_embeddings, dim)), requires_grad=True
+        )
+
+    def forward(self, ids: np.ndarray) -> Tensor:
+        return self.weight.take_rows(ids)
+
+
+class LayerNorm(Module):
+    """Layer normalization with learned gain/bias."""
+
+    def __init__(self, dim: int, eps: float = 1e-5):
+        super().__init__()
+        self.gain = Tensor(np.ones(dim), requires_grad=True)
+        self.bias = Tensor(np.zeros(dim), requires_grad=True)
+        self.eps = eps
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.layer_norm(x, self.gain, self.bias, eps=self.eps)
+
+
+class Dropout(Module):
+    """Inverted dropout driven by an explicit generator."""
+
+    def __init__(self, p: float, rng: np.random.Generator):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout p must be in [0, 1), got {p}")
+        self.p = p
+        self.rng = rng
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        keep = (self.rng.random(x.shape) >= self.p).astype(float) / (1.0 - self.p)
+        return x * Tensor(keep)
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self.modules = list(modules)
+
+    def forward(self, x):
+        """Apply the layer."""
+        for module in self.modules:
+            x = module(x)
+        return x
+
+
+class MultiHeadSelfAttention(Module):
+    """Multi-head self-attention over (B, T, D) inputs.
+
+    ``forward`` returns the attended values; the post-softmax attention
+    probabilities of the last call are kept on ``last_attention`` because
+    X-Class consumes them for attention-weighted pooling.
+    """
+
+    def __init__(self, dim: int, n_heads: int, rng: np.random.Generator):
+        super().__init__()
+        if dim % n_heads != 0:
+            raise ValueError(f"dim {dim} not divisible by n_heads {n_heads}")
+        self.dim = dim
+        self.n_heads = n_heads
+        self.head_dim = dim // n_heads
+        self.qkv = Linear(dim, 3 * dim, rng)
+        self.out = Linear(dim, dim, rng)
+        self.last_attention: "np.ndarray | None" = None
+
+    def forward(self, x: Tensor, pad_mask: "np.ndarray | None" = None) -> Tensor:
+        batch, seq, _ = x.shape
+        qkv = self.qkv(x)  # (B, T, 3D)
+        qkv = qkv.reshape(batch, seq, 3, self.n_heads, self.head_dim)
+        qkv = qkv.transpose(2, 0, 3, 1, 4)  # (3, B, H, T, Dh)
+        q, k, v = qkv[0], qkv[1], qkv[2]
+        mask = None
+        if pad_mask is not None:
+            # pad_mask: (B, T) True at padding -> block keys at padded slots.
+            mask = pad_mask[:, None, None, :]
+        logits = F.attention_scores(q, k, mask=mask)
+        attn = F.softmax(logits, axis=-1)
+        self.last_attention = attn.data
+        context = attn @ v  # (B, H, T, Dh)
+        context = context.transpose(0, 2, 1, 3).reshape(batch, seq, self.dim)
+        return self.out(context)
+
+
+class FeedForward(Module):
+    """Position-wise feed-forward block with GELU."""
+
+    def __init__(self, dim: int, hidden: int, rng: np.random.Generator):
+        super().__init__()
+        self.fc1 = Linear(dim, hidden, rng)
+        self.fc2 = Linear(hidden, dim, rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.fc2(self.fc1(x).gelu())
+
+
+class TransformerBlock(Module):
+    """Pre-norm transformer encoder block."""
+
+    def __init__(self, dim: int, n_heads: int, ff_hidden: int,
+                 rng: np.random.Generator, dropout: float = 0.0):
+        super().__init__()
+        self.norm1 = LayerNorm(dim)
+        self.attn = MultiHeadSelfAttention(dim, n_heads, rng)
+        self.norm2 = LayerNorm(dim)
+        self.ff = FeedForward(dim, ff_hidden, rng)
+        self.drop = Dropout(dropout, rng) if dropout > 0 else None
+
+    def forward(self, x: Tensor, pad_mask: "np.ndarray | None" = None) -> Tensor:
+        attended = self.attn(self.norm1(x), pad_mask=pad_mask)
+        if self.drop is not None:
+            attended = self.drop(attended)
+        x = x + attended
+        ff_out = self.ff(self.norm2(x))
+        if self.drop is not None:
+            ff_out = self.drop(ff_out)
+        return x + ff_out
+
+
+__all__ = [
+    "Module",
+    "Linear",
+    "Embedding",
+    "LayerNorm",
+    "Dropout",
+    "Sequential",
+    "MultiHeadSelfAttention",
+    "FeedForward",
+    "TransformerBlock",
+    "concatenate",
+]

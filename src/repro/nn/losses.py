@@ -1,0 +1,78 @@
+"""Loss functions over autograd tensors."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray,
+                  ignore_index: "int | None" = None) -> Tensor:
+    """Mean cross-entropy of integer ``targets`` under ``logits``.
+
+    ``logits`` is (..., C); ``targets`` the matching integer array. Entries
+    equal to ``ignore_index`` contribute nothing (masked-LM convention).
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    log_probs = F.log_softmax(logits, axis=-1)
+    flat = log_probs.reshape(-1, logits.shape[-1])
+    flat_targets = targets.reshape(-1)
+    if ignore_index is not None:
+        keep = flat_targets != ignore_index
+        if not keep.any():
+            return Tensor(0.0)
+        rows = np.flatnonzero(keep)
+        picked = flat[rows, flat_targets[rows]]
+    else:
+        picked = flat[np.arange(flat_targets.size), flat_targets]
+    return -picked.mean()
+
+
+def soft_cross_entropy(logits: Tensor, target_probs: np.ndarray) -> Tensor:
+    """Mean cross-entropy against soft target distributions (self-training)."""
+    target = np.asarray(target_probs, dtype=float)
+    log_probs = F.log_softmax(logits, axis=-1)
+    per_example = -(Tensor(target) * log_probs).sum(axis=-1)
+    return per_example.mean()
+
+
+def kl_divergence_with_logits(logits: Tensor, target_probs: np.ndarray) -> Tensor:
+    """Mean KL(target || softmax(logits)) — WeSTClass self-training loss."""
+    target = np.asarray(target_probs, dtype=float)
+    log_probs = F.log_softmax(logits, axis=-1)
+    entropy = float(-(target * np.log(np.clip(target, 1e-12, None))).sum(axis=-1).mean())
+    cross = -(Tensor(target) * log_probs).sum(axis=-1).mean()
+    return cross - entropy
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, targets: np.ndarray,
+                                     weights: "np.ndarray | None" = None) -> Tensor:
+    """Mean element-wise binary cross-entropy on raw logits.
+
+    Stable formulation: ``max(x, 0) - x*y + log(1 + exp(-|x|))``.
+    """
+    y = Tensor(np.asarray(targets, dtype=float))
+    x = logits
+    abs_term = ((x * x) ** 0.5)  # |x| with usable gradient away from 0
+    loss = x.relu() - x * y + (1.0 + (-abs_term).exp()).log()
+    if weights is not None:
+        loss = loss * Tensor(np.asarray(weights, dtype=float))
+    return loss.mean()
+
+
+def margin_ranking_loss(positive: Tensor, negative: Tensor, margin: float = 0.5) -> Tensor:
+    """Mean hinge ranking loss: positives should beat negatives by ``margin``."""
+    return (negative - positive + margin).relu().mean()
+
+
+def info_nce(similarities: Tensor, temperature: float = 0.1) -> Tensor:
+    """InfoNCE over a similarity matrix whose diagonal holds positives.
+
+    ``similarities`` is (B, B): row i scores anchor i against candidate j;
+    entry (i, i) is the positive pair (MICoL contrastive objective).
+    """
+    logits = similarities * (1.0 / temperature)
+    targets = np.arange(logits.shape[0])
+    return cross_entropy(logits, targets)

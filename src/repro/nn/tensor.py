@@ -1,0 +1,407 @@
+"""Reverse-mode autograd over numpy arrays.
+
+Supports the operation set required by a transformer encoder and the
+library's classifiers: broadcasting arithmetic, matmul, reductions,
+reshaping, indexing/gather, and the standard nonlinearities. Gradients are
+accumulated in ``Tensor.grad`` by :meth:`Tensor.backward`, which performs a
+topological sweep over the recorded graph.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
+    """Reduce ``grad`` back to ``shape`` after numpy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # Sum out prepended axes.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over axes that were broadcast from size 1.
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy array with gradient tracking.
+
+    Build graphs with the overloaded operators and the methods below; call
+    :meth:`backward` on a scalar result to populate ``grad`` on every
+    reachable tensor with ``requires_grad=True``.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+    __array_priority__ = 100  # numpy defers binary ops to Tensor
+
+    def __init__(self, data, requires_grad: bool = False):
+        self.data = np.asarray(data, dtype=np.float64)
+        self.requires_grad = bool(requires_grad)
+        self.grad: "np.ndarray | None" = None
+        self._backward = None
+        self._parents: tuple = ()
+
+    # -- graph construction helpers ------------------------------------------
+    @staticmethod
+    def _lift(value) -> "Tensor":
+        return value if isinstance(value, Tensor) else Tensor(value)
+
+    def _make(self, data: np.ndarray, parents: tuple, backward) -> "Tensor":
+        out = Tensor(data)
+        out.requires_grad = any(p.requires_grad for p in parents)
+        if out.requires_grad:
+            out._parents = parents
+            out._backward = backward
+        return out
+
+    @property
+    def shape(self) -> tuple:
+        """Array shape."""
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        """Number of dimensions."""
+        return self.data.ndim
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def item(self) -> float:
+        """Python float of a scalar tensor."""
+        return float(self.data)
+
+    def numpy(self) -> np.ndarray:
+        """The underlying array (no copy)."""
+        return self.data
+
+    def detach(self) -> "Tensor":
+        """A tensor sharing data but cut from the graph."""
+        return Tensor(self.data)
+
+    # -- arithmetic ------------------------------------------------------------
+    def __add__(self, other) -> "Tensor":
+        other = self._lift(other)
+        out_data = self.data + other.data
+
+        def backward(grad):
+            return (_unbroadcast(grad, self.shape), _unbroadcast(grad, other.shape))
+
+        return self._make(out_data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __mul__(self, other) -> "Tensor":
+        other = self._lift(other)
+        out_data = self.data * other.data
+
+        def backward(grad):
+            return (
+                _unbroadcast(grad * other.data, self.shape),
+                _unbroadcast(grad * self.data, other.shape),
+            )
+
+        return self._make(out_data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "Tensor":
+        return self * -1.0
+
+    def __sub__(self, other) -> "Tensor":
+        return self + (-self._lift(other))
+
+    def __rsub__(self, other) -> "Tensor":
+        return self._lift(other) + (-self)
+
+    def __truediv__(self, other) -> "Tensor":
+        other = self._lift(other)
+        return self * other ** -1.0
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return self._lift(other) * self ** -1.0
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        out_data = self.data**exponent
+
+        def backward(grad):
+            return (grad * exponent * self.data ** (exponent - 1.0),)
+
+        return self._make(out_data, (self,), backward)
+
+    def __matmul__(self, other) -> "Tensor":
+        other = self._lift(other)
+        out_data = self.data @ other.data
+
+        def backward(grad):
+            a, b = self.data, other.data
+            if a.ndim == 1 and b.ndim == 1:
+                return (grad * b, grad * a)
+            if a.ndim == 1:  # (k,) @ (k, n)
+                return (grad @ np.swapaxes(b, -1, -2), np.outer(a, grad))
+            if b.ndim == 1:  # (..., k) @ (k,) -> (...)
+                grad_a = np.expand_dims(grad, -1) * b
+                leading = list(range(grad.ndim))
+                grad_b = np.tensordot(grad, a, axes=(leading, leading))
+                return (grad_a, grad_b)
+            grad_a = grad @ np.swapaxes(b, -1, -2)
+            grad_b = np.swapaxes(a, -1, -2) @ grad
+            return (_unbroadcast(grad_a, a.shape), _unbroadcast(grad_b, b.shape))
+
+        return self._make(out_data, (self, other), backward)
+
+    # -- nonlinearities ---------------------------------------------------------
+    def exp(self) -> "Tensor":
+        """Element-wise exponential."""
+        out_data = np.exp(self.data)
+
+        def backward(grad):
+            return (grad * out_data,)
+
+        return self._make(out_data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        """Element-wise natural log."""
+        out_data = np.log(self.data)
+
+        def backward(grad):
+            return (grad / self.data,)
+
+        return self._make(out_data, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        """Element-wise tanh."""
+        out_data = np.tanh(self.data)
+
+        def backward(grad):
+            return (grad * (1.0 - out_data**2),)
+
+        return self._make(out_data, (self,), backward)
+
+    def relu(self) -> "Tensor":
+        """Element-wise max(x, 0)."""
+        out_data = np.maximum(self.data, 0.0)
+
+        def backward(grad):
+            return (grad * (self.data > 0.0),)
+
+        return self._make(out_data, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        """Element-wise logistic sigmoid."""
+        out_data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(grad):
+            return (grad * out_data * (1.0 - out_data),)
+
+        return self._make(out_data, (self,), backward)
+
+    def gelu(self) -> "Tensor":
+        """tanh-approximation GELU (as used by BERT)."""
+        c = np.sqrt(2.0 / np.pi)
+        x = self.data
+        inner = c * (x + 0.044715 * x**3)
+        t = np.tanh(inner)
+        out_data = 0.5 * x * (1.0 + t)
+
+        def backward(grad):
+            dinner = c * (1.0 + 3 * 0.044715 * x**2)
+            dt = (1.0 - t**2) * dinner
+            return (grad * (0.5 * (1.0 + t) + 0.5 * x * dt),)
+
+        return self._make(out_data, (self,), backward)
+
+    # -- reductions ---------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Sum over ``axis`` (all axes when None)."""
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad):
+            g = np.asarray(grad)
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis)
+            return (np.broadcast_to(g, self.shape).copy(),)
+
+        return self._make(out_data, (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Mean over ``axis`` (all axes when None)."""
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Maximum over ``axis``; gradient splits across ties."""
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad):
+            g = np.asarray(grad)
+            out = out_data
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis)
+                out = np.expand_dims(out_data, axis)
+            mask = (self.data == out).astype(float)
+            mask /= mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+            return (mask * g,)
+
+        return self._make(out_data, (self,), backward)
+
+    # -- shape ops -------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        """View with a new shape."""
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out_data = self.data.reshape(shape)
+        original = self.shape
+
+        def backward(grad):
+            return (grad.reshape(original),)
+
+        return self._make(out_data, (self,), backward)
+
+    def transpose(self, *axes) -> "Tensor":
+        """Permute axes (reversed when omitted)."""
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        out_data = self.data.transpose(axes)
+        inverse = np.argsort(axes)
+
+        def backward(grad):
+            return (grad.transpose(inverse),)
+
+        return self._make(out_data, (self,), backward)
+
+    def swapaxes(self, a: int, b: int) -> "Tensor":
+        """Exchange two axes."""
+        axes = list(range(self.ndim))
+        axes[a], axes[b] = axes[b], axes[a]
+        return self.transpose(*axes)
+
+    def __getitem__(self, index) -> "Tensor":
+        out_data = self.data[index]
+        shape = self.shape
+
+        def backward(grad):
+            full = np.zeros(shape, dtype=float)
+            np.add.at(full, index, grad)
+            return (full,)
+
+        return self._make(out_data, (self,), backward)
+
+    def take_rows(self, indices: np.ndarray) -> "Tensor":
+        """Gather rows (embedding lookup): self is (V, D), indices any shape."""
+        idx = np.asarray(indices, dtype=np.int64)
+        out_data = self.data[idx]
+        shape = self.shape
+
+        def backward(grad):
+            full = np.zeros(shape, dtype=float)
+            np.add.at(full, idx.reshape(-1), grad.reshape(-1, shape[-1]))
+            return (full,)
+
+        return self._make(out_data, (self,), backward)
+
+    def masked_fill(self, mask: np.ndarray, value: float) -> "Tensor":
+        """Replace entries where ``mask`` is True with ``value``."""
+        mask = np.asarray(mask, dtype=bool)
+        out_data = np.where(mask, value, self.data)
+
+        def backward(grad):
+            return (np.where(mask, 0.0, grad),)
+
+        return self._make(out_data, (self,), backward)
+
+    # -- backward pass --------------------------------------------------------------------
+    def backward(self, grad: "np.ndarray | None" = None) -> None:
+        """Backpropagate from this tensor.
+
+        ``grad`` defaults to 1.0 and must match this tensor's shape
+        otherwise. Accumulates into ``.grad`` of every requires-grad leaf.
+        """
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError("backward() without grad requires a scalar tensor")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=np.float64)
+
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited or not node.requires_grad:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                stack.append((parent, False))
+
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        for node in reversed(topo):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node._backward is None:
+                node.grad = node_grad if node.grad is None else node.grad + node_grad
+                continue
+            parent_grads = node._backward(node_grad)
+            for parent, pgrad in zip(node._parents, parent_grads):
+                if not parent.requires_grad or pgrad is None:
+                    continue
+                key = id(parent)
+                if key in grads:
+                    grads[key] = grads[key] + pgrad
+                else:
+                    grads[key] = np.asarray(pgrad, dtype=np.float64)
+
+    def zero_grad(self) -> None:
+        """Clear the accumulated gradient."""
+        self.grad = None
+
+    def __repr__(self) -> str:
+        return f"Tensor(shape={self.shape}, requires_grad={self.requires_grad})"
+
+
+def concatenate(tensors: list, axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient support."""
+    tensors = [Tensor._lift(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+    splits = np.cumsum(sizes)[:-1]
+
+    def backward(grad):
+        return tuple(np.split(grad, splits, axis=axis))
+
+    probe = Tensor(out_data)
+    probe.requires_grad = any(t.requires_grad for t in tensors)
+    if probe.requires_grad:
+        probe._parents = tuple(tensors)
+        probe._backward = backward
+    return probe
+
+
+def stack(tensors: list, axis: int = 0) -> Tensor:
+    """Stack tensors along a new ``axis`` with gradient support."""
+    tensors = [Tensor._lift(t) for t in tensors]
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad):
+        return tuple(np.moveaxis(grad, axis, 0))
+
+    probe = Tensor(out_data)
+    probe.requires_grad = any(t.requires_grad for t in tensors)
+    if probe.requires_grad:
+        probe._parents = tuple(tensors)
+        probe._backward = backward
+    return probe

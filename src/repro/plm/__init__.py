@@ -1,0 +1,42 @@
+"""Pre-trained language model substrate (pure numpy).
+
+A small transformer encoder pre-trained in-process on a synthetic
+general-knowledge corpus. It exposes the four interfaces the surveyed
+methods consume from BERT-family models:
+
+- contextualized token representations (:meth:`PretrainedLM.encode_tokens`)
+- masked-token ranking (:meth:`PretrainedLM.predict_masked`)
+- sequence-pair relevance (:class:`~repro.plm.nli.RelevanceModel`)
+- replaced-token detection (:class:`~repro.plm.electra.ElectraDiscriminator`)
+"""
+
+from repro.plm.config import PLMConfig, tiny_config
+from repro.plm.electra import ElectraDiscriminator
+from repro.plm.encoder import TransformerEncoder
+from repro.plm.io import load_plm, save_plm
+from repro.plm.model import PretrainedLM
+from repro.plm.nli import RelevanceModel
+from repro.plm.prompts import PromptTemplate, Verbalizer
+from repro.plm.provider import (
+    clear_cache,
+    get_electra,
+    get_pretrained_lm,
+    get_relevance_model,
+)
+
+__all__ = [
+    "PLMConfig",
+    "tiny_config",
+    "TransformerEncoder",
+    "PretrainedLM",
+    "RelevanceModel",
+    "ElectraDiscriminator",
+    "PromptTemplate",
+    "Verbalizer",
+    "get_pretrained_lm",
+    "get_relevance_model",
+    "get_electra",
+    "clear_cache",
+    "save_plm",
+    "load_plm",
+]

@@ -1,0 +1,58 @@
+"""PLM configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class PLMConfig:
+    """Hyper-parameters of the numpy PLM.
+
+    The defaults trade scale for CPU speed: a 2-layer, 48-dim encoder
+    pre-trained for a few hundred MLM steps, with token embeddings
+    initialized from PPMI-SVD so topical structure exists from step zero
+    (the stand-in for large-scale pre-training).
+    """
+
+    dim: int = 48
+    n_layers: int = 2
+    n_heads: int = 4
+    ff_hidden: int = 96
+    max_len: int = 48
+    dropout: float = 0.0
+
+    # Pre-training
+    pretrain_max_len: int = 32
+    mlm_prob: float = 0.15
+    mlm_steps: int = 350
+    electra_steps: int = 120
+    batch_size: int = 32
+    lr: float = 3e-3
+    init_from_svd: bool = True
+    svd_window: int = 5
+
+    # Pre-training corpus
+    pretrain_docs: int = 1200
+
+    def cache_key(self) -> tuple:
+        """Hashable identity for the provider cache."""
+        return tuple(sorted(self.__dict__.items()))
+
+
+def tiny_config() -> PLMConfig:
+    """A small config for unit tests (seconds, not minutes).
+
+    Large enough that contextual structure emerges (the method tests rely
+    on topical masked predictions and class-separable representations),
+    small enough to pre-train in a few seconds.
+    """
+    return PLMConfig(
+        dim=32, n_layers=2, n_heads=2, ff_hidden=64, max_len=32,
+        mlm_steps=300, electra_steps=60, batch_size=16, pretrain_docs=700,
+    )
+
+
+def scaled_config(base: PLMConfig, **overrides) -> PLMConfig:
+    """A copy of ``base`` with the given fields replaced."""
+    return replace(base, **overrides)

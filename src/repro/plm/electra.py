@@ -1,0 +1,93 @@
+"""ELECTRA-style replaced-token-detection head.
+
+A bilinear compatibility scorer between a token's contextual hidden state
+and its static embedding: ``score = h_t . (W e_t) + b``. High scores mean
+"this token is original (fits its context)". Trained on corrupted copies of
+the pre-training corpus with the encoder frozen — a scale-appropriate
+stand-in for ELECTRA's jointly-trained discriminator that preserves the
+interface PromptClass consumes (per-token originality probabilities).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.seeding import ensure_rng
+from repro.nn.losses import binary_cross_entropy_with_logits
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor
+from repro.plm.encoder import pad_batch
+from repro.plm.model import PretrainedLM
+
+
+class ElectraDiscriminator:
+    """Replaced-token detector over a frozen pre-trained encoder."""
+
+    def __init__(self, plm: PretrainedLM, seed: "int | np.random.Generator" = 0):
+        self.plm = plm
+        rng = ensure_rng(seed)
+        dim = plm.dim
+        limit = np.sqrt(6.0 / (2 * dim))
+        self.weight = Tensor(rng.uniform(-limit, limit, size=(dim, dim)),
+                             requires_grad=True)
+        self.bias = Tensor(np.zeros(1), requires_grad=True)
+        self._trained = False
+
+    def _hidden_and_embeddings(self, ids: np.ndarray, pad_mask: np.ndarray) -> tuple:
+        hidden = self.plm.encoder(ids, pad_mask=pad_mask).data  # frozen
+        emb = self.plm.encoder.token_embedding.weight.data[ids]
+        return hidden, emb
+
+    def _logits(self, hidden: np.ndarray, emb: np.ndarray) -> Tensor:
+        projected = Tensor(emb) @ self.weight  # (B, T, D)
+        return (Tensor(hidden) * projected).sum(axis=-1) + self.bias
+
+    def train(self, token_lists: list, steps: int = 120, batch_size: int = 32,
+              corrupt_prob: float = 0.15, lr: float = 5e-3,
+              seed: "int | np.random.Generator" = 0) -> "ElectraDiscriminator":
+        """Fit the detector on corrupted copies of ``token_lists``."""
+        rng = ensure_rng(seed)
+        vocab = self.plm.vocabulary
+        sequences = [vocab.encode(t)[: self.plm.max_len] for t in token_lists if t]
+        noise = vocab.unigram_distribution()
+        optimizer = Adam([self.weight, self.bias], lr=lr)
+        for _ in range(steps):
+            idx = rng.integers(0, len(sequences), size=batch_size)
+            ids, pad_mask = pad_batch([sequences[i] for i in idx],
+                                      vocab.pad_id, self.plm.max_len)
+            corrupted = ids.copy()
+            replace = (~pad_mask) & (rng.random(ids.shape) < corrupt_prob)
+            if replace.any():
+                corrupted[replace] = rng.choice(len(noise), size=int(replace.sum()),
+                                                p=noise)
+            targets = np.where(replace, 0.0, 1.0)
+            weights = (~pad_mask).astype(float)
+            hidden, emb = self._hidden_and_embeddings(corrupted, pad_mask)
+            logits = self._logits(hidden, emb)
+            loss = binary_cross_entropy_with_logits(logits, targets, weights=weights)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        self._trained = True
+        return self
+
+    def originality(self, token_lists: list) -> list:
+        """Per-token P(original | context) for each document."""
+        vocab = self.plm.vocabulary
+        out: list[np.ndarray] = []
+        for start in range(0, len(token_lists), 32):
+            chunk = token_lists[start : start + 32]
+            sequences = [vocab.encode(t)[: self.plm.max_len] for t in chunk]
+            safe = [s if len(s) else np.array([vocab.unk_id]) for s in sequences]
+            ids, pad_mask = pad_batch(safe, vocab.pad_id, self.plm.max_len)
+            hidden, emb = self._hidden_and_embeddings(ids, pad_mask)
+            logits = self._logits(hidden, emb).data
+            probs = 1.0 / (1.0 + np.exp(-logits))
+            for row, seq in zip(probs, safe):
+                out.append(row[: len(seq)].copy())
+        return out
+
+    def token_originality(self, tokens: list, position: int) -> float:
+        """P(original) of the token at ``position``."""
+        scores = self.originality([tokens])[0]
+        return float(scores[min(position, len(scores) - 1)])

@@ -1,0 +1,71 @@
+"""Transformer encoder with a tied masked-LM head."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Embedding, LayerNorm, Linear, Module, TransformerBlock
+from repro.nn.tensor import Tensor
+from repro.plm.config import PLMConfig
+from repro.text.vocabulary import Vocabulary
+
+
+class TransformerEncoder(Module):
+    """Token + position embeddings, pre-norm blocks, tied MLM head.
+
+    ``forward`` returns final hidden states (B, T, D); ``mlm_logits``
+    projects them onto the vocabulary with weights tied to the token
+    embedding table (plus a learned output bias), as in BERT.
+    """
+
+    def __init__(self, vocabulary: Vocabulary, config: PLMConfig,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.vocabulary = vocabulary
+        self.config = config
+        self.token_embedding = Embedding(len(vocabulary), config.dim, rng)
+        self.position_embedding = Embedding(config.max_len, config.dim, rng)
+        self.blocks = [
+            TransformerBlock(config.dim, config.n_heads, config.ff_hidden, rng,
+                             dropout=config.dropout)
+            for _ in range(config.n_layers)
+        ]
+        self.final_norm = LayerNorm(config.dim)
+        self.mlm_transform = Linear(config.dim, config.dim, rng)
+        self.mlm_bias = Tensor(np.zeros(len(vocabulary)), requires_grad=True)
+
+    def forward(self, ids: np.ndarray, pad_mask: "np.ndarray | None" = None) -> Tensor:
+        """Hidden states for int id batch (B, T)."""
+        ids = np.asarray(ids, dtype=np.int64)
+        batch, seq = ids.shape
+        if seq > self.config.max_len:
+            raise ValueError(f"sequence length {seq} exceeds max_len {self.config.max_len}")
+        positions = np.broadcast_to(np.arange(seq), (batch, seq))
+        x = self.token_embedding(ids) + self.position_embedding(positions)
+        for block in self.blocks:
+            x = block(x, pad_mask=pad_mask)
+        return self.final_norm(x)
+
+    def mlm_logits(self, hidden: Tensor) -> Tensor:
+        """Vocabulary logits from hidden states (tied output embeddings)."""
+        transformed = self.mlm_transform(hidden).gelu()
+        return transformed @ self.token_embedding.weight.swapaxes(0, 1) + self.mlm_bias
+
+    def attention_maps(self) -> list:
+        """Per-layer attention probabilities of the most recent forward."""
+        return [block.attn.last_attention for block in self.blocks]
+
+
+def pad_batch(id_lists: list, pad_id: int, max_len: int) -> tuple:
+    """Pad/truncate id lists to a (B, T) batch plus a True-at-padding mask."""
+    if not id_lists:
+        raise ValueError("empty batch")
+    seq = min(max(len(ids) for ids in id_lists), max_len)
+    seq = max(seq, 1)
+    batch = np.full((len(id_lists), seq), pad_id, dtype=np.int64)
+    mask = np.ones((len(id_lists), seq), dtype=bool)
+    for i, ids in enumerate(id_lists):
+        ids = list(ids)[:seq]
+        batch[i, : len(ids)] = ids
+        mask[i, : len(ids)] = False
+    return batch, mask

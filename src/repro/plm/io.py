@@ -1,0 +1,60 @@
+"""Saving and loading pre-trained models.
+
+A fitted :class:`~repro.plm.model.PretrainedLM` serializes to a single
+``.npz`` file: the parameter arrays (in ``Module.parameters()`` order), the
+vocabulary tokens, counts, and the config fields — enough to rebuild the
+model bit-identically in another process, skipping pre-training.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.plm.config import PLMConfig
+from repro.plm.encoder import TransformerEncoder
+from repro.plm.model import PretrainedLM
+from repro.text.vocabulary import Vocabulary
+
+
+def save_plm(plm: PretrainedLM, path: "str | Path") -> Path:
+    """Serialize ``plm`` to ``path`` (``.npz`` appended if missing)."""
+    path = Path(path)
+    encoder = plm.encoder
+    vocab = encoder.vocabulary
+    tokens = [vocab.token(i) for i in range(len(vocab))]
+    counts = [vocab.frequency(t) for t in tokens]
+    payload = {
+        f"param_{i}": array for i, array in enumerate(encoder.state_dict())
+    }
+    payload["meta"] = np.array(
+        json.dumps(
+            {
+                "config": dict(encoder.config.__dict__),
+                "tokens": tokens,
+                "counts": counts,
+                "n_params": len(encoder.state_dict()),
+            }
+        )
+    )
+    np.savez_compressed(path, **payload)
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_plm(path: "str | Path") -> PretrainedLM:
+    """Rebuild a :class:`PretrainedLM` saved by :func:`save_plm`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        meta = json.loads(str(data["meta"]))
+        arrays = [data[f"param_{i}"] for i in range(meta["n_params"])]
+    config = PLMConfig(**meta["config"])
+    n_specials = len(Vocabulary().specials)
+    vocab = Vocabulary()
+    for token, count in zip(meta["tokens"][n_specials:],
+                            meta["counts"][n_specials:]):
+        vocab.add(token, count=int(count))
+    rng = np.random.default_rng(0)  # weights are overwritten below
+    encoder = TransformerEncoder(vocab, config, rng)
+    encoder.load_state_dict(arrays)
+    return PretrainedLM(encoder)

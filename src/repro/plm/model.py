@@ -1,0 +1,154 @@
+"""User-facing facade over the pre-trained transformer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.functional import l2_normalize
+from repro.plm.encoder import TransformerEncoder, pad_batch
+from repro.text.vocabulary import MASK, Vocabulary
+
+
+class PretrainedLM:
+    """A pre-trained language model exposing BERT-style interfaces.
+
+    Wraps a :class:`TransformerEncoder` with batched encoding, pooled
+    document embeddings, masked-token ranking, and attention access.
+    """
+
+    def __init__(self, encoder: TransformerEncoder, batch_size: int = 32):
+        self.encoder = encoder
+        self.batch_size = batch_size
+        self.encoder.eval()
+
+    @property
+    def vocabulary(self) -> Vocabulary:
+        return self.encoder.vocabulary
+
+    @property
+    def dim(self) -> int:
+        return self.encoder.config.dim
+
+    @property
+    def max_len(self) -> int:
+        return self.encoder.config.max_len
+
+    # -- encoding -----------------------------------------------------------
+    def encode_tokens(self, token_lists: list) -> list:
+        """Contextualized vectors per document: list of (T_i, dim) arrays.
+
+        Documents longer than ``max_len`` are truncated (documented
+        substitution for sliding-window encoding).
+        """
+        vocab = self.vocabulary
+        sequences = [vocab.encode(t)[: self.max_len] for t in token_lists]
+        out: list[np.ndarray] = []
+        for start in range(0, len(sequences), self.batch_size):
+            chunk = sequences[start : start + self.batch_size]
+            if not chunk:
+                continue
+            safe = [s if len(s) else np.array([vocab.unk_id]) for s in chunk]
+            ids, mask = pad_batch(safe, vocab.pad_id, self.max_len)
+            hidden = self.encoder(ids, pad_mask=mask).data
+            for row, seq in zip(hidden, safe):
+                out.append(row[: len(seq)].copy())
+        return out
+
+    def doc_embeddings(self, token_lists: list, normalize: bool = True) -> np.ndarray:
+        """Average-pooled contextual document embeddings (N, dim).
+
+        Out-of-vocabulary positions are excluded from the pool (their UNK
+        vectors carry no content); fully-OOV documents fall back to the
+        plain mean.
+        """
+        vocab = self.vocabulary
+        unk = vocab.unk_id
+        encoded = self.encode_tokens(token_lists)
+        rows = []
+        for tokens, hidden in zip(token_lists, encoded):
+            ids = vocab.encode(list(tokens))[: hidden.shape[0]]
+            keep = ids != unk
+            if keep.any():
+                rows.append(hidden[keep].mean(axis=0))
+            else:
+                rows.append(hidden.mean(axis=0))
+        out = np.stack(rows)
+        return l2_normalize(out) if normalize else out
+
+    def encode_with_attention(self, tokens: list) -> tuple:
+        """(hidden (T, dim), last-layer attention (heads, T, T)) for one doc."""
+        vocab = self.vocabulary
+        seq = vocab.encode(tokens)[: self.max_len]
+        if len(seq) == 0:
+            seq = np.array([vocab.unk_id])
+        ids, mask = pad_batch([seq], vocab.pad_id, self.max_len)
+        hidden = self.encoder(ids, pad_mask=mask).data[0]
+        attention = self.encoder.attention_maps()[-1][0]  # (H, T, T)
+        return hidden[: len(seq)], attention[:, : len(seq), : len(seq)]
+
+    # -- masked prediction -----------------------------------------------------
+    def predict_masked(self, tokens: list, position: int, top_k: int = 10,
+                       exclude_specials: bool = True) -> list:
+        """Top-``k`` (word, probability) the model predicts at ``position``.
+
+        The token at ``position`` is replaced by ``[MASK]`` before scoring —
+        LOTClass's replacement-word query.
+        """
+        working = list(tokens)
+        if not 0 <= position < len(working):
+            raise IndexError(f"position {position} out of range")
+        working[position] = MASK
+        return self.fill_mask(working, top_k=top_k,
+                              exclude_specials=exclude_specials)
+
+    def fill_mask(self, tokens: list, top_k: int = 10,
+                  exclude_specials: bool = True) -> list:
+        """Top-``k`` (word, probability) for the single ``[MASK]`` in ``tokens``."""
+        if MASK not in tokens:
+            raise ValueError("tokens contain no [MASK]")
+        position = tokens.index(MASK)
+        vocab = self.vocabulary
+        seq = vocab.encode(tokens)[: self.max_len]
+        if position >= self.max_len:
+            raise ValueError("mask position beyond max_len after truncation")
+        ids, mask = pad_batch([seq], vocab.pad_id, self.max_len)
+        hidden = self.encoder(ids, pad_mask=mask)
+        logits = self.encoder.mlm_logits(hidden).data[0, position]
+        probs = np.exp(logits - logits.max())
+        probs /= probs.sum()
+        if exclude_specials:
+            for special_id in vocab.special_ids:
+                probs[special_id] = 0.0
+            probs /= probs.sum()
+        idx = np.argsort(-probs)[:top_k]
+        return [(vocab.token(int(i)), float(probs[i])) for i in idx]
+
+    def mask_logits_batch(self, token_lists: list, positions: list) -> np.ndarray:
+        """Vocabulary logits at one masked position per document (N, V)."""
+        vocab = self.vocabulary
+        sequences = []
+        for tokens, pos in zip(token_lists, positions):
+            working = list(tokens)
+            working[pos] = MASK
+            sequences.append(vocab.encode(working)[: self.max_len])
+        out = np.zeros((len(sequences), len(vocab)))
+        for start in range(0, len(sequences), self.batch_size):
+            chunk = sequences[start : start + self.batch_size]
+            pos_chunk = positions[start : start + self.batch_size]
+            ids, mask = pad_batch(chunk, vocab.pad_id, self.max_len)
+            hidden = self.encoder(ids, pad_mask=mask)
+            logits = self.encoder.mlm_logits(hidden).data
+            for row, (logit_mat, pos) in enumerate(zip(logits, pos_chunk)):
+                out[start + row] = logit_mat[min(pos, logit_mat.shape[0] - 1)]
+        return out
+
+    def word_embedding(self, word: str) -> np.ndarray:
+        """Static (non-contextual) input embedding of ``word``."""
+        return self.encoder.token_embedding.weight.data[self.vocabulary.id(word)]
+
+    def __repr__(self) -> str:
+        cfg = self.encoder.config
+        return (
+            f"PretrainedLM(dim={cfg.dim}, layers={cfg.n_layers}, "
+            f"vocab={len(self.vocabulary)})"
+        )

@@ -1,0 +1,95 @@
+"""Masked-language-model pre-training of the numpy transformer.
+
+Pre-training follows BERT's recipe at miniature scale: 15% of tokens are
+selected; 80% of those become ``[MASK]``, 10% a random token, 10% stay
+unchanged; the encoder must recover the originals. Token embeddings start
+from PPMI-SVD vectors of the pre-training corpus, which substitutes for the
+topical knowledge a full-scale model would acquire — MLM steps then teach
+the encoder to *use context*.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.seeding import ensure_rng
+from repro.embeddings.ppmi_svd import PPMISVDEmbeddings
+from repro.nn.losses import cross_entropy
+from repro.nn.optim import Adam
+from repro.plm.config import PLMConfig
+from repro.plm.encoder import TransformerEncoder, pad_batch
+from repro.text.vocabulary import Vocabulary
+
+IGNORE = -100
+
+
+def build_plm_vocabulary(token_lists: list, min_count: int = 1,
+                         max_size: "int | None" = 6000) -> Vocabulary:
+    """Vocabulary over the pre-training stream (specials reserved)."""
+    return Vocabulary.build(token_lists, min_count=min_count, max_size=max_size)
+
+
+def init_token_embeddings(encoder: TransformerEncoder, token_lists: list,
+                          config: PLMConfig, seed: int = 0) -> None:
+    """Overwrite the token table with scaled PPMI-SVD vectors."""
+    svd = PPMISVDEmbeddings(dim=config.dim, window=config.svd_window)
+    svd.fit(token_lists, vocabulary=encoder.vocabulary, seed=seed)
+    table = svd.matrix().copy()
+    # Match BERT-style initialization scale so LayerNorm statistics are sane.
+    scale = np.abs(table).mean() + 1e-12
+    encoder.token_embedding.weight.data = table * (0.08 / scale)
+
+
+def _mask_tokens(ids: np.ndarray, pad_mask: np.ndarray, vocab: Vocabulary,
+                 mlm_prob: float, rng: np.random.Generator) -> tuple:
+    """BERT masking. Returns (corrupted ids, targets with IGNORE)."""
+    ids = ids.copy()
+    targets = np.full_like(ids, IGNORE)
+    candidates = ~pad_mask
+    selected = candidates & (rng.random(ids.shape) < mlm_prob)
+    if not selected.any():
+        # Guarantee at least one prediction target per batch.
+        rows = np.arange(ids.shape[0])
+        cols = np.array([int(np.flatnonzero(c)[0]) if c.any() else 0 for c in candidates])
+        selected[rows, cols] = candidates[rows, cols]
+    targets[selected] = ids[selected]
+    action = rng.random(ids.shape)
+    mask_slot = selected & (action < 0.8)
+    random_slot = selected & (action >= 0.8) & (action < 0.9)
+    ids[mask_slot] = vocab.mask_id
+    if random_slot.any():
+        n_special = len(vocab.specials)
+        ids[random_slot] = rng.integers(n_special, len(vocab), size=int(random_slot.sum()))
+    return ids, targets
+
+
+def pretrain_mlm(encoder: TransformerEncoder, token_lists: list,
+                 config: PLMConfig, seed: "int | np.random.Generator" = 0,
+                 log: "list | None" = None) -> None:
+    """Run ``config.mlm_steps`` of masked-LM training in place."""
+    rng = ensure_rng(seed)
+    vocab = encoder.vocabulary
+    train_len = min(config.max_len, config.pretrain_max_len)
+    sequences = [vocab.encode(t)[:train_len] for t in token_lists if t]
+    if not sequences:
+        raise ValueError("pre-training corpus is empty")
+    optimizer = Adam(encoder.parameters(), lr=config.lr)
+    for step in range(config.mlm_steps):
+        idx = rng.integers(0, len(sequences), size=config.batch_size)
+        batch_ids, pad_mask = pad_batch([sequences[i] for i in idx],
+                                        vocab.pad_id, train_len)
+        corrupted, targets = _mask_tokens(batch_ids, pad_mask, vocab,
+                                          config.mlm_prob, rng)
+        hidden = encoder(corrupted, pad_mask=pad_mask)
+        # Project only the masked positions onto the vocabulary — the
+        # output layer dominates step cost otherwise.
+        rows, cols = np.nonzero(targets != IGNORE)
+        picked = hidden[rows, cols]  # (M, D)
+        logits = encoder.mlm_logits(picked)
+        loss = cross_entropy(logits, targets[rows, cols])
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.clip_grad_norm(5.0)
+        optimizer.step()
+        if log is not None:
+            log.append(float(loss.item()))

@@ -1,0 +1,59 @@
+"""Prompt templates and verbalizers for prompt-based classification."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.types import LabelSet
+from repro.text.vocabulary import MASK
+
+
+@dataclass(frozen=True)
+class PromptTemplate:
+    """A cloze template wrapped around a document.
+
+    ``render`` produces ``doc_tokens[:budget] + infix + [MASK | verbalized]``.
+    The default template mirrors the tutorial's example:
+    ``<doc> this article is about [MASK]``.
+    """
+
+    infix: tuple = ("this", "article", "is", "about")
+
+    def render_masked(self, doc_tokens: list, max_len: int) -> list:
+        """Template with a ``[MASK]`` slot, truncating the document to fit."""
+        budget = max(1, max_len - len(self.infix) - 1)
+        return list(doc_tokens[:budget]) + list(self.infix) + [MASK]
+
+    def render_filled(self, doc_tokens: list, fill_tokens: list, max_len: int) -> tuple:
+        """Template with the verbalizer filled in.
+
+        Returns (tokens, position of the first fill token) for
+        replaced-token-detection scoring.
+        """
+        budget = max(1, max_len - len(self.infix) - len(fill_tokens))
+        prefix = list(doc_tokens[:budget]) + list(self.infix)
+        return prefix + list(fill_tokens), len(prefix)
+
+
+@dataclass(frozen=True)
+class Verbalizer:
+    """Maps labels to the token(s) standing in for them in a prompt."""
+
+    label_set: LabelSet
+    tokens_of: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_label_names(cls, label_set: LabelSet) -> "Verbalizer":
+        """Default verbalizer: each label's surface-name tokens."""
+        return cls(
+            label_set=label_set,
+            tokens_of={l: tuple(label_set.name_tokens(l)) for l in label_set},
+        )
+
+    def tokens(self, label: str) -> list:
+        """All verbalizer tokens for ``label``."""
+        return list(self.tokens_of[label])
+
+    def head_token(self, label: str) -> str:
+        """The single token scored for this label in the MLM slot."""
+        return self.tokens_of[label][0]

@@ -1,0 +1,111 @@
+"""Construction and caching of pre-trained models.
+
+Pre-training is the expensive step, so fitted models are cached in-process
+keyed by (config, pre-training-stream identity, seed). Methods obtain their
+PLM via :func:`get_pretrained_lm`, optionally passing the unlabeled target
+corpus for domain-adaptive continued pre-training — which also guarantees
+the model's vocabulary covers the corpus (our stand-in for subword
+tokenization).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.seeding import ensure_rng
+from repro.core.types import Corpus
+from repro.datasets.pretraining import general_corpus
+from repro.plm.config import PLMConfig
+from repro.plm.electra import ElectraDiscriminator
+from repro.plm.encoder import TransformerEncoder
+from repro.plm.model import PretrainedLM
+from repro.plm.nli import RelevanceModel
+from repro.plm.pretrainer import (
+    build_plm_vocabulary,
+    init_token_embeddings,
+    pretrain_mlm,
+)
+
+_PLM_CACHE: dict = {}
+_ELECTRA_CACHE: dict = {}
+_NLI_CACHE: dict = {}
+
+
+def clear_cache() -> None:
+    """Drop all cached models (tests use this for isolation)."""
+    _PLM_CACHE.clear()
+    _ELECTRA_CACHE.clear()
+    _NLI_CACHE.clear()
+
+
+def _corpus_key(corpus: "Corpus | None") -> tuple:
+    if corpus is None:
+        return ("none",)
+    return (corpus.name, len(corpus))
+
+
+def get_pretrained_lm(target_corpus: "Corpus | None" = None,
+                      config: "PLMConfig | None" = None,
+                      seed: int = 0) -> PretrainedLM:
+    """A pre-trained LM, domain-adapted to ``target_corpus`` when given."""
+    config = config or PLMConfig()
+    key = (config.cache_key(), _corpus_key(target_corpus), seed)
+    if key in _PLM_CACHE:
+        return _PLM_CACHE[key]
+
+    rng = ensure_rng(seed)
+    pretrain = general_corpus(seed=seed, n_docs=config.pretrain_docs)
+    streams = pretrain.token_lists()
+    if target_corpus is not None:
+        streams = streams + target_corpus.token_lists()
+    vocabulary = build_plm_vocabulary(streams)
+    encoder = TransformerEncoder(vocabulary, config, rng)
+    if config.init_from_svd:
+        init_token_embeddings(encoder, streams, config, seed=seed)
+    pretrain_mlm(encoder, streams, config, seed=rng)
+    plm = PretrainedLM(encoder)
+    _PLM_CACHE[key] = plm
+    # Stash the pre-training provenance for downstream fine-tuning heads.
+    plm._pretrain_corpus = pretrain  # noqa: SLF001 - internal plumbing
+    plm._seed = seed  # noqa: SLF001
+    return plm
+
+
+def get_electra(plm: PretrainedLM, config: "PLMConfig | None" = None) -> ElectraDiscriminator:
+    """The replaced-token-detection head for ``plm`` (trained once, cached)."""
+    key = id(plm)
+    if key in _ELECTRA_CACHE:
+        return _ELECTRA_CACHE[key]
+    config = config or plm.encoder.config
+    seed = getattr(plm, "_seed", 0)
+    pretrain = getattr(plm, "_pretrain_corpus", None)
+    if pretrain is None:
+        pretrain = general_corpus(seed=seed, n_docs=config.pretrain_docs)
+    discriminator = ElectraDiscriminator(plm, seed=seed)
+    discriminator.train(pretrain.token_lists(), steps=config.electra_steps,
+                        batch_size=config.batch_size, seed=seed + 1)
+    _ELECTRA_CACHE[key] = discriminator
+    return discriminator
+
+
+def get_relevance_model(plm: PretrainedLM, steps: int = 150) -> RelevanceModel:
+    """The NLI-style relevance model for ``plm`` (trained once, cached).
+
+    Fine-tuned on synthetic entailment pairs built from the pre-training
+    corpus, whose documents carry their generating theme as provenance.
+    """
+    key = id(plm)
+    if key in _NLI_CACHE:
+        return _NLI_CACHE[key]
+    seed = getattr(plm, "_seed", 0)
+    pretrain = getattr(plm, "_pretrain_corpus", None)
+    if pretrain is None:
+        pretrain = general_corpus(seed=seed)
+    token_lists = pretrain.token_lists()
+    themes = [doc.labels[0] for doc in pretrain]
+    theme_names = {theme: [theme.split(":", 1)[-1]] for theme in set(themes)}
+    model = RelevanceModel(plm, seed=seed)
+    model.train_synthetic(token_lists, themes, theme_names, steps=steps,
+                          seed=seed + 2)
+    _NLI_CACHE[key] = model
+    return model

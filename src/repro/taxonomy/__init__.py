@@ -1,0 +1,6 @@
+"""Label taxonomies: trees (WeSHClass) and DAGs (TaxoClass)."""
+
+from repro.taxonomy.dag import LabelDAG
+from repro.taxonomy.tree import LabelTree
+
+__all__ = ["LabelTree", "LabelDAG"]

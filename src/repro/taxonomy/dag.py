@@ -1,0 +1,103 @@
+"""Label DAG for hierarchical multi-label classification (TaxoClass).
+
+Unlike :class:`~repro.taxonomy.tree.LabelTree`, a node may have multiple
+parents, and a document may carry several labels spread over different
+paths. Backed by :mod:`networkx` for the graph algorithms.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import networkx as nx
+
+from repro.core.exceptions import TaxonomyError
+
+ROOT = "<ROOT>"
+
+
+class LabelDAG:
+    """A rooted directed acyclic graph over label ids.
+
+    Edges point parent -> child. All nodes are reachable from the virtual
+    :data:`ROOT`.
+    """
+
+    def __init__(self, edges: Iterable[tuple[str, str]], top_level: Iterable[str] = ()):
+        self._graph = nx.DiGraph()
+        self._graph.add_node(ROOT)
+        for label in top_level:
+            self._graph.add_edge(ROOT, label)
+        for parent, child in edges:
+            if child == ROOT:
+                raise TaxonomyError("ROOT cannot be a child")
+            self._graph.add_edge(parent, child)
+        if not nx.is_directed_acyclic_graph(self._graph):
+            raise TaxonomyError("label graph contains a cycle")
+        unreachable = set(self._graph.nodes) - set(
+            nx.descendants(self._graph, ROOT)
+        ) - {ROOT}
+        if unreachable:
+            raise TaxonomyError(f"nodes unreachable from ROOT: {sorted(unreachable)}")
+
+    # -- structure queries --------------------------------------------------
+    @property
+    def nodes(self) -> list[str]:
+        """All labels (excluding ROOT) in topological order."""
+        return [n for n in nx.topological_sort(self._graph) if n != ROOT]
+
+    def children(self, node: str) -> list[str]:
+        """Direct children of ``node`` (ROOT for the top level)."""
+        if node not in self._graph:
+            raise TaxonomyError(f"unknown node {node!r}")
+        return sorted(self._graph.successors(node))
+
+    def parents(self, node: str) -> list[str]:
+        """Direct parents of ``node`` (may include ROOT)."""
+        if node not in self._graph:
+            raise TaxonomyError(f"unknown node {node!r}")
+        return sorted(self._graph.predecessors(node))
+
+    def is_leaf(self, node: str) -> bool:
+        """True when ``node`` has no children."""
+        return not self.children(node)
+
+    def leaves(self) -> list[str]:
+        """All leaf labels."""
+        return [n for n in self.nodes if self.is_leaf(n)]
+
+    def ancestors(self, node: str) -> set:
+        """All strict ancestors of ``node`` (excluding ROOT)."""
+        return set(nx.ancestors(self._graph, node)) - {ROOT}
+
+    def descendants(self, node: str) -> set:
+        """All strict descendants of ``node``."""
+        return set(nx.descendants(self._graph, node))
+
+    def depth(self, node: str) -> int:
+        """Length of the shortest ROOT -> node path."""
+        return nx.shortest_path_length(self._graph, ROOT, node)
+
+    def levels(self) -> dict:
+        """Mapping depth -> labels at that (shortest-path) depth."""
+        out: dict[int, list[str]] = {}
+        for node in self.nodes:
+            out.setdefault(self.depth(node), []).append(node)
+        return out
+
+    def closure(self, labels: Iterable[str]) -> set:
+        """``labels`` plus all their ancestors (excluding ROOT)."""
+        out: set[str] = set()
+        for label in labels:
+            out.add(label)
+            out |= self.ancestors(label)
+        return out
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._graph and node != ROOT
+
+    def __len__(self) -> int:
+        return self._graph.number_of_nodes() - 1
+
+    def __repr__(self) -> str:
+        return f"LabelDAG(nodes={len(self)}, leaves={len(self.leaves())})"

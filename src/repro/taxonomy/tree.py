@@ -1,0 +1,141 @@
+"""Label tree for hierarchical single-path classification (WeSHClass).
+
+The tree has a virtual ``ROOT``. Every document is associated with one
+root-to-leaf path; internal nodes are categories at coarser granularity.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.core.exceptions import TaxonomyError
+
+ROOT = "<ROOT>"
+
+
+class LabelTree:
+    """A rooted tree over label ids.
+
+    Parameters
+    ----------
+    parent_of:
+        Mapping from each label to its parent label; top-level labels map
+        to :data:`ROOT` (or may be omitted and passed via ``top_level``).
+    """
+
+    def __init__(self, parent_of: dict):
+        self._parent: dict[str, str] = dict(parent_of)
+        self._children: dict[str, list[str]] = {ROOT: []}
+        for child, parent in self._parent.items():
+            if child == ROOT:
+                raise TaxonomyError("ROOT cannot be a child")
+            self._children.setdefault(parent, []).append(child)
+            self._children.setdefault(child, [])
+        for parent in list(self._children):
+            self._children[parent].sort()
+        # Validate: every non-root node reaches ROOT without cycles.
+        for node in self._parent:
+            seen = set()
+            cur = node
+            while cur != ROOT:
+                if cur in seen:
+                    raise TaxonomyError(f"cycle involving {cur!r}")
+                seen.add(cur)
+                if cur not in self._parent:
+                    raise TaxonomyError(f"node {cur!r} has no path to ROOT")
+                cur = self._parent[cur]
+
+    # -- structure queries --------------------------------------------------
+    @property
+    def nodes(self) -> list[str]:
+        """All labels (excluding ROOT), in BFS order."""
+        out: list[str] = []
+        frontier = [ROOT]
+        while frontier:
+            nxt: list[str] = []
+            for node in frontier:
+                for child in self._children.get(node, []):
+                    out.append(child)
+                    nxt.append(child)
+            frontier = nxt
+        return out
+
+    def children(self, node: str) -> list[str]:
+        """Direct children of ``node`` (use ROOT for the top level)."""
+        if node not in self._children:
+            raise TaxonomyError(f"unknown node {node!r}")
+        return list(self._children[node])
+
+    def parent(self, node: str) -> str:
+        """Direct parent of ``node`` (ROOT for top-level labels)."""
+        if node not in self._parent:
+            raise TaxonomyError(f"unknown node {node!r}")
+        return self._parent[node]
+
+    def is_leaf(self, node: str) -> bool:
+        """True when ``node`` has no children."""
+        return not self.children(node)
+
+    def leaves(self) -> list[str]:
+        """All leaf labels in BFS order."""
+        return [n for n in self.nodes if self.is_leaf(n)]
+
+    def internal(self) -> list[str]:
+        """All internal (non-leaf, non-root) labels in BFS order."""
+        return [n for n in self.nodes if not self.is_leaf(n)]
+
+    def path_to_root(self, node: str) -> list[str]:
+        """Labels from ``node`` up to (excluding) ROOT."""
+        path = [node]
+        while self._parent[path[-1]] != ROOT:
+            path.append(self._parent[path[-1]])
+        return path
+
+    def path_from_root(self, leaf: str) -> list[str]:
+        """Labels from the top level down to ``leaf``."""
+        return list(reversed(self.path_to_root(leaf)))
+
+    def depth(self, node: str) -> int:
+        """1-based depth of ``node`` (top-level labels have depth 1)."""
+        return len(self.path_to_root(node))
+
+    def max_depth(self) -> int:
+        """Depth of the deepest leaf."""
+        return max(self.depth(leaf) for leaf in self.leaves())
+
+    def level(self, depth: int) -> list[str]:
+        """All labels at 1-based ``depth``."""
+        return [n for n in self.nodes if self.depth(n) == depth]
+
+    def subtree_leaves(self, node: str) -> list[str]:
+        """Leaves under ``node`` (including ``node`` itself if leaf)."""
+        if self.is_leaf(node):
+            return [node]
+        out: list[str] = []
+        for child in self.children(node):
+            out.extend(self.subtree_leaves(child))
+        return out
+
+    def ancestor_at_depth(self, leaf: str, depth: int) -> str:
+        """The depth-``depth`` ancestor on ``leaf``'s root path."""
+        path = self.path_from_root(leaf)
+        if depth < 1 or depth > len(path):
+            raise TaxonomyError(f"depth {depth} invalid for leaf {leaf!r}")
+        return path[depth - 1]
+
+    @classmethod
+    def from_edges(cls, edges: Iterable[tuple[str, str]], top_level: Iterable[str] = ()) -> "LabelTree":
+        """Build from (parent, child) edges plus explicit top-level labels."""
+        parent_of = {child: parent for parent, child in edges}
+        for label in top_level:
+            parent_of.setdefault(label, ROOT)
+        return cls(parent_of)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._parent
+
+    def __repr__(self) -> str:
+        return (
+            f"LabelTree(nodes={len(self.nodes)}, leaves={len(self.leaves())}, "
+            f"depth={self.max_depth()})"
+        )

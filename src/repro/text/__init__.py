@@ -1,0 +1,16 @@
+"""Text processing substrate: tokenization, vocabularies, TF-IDF, phrases."""
+
+from repro.text.phrases import merge_phrases, mine_phrases, phrase_corpus
+from repro.text.tfidf import TfidfVectorizer
+from repro.text.tokenizer import sentences, tokenize
+from repro.text.vocabulary import Vocabulary
+
+__all__ = [
+    "tokenize",
+    "sentences",
+    "Vocabulary",
+    "TfidfVectorizer",
+    "mine_phrases",
+    "merge_phrases",
+    "phrase_corpus",
+]

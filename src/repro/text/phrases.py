@@ -1,0 +1,70 @@
+"""Frequent-phrase mining (AutoPhrase-lite).
+
+The tutorial family's preprocessing step: detect statistically significant
+multi-word expressions by pointwise mutual information over adjacent token
+pairs, then merge them into single tokens. Useful when label names or seed
+words are phrases ("real estate"), which TaxoClass explicitly supports.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+from repro.text.stopwords import STOPWORDS
+
+
+def mine_phrases(token_lists: list, min_count: int = 5,
+                 min_pmi: float = 3.0, max_phrases: int = 200) -> list:
+    """Significant bigrams ranked by PMI x log-frequency.
+
+    Returns ``[(word_a, word_b), ...]``; both words must be content words.
+    """
+    unigrams: Counter = Counter()
+    bigrams: Counter = Counter()
+    for tokens in token_lists:
+        unigrams.update(tokens)
+        for a, b in zip(tokens, tokens[1:]):
+            if a in STOPWORDS or b in STOPWORDS:
+                continue
+            bigrams[(a, b)] += 1
+    total = sum(unigrams.values())
+    if total == 0:
+        return []
+    scored = []
+    for (a, b), count in bigrams.items():
+        if count < min_count:
+            continue
+        pmi = math.log(
+            (count * total) / (unigrams[a] * unigrams[b] + 1e-12) + 1e-12
+        )
+        if pmi >= min_pmi:
+            scored.append((pmi * math.log1p(count), (a, b)))
+    scored.sort(reverse=True)
+    return [pair for _, pair in scored[:max_phrases]]
+
+
+def merge_phrases(tokens: list, phrases: set, joiner: str = "_") -> list:
+    """Replace occurrences of mined bigrams with joined single tokens.
+
+    Greedy left-to-right, non-overlapping.
+    """
+    out: list[str] = []
+    i = 0
+    while i < len(tokens):
+        if i + 1 < len(tokens) and (tokens[i], tokens[i + 1]) in phrases:
+            out.append(f"{tokens[i]}{joiner}{tokens[i + 1]}")
+            i += 2
+        else:
+            out.append(tokens[i])
+            i += 1
+    return out
+
+
+def phrase_corpus(token_lists: list, min_count: int = 5,
+                  min_pmi: float = 3.0) -> tuple:
+    """(merged token lists, mined phrase pairs)."""
+    phrases = mine_phrases(token_lists, min_count=min_count, min_pmi=min_pmi)
+    phrase_set = set(phrases)
+    merged = [merge_phrases(tokens, phrase_set) for tokens in token_lists]
+    return merged, phrases

@@ -1,0 +1,30 @@
+"""A compact English stop-word list.
+
+Covers the function words the synthetic corpus generator emits as
+"background" glue plus the usual English closed-class words; sufficient for
+TF-IDF weighting and seed-word expansion filtering.
+"""
+
+STOPWORDS = frozenset(
+    """
+    a about above after again against all am an and any are as at be because
+    been before being below between both but by could did do does doing down
+    during each few for from further had has have having he her here hers
+    herself him himself his how i if in into is it its itself just me more
+    most my myself no nor not now of off on once only or other our ours
+    ourselves out over own same she should so some such than that the their
+    theirs them themselves then there these they this those through to too
+    under until up very was we were what when where which while who whom why
+    will with you your yours yourself yourselves
+    """.split()
+)
+
+
+def is_stopword(token: str) -> bool:
+    """True when ``token`` is an English stop word."""
+    return token in STOPWORDS
+
+
+def remove_stopwords(tokens: list[str]) -> list[str]:
+    """``tokens`` with stop words removed."""
+    return [t for t in tokens if t not in STOPWORDS]

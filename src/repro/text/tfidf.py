@@ -1,0 +1,94 @@
+"""TF-IDF vectorizer over tokenized documents (scipy sparse output)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy import sparse
+
+from repro.core.exceptions import NotFittedError
+from repro.text.stopwords import STOPWORDS
+from repro.text.vocabulary import Vocabulary
+
+
+class TfidfVectorizer:
+    """TF-IDF with smoothed idf and L2-normalized rows.
+
+    tf is raw term frequency; idf is ``log((1 + n) / (1 + df)) + 1``. Rows
+    are L2 normalized so cosine similarity is a dot product.
+    """
+
+    def __init__(self, min_count: int = 1, max_size: "int | None" = None,
+                 drop_stopwords: bool = True, sublinear_tf: bool = False):
+        self.min_count = min_count
+        self.max_size = max_size
+        self.drop_stopwords = drop_stopwords
+        self.sublinear_tf = sublinear_tf
+        self.vocabulary: "Vocabulary | None" = None
+        self.idf: "np.ndarray | None" = None
+
+    def _filter(self, tokens: list[str]) -> list[str]:
+        if self.drop_stopwords:
+            return [t for t in tokens if t not in STOPWORDS]
+        return list(tokens)
+
+    def fit(self, token_lists: list[list[str]]) -> "TfidfVectorizer":
+        """Learn vocabulary and idf weights."""
+        filtered = [self._filter(t) for t in token_lists]
+        self.vocabulary = Vocabulary.build(
+            filtered, min_count=self.min_count, max_size=self.max_size
+        )
+        n_docs = len(filtered)
+        df = np.zeros(len(self.vocabulary), dtype=float)
+        for tokens in filtered:
+            for tok in set(tokens):
+                if tok in self.vocabulary:
+                    df[self.vocabulary.id(tok)] += 1
+        self.idf = np.log((1.0 + n_docs) / (1.0 + df)) + 1.0
+        return self
+
+    def transform(self, token_lists: list[list[str]]) -> sparse.csr_matrix:
+        """(n_docs, vocab_size) L2-normalized TF-IDF matrix."""
+        if self.vocabulary is None or self.idf is None:
+            raise NotFittedError("TfidfVectorizer is not fitted")
+        rows, cols, vals = [], [], []
+        unk = self.vocabulary.unk_id
+        for i, tokens in enumerate(token_lists):
+            counts: dict[int, float] = {}
+            for tok in self._filter(tokens):
+                j = self.vocabulary.id(tok)
+                if j == unk:
+                    continue
+                counts[j] = counts.get(j, 0.0) + 1.0
+            for j, tf in counts.items():
+                if self.sublinear_tf:
+                    tf = 1.0 + math.log(tf)
+                rows.append(i)
+                cols.append(j)
+                vals.append(tf * self.idf[j])
+        mat = sparse.csr_matrix(
+            (vals, (rows, cols)),
+            shape=(len(token_lists), len(self.vocabulary)),
+            dtype=float,
+        )
+        norms = sparse.linalg.norm(mat, axis=1)
+        norms[norms == 0] = 1.0
+        inv = sparse.diags(1.0 / norms)
+        return inv @ mat
+
+    def fit_transform(self, token_lists: list[list[str]]) -> sparse.csr_matrix:
+        """Fit then transform ``token_lists``."""
+        return self.fit(token_lists).transform(token_lists)
+
+    def top_terms(self, token_lists: list[list[str]], k: int = 10) -> list[list[str]]:
+        """Top-``k`` TF-IDF terms per document (used for keyword induction
+        from labeled documents, as in WeSTClass's DOCS supervision mode)."""
+        mat = self.transform(token_lists)
+        assert self.vocabulary is not None
+        out = []
+        for i in range(mat.shape[0]):
+            row = mat.getrow(i).toarray().ravel()
+            idx = np.argsort(-row)[:k]
+            out.append([self.vocabulary.token(j) for j in idx if row[j] > 0])
+        return out

@@ -1,0 +1,32 @@
+"""Regex tokenizer and sentence splitter.
+
+The library standardizes on a lowercase word tokenizer: alphabetic tokens
+(with internal apostrophes/hyphens preserved) and standalone digit runs.
+This matches the preprocessing the surveyed systems apply before embedding
+or PLM lookup.
+"""
+
+from __future__ import annotations
+
+import re
+
+_TOKEN_RE = re.compile(r"[a-z]+(?:['\-][a-z]+)*|\d+")
+_SENT_RE = re.compile(r"(?<=[.!?])\s+")
+
+
+def tokenize(text: str) -> list[str]:
+    """Lowercase word tokens of ``text``."""
+    return _TOKEN_RE.findall(text.lower())
+
+
+def sentences(text: str) -> list[str]:
+    """Naive sentence split on terminal punctuation."""
+    parts = [s.strip() for s in _SENT_RE.split(text)]
+    return [s for s in parts if s]
+
+
+def ngrams(tokens: list[str], n: int) -> list[tuple[str, ...]]:
+    """All contiguous n-grams of ``tokens``."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    return [tuple(tokens[i : i + n]) for i in range(len(tokens) - n + 1)]

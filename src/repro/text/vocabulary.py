@@ -1,0 +1,147 @@
+"""Vocabulary: token <-> id mapping with frequency statistics.
+
+Reserved special tokens (used by the PLM substrate) occupy the lowest ids:
+``[PAD]``, ``[UNK]``, ``[MASK]``, ``[CLS]``, ``[SEP]``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.core.exceptions import VocabularyError
+
+PAD, UNK, MASK, CLS, SEP = "[PAD]", "[UNK]", "[MASK]", "[CLS]", "[SEP]"
+SPECIAL_TOKENS = (PAD, UNK, MASK, CLS, SEP)
+
+
+class Vocabulary:
+    """Bidirectional token/id mapping built from token streams."""
+
+    def __init__(self, tokens_with_counts: "dict[str, int] | None" = None,
+                 specials: tuple = SPECIAL_TOKENS):
+        self.specials = tuple(specials)
+        self._token_to_id: dict[str, int] = {}
+        self._id_to_token: list[str] = []
+        self.counts: Counter = Counter()
+        for tok in self.specials:
+            self._add(tok)
+        if tokens_with_counts:
+            for tok, count in sorted(
+                tokens_with_counts.items(), key=lambda kv: (-kv[1], kv[0])
+            ):
+                if tok not in self._token_to_id:
+                    self._add(tok)
+                self.counts[tok] = count
+
+    # -- construction -------------------------------------------------------
+    @classmethod
+    def build(cls, token_lists: Iterable[list[str]], min_count: int = 1,
+              max_size: "int | None" = None) -> "Vocabulary":
+        """Build from an iterable of token lists.
+
+        Tokens occurring fewer than ``min_count`` times are dropped; the
+        vocabulary is capped at ``max_size`` most-frequent tokens if given.
+        """
+        counts: Counter = Counter()
+        for tokens in token_lists:
+            counts.update(tokens)
+        items = [(t, c) for t, c in counts.items() if c >= min_count]
+        items.sort(key=lambda kv: (-kv[1], kv[0]))
+        if max_size is not None:
+            items = items[:max_size]
+        return cls(dict(items))
+
+    def _add(self, token: str) -> int:
+        idx = len(self._id_to_token)
+        self._token_to_id[token] = idx
+        self._id_to_token.append(token)
+        return idx
+
+    def add(self, token: str, count: int = 0) -> int:
+        """Add ``token`` if missing; returns its id."""
+        if token in self._token_to_id:
+            self.counts[token] += count
+            return self._token_to_id[token]
+        idx = self._add(token)
+        self.counts[token] = count
+        return idx
+
+    # -- lookup -------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    def id(self, token: str) -> int:
+        """Id of ``token``; unknown tokens map to ``[UNK]``."""
+        return self._token_to_id.get(token, self._token_to_id[UNK])
+
+    def strict_id(self, token: str) -> int:
+        """Id of ``token``; raises on unknown tokens."""
+        if token not in self._token_to_id:
+            raise VocabularyError(f"token {token!r} not in vocabulary")
+        return self._token_to_id[token]
+
+    def token(self, idx: int) -> str:
+        """Token with id ``idx``."""
+        if not 0 <= idx < len(self._id_to_token):
+            raise VocabularyError(f"id {idx} out of range (size {len(self)})")
+        return self._id_to_token[idx]
+
+    def encode(self, tokens: list[str]) -> np.ndarray:
+        """Int array of ids for ``tokens`` (unknowns -> UNK)."""
+        return np.array([self.id(t) for t in tokens], dtype=np.int64)
+
+    def decode(self, ids: Iterable[int]) -> list[str]:
+        """Tokens for ``ids``."""
+        return [self.token(int(i)) for i in ids]
+
+    # -- properties ---------------------------------------------------------
+    @property
+    def pad_id(self) -> int:
+        return self._token_to_id[PAD]
+
+    @property
+    def unk_id(self) -> int:
+        return self._token_to_id[UNK]
+
+    @property
+    def mask_id(self) -> int:
+        return self._token_to_id[MASK]
+
+    @property
+    def cls_id(self) -> int:
+        return self._token_to_id[CLS]
+
+    @property
+    def sep_id(self) -> int:
+        return self._token_to_id[SEP]
+
+    @property
+    def special_ids(self) -> frozenset:
+        return frozenset(self._token_to_id[t] for t in self.specials)
+
+    def content_tokens(self) -> list[str]:
+        """All non-special tokens."""
+        return self._id_to_token[len(self.specials):]
+
+    def frequency(self, token: str) -> int:
+        """Corpus frequency of ``token`` (0 if unseen)."""
+        return self.counts.get(token, 0)
+
+    def unigram_distribution(self, power: float = 0.75) -> np.ndarray:
+        """Smoothed unigram distribution over ids (specials get 0 mass)."""
+        probs = np.zeros(len(self), dtype=float)
+        for tok, count in self.counts.items():
+            probs[self._token_to_id[tok]] = count**power
+        total = probs.sum()
+        if total == 0:
+            raise VocabularyError("vocabulary has no counted tokens")
+        return probs / total
+
+    def __repr__(self) -> str:
+        return f"Vocabulary(size={len(self)})"

@@ -1,0 +1,107 @@
+"""Behavioural tests for baseline internals not covered elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    PCEM,
+    Dataless,
+    Doc2Cube,
+    IRWithTfidf,
+    PLSATopicModel,
+)
+from repro.core.supervision import Keywords, LabeledDocuments
+from repro.core.types import Corpus, Document, LabelSet
+
+
+def test_plsa_topic_word_distributions_are_distributions(agnews_small):
+    model = PLSATopicModel(iterations=10, seed=0)
+    model.fit(agnews_small.train_corpus, agnews_small.keywords())
+    assert np.allclose(model.topic_word.sum(axis=1), 1.0, atol=1e-9)
+    assert (model.topic_word >= 0).all()
+
+
+def test_plsa_seed_words_concentrate_in_their_topic(agnews_small):
+    model = PLSATopicModel(iterations=15, seed=0)
+    keywords = agnews_small.keywords(include_ambiguous=False)
+    model.fit(agnews_small.train_corpus, keywords)
+    labels = list(agnews_small.label_set)
+    for c, label in enumerate(labels):
+        seed = keywords.for_label(label)[0]
+        if seed not in model.vocabulary:
+            continue
+        j = model.vocabulary.id(seed)
+        assert model.topic_word[c, j] == model.topic_word[:, j].max(), seed
+
+
+def test_ir_tfidf_proba_normalized(agnews_small):
+    clf = IRWithTfidf(seed=0)
+    clf.fit(agnews_small.train_corpus, agnews_small.keywords())
+    proba = clf.predict_proba(agnews_small.test_corpus[:10])
+    assert np.allclose(proba.sum(axis=1), 1.0)
+
+
+def test_doc2cube_iterations_refine_labels(agnews_small):
+    gold = [d.labels[0] for d in agnews_small.test_corpus]
+    from repro.evaluation.metrics import micro_f1
+
+    one = Doc2Cube(iterations=1, seed=0)
+    one.fit(agnews_small.train_corpus, agnews_small.keywords())
+    three = Doc2Cube(iterations=3, seed=0)
+    three.fit(agnews_small.train_corpus, agnews_small.keywords())
+    score_one = micro_f1(gold, one.predict(agnews_small.test_corpus))
+    score_three = micro_f1(gold, three.predict(agnews_small.test_corpus))
+    assert score_three >= score_one - 0.05  # refinement never catastrophic
+
+
+def test_pcem_em_beats_labeled_only(agnews_small):
+    """EM over the unlabeled corpus should help naive Bayes."""
+    from repro.evaluation.metrics import micro_f1
+
+    gold = [d.labels[0] for d in agnews_small.test_corpus]
+    sup = agnews_small.labeled_documents(3)
+    no_em = PCEM(iterations=0, seed=0)
+    no_em.fit(agnews_small.train_corpus, sup)
+    with_em = PCEM(iterations=8, seed=0)
+    with_em.fit(agnews_small.train_corpus, sup)
+    score_no = micro_f1(gold, no_em.predict(agnews_small.test_corpus))
+    score_em = micro_f1(gold, with_em.predict(agnews_small.test_corpus))
+    assert score_em >= score_no - 0.03
+
+
+def test_dataless_concept_space_is_shared_and_cached():
+    from repro.baselines.dataless import _SPACE_CACHE, _general_space
+
+    _SPACE_CACHE.clear()
+    a = _general_space(16, seed=0)
+    b = _general_space(16, seed=0)
+    assert a is b
+    c = _general_space(16, seed=0, extra_themes=("technology-sub0",))
+    assert c is not a
+
+
+def test_dataless_fails_gracefully_on_unknown_names():
+    label_set = LabelSet(labels=("weird1", "weird2"))
+    docs = [Document(doc_id=f"d{i}", tokens=["sports", "game"],
+                     labels=("weird1",)) for i in range(6)]
+    clf = Dataless(seed=0)
+    from repro.core.supervision import LabelNames
+
+    clf.fit(Corpus(docs), LabelNames(label_set=label_set))
+    proba = clf.predict_proba(Corpus(docs))
+    assert np.isfinite(proba).all()
+
+
+def test_match_metadata_features_deterministic(biblio_small):
+    from repro.baselines import MATCH
+    from repro.plm.config import tiny_config
+    from repro.plm.provider import get_pretrained_lm
+
+    plm = get_pretrained_lm(target_corpus=biblio_small.train_corpus,
+                            config=tiny_config(), seed=0)
+    clf = MATCH(plm=plm, n_train_examples=20, epochs=5, seed=0)
+    sub = biblio_small.train_corpus[:5]
+    a = clf._metadata_features(sub)
+    b = clf._metadata_features(sub)
+    assert np.allclose(a, b)
+    assert a.shape == (5, 16)

@@ -1,0 +1,112 @@
+"""Tests for the flat-classification baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    PCEM,
+    PTE,
+    UNEC,
+    BertSimpleMatch,
+    ClassKG,
+    Dataless,
+    Doc2Cube,
+    IRWithTfidf,
+    PLSATopicModel,
+    SupervisedBERT,
+    SupervisedCharCNN,
+    SupervisedCNN,
+    SupervisedHAN,
+    UDASemiSupervised,
+    ZeroShotEntail,
+)
+from repro.baselines.word2vec_match import Word2VecMatch
+from repro.evaluation.metrics import micro_f1
+
+
+def _score(clf, bundle, supervision):
+    clf.fit(bundle.train_corpus, supervision)
+    gold = [d.labels[0] for d in bundle.test_corpus]
+    return micro_f1(gold, clf.predict(bundle.test_corpus))
+
+
+def test_ir_tfidf_all_supervision_types(agnews_small):
+    chance = 1.0 / len(agnews_small.label_set)
+    for sup in (agnews_small.label_names(), agnews_small.keywords(),
+                agnews_small.labeled_documents(5)):
+        assert _score(IRWithTfidf(seed=0), agnews_small, sup) > chance
+
+
+def test_plsa_beats_chance(agnews_small):
+    score = _score(PLSATopicModel(seed=0), agnews_small, agnews_small.keywords())
+    assert score > 0.5
+
+
+def test_dataless_runs_from_names_only(agnews_small):
+    score = _score(Dataless(seed=0), agnews_small, agnews_small.label_names())
+    assert score > 0.4
+
+
+def test_unec_beats_chance(agnews_small):
+    score = _score(UNEC(seed=0), agnews_small, agnews_small.label_names())
+    assert score > 0.4
+
+
+def test_doc2cube_beats_chance(agnews_small):
+    score = _score(Doc2Cube(seed=0), agnews_small, agnews_small.keywords())
+    assert score > 0.5
+
+
+def test_word2vec_match(agnews_small):
+    score = _score(Word2VecMatch(epochs=8, seed=0), agnews_small,
+                   agnews_small.keywords())
+    assert score > 0.5
+
+
+def test_pte_uses_labeled_docs(agnews_small):
+    score = _score(PTE(epochs=3, seed=0), agnews_small,
+                   agnews_small.labeled_documents(5))
+    assert score > 0.4
+
+
+def test_pcem_em_improves_nb(agnews_small):
+    score = _score(PCEM(seed=0), agnews_small, agnews_small.labeled_documents(5))
+    assert score > 0.6
+
+
+def test_bert_simple_match(tiny_plm, agnews_small):
+    score = _score(BertSimpleMatch(plm=tiny_plm, seed=0), agnews_small,
+                   agnews_small.label_names())
+    assert score > 0.5
+
+
+def test_classkg_iterations_stable(agnews_small):
+    score = _score(ClassKG(iterations=2, epochs=12, seed=0), agnews_small,
+                   agnews_small.keywords())
+    assert score > 0.5
+
+
+def test_supervised_upper_bounds(agnews_small, tiny_plm):
+    names = agnews_small.label_names()
+    cnn = _score(SupervisedCNN(epochs=8, seed=0), agnews_small, names)
+    han = _score(SupervisedHAN(epochs=8, seed=0), agnews_small, names)
+    bert = _score(SupervisedBERT(plm=tiny_plm, seed=0), agnews_small, names)
+    assert cnn > 0.75 and han > 0.6 and bert > 0.75
+
+
+def test_supervised_char_cnn_runs(agnews_small):
+    score = _score(SupervisedCharCNN(epochs=3, seed=0), agnews_small,
+                   agnews_small.label_names())
+    assert score > 0.3
+
+
+def test_zero_shot_entail(tiny_plm, agnews_small):
+    score = _score(ZeroShotEntail(plm=tiny_plm, seed=0), agnews_small,
+                   agnews_small.label_names())
+    assert score > 0.4
+
+
+def test_uda_semisupervised(tiny_plm, agnews_small):
+    score = _score(UDASemiSupervised(plm=tiny_plm, seed=0), agnews_small,
+                   agnews_small.labeled_documents(5))
+    assert score > 0.5

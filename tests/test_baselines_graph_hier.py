@@ -1,0 +1,122 @@
+"""Tests for graph, hierarchical, and ranking baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    Doc2VecRanker,
+    EDAContrastive,
+    ESim,
+    HierDataless,
+    HierSVM,
+    HierZeroShotTC,
+    HIN2Vec,
+    MATCH,
+    Metapath2Vec,
+    SemiBERT,
+    TextGCN,
+    eda_augment,
+)
+from repro.evaluation.metrics import micro_f1
+from repro.evaluation.ranking import precision_at_k
+
+
+def _score(clf, bundle, supervision):
+    clf.fit(bundle.train_corpus, supervision)
+    gold = [d.labels[0] for d in bundle.test_corpus]
+    return micro_f1(gold, clf.predict(bundle.test_corpus))
+
+
+@pytest.mark.parametrize("cls", [ESim, Metapath2Vec, HIN2Vec])
+def test_graph_baselines_use_metadata(cls, meta_small):
+    chance = 1.0 / len(meta_small.label_set)
+    score = _score(cls(epochs=3, seed=0), meta_small,
+                   meta_small.labeled_documents(5))
+    assert score > chance
+
+
+def test_textgcn_transductive(meta_small):
+    score = _score(TextGCN(epochs=30, seed=0), meta_small,
+                   meta_small.labeled_documents(5))
+    assert score > 0.4
+
+
+def test_hier_svm(tree_small):
+    score = _score(HierSVM(tree=tree_small.tree, seed=0), tree_small,
+                   tree_small.labeled_documents(3))
+    assert score > 1.0 / len(tree_small.label_set)
+
+
+def test_hier_dataless_with_concept_coverage(tree_small):
+    themes = tuple(c.theme for c in tree_small.profile.classes)
+    clf = HierDataless(tree=tree_small.tree, concept_themes=themes, seed=0)
+    score = _score(clf, tree_small, tree_small.label_names())
+    assert score > 1.0 / len(tree_small.label_set)
+
+
+def test_eda_augment_changes_tokens(rng, agnews_small):
+    from repro.embeddings.ppmi_svd import PPMISVDEmbeddings
+
+    svd = PPMISVDEmbeddings(dim=16).fit(agnews_small.train_corpus.token_lists())
+    tokens = agnews_small.train_corpus[0].tokens
+    augmented = eda_augment(tokens, svd, rng, alpha=0.2)
+    assert augmented != list(tokens)
+    assert augmented  # never empty
+
+
+def test_eda_contrastive_ranker(tiny_plm, agnews_small):
+    clf = EDAContrastive(plm=tiny_plm, n_pairs=60, seed=0)
+    clf.fit(agnews_small.train_corpus, agnews_small.label_names())
+    scores = clf.score(agnews_small.test_corpus[:5])
+    assert scores.shape == (5, len(agnews_small.label_set))
+
+
+def test_doc2vec_ranker(biblio_small):
+    clf = Doc2VecRanker(dim=24, seed=0)
+    clf.fit(biblio_small.train_corpus, biblio_small.label_names())
+    ranking = clf.rank(biblio_small.test_corpus[:20])
+    gold = [set(d.labels) for d in biblio_small.test_corpus[:20]]
+    assert precision_at_k(gold, ranking, 5) >= 0.0  # runs end to end
+
+
+def test_semibert_uses_fraction_of_gold(dag_small):
+    from repro.plm.config import tiny_config
+    from repro.plm.provider import get_pretrained_lm
+
+    plm = get_pretrained_lm(target_corpus=dag_small.train_corpus,
+                            config=tiny_config(), seed=0)
+    clf = SemiBERT(plm=plm, fraction=0.3, epochs=30, seed=0)
+    clf.fit(dag_small.train_corpus, dag_small.label_names())
+    gold = [set(d.labels) for d in dag_small.test_corpus]
+    ranking = clf.rank(dag_small.test_corpus)
+    chance = np.mean([len(g) for g in gold]) / len(dag_small.label_set)
+    assert precision_at_k(gold, ranking, 1) > chance
+
+
+def test_hier_zero_shot_tc(dag_small):
+    from repro.plm.config import tiny_config
+    from repro.plm.provider import get_pretrained_lm
+
+    plm = get_pretrained_lm(target_corpus=dag_small.train_corpus,
+                            config=tiny_config(), seed=0)
+    clf = HierZeroShotTC(dag=dag_small.dag, plm=plm, seed=0)
+    clf.fit(dag_small.train_corpus, dag_small.label_names())
+    scores = clf.score(dag_small.test_corpus[:10])
+    # Pruned labels get exactly zero score.
+    assert (scores == 0).any()
+
+
+def test_match_more_data_helps(biblio_small):
+    from repro.plm.config import tiny_config
+    from repro.plm.provider import get_pretrained_lm
+
+    plm = get_pretrained_lm(target_corpus=biblio_small.train_corpus,
+                            config=tiny_config(), seed=0)
+    gold = [set(d.labels) for d in biblio_small.test_corpus]
+    small = MATCH(plm=plm, n_train_examples=10, epochs=30, seed=0)
+    small.fit(biblio_small.train_corpus, biblio_small.label_names())
+    large = MATCH(plm=plm, n_train_examples=None, epochs=30, seed=0)
+    large.fit(biblio_small.train_corpus, biblio_small.label_names())
+    p_small = precision_at_k(gold, small.rank(biblio_small.test_corpus), 1)
+    p_large = precision_at_k(gold, large.rank(biblio_small.test_corpus), 1)
+    assert p_large >= p_small - 0.05

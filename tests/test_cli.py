@@ -1,0 +1,36 @@
+"""Tests for the experiment CLI."""
+
+import pytest
+
+from repro.experiments.cli import FIGURES, TABLES, main
+
+
+def test_cli_list(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "westclass" in out and "pca-figure" in out
+
+
+def test_cli_no_args_lists(capsys):
+    assert main([]) == 0
+    assert "tables:" in capsys.readouterr().out
+
+
+def test_cli_unknown_experiment(capsys):
+    assert main(["not-real"]) == 2
+
+
+def test_cli_summary_table(capsys):
+    assert main(["summary"]) == 0
+    out = capsys.readouterr().out
+    assert "WeSTClass" in out and "MICoL" in out
+
+
+def test_cli_registry_complete():
+    # Every paper experiment id has a CLI entry.
+    assert set(TABLES) >= {
+        "westclass", "conwea", "lotclass", "lotclass-predictions",
+        "xclass", "xclass-data", "promptclass", "weshclass", "taxoclass",
+        "metacat", "micol", "summary",
+    }
+    assert set(FIGURES) == {"pca-figure", "confusion-figure"}

@@ -1,0 +1,40 @@
+"""Unit tests for seeding utilities."""
+
+import numpy as np
+import pytest
+
+from repro.core.seeding import derive_rng, ensure_rng, spawn_seeds
+
+
+def test_ensure_rng_from_int_is_deterministic():
+    a = ensure_rng(7).integers(0, 1000, size=5)
+    b = ensure_rng(7).integers(0, 1000, size=5)
+    assert (a == b).all()
+
+
+def test_ensure_rng_passthrough():
+    gen = np.random.default_rng(0)
+    assert ensure_rng(gen) is gen
+
+
+def test_ensure_rng_rejects_strings():
+    with pytest.raises(TypeError):
+        ensure_rng("nope")
+
+
+def test_derive_rng_label_sensitivity():
+    a = derive_rng(np.random.default_rng(0), "x").integers(0, 10**9)
+    b = derive_rng(np.random.default_rng(0), "y").integers(0, 10**9)
+    assert a != b
+
+
+def test_derive_rng_reproducible():
+    a = derive_rng(np.random.default_rng(3), "k").integers(0, 10**9)
+    b = derive_rng(np.random.default_rng(3), "k").integers(0, 10**9)
+    assert a == b
+
+
+def test_spawn_seeds_count_and_range():
+    seeds = spawn_seeds(np.random.default_rng(0), 10)
+    assert len(seeds) == 10
+    assert all(0 <= s < 2**31 for s in seeds)

@@ -1,0 +1,56 @@
+"""Unit tests for supervision formats."""
+
+import pytest
+
+from repro.core.exceptions import SupervisionError
+from repro.core.supervision import (
+    Keywords,
+    LabeledDocuments,
+    LabelNames,
+    require,
+)
+from repro.core.types import Document, LabelSet
+
+LS = LabelSet(labels=("a", "b"))
+
+
+def _doc(i, label):
+    return Document(doc_id=f"d{i}", tokens=["w"], labels=(label,))
+
+
+def test_keywords_requires_all_labels():
+    with pytest.raises(SupervisionError):
+        Keywords(label_set=LS, keywords={"a": ["x"]})
+
+
+def test_keywords_lookup():
+    kw = Keywords(label_set=LS, keywords={"a": ["x"], "b": ["y", "z"]})
+    assert kw.for_label("b") == ["y", "z"]
+    assert kw.labels == ("a", "b")
+
+
+def test_labeled_documents_pairs_and_corpus():
+    sup = LabeledDocuments(
+        label_set=LS,
+        documents={"a": [_doc(0, "a")], "b": [_doc(1, "b"), _doc(2, "b")]},
+    )
+    pairs = sup.pairs()
+    assert len(pairs) == 3
+    assert pairs[0][1] == "a"
+    assert len(sup.as_corpus()) == 3
+
+
+def test_labeled_documents_requires_all_labels():
+    with pytest.raises(SupervisionError):
+        LabeledDocuments(label_set=LS, documents={"a": [_doc(0, "a")], "b": []})
+
+
+def test_require_accepts_listed_formats():
+    names = LabelNames(label_set=LS)
+    assert require(names, LabelNames) is names
+
+
+def test_require_rejects_other_formats():
+    names = LabelNames(label_set=LS)
+    with pytest.raises(SupervisionError):
+        require(names, Keywords)

@@ -1,0 +1,79 @@
+"""Unit tests for core types (Document, Corpus, LabelSet)."""
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.core.types import Corpus, Document, LabelSet
+
+
+def test_document_tokenizes_text():
+    doc = Document(doc_id="d1", text="The striker SCORED, twice!")
+    assert doc.tokens == ["the", "striker", "scored", "twice"]
+
+
+def test_document_joins_tokens_into_text():
+    doc = Document(doc_id="d1", tokens=["a", "b"])
+    assert doc.text == "a b"
+
+
+def test_document_single_label_accessor():
+    doc = Document(doc_id="d1", tokens=["x"], labels=("sports",))
+    assert doc.label == "sports"
+
+
+def test_document_label_accessor_rejects_multilabel():
+    doc = Document(doc_id="d1", tokens=["x"], labels=("a", "b"))
+    with pytest.raises(ConfigurationError):
+        _ = doc.label
+
+
+def test_document_len_counts_tokens():
+    assert len(Document(doc_id="d", tokens=list("abc"))) == 3
+
+
+def test_corpus_indexing_and_lookup():
+    docs = [Document(doc_id=f"d{i}", tokens=["w"]) for i in range(5)]
+    corpus = Corpus(docs, name="c")
+    assert len(corpus) == 5
+    assert corpus[2].doc_id == "d2"
+    assert corpus.get("d3").doc_id == "d3"
+    assert "d4" in corpus
+    assert "nope" not in corpus
+
+
+def test_corpus_slice_returns_corpus():
+    docs = [Document(doc_id=f"d{i}", tokens=["w"]) for i in range(5)]
+    sliced = Corpus(docs)[1:3]
+    assert isinstance(sliced, Corpus)
+    assert [d.doc_id for d in sliced] == ["d1", "d2"]
+
+
+def test_corpus_rejects_duplicate_ids():
+    docs = [Document(doc_id="same", tokens=["w"])] * 2
+    with pytest.raises(ConfigurationError):
+        Corpus(docs)
+
+
+def test_corpus_subset():
+    docs = [Document(doc_id=f"d{i}", tokens=["w"]) for i in range(4)]
+    subset = Corpus(docs).subset([0, 3])
+    assert [d.doc_id for d in subset] == ["d0", "d3"]
+
+
+def test_label_set_name_and_tokens():
+    ls = LabelSet(labels=("a", "b"), names={"a": "Real Estate"})
+    assert ls.name_of("a") == "Real Estate"
+    assert ls.name_tokens("a") == ["real", "estate"]
+    assert ls.name_of("b") == "b"
+    assert ls.index("b") == 1
+    assert "a" in ls and "z" not in ls
+
+
+def test_label_set_rejects_duplicates():
+    with pytest.raises(ConfigurationError):
+        LabelSet(labels=("x", "x"))
+
+
+def test_label_set_description_fallback():
+    ls = LabelSet(labels=("a",), descriptions={})
+    assert ls.description_of("a") == "a"

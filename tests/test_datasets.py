@@ -1,0 +1,223 @@
+"""Tests for the synthetic dataset substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import (
+    available_profiles,
+    general_corpus,
+    get_profile,
+    load_profile,
+)
+from repro.datasets.generator import build_world, generate_documents
+from repro.datasets.profiles import ClassSpec, DatasetProfile, MixtureSpec
+from repro.datasets.sampling import UniformSampler, ZipfSampler
+from repro.datasets.words import (
+    AMBIGUOUS_WORDS,
+    CURATED_LEXICONS,
+    WordFactory,
+    build_lexicon,
+)
+
+
+def test_word_factory_deterministic():
+    a = WordFactory().words("topic", 5)
+    b = WordFactory().words("topic", 5)
+    assert a == b
+
+
+def test_word_factory_no_collisions():
+    factory = WordFactory()
+    words = factory.words("x", 200) + factory.words("y", 200)
+    assert len(set(words)) == 400
+
+
+def test_build_lexicon_prefers_curated():
+    lex = build_lexicon("sports", 20, WordFactory())
+    assert lex[0] == "sports"
+    assert len(lex) == 20
+
+
+def test_build_lexicon_pads_unknown_theme():
+    lex = build_lexicon("zzztheme", 10, WordFactory())
+    assert len(lex) == 10
+    assert len(set(lex)) == 10
+
+
+def test_curated_lexicons_unique_first_words():
+    firsts = [lex[0] for lex in CURATED_LEXICONS.values()]
+    assert len(set(firsts)) == len(firsts)
+
+
+def test_ambiguous_words_reference_known_themes():
+    for word, a, b in AMBIGUOUS_WORDS:
+        assert a in CURATED_LEXICONS and b in CURATED_LEXICONS
+
+
+def test_zipf_sampler_rank_ordering(rng):
+    sampler = ZipfSampler(["w0", "w1", "w2", "w3"], zipf=1.0)
+    draws = sampler.sample(rng, 4000)
+    counts = [draws.count(f"w{i}") for i in range(4)]
+    assert counts[0] > counts[3]
+
+
+def test_zipf_sampler_probability_lookup():
+    sampler = ZipfSampler(["a", "b"])
+    assert sampler.probability("a") > sampler.probability("b") > 0
+    assert sampler.probability("zzz") == 0.0
+
+
+def test_uniform_sampler(rng):
+    sampler = UniformSampler(["x", "y"])
+    draws = set(sampler.sample(rng, 100))
+    assert draws == {"x", "y"}
+
+
+@given(st.floats(min_value=0.1, max_value=2.0))
+@settings(max_examples=20, deadline=None)
+def test_zipf_sampler_distribution_normalized(zipf):
+    sampler = ZipfSampler([f"w{i}" for i in range(10)], zipf=zipf)
+    assert abs(sampler.probs.sum() - 1.0) < 1e-9
+
+
+def _tiny_profile(**overrides):
+    defaults = dict(
+        name="tiny",
+        classes=(ClassSpec(label="sports", theme="sports"),
+                 ClassSpec(label="law", theme="law")),
+        n_train=30, n_test=10, doc_len=(8, 16), lexicon_size=12,
+    )
+    defaults.update(overrides)
+    return DatasetProfile(**defaults)
+
+
+def test_generate_documents_labels_and_lengths(rng):
+    world = build_world(_tiny_profile())
+    docs = generate_documents(world, 30, rng, "t-")
+    assert len(docs) == 30
+    assert all(d.labels[0] in ("sports", "law") for d in docs)
+    assert all(8 <= len(d.tokens) <= 16 + 2 for d in docs)  # + name injection
+
+
+def test_generated_docs_use_class_lexicon(rng):
+    world = build_world(_tiny_profile())
+    docs = generate_documents(world, 60, rng, "t-")
+    sports_words = set(world.lexicons["sports"])
+    hits = [
+        len(set(d.tokens) & sports_words)
+        for d in docs
+        if d.labels[0] == "sports"
+    ]
+    assert np.mean(hits) > 1.0
+
+
+def test_ambiguous_word_appears_in_both_classes(rng):
+    world = build_world(_tiny_profile())
+    # "penalty"/"court" are shared between sports and law.
+    assert set(world.ambiguous["sports"]) & set(world.ambiguous["law"])
+
+
+def test_profile_validation_rejects_duplicates():
+    with pytest.raises(ValueError):
+        _tiny_profile(classes=(ClassSpec(label="x", theme="sports"),
+                               ClassSpec(label="x", theme="law")))
+
+
+def test_profile_scaled():
+    profile = _tiny_profile().scaled(0.5)
+    assert profile.n_train == 15
+
+
+def test_generation_is_seed_deterministic():
+    a = load_profile("agnews", seed=3, scale=0.1)
+    b = load_profile("agnews", seed=3, scale=0.1)
+    assert a.train_corpus.token_lists() == b.train_corpus.token_lists()
+
+
+def test_generation_varies_with_seed():
+    a = load_profile("agnews", seed=1, scale=0.1)
+    b = load_profile("agnews", seed=2, scale=0.1)
+    assert a.train_corpus.token_lists() != b.train_corpus.token_lists()
+
+
+def test_catalog_profiles_all_load_metadata_free_stats():
+    for name in available_profiles():
+        profile = get_profile(name)
+        assert profile.n_train > 0 and profile.n_test >= 0
+
+
+def test_catalog_unknown_profile_raises():
+    with pytest.raises(KeyError):
+        get_profile("not-a-profile")
+
+
+def test_tree_profile_has_tree(tree_small):
+    assert tree_small.tree is not None
+    assert set(tree_small.label_set) == set(tree_small.tree.leaves())
+
+
+def test_dag_profile_labels_closed_upward(dag_small):
+    dag = dag_small.dag
+    for doc in dag_small.train_corpus[:40]:
+        labels = set(doc.labels)
+        assert dag.closure(labels) == labels
+
+
+def test_metadata_profile_attaches_user_and_tags(meta_small):
+    docs_with_user = [d for d in meta_small.train_corpus if "user" in d.metadata]
+    assert len(docs_with_user) == len(meta_small.train_corpus)
+    assert any(d.metadata.get("tags") for d in meta_small.train_corpus)
+
+
+def test_metadata_user_correlates_with_class(meta_small):
+    by_user: dict = {}
+    for d in meta_small.train_corpus:
+        by_user.setdefault(d.metadata["user"], []).append(d.labels[0])
+    purities = [
+        max(labels.count(l) for l in set(labels)) / len(labels)
+        for labels in by_user.values()
+        if len(labels) >= 3
+    ]
+    assert np.mean(purities) > 0.5
+
+
+def test_biblio_profile_references_prefer_same_label(biblio_small):
+    same, total = 0, 0
+    for d in biblio_small.train_corpus:
+        for ref in d.metadata.get("references", []):
+            if ref in biblio_small.train_corpus:
+                total += 1
+                ref_doc = biblio_small.train_corpus.get(ref)
+                if set(d.labels) & set(ref_doc.labels):
+                    same += 1
+    assert total > 0
+    assert same / total > 0.5
+
+
+def test_bundle_keywords_include_ambiguous(agnews_small):
+    keywords = agnews_small.keywords(per_class=3, include_ambiguous=True)
+    pooled = [w for ws in keywords.keywords.values() for w in ws]
+    ambiguous = {w for ws in agnews_small.world.ambiguous.values() for w in ws}
+    assert set(pooled) & ambiguous
+
+
+def test_bundle_labeled_documents_counts(agnews_small):
+    sup = agnews_small.labeled_documents(per_class=4, seed=0)
+    for label in agnews_small.label_set:
+        assert len(sup.for_label(label)) == 4
+        for doc in sup.for_label(label):
+            assert label in doc.metadata["core_labels"]
+
+
+def test_bundle_stats_fields(agnews_small):
+    stats = agnews_small.stats()
+    assert stats["n_classes"] == 4
+    assert stats["imbalance"] >= 1.0
+
+
+def test_general_corpus_covers_curated_themes():
+    corpus = general_corpus(seed=0, n_docs=200)
+    vocab = {t for d in corpus for t in d.tokens}
+    assert "sports" in vocab and "politics" in vocab

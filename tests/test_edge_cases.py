@@ -1,0 +1,160 @@
+"""Edge-case and failure-injection tests across the library."""
+
+import numpy as np
+import pytest
+
+from repro.core.supervision import Keywords, LabelNames
+from repro.core.types import Corpus, Document, LabelSet
+from repro.datasets import available_profiles, load_profile
+from repro.text.tfidf import TfidfVectorizer
+from repro.text.vocabulary import Vocabulary
+
+
+def _corpus(n, label="x", extra=""):
+    return Corpus(
+        [Document(doc_id=f"d{extra}{i}",
+                  tokens=["alpha", "beta", "gamma", "delta"][: 2 + i % 3],
+                  labels=(label,))
+         for i in range(n)],
+        name=f"edge{extra}",
+    )
+
+
+def test_all_catalog_profiles_generate():
+    """Every profile in the catalog produces consistent corpora."""
+    for name in available_profiles():
+        bundle = load_profile(name, seed=1, scale=0.05)
+        assert len(bundle.train_corpus) > 0
+        assert len(bundle.label_set) >= 2
+        for doc in bundle.train_corpus[:5]:
+            assert doc.tokens
+            assert doc.labels
+            for label in doc.labels:
+                # Tree profiles label with leaves; DAG closures may include
+                # internal nodes — all must exist in the world.
+                assert label in bundle.world.lexicons
+
+
+def test_empty_corpus_rejected_by_vectorizer():
+    vec = TfidfVectorizer()
+    mat = vec.fit_transform([])
+    assert mat.shape[0] == 0
+
+
+def test_vocabulary_of_empty_stream():
+    vocab = Vocabulary.build([])
+    assert len(vocab.content_tokens()) == 0
+    assert vocab.id("anything") == vocab.unk_id
+
+
+def test_westclass_on_tiny_corpus():
+    """Methods should not crash on degenerate 10-document corpora."""
+    from repro.methods import WeSTClass
+
+    label_set = LabelSet(labels=("a", "b"))
+    docs = []
+    for i in range(10):
+        words = ["alpha", "apple"] if i % 2 == 0 else ["bravo", "banana"]
+        docs.append(Document(doc_id=f"d{i}", tokens=words * 4,
+                             labels=("a" if i % 2 == 0 else "b",)))
+    corpus = Corpus(docs)
+    keywords = Keywords(label_set=label_set,
+                        keywords={"a": ["alpha"], "b": ["bravo"]})
+    clf = WeSTClass(pseudo_per_class=5, pretrain_epochs=2,
+                    self_train_iterations=1, seed=0)
+    clf.fit(corpus, keywords)
+    proba = clf.predict_proba(corpus)
+    assert np.isfinite(proba).all()
+
+
+def test_predict_on_single_document(tiny_plm, agnews_small):
+    from repro.methods import XClass
+
+    clf = XClass(plm=tiny_plm, seed=0)
+    clf.fit(agnews_small.train_corpus, agnews_small.label_names())
+    single = agnews_small.test_corpus[:1]
+    assert len(clf.predict(single)) == 1
+
+
+def test_label_names_with_oov_name(tiny_plm, agnews_small):
+    """A label name absent from corpus and PLM vocab must not crash."""
+    from repro.methods import XClass
+
+    label_set = LabelSet(
+        labels=tuple(agnews_small.label_set.labels),
+        names={**agnews_small.label_set.names,
+               "sports": "zzzneverseenzzz"},
+    )
+    clf = XClass(plm=tiny_plm, seed=0)
+    clf.fit(agnews_small.train_corpus, LabelNames(label_set=label_set))
+    proba = clf.predict_proba(agnews_small.test_corpus[:5])
+    assert np.isfinite(proba).all()
+
+
+def test_ir_tfidf_with_all_oov_queries(agnews_small):
+    from repro.baselines import IRWithTfidf
+
+    label_set = agnews_small.label_set
+    keywords = Keywords(
+        label_set=label_set,
+        keywords={l: ["zzzz" + l] for l in label_set},
+    )
+    clf = IRWithTfidf(seed=0)
+    clf.fit(agnews_small.train_corpus, keywords)
+    proba = clf.predict_proba(agnews_small.test_corpus[:5])
+    assert np.allclose(proba.sum(axis=1), 1.0)
+
+
+def test_classifier_all_identical_documents(rng):
+    from repro.classifiers import BagOfEmbeddingsClassifier
+
+    vocab = Vocabulary.build([["same", "words"]])
+    docs = [["same", "words"]] * 12
+    targets = np.array([0, 1] * 6)
+    clf = BagOfEmbeddingsClassifier(vocab, 2, dim=8, seed=0)
+    clf.fit(docs, targets, epochs=2)
+    proba = clf.predict_proba(docs)
+    assert np.isfinite(proba).all()
+
+
+def test_hin_graph_empty_corpus():
+    from repro.hin.graph import HeterogeneousGraph
+
+    graph = HeterogeneousGraph.from_corpus(Corpus([], name="empty"))
+    assert len(graph) == 0
+    assert graph.nodes("doc") == []
+
+
+def test_metapath_pairs_without_metadata():
+    from repro.hin.graph import HeterogeneousGraph
+    from repro.hin.metapath import P_USER_P, metapath_pairs
+
+    corpus = _corpus(5)
+    graph = HeterogeneousGraph.from_corpus(corpus)
+    assert metapath_pairs(graph, P_USER_P, 10, seed=0) == []
+
+
+def test_micol_without_metadata_falls_back(tiny_plm, agnews_small):
+    """No meta-path pairs -> MICoL degrades to raw-encoder scoring."""
+    from repro.methods import MICoL
+
+    clf = MICoL(plm=tiny_plm, encoder="bi", seed=0)
+    clf.fit(agnews_small.train_corpus, agnews_small.label_names())
+    assert clf._bi is None  # no pairs were found, no fine-tuning happened
+    scores = clf.score(agnews_small.test_corpus[:3])
+    assert np.isfinite(scores).all()
+
+
+def test_multilabel_predict_top_k(dag_small):
+    from repro.baselines import SemiBERT
+    from repro.plm.config import tiny_config
+    from repro.plm.provider import get_pretrained_lm
+
+    plm = get_pretrained_lm(target_corpus=dag_small.train_corpus,
+                            config=tiny_config(), seed=0)
+    clf = SemiBERT(plm=plm, fraction=0.3, epochs=10, seed=0)
+    clf.fit(dag_small.train_corpus, dag_small.label_names())
+    top2 = clf.predict(dag_small.test_corpus[:4], top_k=2)
+    assert all(len(labels) == 2 for labels in top2)
+    thresholded = clf.predict(dag_small.test_corpus[:4], threshold=2.0)
+    assert all(len(labels) == 1 for labels in thresholded)  # argmax fallback

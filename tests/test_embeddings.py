@@ -1,0 +1,157 @@
+"""Tests for the static-embedding substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.embeddings.doc import doc_embeddings, tfidf_weighted_doc_embeddings
+from repro.embeddings.doc2vec import Doc2Vec
+from repro.embeddings.joint import JointEmbeddingSpace
+from repro.embeddings.ppmi_svd import PPMISVDEmbeddings, cooccurrence_matrix, ppmi
+from repro.embeddings.vmf import VonMisesFisher
+from repro.embeddings.word2vec import Word2Vec
+from repro.text.vocabulary import Vocabulary
+
+
+def _topic_corpus(rng, n=120):
+    """Two topics with disjoint vocabularies plus shared glue words."""
+    topics = {
+        "a": ["apple", "banana", "cherry", "date", "elder"],
+        "b": ["wrench", "hammer", "pliers", "drill", "saw"],
+    }
+    glue = ["and", "with", "item"]
+    docs, labels = [], []
+    for i in range(n):
+        topic = "a" if i % 2 == 0 else "b"
+        words = [topics[topic][int(rng.integers(0, 5))] for _ in range(8)]
+        words += [glue[int(rng.integers(0, 3))] for _ in range(3)]
+        docs.append(list(rng.permutation(words)))
+        labels.append(topic)
+    return docs, labels
+
+
+def test_cooccurrence_symmetric(rng):
+    docs, _ = _topic_corpus(rng, n=20)
+    vocab = Vocabulary.build(docs)
+    mat = cooccurrence_matrix(docs, vocab, window=3)
+    assert (abs(mat - mat.T)).nnz == 0
+
+
+def test_ppmi_nonnegative(rng):
+    docs, _ = _topic_corpus(rng, n=20)
+    vocab = Vocabulary.build(docs)
+    mat = ppmi(cooccurrence_matrix(docs, vocab))
+    assert (mat.data >= 0).all()
+
+
+def test_ppmi_svd_separates_topics(rng):
+    docs, _ = _topic_corpus(rng)
+    model = PPMISVDEmbeddings(dim=16).fit(docs)
+    neighbours = [w for w, _ in model.most_similar("apple", k=4)]
+    assert set(neighbours) & {"banana", "cherry", "date", "elder"}
+
+
+def test_word2vec_separates_topics(rng):
+    docs, _ = _topic_corpus(rng)
+    model = Word2Vec(dim=16, epochs=8, seed=0).fit(docs)
+    neighbours = [w for w, _ in model.most_similar("hammer", k=4)]
+    assert set(neighbours) & {"wrench", "pliers", "drill", "saw"}
+
+
+def test_word2vec_deterministic_given_seed(rng):
+    docs, _ = _topic_corpus(rng, n=30)
+    a = Word2Vec(dim=8, epochs=2, seed=5).fit(docs).matrix()
+    b = Word2Vec(dim=8, epochs=2, seed=5).fit(docs).matrix()
+    assert np.allclose(a, b)
+
+
+def test_doc_embeddings_cluster_by_topic(rng):
+    docs, labels = _topic_corpus(rng)
+    model = PPMISVDEmbeddings(dim=16).fit(docs)
+    emb = doc_embeddings(docs, model)
+    centroid_a = emb[[i for i, l in enumerate(labels) if l == "a"]].mean(axis=0)
+    centroid_b = emb[[i for i, l in enumerate(labels) if l == "b"]].mean(axis=0)
+    correct = 0
+    for row, label in zip(emb, labels):
+        predicted = "a" if row @ centroid_a > row @ centroid_b else "b"
+        correct += predicted == label
+    assert correct / len(labels) > 0.9
+
+
+def test_tfidf_weighted_doc_embeddings_shape(rng):
+    docs, _ = _topic_corpus(rng, n=20)
+    model = PPMISVDEmbeddings(dim=16).fit(docs)
+    emb = tfidf_weighted_doc_embeddings(docs, model)
+    assert emb.shape == (20, 16)
+    assert np.allclose(np.linalg.norm(emb, axis=1), 1.0, atol=1e-6)
+
+
+def test_doc2vec_infer_shapes(rng):
+    docs, _ = _topic_corpus(rng, n=40)
+    model = Doc2Vec(dim=12, epochs=2, seed=0).fit(docs)
+    assert model.matrix().shape == (40, 12)
+    inferred = model.infer(docs[:5])
+    assert inferred.shape == (5, 12)
+
+
+def test_vmf_fit_recovers_mean_direction(rng):
+    mu = np.zeros(8)
+    mu[0] = 1.0
+    base = VonMisesFisher(mu, kappa=50.0)
+    samples = base.sample(200, seed=1)
+    fitted = VonMisesFisher.fit(samples)
+    assert fitted.mu @ mu > 0.95
+    assert fitted.kappa > 5.0
+
+
+def test_vmf_samples_unit_norm(rng):
+    vmf = VonMisesFisher(np.ones(5), kappa=10.0)
+    samples = vmf.sample(50, seed=0)
+    assert np.allclose(np.linalg.norm(samples, axis=1), 1.0, atol=1e-9)
+
+
+@given(st.integers(min_value=3, max_value=16),
+       st.floats(min_value=1.0, max_value=200.0))
+@settings(max_examples=20, deadline=None)
+def test_vmf_concentration_controls_spread(dim, kappa):
+    rng = np.random.default_rng(0)
+    mu = rng.normal(size=dim)
+    vmf = VonMisesFisher(mu, kappa=kappa)
+    samples = vmf.sample(40, seed=0)
+    mean_cos = float(samples @ vmf.mu).__abs__() if samples.ndim == 1 else float(
+        (samples @ vmf.mu).mean()
+    )
+    if kappa >= 100:
+        assert mean_cos > 0.8
+    assert -1.0 <= mean_cos <= 1.0
+
+
+def test_vmf_rejects_zero_mean():
+    with pytest.raises(ValueError):
+        VonMisesFisher(np.zeros(4), kappa=1.0)
+
+
+def test_vmf_log_density_prefers_mean(rng):
+    mu = np.zeros(6)
+    mu[1] = 1.0
+    vmf = VonMisesFisher(mu, kappa=8.0)
+    aligned = vmf.log_density_direction(mu[None, :])
+    opposite = vmf.log_density_direction(-mu[None, :])
+    assert aligned[0] > opposite[0]
+
+
+def test_joint_space_label_vectors_and_expansion(rng):
+    docs, _ = _topic_corpus(rng)
+    space = JointEmbeddingSpace(dim=16).fit(docs)
+    space.set_label_seeds({"fruit": ["apple", "banana"], "tools": ["hammer"]})
+    expanded = space.nearest_words_to_label("fruit", k=3,
+                                            exclude={"apple", "banana"})
+    assert set(expanded) & {"cherry", "date", "elder"}
+    docs_emb = space.document_vectors(docs[:4])
+    assert docs_emb.shape == (4, 16)
+
+
+def test_joint_space_backend_validation():
+    with pytest.raises(ValueError):
+        JointEmbeddingSpace(backend="nope")

@@ -1,0 +1,158 @@
+"""Tests + property tests for evaluation metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation.clustering import align_clusters, confusion_matrix, kmeans, purity
+from repro.evaluation.metrics import accuracy, f1_scores, macro_f1, micro_f1, per_class_f1
+from repro.evaluation.ranking import example_f1, ndcg_at_k, precision_at_k
+from repro.evaluation.reporting import format_matrix, format_table
+from repro.evaluation.significance import bootstrap_interval, paired_bootstrap_pvalue
+
+
+def test_accuracy_and_micro():
+    gold = ["a", "b", "a"]
+    pred = ["a", "b", "b"]
+    assert accuracy(gold, pred) == pytest.approx(2 / 3)
+    assert micro_f1(gold, pred) == accuracy(gold, pred)
+
+
+def test_metrics_validate_lengths():
+    with pytest.raises(ValueError):
+        accuracy(["a"], [])
+    with pytest.raises(ValueError):
+        accuracy([], [])
+
+
+def test_per_class_f1_values():
+    gold = ["a", "a", "b", "b"]
+    pred = ["a", "b", "b", "b"]
+    stats = per_class_f1(gold, pred)
+    precision, recall, f1, support = stats["a"]
+    assert precision == 1.0 and recall == 0.5 and support == 2
+    assert f1 == pytest.approx(2 / 3)
+
+
+def test_macro_f1_unweighted():
+    gold = ["a"] * 9 + ["b"]
+    pred = ["a"] * 10
+    micro, macro = f1_scores(gold, pred)
+    assert micro == 0.9
+    assert macro < micro  # the empty class drags macro down
+
+
+def test_macro_f1_with_explicit_labels():
+    gold = ["a", "a"]
+    pred = ["a", "a"]
+    assert macro_f1(gold, pred, labels=["a", "never"]) == pytest.approx(0.5)
+
+
+@given(st.lists(st.sampled_from("ab"), min_size=1, max_size=30))
+@settings(max_examples=40, deadline=None)
+def test_perfect_prediction_scores_one(labels):
+    assert micro_f1(labels, labels) == 1.0
+    assert macro_f1(labels, labels) == 1.0
+
+
+def test_example_f1():
+    gold = [{"a", "b"}, {"c"}]
+    pred = [("a",), ("c",)]
+    assert example_f1(gold, pred) == pytest.approx((2 / 3 + 1.0) / 2)
+
+
+def test_example_f1_empty_sets_count_as_match():
+    assert example_f1([set()], [()]) == 1.0
+
+
+def test_precision_at_k():
+    gold = [{"a"}, {"b", "c"}]
+    rankings = [["a", "x", "y"], ["x", "b", "c"]]
+    assert precision_at_k(gold, rankings, 1) == pytest.approx(0.5)
+    assert precision_at_k(gold, rankings, 3) == pytest.approx((1 / 3 + 2 / 3) / 2)
+
+
+def test_ndcg_perfect_ranking_is_one():
+    gold = [{"a", "b"}]
+    assert ndcg_at_k(gold, [["a", "b", "x"]], 3) == pytest.approx(1.0)
+
+
+def test_ndcg_penalizes_late_hits():
+    gold = [{"a"}]
+    early = ndcg_at_k(gold, [["a", "x", "y"]], 3)
+    late = ndcg_at_k(gold, [["x", "y", "a"]], 3)
+    assert early > late > 0
+
+
+def test_confusion_matrix_counts():
+    matrix, labels = confusion_matrix(["a", "a", "b"], ["a", "b", "b"])
+    assert labels == ["a", "b"]
+    assert matrix[0, 0] == 1 and matrix[0, 1] == 1 and matrix[1, 1] == 1
+
+
+def test_align_clusters_recovers_permutation():
+    gold = ["x"] * 5 + ["y"] * 5
+    clusters = [1] * 5 + [0] * 5
+    mapping = align_clusters(gold, clusters)
+    assert mapping == {1: "x", 0: "y"}
+
+
+def test_purity_bounds():
+    gold = ["x", "x", "y", "y"]
+    assert purity(gold, [0, 0, 1, 1]) == 1.0
+    assert purity(gold, [0, 1, 0, 1]) == 0.5
+
+
+def test_kmeans_separates_blobs(rng):
+    a = rng.normal(0, 0.1, size=(20, 2))
+    b = rng.normal(5, 0.1, size=(20, 2))
+    points = np.vstack([a, b])
+    assignment = kmeans(points, 2, seed=0)
+    assert len(set(assignment[:20])) == 1
+    assert assignment[0] != assignment[-1]
+
+
+def test_kmeans_rejects_k_too_large():
+    with pytest.raises(ValueError):
+        kmeans(np.zeros((2, 2)), 5)
+
+
+def test_bootstrap_interval_contains_mean():
+    scores = np.linspace(0, 1, 50)
+    low, high = bootstrap_interval(scores, seed=0)
+    assert low <= scores.mean() <= high
+
+
+def test_bootstrap_interval_rejects_empty():
+    with pytest.raises(ValueError):
+        bootstrap_interval([])
+
+
+def test_paired_bootstrap_detects_difference():
+    a = np.full(100, 0.9)
+    b = np.full(100, 0.5)
+    assert paired_bootstrap_pvalue(a, b, seed=0) < 0.01
+    assert paired_bootstrap_pvalue(b, a, seed=0) > 0.5
+
+
+def test_paired_bootstrap_validates_shapes():
+    with pytest.raises(ValueError):
+        paired_bootstrap_pvalue([1.0], [1.0, 2.0])
+
+
+def test_format_table_alignment():
+    rows = [{"Method": "A", "F1": 0.5}, {"Method": "LongName", "F1": 0.25}]
+    text = format_table(rows, title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "0.500" in text and "0.250" in text
+
+
+def test_format_table_empty():
+    assert format_table([], title="x") == "x"
+
+
+def test_format_matrix():
+    text = format_matrix(np.array([[2, 0], [1, 3]]), ["a", "b"], ["a", "b"])
+    assert "2" in text and "3" in text

@@ -1,0 +1,81 @@
+"""Tests for the heterogeneous-network substrate."""
+
+import pytest
+
+from repro.core.types import Corpus, Document
+from repro.hin.graph import HeterogeneousGraph
+from repro.hin.metapath import P_REF_P, P_USER_P, MetaPath, metapath_pairs
+from repro.hin.random_walk import metapath_random_walks
+
+
+def _meta_corpus():
+    docs = [
+        Document(doc_id="d0", tokens=["a"], labels=("x",),
+                 metadata={"user": "u1", "tags": ["t1"],
+                           "references": ["d2"]}),
+        Document(doc_id="d1", tokens=["b"], labels=("x",),
+                 metadata={"user": "u1", "tags": ["t1", "t2"],
+                           "references": ["d2"]}),
+        Document(doc_id="d2", tokens=["c"], labels=("y",),
+                 metadata={"user": "u2", "tags": ["t2"]}),
+    ]
+    return Corpus(docs, name="meta")
+
+
+def test_graph_from_corpus_types():
+    graph = HeterogeneousGraph.from_corpus(_meta_corpus())
+    assert set(graph.node_types) == {"doc", "user", "tag"}
+    assert len(graph.nodes("doc")) == 3
+    assert len(graph.nodes("user")) == 2
+
+
+def test_graph_neighbors_filtering():
+    graph = HeterogeneousGraph.from_corpus(_meta_corpus())
+    docs_of_u1 = graph.neighbors(("user", "u1"), node_type="doc")
+    assert [n[1] for n in docs_of_u1] == ["d0", "d1"]
+    refs = graph.neighbors(("doc", "d0"), edge_type="doc-ref")
+    assert ("doc", "d2") in refs
+
+
+def test_graph_degree_and_contains():
+    graph = HeterogeneousGraph.from_corpus(_meta_corpus())
+    assert ("doc", "d0") in graph
+    assert graph.degree(("user", "u1")) == 2
+
+
+def test_metapath_validation():
+    with pytest.raises(ValueError):
+        MetaPath(("doc",))
+    with pytest.raises(ValueError):
+        MetaPath(("doc", "user"), edge_types=("a", "b"))
+
+
+def test_metapath_pairs_user():
+    graph = HeterogeneousGraph.from_corpus(_meta_corpus())
+    pairs = metapath_pairs(graph, P_USER_P, n_pairs=10, seed=0)
+    assert ("d0", "d1") in pairs or ("d1", "d0") in pairs
+
+
+def test_metapath_pairs_reference():
+    graph = HeterogeneousGraph.from_corpus(_meta_corpus())
+    pairs = metapath_pairs(graph, P_REF_P, n_pairs=10, seed=0)
+    # d0 and d1 both reference d2.
+    flattened = {frozenset(p) for p in pairs}
+    assert frozenset(("d0", "d1")) in flattened
+
+
+def test_random_walks_follow_pattern():
+    graph = HeterogeneousGraph.from_corpus(_meta_corpus())
+    walks = metapath_random_walks(graph, P_USER_P, walks_per_node=2,
+                                  walk_length=5, seed=0)
+    assert walks
+    for walk in walks:
+        kinds = [t.split(":")[0] for t in walk]
+        for i, kind in enumerate(kinds):
+            assert kind == ("doc" if i % 2 == 0 else "user")
+
+
+def test_random_walks_require_cyclic_path():
+    graph = HeterogeneousGraph.from_corpus(_meta_corpus())
+    with pytest.raises(ValueError):
+        metapath_random_walks(graph, MetaPath(("doc", "user")), seed=0)

@@ -1,0 +1,136 @@
+"""Integration tests: cross-module pipelines at miniature scale.
+
+These exercise the same code paths as the benchmark harness, asserting
+the qualitative *shapes* the paper reports (on small data, with lenient
+margins).
+"""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.metrics import micro_f1
+from repro.evaluation.ranking import precision_at_k
+
+
+def test_weak_methods_beat_ir_baseline(tiny_plm, agnews_small):
+    """WeSTClass and X-Class should clear the retrieval baseline."""
+    from repro.baselines import IRWithTfidf
+    from repro.methods import WeSTClass, XClass
+
+    gold = [d.labels[0] for d in agnews_small.test_corpus]
+    ir = IRWithTfidf(seed=0)
+    ir.fit(agnews_small.train_corpus, agnews_small.keywords())
+    ir_score = micro_f1(gold, ir.predict(agnews_small.test_corpus))
+
+    xclass = XClass(plm=tiny_plm, seed=0)
+    xclass.fit(agnews_small.train_corpus, agnews_small.label_names())
+    x_score = micro_f1(gold, xclass.predict(agnews_small.test_corpus))
+    assert x_score > ir_score - 0.05
+
+
+def test_supervised_bounds_weakly_supervised(tiny_plm, agnews_small):
+    from repro.baselines import SupervisedBERT
+    from repro.methods import XClass
+
+    gold = [d.labels[0] for d in agnews_small.test_corpus]
+    supervised = SupervisedBERT(plm=tiny_plm, seed=0)
+    supervised.fit(agnews_small.train_corpus, agnews_small.label_names())
+    sup_score = micro_f1(gold, supervised.predict(agnews_small.test_corpus))
+
+    weak = XClass(plm=tiny_plm, seed=0)
+    weak.fit(agnews_small.train_corpus, agnews_small.label_names())
+    weak_score = micro_f1(gold, weak.predict(agnews_small.test_corpus))
+    assert sup_score >= weak_score - 0.1
+
+
+def test_contextualization_helps_with_ambiguous_seeds(tiny_plm, agnews_small):
+    """ConWea vs ConWea-NoCon on seeds containing ambiguous words."""
+    from repro.methods import ConWea
+
+    gold = [d.labels[0] for d in agnews_small.test_corpus]
+    keywords = agnews_small.keywords(include_ambiguous=True)
+    with_ctx = ConWea(plm=tiny_plm, iterations=1, epochs=6, seed=0)
+    with_ctx.fit(agnews_small.train_corpus, keywords)
+    no_ctx = ConWea(plm=tiny_plm, contextualize=False, iterations=1, epochs=6,
+                    seed=0)
+    no_ctx.fit(agnews_small.train_corpus, keywords)
+    score_ctx = micro_f1(gold, with_ctx.predict(agnews_small.test_corpus))
+    score_plain = micro_f1(gold, no_ctx.predict(agnews_small.test_corpus))
+    assert score_ctx >= score_plain - 0.1
+
+
+def test_weshclass_self_training_helps(tree_small):
+    from repro.methods import WeSHClass
+
+    gold = [d.labels[0] for d in tree_small.test_corpus]
+    kwargs = dict(pseudo_per_class=15, pretrain_epochs=4, seed=0)
+    full = WeSHClass(tree=tree_small.tree, self_train_rounds=2, **kwargs)
+    full.fit(tree_small.train_corpus, tree_small.keywords())
+    no_st = WeSHClass(tree=tree_small.tree, self_train=False, **kwargs)
+    no_st.fit(tree_small.train_corpus, tree_small.keywords())
+    full_score = micro_f1(gold, full.predict(tree_small.test_corpus))
+    no_st_score = micro_f1(gold, no_st.predict(tree_small.test_corpus))
+    assert full_score >= no_st_score - 0.05
+
+
+def test_taxoclass_beats_hier_zero_shot(dag_small):
+    from repro.baselines import HierZeroShotTC
+    from repro.methods import TaxoClass
+    from repro.plm.config import tiny_config
+    from repro.plm.provider import get_pretrained_lm
+
+    plm = get_pretrained_lm(target_corpus=dag_small.train_corpus,
+                            config=tiny_config(), seed=0)
+    gold = [set(d.labels) for d in dag_small.test_corpus]
+    taxo = TaxoClass(dag=dag_small.dag, plm=plm, rounds=1, seed=0)
+    taxo.fit(dag_small.train_corpus, dag_small.label_names())
+    zero = HierZeroShotTC(dag=dag_small.dag, plm=plm, seed=0)
+    zero.fit(dag_small.train_corpus, dag_small.label_names())
+    taxo_p1 = precision_at_k(gold, taxo.rank(dag_small.test_corpus), 1)
+    zero_p1 = precision_at_k(gold, zero.rank(dag_small.test_corpus), 1)
+    assert taxo_p1 >= zero_p1 - 0.05
+
+
+def test_micol_beats_doc2vec(biblio_small):
+    from repro.baselines import Doc2VecRanker
+    from repro.methods import MICoL
+    from repro.plm.config import tiny_config
+    from repro.plm.provider import get_pretrained_lm
+
+    plm = get_pretrained_lm(target_corpus=biblio_small.train_corpus,
+                            config=tiny_config(), seed=0)
+    gold = [set(d.labels) for d in biblio_small.test_corpus]
+    micol = MICoL(plm=plm, encoder="cross", n_pairs=100, seed=0)
+    micol.fit(biblio_small.train_corpus, biblio_small.label_names())
+    doc2vec = Doc2VecRanker(dim=24, seed=0)
+    doc2vec.fit(biblio_small.train_corpus, biblio_small.label_names())
+    micol_p1 = precision_at_k(gold, micol.rank(biblio_small.test_corpus), 1)
+    d2v_p1 = precision_at_k(gold, doc2vec.rank(biblio_small.test_corpus), 1)
+    assert micol_p1 > d2v_p1
+
+
+def test_prompt_zero_shot_to_cotraining_pipeline(tiny_plm, agnews_small):
+    from repro.methods import PromptClass
+
+    clf = PromptClass(plm=tiny_plm, rounds=2, seed=0)
+    clf.fit(agnews_small.train_corpus, agnews_small.label_names())
+    gold = [d.labels[0] for d in agnews_small.test_corpus]
+    assert micro_f1(gold, clf.predict(agnews_small.test_corpus)) > 0.5
+
+
+def test_lotclass_prediction_demo_rows(tiny_plm, agnews_small):
+    """The Table-1 style demonstration produces context-dependent rows."""
+    word = "goal"
+    contexts = {}
+    for doc in agnews_small.train_corpus:
+        label = doc.labels[0]
+        if label in ("sports", "business") and word in doc.tokens[:20]:
+            contexts.setdefault(label, doc.tokens[:24])
+    if len(contexts) < 2:
+        pytest.skip("ambiguous word did not occur in both topics")
+    predictions = {}
+    for label, tokens in contexts.items():
+        position = tokens.index(word)
+        predictions[label] = [w for w, _ in tiny_plm.predict_masked(
+            tokens, position, top_k=10)]
+    assert predictions["sports"] != predictions["business"]

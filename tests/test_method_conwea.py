@@ -1,0 +1,98 @@
+"""Tests for ConWea: contextualization, ranking, end-to-end."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.metrics import micro_f1
+from repro.methods.conwea import ConWea, Contextualizer
+from repro.methods.conwea.ranking import (
+    disambiguate_seeds,
+    expand_seeds,
+    label_term_scores,
+    prune_seed_senses,
+)
+
+
+def test_contextualizer_splits_ambiguous_word(tiny_plm, agnews_small):
+    ctx = Contextualizer(tiny_plm, min_occurrences=6, seed=0)
+    tagged = ctx.contextualize(agnews_small.train_corpus, {"goal"})
+    if "goal" not in ctx.senses:
+        pytest.skip("tiny corpus lacked enough 'goal' occurrences to split")
+    variants = {t for tokens in tagged for t in tokens if t.startswith("goal$")}
+    assert len(variants) >= 2
+
+
+def test_contextualizer_sense_tags_align_with_class(tiny_plm, agnews_small):
+    ctx = Contextualizer(tiny_plm, min_occurrences=6, seed=0)
+    ctx.contextualize(agnews_small.train_corpus, {"goal"})
+    if "goal" not in ctx.assignments:
+        pytest.skip("no split")
+    by_sense: dict = {}
+    for doc_idx, _, sense in ctx.assignments["goal"]:
+        label = agnews_small.train_corpus[doc_idx].labels[0]
+        by_sense.setdefault(sense, []).append(label)
+    purities = [
+        max(labels.count(l) for l in set(labels)) / len(labels)
+        for labels in by_sense.values()
+    ]
+    assert np.mean(purities) > 0.6
+
+
+def test_contextualizer_tags_new_docs(tiny_plm, agnews_small):
+    ctx = Contextualizer(tiny_plm, min_occurrences=6, seed=0)
+    ctx.contextualize(agnews_small.train_corpus, {"goal"})
+    if "goal" not in ctx.senses:
+        pytest.skip("no split")
+    tagged = ctx.tag_new_docs([["team", "scored", "goal", "today"]])
+    assert any(t.startswith("goal$") for t in tagged[0])
+
+
+def test_label_term_scores_prefer_concentrated_words():
+    token_lists = [["apple", "fruit"], ["apple", "fruit"], ["car", "wheel"]]
+    labels = ["food", "food", "autos"]
+    scores = label_term_scores(token_lists, labels, ["food", "autos"],
+                               min_count=1)
+    assert scores["food"]["apple"] > scores["autos"].get("apple", 0.0)
+
+
+def test_expand_seeds_exclusive_assignment():
+    scores = {"a": {"w1": 5.0, "shared": 4.0}, "b": {"shared": 3.0, "w2": 2.0}}
+    out = expand_seeds(scores, {"a": ["seed_a"], "b": ["seed_b"]}, per_class=3)
+    assert "shared" in out["a"]
+    assert "shared" not in out["b"]
+    assert "w2" in out["b"]
+
+
+def test_disambiguate_and_prune_seed_senses():
+    seeds = {"sports": ["goal", "soccer"]}
+    sense_words = {"goal$0", "goal$1"}
+    expanded = disambiguate_seeds(seeds, sense_words)
+    assert set(expanded["sports"]) >= {"goal$0", "goal$1", "soccer"}
+    scores = {"sports": {"goal$0": 3.0, "goal$1": 0.0}}
+    pruned = prune_seed_senses(expanded, scores)
+    assert "goal$0" in pruned["sports"]
+    assert "goal$1" not in pruned["sports"]
+
+
+def test_conwea_beats_chance(tiny_plm, agnews_small):
+    gold = [d.labels[0] for d in agnews_small.test_corpus]
+    clf = ConWea(plm=tiny_plm, iterations=1, epochs=5, seed=0)
+    clf.fit(agnews_small.train_corpus, agnews_small.keywords())
+    assert micro_f1(gold, clf.predict(agnews_small.test_corpus)) > 0.45
+
+
+def test_conwea_ablation_variants_run(tiny_plm, agnews_small):
+    for kwargs in ({"contextualize": False}, {"expand": False},
+                   {"wsd_mode": True}):
+        clf = ConWea(plm=tiny_plm, iterations=1, epochs=3, seed=0, **kwargs)
+        clf.fit(agnews_small.train_corpus, agnews_small.keywords())
+        proba = clf.predict_proba(agnews_small.test_corpus)
+        assert np.isfinite(proba).all()
+
+
+def test_conwea_accepts_label_names(tiny_plm, agnews_small):
+    clf = ConWea(plm=tiny_plm, iterations=1, epochs=3, seed=0)
+    clf.fit(agnews_small.train_corpus, agnews_small.label_names())
+    assert len(clf.predict(agnews_small.test_corpus)) == len(
+        agnews_small.test_corpus
+    )

@@ -1,0 +1,58 @@
+"""Tests for LOTClass: category vocabulary + MCP + self-training."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.metrics import micro_f1
+from repro.methods.lotclass import LOTClass, build_category_vocabulary
+from repro.methods.lotclass.category_vocab import collect_name_occurrences
+
+
+def test_collect_name_occurrences(agnews_small):
+    occurrences = collect_name_occurrences(agnews_small.train_corpus, "sports",
+                                           max_occurrences=5)
+    assert 0 < len(occurrences) <= 5
+    for tokens, position in occurrences:
+        assert tokens[position] == "sports"
+
+
+def test_category_vocabulary_contains_name(tiny_plm, agnews_small):
+    vocab = build_category_vocabulary(tiny_plm, agnews_small.train_corpus,
+                                      agnews_small.label_set, top_k=10,
+                                      vocab_size=20)
+    for label in agnews_small.label_set:
+        assert vocab[label], label
+        assert agnews_small.label_set.name_tokens(label)[0] in vocab[label]
+
+
+def test_category_vocabularies_mostly_disjoint(tiny_plm, agnews_small):
+    vocab = build_category_vocabulary(tiny_plm, agnews_small.train_corpus,
+                                      agnews_small.label_set, top_k=10,
+                                      vocab_size=20)
+    labels = list(agnews_small.label_set)
+    for i, a in enumerate(labels):
+        for b in labels[i + 1:]:
+            overlap = set(vocab[a]) & set(vocab[b])
+            assert len(overlap) <= 2, (a, b, overlap)
+
+
+def test_lotclass_beats_chance(tiny_plm, agnews_small):
+    gold = [d.labels[0] for d in agnews_small.test_corpus]
+    clf = LOTClass(plm=tiny_plm, self_train_iterations=2, seed=0)
+    clf.fit(agnews_small.train_corpus, agnews_small.label_names())
+    assert micro_f1(gold, clf.predict(agnews_small.test_corpus)) > 0.4
+
+
+def test_lotclass_without_self_train(tiny_plm, agnews_small):
+    clf = LOTClass(plm=tiny_plm, self_train=False, seed=0)
+    clf.fit(agnews_small.train_corpus, agnews_small.label_names())
+    proba = clf.predict_proba(agnews_small.test_corpus)
+    assert np.allclose(proba.sum(axis=1), 1.0)
+
+
+def test_lotclass_rejects_keyword_supervision(tiny_plm, agnews_small):
+    from repro.core.exceptions import SupervisionError
+
+    clf = LOTClass(plm=tiny_plm, seed=0)
+    with pytest.raises(SupervisionError):
+        clf.fit(agnews_small.train_corpus, agnews_small.keywords())

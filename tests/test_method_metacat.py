@@ -1,0 +1,72 @@
+"""Tests for MetaCat and its metadata embedding space."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.metrics import micro_f1
+from repro.methods.metacat import MetaCat, MetadataEmbeddingSpace
+
+
+def test_embedding_space_contains_entities(meta_small):
+    sup = meta_small.labeled_documents(3)
+    doc_labels = {doc.doc_id: label for doc, label in sup.pairs()}
+    space = MetadataEmbeddingSpace(dim=24, epochs=3, seed=0)
+    space.fit(meta_small.train_corpus, doc_labels)
+    some_user = meta_small.train_corpus[0].metadata["user"]
+    assert space.has_entity("user", some_user)
+    assert space.entity_vector("user", some_user).shape == (24,)
+
+
+def test_embedding_space_streams_broadcast_globals(meta_small):
+    space = MetadataEmbeddingSpace(dim=16, seed=0)
+    streams = space.build_streams(meta_small.train_corpus)
+    stream = streams[0]
+    user_token = f"__user__{meta_small.train_corpus[0].metadata['user']}"
+    assert stream.count(user_token) >= 2  # broadcast through the document
+
+
+def test_top_words_exclude_entities(meta_small):
+    sup = meta_small.labeled_documents(3)
+    doc_labels = {doc.doc_id: label for doc, label in sup.pairs()}
+    space = MetadataEmbeddingSpace(dim=24, epochs=3, seed=0)
+    space.fit(meta_small.train_corpus, doc_labels)
+    label = list(meta_small.label_set)[0]
+    words = space.top_words_for_label(label, k=10)
+    assert all(not w.startswith("__") for w, _ in words)
+
+
+def test_metacat_beats_chance(meta_small):
+    gold = [d.labels[0] for d in meta_small.test_corpus]
+    clf = MetaCat(synth_per_class=15, epochs=8, seed=0)
+    clf.fit(meta_small.train_corpus, meta_small.labeled_documents(5))
+    score = micro_f1(gold, clf.predict(meta_small.test_corpus))
+    assert score > 2.0 / len(meta_small.label_set)
+
+
+def test_metacat_metadata_helps_on_small_corpus(meta_small):
+    gold = [d.labels[0] for d in meta_small.test_corpus]
+    sup = meta_small.labeled_documents(5)
+    with_meta = MetaCat(synth_per_class=15, epochs=10, seed=0)
+    with_meta.fit(meta_small.train_corpus, sup)
+    without = MetaCat(synth_per_class=15, epochs=10, use_metadata=False, seed=0)
+    without.fit(meta_small.train_corpus, sup)
+    score_with = micro_f1(gold, with_meta.predict(meta_small.test_corpus))
+    score_without = micro_f1(gold, without.predict(meta_small.test_corpus))
+    assert score_with >= score_without - 0.05
+
+
+def test_metacat_requires_labeled_docs(meta_small):
+    from repro.core.exceptions import SupervisionError
+
+    with pytest.raises(SupervisionError):
+        MetaCat(seed=0).fit(meta_small.train_corpus, meta_small.label_names())
+
+
+def test_metacat_synthetic_docs_include_entities(meta_small):
+    clf = MetaCat(synth_per_class=5, epochs=1, seed=0)
+    clf.fit(meta_small.train_corpus, meta_small.labeled_documents(3))
+    label = list(meta_small.label_set)[0]
+    from repro.core.seeding import derive_rng
+
+    docs = clf._synthesize(label, np.random.default_rng(0))
+    assert any(any(t.startswith("__") for t in doc) for doc in docs)

@@ -1,0 +1,86 @@
+"""Tests for MICoL: encoders, meta-path pairs, zero-shot ranking."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.ranking import precision_at_k
+from repro.methods.micol import MICoL
+from repro.methods.micol.encoders import BiEncoder, CrossEncoder
+from repro.plm.config import tiny_config
+from repro.plm.provider import get_pretrained_lm
+
+
+@pytest.fixture(scope="module")
+def biblio_plm(biblio_small):
+    return get_pretrained_lm(target_corpus=biblio_small.train_corpus,
+                             config=tiny_config(), seed=0)
+
+
+def test_bi_encoder_near_identity_start(rng):
+    enc = BiEncoder(8, seed=0)
+    x = rng.normal(size=(4, 8))
+    encoded = enc.encode(x)
+    normalized = x / np.linalg.norm(x, axis=1, keepdims=True)
+    assert np.abs(encoded - normalized).max() < 0.2
+
+
+def test_bi_encoder_contrastive_pulls_pairs_together(rng):
+    anchors = rng.normal(size=(40, 8))
+    positives = anchors + 0.1 * rng.normal(size=(40, 8))
+    enc = BiEncoder(8, seed=0)
+    enc.train_contrastive(anchors, positives, epochs=5, lr=1e-3, seed=0)
+    z_a = enc.encode(anchors)
+    z_p = enc.encode(positives)
+    assert float((z_a * z_p).sum(axis=1).mean()) > 0.9
+
+
+def test_cross_encoder_scores_unit_interval(rng):
+    enc = CrossEncoder(8, seed=0)
+    a = rng.normal(size=(5, 8))
+    b = rng.normal(size=(5, 8))
+    scores = enc.score(a, b)
+    assert ((scores >= 0) & (scores <= 1)).all()
+
+
+def test_cross_encoder_training_separates(rng):
+    base = rng.normal(size=(60, 8))
+    anchors = base / np.linalg.norm(base, axis=1, keepdims=True)
+    positives = anchors + 0.05 * rng.normal(size=(60, 8))
+    positives /= np.linalg.norm(positives, axis=1, keepdims=True)
+    enc = CrossEncoder(8, seed=0)
+    enc.train_pairs(anchors, positives, epochs=8, seed=0)
+    pos_scores = enc.score(anchors, positives)
+    neg_scores = enc.score(anchors, positives[::-1])
+    assert pos_scores.mean() > neg_scores.mean()
+
+
+@pytest.mark.parametrize("encoder", ["bi", "cross"])
+def test_micol_end_to_end(biblio_small, biblio_plm, encoder):
+    clf = MICoL(plm=biblio_plm, encoder=encoder, n_pairs=80, seed=0)
+    clf.fit(biblio_small.train_corpus, biblio_small.label_names())
+    gold = [set(d.labels) for d in biblio_small.test_corpus]
+    ranking = clf.rank(biblio_small.test_corpus)
+    chance = np.mean([len(g) for g in gold]) / len(biblio_small.label_set)
+    assert precision_at_k(gold, ranking, 1) > chance
+
+
+def test_micol_no_finetune_variant(biblio_small, biblio_plm):
+    clf = MICoL(plm=biblio_plm, fine_tune=False, seed=0)
+    clf.fit(biblio_small.train_corpus, biblio_small.label_names())
+    assert clf._bi is None and clf._cross is None
+    scores = clf.score(biblio_small.test_corpus)
+    assert scores.shape == (len(biblio_small.test_corpus),
+                            len(biblio_small.label_set))
+
+
+def test_micol_rejects_unknown_encoder():
+    with pytest.raises(ValueError):
+        MICoL(encoder="tri")
+
+
+def test_micol_rank_orders_all_labels(biblio_small, biblio_plm):
+    clf = MICoL(plm=biblio_plm, fine_tune=False, seed=0)
+    clf.fit(biblio_small.train_corpus, biblio_small.label_names())
+    ranking = clf.rank(biblio_small.test_corpus[:3])
+    for row in ranking:
+        assert sorted(row) == sorted(biblio_small.label_set.labels)

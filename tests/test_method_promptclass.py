@@ -1,0 +1,67 @@
+"""Tests for PromptClass and the zero-shot prompting scorers."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.metrics import micro_f1
+from repro.methods.promptclass import (
+    PromptClass,
+    electra_zero_shot_proba,
+    mlm_zero_shot_proba,
+)
+
+
+def test_mlm_zero_shot_proba_shape(tiny_plm, agnews_small):
+    proba = mlm_zero_shot_proba(tiny_plm, agnews_small.test_corpus[:10],
+                                agnews_small.label_set)
+    assert proba.shape == (10, len(agnews_small.label_set))
+    assert np.allclose(proba.sum(axis=1), 1.0)
+
+
+def test_mlm_zero_shot_beats_chance(tiny_plm, agnews_small):
+    gold = [d.labels[0] for d in agnews_small.test_corpus]
+    proba = mlm_zero_shot_proba(tiny_plm, agnews_small.test_corpus,
+                                agnews_small.label_set)
+    labels = list(agnews_small.label_set)
+    predicted = [labels[int(i)] for i in proba.argmax(axis=1)]
+    assert micro_f1(gold, predicted) > 0.35
+
+
+def test_electra_zero_shot_proba_shape(tiny_electra, agnews_small):
+    proba = electra_zero_shot_proba(tiny_electra, agnews_small.test_corpus[:8],
+                                    agnews_small.label_set)
+    assert proba.shape == (8, len(agnews_small.label_set))
+    assert np.allclose(proba.sum(axis=1), 1.0)
+
+
+def test_promptclass_zero_shot_only_mode(tiny_plm, agnews_small):
+    clf = PromptClass(plm=tiny_plm, zero_shot_only=True, seed=0)
+    clf.fit(agnews_small.train_corpus, agnews_small.label_names())
+    assert clf._head is None
+    proba = clf.predict_proba(agnews_small.test_corpus)
+    assert np.allclose(proba.sum(axis=1), 1.0)
+
+
+def test_promptclass_cotraining_improves_or_matches_zero_shot(
+        tiny_plm, agnews_small):
+    gold = [d.labels[0] for d in agnews_small.test_corpus]
+    zero = PromptClass(plm=tiny_plm, zero_shot_only=True, seed=0)
+    zero.fit(agnews_small.train_corpus, agnews_small.label_names())
+    full = PromptClass(plm=tiny_plm, rounds=2, seed=0)
+    full.fit(agnews_small.train_corpus, agnews_small.label_names())
+    zero_score = micro_f1(gold, zero.predict(agnews_small.test_corpus))
+    full_score = micro_f1(gold, full.predict(agnews_small.test_corpus))
+    assert full_score >= zero_score - 0.05
+
+
+def test_promptclass_electra_backend(tiny_plm, agnews_small):
+    clf = PromptClass(plm=tiny_plm, prompt_backend="electra", rounds=1, seed=0)
+    clf.fit(agnews_small.train_corpus, agnews_small.label_names())
+    assert len(clf.predict(agnews_small.test_corpus)) == len(
+        agnews_small.test_corpus
+    )
+
+
+def test_promptclass_rejects_unknown_backend():
+    with pytest.raises(ValueError):
+        PromptClass(prompt_backend="gpt")

@@ -1,0 +1,72 @@
+"""Tests for TaxoClass and top-down exploration."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.ranking import example_f1, precision_at_k
+from repro.methods.taxoclass import TaxoClass, top_down_search
+from repro.methods.taxoclass.exploration import candidate_matrix
+from repro.taxonomy.dag import LabelDAG
+
+
+@pytest.fixture()
+def toy_dag():
+    return LabelDAG(
+        edges=[("a", "a1"), ("a", "a2"), ("b", "b1"), ("b", "b2"),
+               ("a1", "leaf")],
+        top_level=["a", "b"],
+    )
+
+
+def test_top_down_search_follows_relevance(toy_dag):
+    relevance = {"a": 0.9, "b": 0.1, "a1": 0.8, "a2": 0.2, "b1": 0.5,
+                 "b2": 0.4, "leaf": 0.7}
+    candidates = top_down_search(toy_dag, relevance, beam=1, max_candidates=5)
+    assert candidates[0] == "a"
+    assert "leaf" in candidates
+    assert "b2" not in candidates  # pruned with its parent
+
+
+def test_top_down_search_respects_cap(toy_dag):
+    relevance = {n: 0.5 for n in toy_dag.nodes}
+    candidates = top_down_search(toy_dag, relevance, beam=2, max_candidates=3)
+    assert len(candidates) <= 3
+
+
+def test_candidate_matrix_shapes(toy_dag):
+    labels = toy_dag.nodes
+    relevance = np.random.default_rng(0).random((4, len(labels)))
+    out = candidate_matrix(toy_dag, relevance, labels, beam=2)
+    assert len(out) == 4
+    assert all(isinstance(c, list) for c in out)
+
+
+def test_taxoclass_end_to_end(dag_small, tiny_plm):
+    # Re-train the relevance head on the DAG bundle's PLM is costly; the
+    # tiny shared PLM covers the agnews vocabulary only, so build on the
+    # DAG corpus directly with a tiny config.
+    from repro.plm.config import tiny_config
+    from repro.plm.provider import get_pretrained_lm
+
+    plm = get_pretrained_lm(target_corpus=dag_small.train_corpus,
+                            config=tiny_config(), seed=0)
+    clf = TaxoClass(dag=dag_small.dag, plm=plm, rounds=1, seed=0)
+    clf.fit(dag_small.train_corpus, dag_small.label_names())
+    gold = [set(d.labels) for d in dag_small.test_corpus]
+    predicted = clf.predict(dag_small.test_corpus)
+    ranking = clf.rank(dag_small.test_corpus)
+    chance_p1 = np.mean([len(g) for g in gold]) / len(dag_small.label_set)
+    assert precision_at_k(gold, ranking, 1) > chance_p1
+    assert example_f1(gold, predicted) > 0.1
+    scores = clf.score(dag_small.test_corpus)
+    assert scores.shape == (len(dag_small.test_corpus),
+                            len(dag_small.label_set))
+    assert ((scores >= 0) & (scores <= 1)).all()
+
+
+def test_taxoclass_rejects_keywords(dag_small):
+    from repro.core.exceptions import SupervisionError
+
+    clf = TaxoClass(dag=dag_small.dag, seed=0)
+    with pytest.raises(SupervisionError):
+        clf.fit(dag_small.train_corpus, dag_small.keywords())

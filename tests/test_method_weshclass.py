@@ -1,0 +1,61 @@
+"""Tests for WeSHClass on tree profiles."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import SupervisionError
+from repro.evaluation.metrics import micro_f1
+from repro.methods.weshclass import WeSHClass
+
+
+def _small(tree_small, **kwargs):
+    defaults = dict(pseudo_per_class=15, pretrain_epochs=4,
+                    self_train_rounds=1, seed=0)
+    defaults.update(kwargs)
+    return WeSHClass(tree=tree_small.tree, **defaults)
+
+
+def test_weshclass_leaf_predictions_beat_chance(tree_small):
+    gold = [d.labels[0] for d in tree_small.test_corpus]
+    clf = _small(tree_small)
+    clf.fit(tree_small.train_corpus, tree_small.keywords())
+    score = micro_f1(gold, clf.predict(tree_small.test_corpus))
+    assert score > 1.5 / len(tree_small.label_set)
+
+
+def test_weshclass_coarse_predictions(tree_small):
+    clf = _small(tree_small)
+    clf.fit(tree_small.train_corpus, tree_small.keywords())
+    coarse = clf.predict_level(tree_small.test_corpus, 1)
+    gold = tree_small.coarse_gold(tree_small.test_corpus)
+    assert micro_f1(gold, coarse) > 0.4  # 3 coarse classes, chance = 0.33
+
+
+def test_weshclass_docs_supervision(tree_small):
+    clf = _small(tree_small)
+    clf.fit(tree_small.train_corpus, tree_small.labeled_documents(3))
+    proba = clf.predict_proba(tree_small.test_corpus)
+    assert np.allclose(proba.sum(axis=1), 1.0, atol=1e-6)
+
+
+def test_weshclass_ablations_run(tree_small):
+    for kwargs in ({"use_global": False}, {"use_vmf": False},
+                   {"self_train": False}):
+        clf = _small(tree_small, **kwargs)
+        clf.fit(tree_small.train_corpus, tree_small.keywords())
+        assert len(clf.predict(tree_small.test_corpus)) == len(
+            tree_small.test_corpus
+        )
+
+
+def test_weshclass_validates_tree_coverage(tree_small, agnews_small):
+    clf = _small(tree_small)
+    with pytest.raises(SupervisionError):
+        clf.fit(agnews_small.train_corpus, agnews_small.keywords())
+
+
+def test_weshclass_node_seeds_cover_internal_nodes(tree_small):
+    clf = _small(tree_small)
+    clf.fit(tree_small.train_corpus, tree_small.keywords())
+    for node in tree_small.tree.nodes:
+        assert clf.node_seeds.get(node), node

@@ -1,0 +1,91 @@
+"""Tests for WeSTClass (and its pseudo-document generator)."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import NotFittedError
+from repro.core.supervision import LabelNames
+from repro.embeddings.joint import JointEmbeddingSpace
+from repro.evaluation.metrics import micro_f1
+from repro.methods.westclass import PseudoDocumentGenerator, WeSTClass
+
+
+@pytest.fixture(scope="module")
+def fitted_space(agnews_small):
+    space = JointEmbeddingSpace(dim=24)
+    space.fit(agnews_small.train_corpus.token_lists())
+    return space
+
+
+def _seeds(bundle, per_class=3):
+    return {l: bundle.world.lexicons[l][:per_class] for l in bundle.label_set}
+
+
+def test_pseudo_generator_emits_requested_docs(fitted_space, agnews_small):
+    seeds = _seeds(agnews_small)
+    fitted_space.set_label_seeds(seeds)
+    generator = PseudoDocumentGenerator(fitted_space, seeds)
+    docs = generator.generate("sports", 5, doc_len=20, seed=0)
+    assert len(docs) == 5
+    assert all(len(d) == 20 for d in docs)
+
+
+def test_pseudo_docs_lean_topical(fitted_space, agnews_small):
+    seeds = _seeds(agnews_small)
+    fitted_space.set_label_seeds(seeds)
+    generator = PseudoDocumentGenerator(fitted_space, seeds)
+    docs = generator.generate("sports", 10, doc_len=30, seed=0)
+    sports = set(agnews_small.world.lexicons["sports"])
+    business = set(agnews_small.world.lexicons["business"])
+    sports_hits = sum(len(set(d) & sports) for d in docs)
+    business_hits = sum(len(set(d) & business) for d in docs)
+    assert sports_hits > business_hits
+
+
+def test_pseudo_generate_all_targets_smoothed(fitted_space, agnews_small):
+    seeds = _seeds(agnews_small)
+    fitted_space.set_label_seeds(seeds)
+    generator = PseudoDocumentGenerator(fitted_space, seeds)
+    docs, targets = generator.generate_all(3, doc_len=10, seed=0)
+    assert len(docs) == 3 * len(seeds)
+    assert np.allclose(targets.sum(axis=1), 1.0)
+    assert targets.max() < 1.0  # smoothing
+
+
+def test_westclass_beats_chance_all_supervision_types(agnews_small):
+    gold = [d.labels[0] for d in agnews_small.test_corpus]
+    chance = 1.0 / len(agnews_small.label_set)
+    for supervision in (agnews_small.label_names(), agnews_small.keywords(),
+                        agnews_small.labeled_documents(5)):
+        clf = WeSTClass(seed=0)
+        clf.fit(agnews_small.train_corpus, supervision)
+        score = micro_f1(gold, clf.predict(agnews_small.test_corpus))
+        assert score > chance + 0.15, type(supervision).__name__
+
+
+def test_westclass_han_variant_runs(agnews_small):
+    clf = WeSTClass(classifier="han", pseudo_per_class=10, pretrain_epochs=3,
+                    self_train_iterations=1, seed=0)
+    clf.fit(agnews_small.train_corpus, agnews_small.keywords())
+    proba = clf.predict_proba(agnews_small.test_corpus)
+    assert np.allclose(proba.sum(axis=1), 1.0)
+
+
+def test_westclass_rejects_unknown_classifier():
+    with pytest.raises(ValueError):
+        WeSTClass(classifier="transformer")
+
+
+def test_westclass_unfitted_predict_raises(agnews_small):
+    with pytest.raises(NotFittedError):
+        WeSTClass(seed=0).predict(agnews_small.test_corpus)
+
+
+def test_westclass_deterministic_given_seed(agnews_small):
+    def run():
+        clf = WeSTClass(pseudo_per_class=10, pretrain_epochs=3,
+                        self_train_iterations=1, seed=11)
+        clf.fit(agnews_small.train_corpus, agnews_small.keywords())
+        return clf.predict(agnews_small.test_corpus)
+
+    assert run() == run()

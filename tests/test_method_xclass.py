@@ -1,0 +1,78 @@
+"""Tests for X-Class: representations, alignment, variants."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.metrics import micro_f1
+from repro.methods.xclass import XClass
+from repro.methods.xclass.alignment import AlignedGaussianMixture
+from repro.methods.xclass.representations import (
+    class_oriented_doc_representations,
+    class_representations,
+    contextual_word_table,
+)
+
+
+def test_contextual_word_table_counts(tiny_plm, agnews_small):
+    table, counts = contextual_word_table(tiny_plm, agnews_small.train_corpus)
+    assert table.shape == (len(tiny_plm.vocabulary), tiny_plm.dim)
+    assert counts[tiny_plm.vocabulary.id("sports")] > 0
+    zero_rows = counts == 0
+    assert np.allclose(table[zero_rows], 0.0)
+
+
+def test_class_representations_distinct(tiny_plm, agnews_small):
+    reps = class_representations(tiny_plm, agnews_small.train_corpus,
+                                 agnews_small.label_set)
+    assert reps.shape[0] == len(agnews_small.label_set)
+    gram = reps @ reps.T
+    off_diagonal = gram[~np.eye(len(gram), dtype=bool)]
+    assert off_diagonal.max() < 0.99
+
+
+def test_doc_representations_align_with_class(tiny_plm, agnews_small):
+    reps = class_representations(tiny_plm, agnews_small.train_corpus,
+                                 agnews_small.label_set)
+    docs = class_oriented_doc_representations(
+        tiny_plm, agnews_small.train_corpus[:60], reps
+    )
+    labels = list(agnews_small.label_set)
+    gold = [d.labels[0] for d in agnews_small.train_corpus[:60]]
+    predicted = [labels[int(i)] for i in (docs @ reps.T).argmax(axis=1)]
+    assert micro_f1(gold, predicted) > 0.5
+
+
+def test_aligned_gmm_keeps_component_identity(rng):
+    a = rng.normal(0, 0.2, size=(30, 3))
+    b = rng.normal(3, 0.2, size=(30, 3))
+    points = np.vstack([a, b])
+    init = np.array([0] * 30 + [1] * 30)
+    mixture = AlignedGaussianMixture(2).fit(points, init)
+    posterior = mixture.posterior(points)
+    assert (posterior[:30].argmax(axis=1) == 0).mean() > 0.9
+    assert (posterior[30:].argmax(axis=1) == 1).mean() > 0.9
+
+
+def test_xclass_variants_ordering_loose(tiny_plm, agnews_small):
+    gold = [d.labels[0] for d in agnews_small.test_corpus]
+    scores = {}
+    for variant in ("rep", "align", "full"):
+        clf = XClass(plm=tiny_plm, variant=variant, seed=0)
+        clf.fit(agnews_small.train_corpus, agnews_small.label_names())
+        scores[variant] = micro_f1(gold, clf.predict(agnews_small.test_corpus))
+    assert all(s > 0.4 for s in scores.values())
+    # The full pipeline should not be dramatically worse than raw reps.
+    assert scores["full"] >= scores["rep"] - 0.1
+
+
+def test_xclass_rejects_unknown_variant():
+    with pytest.raises(ValueError):
+        XClass(variant="nope")
+
+
+def test_xclass_rejects_keywords(tiny_plm, agnews_small):
+    from repro.core.exceptions import SupervisionError
+
+    with pytest.raises(SupervisionError):
+        XClass(plm=tiny_plm, seed=0).fit(agnews_small.train_corpus,
+                                         agnews_small.keywords())

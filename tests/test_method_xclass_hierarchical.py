@@ -1,0 +1,46 @@
+"""Tests for the hierarchical X-Class wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import SupervisionError
+from repro.evaluation.metrics import micro_f1
+from repro.methods.xclass import HierarchicalXClass
+from repro.plm.config import tiny_config
+from repro.plm.provider import get_pretrained_lm
+
+
+@pytest.fixture(scope="module")
+def tree_plm(tree_small):
+    return get_pretrained_lm(target_corpus=tree_small.train_corpus,
+                             config=tiny_config(), seed=0)
+
+
+def test_hierarchical_xclass_beats_chance(tree_small, tree_plm):
+    clf = HierarchicalXClass(tree=tree_small.tree, plm=tree_plm, seed=0)
+    clf.fit(tree_small.train_corpus, tree_small.label_names())
+    gold = [d.labels[0] for d in tree_small.test_corpus]
+    predicted = clf.predict(tree_small.test_corpus)
+    assert micro_f1(gold, predicted) > 1.5 / len(tree_small.label_set)
+
+
+def test_hierarchical_xclass_proba_normalized(tree_small, tree_plm):
+    clf = HierarchicalXClass(tree=tree_small.tree, plm=tree_plm, seed=0)
+    clf.fit(tree_small.train_corpus, tree_small.label_names())
+    proba = clf.predict_proba(tree_small.test_corpus[:10])
+    assert np.allclose(proba.sum(axis=1), 1.0, atol=1e-9)
+    assert (proba >= 0).all()
+
+
+def test_hierarchical_xclass_validates_tree(tree_small, agnews_small, tree_plm):
+    clf = HierarchicalXClass(tree=tree_small.tree, plm=tree_plm, seed=0)
+    with pytest.raises(SupervisionError):
+        clf.fit(agnews_small.train_corpus, agnews_small.label_names())
+
+
+def test_hierarchical_xclass_fits_root_model(tree_small, tree_plm):
+    clf = HierarchicalXClass(tree=tree_small.tree, plm=tree_plm, seed=0)
+    clf.fit(tree_small.train_corpus, tree_small.label_names())
+    from repro.taxonomy.tree import ROOT
+
+    assert ROOT in clf._local

@@ -1,0 +1,75 @@
+"""Contract tests: every registered method honours the shared interfaces."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import MultiLabelTextClassifier, WeaklySupervisedTextClassifier
+from repro.core.exceptions import NotFittedError
+from repro.core.registry import method_registry
+
+
+def test_every_registered_method_has_class_and_metadata():
+    for name, info in method_registry().items():
+        assert info.cls is not None, name
+        assert info.venue
+        assert info.supervision
+        assert info.backbone in ("embedding", "pretrained-lm")
+        assert issubclass(
+            info.cls,
+            (WeaklySupervisedTextClassifier, MultiLabelTextClassifier),
+        ), name
+
+
+def test_supervision_formats_name_real_classes():
+    import repro.core.supervision as S
+
+    for name, info in method_registry().items():
+        for fmt in info.supervision:
+            assert hasattr(S, fmt), (name, fmt)
+
+
+@pytest.mark.parametrize("method_name", ["WeSTClass", "ConWea", "LOTClass",
+                                         "X-Class", "PromptClass"])
+def test_flat_methods_predict_proba_contract(method_name, tiny_plm,
+                                             agnews_small):
+    """Fitted flat methods produce (N, C) row-stochastic matrices and
+    consistent predict/predict_proba."""
+    registry = method_registry()
+    cls = registry[method_name].cls
+    kwargs = {"seed": 0}
+    if registry[method_name].backbone == "pretrained-lm":
+        kwargs["plm"] = tiny_plm
+    clf = cls(**kwargs)
+    supervision = (
+        agnews_small.keywords()
+        if method_name == "ConWea"
+        else agnews_small.label_names()
+    )
+    clf.fit(agnews_small.train_corpus, supervision)
+    subset = agnews_small.test_corpus[:12]
+    proba = clf.predict_proba(subset)
+    assert proba.shape == (12, len(agnews_small.label_set))
+    assert np.allclose(proba.sum(axis=1), 1.0, atol=1e-6)
+    predicted = clf.predict(subset)
+    argmax = [agnews_small.label_set.labels[i] for i in proba.argmax(axis=1)]
+    assert predicted == argmax
+
+
+def test_unfitted_methods_raise(tiny_plm, agnews_small):
+    for name, info in method_registry().items():
+        if info.backbone != "pretrained-lm" or name in ("WeSHClass",
+                                                        "TaxoClass"):
+            continue
+        clf = info.cls(plm=tiny_plm, seed=0)
+        with pytest.raises(NotFittedError):
+            if isinstance(clf, MultiLabelTextClassifier):
+                clf.score(agnews_small.test_corpus)
+            else:
+                clf.predict(agnews_small.test_corpus)
+
+
+def test_repr_shows_fit_state(agnews_small):
+    from repro.methods import WeSTClass
+
+    clf = WeSTClass(seed=0)
+    assert "unfitted" in repr(clf)

@@ -1,0 +1,172 @@
+"""Coverage for remaining corners: adapters, views, degenerate inputs."""
+
+import numpy as np
+import pytest
+
+from repro.core.types import Corpus, Document, LabelSet
+
+
+# -- experiments.tables adapter -------------------------------------------------
+
+class _StubSingleLabel:
+    """Predicts the first label always, with a fixed proba matrix."""
+
+    def __init__(self, labels):
+        self.label_set = LabelSet(labels=tuple(labels))
+
+    def fit(self, corpus, supervision):
+        return self
+
+    def predict(self, corpus):
+        return [self.label_set.labels[0]] * len(corpus)
+
+    def predict_proba(self, corpus):
+        proba = np.zeros((len(corpus), len(self.label_set)))
+        proba[:, 0] = 0.7
+        proba[:, 1] = 0.3
+        return proba
+
+
+def test_path_as_set_adapter_closure():
+    from repro.experiments.tables import _PathAsSet
+    from repro.taxonomy.dag import LabelDAG
+
+    dag = LabelDAG(edges=[("top", "leaf_a"), ("top", "leaf_b")],
+                   top_level=["top"])
+    inner = _StubSingleLabel(["leaf_a", "leaf_b"])
+    adapter = _PathAsSet(inner, dag)
+    adapter.fit(None, None)
+    corpus = Corpus([Document(doc_id="d0", tokens=["w"])])
+    predicted = adapter.predict(corpus)
+    assert predicted == [("leaf_a", "top")]
+    # Single-path methods rank only the labels they model (the leaves);
+    # ancestors enter through predict()'s closure, not the ranking.
+    ranking = adapter.rank(corpus)[0]
+    assert ranking == ["leaf_a", "leaf_b"]
+
+
+# -- bundle views ----------------------------------------------------------------
+
+def test_coarse_label_set_and_gold(tree_small):
+    coarse = tree_small.coarse_label_set()
+    assert set(coarse.labels) == set(tree_small.tree.level(1))
+    gold = tree_small.coarse_gold(tree_small.test_corpus)
+    assert all(g in coarse for g in gold)
+
+
+def test_coarse_gold_requires_tree(agnews_small):
+    with pytest.raises(ValueError):
+        agnews_small.coarse_gold(agnews_small.test_corpus)
+
+
+# -- degenerate vMF ---------------------------------------------------------------
+
+def test_vmf_fit_identical_points_gets_high_kappa():
+    from repro.embeddings.vmf import VonMisesFisher
+
+    point = np.zeros(6)
+    point[2] = 1.0
+    fitted = VonMisesFisher.fit(np.stack([point] * 5))
+    assert fitted.kappa >= 1e3
+    samples = fitted.sample(5, seed=0)
+    assert (samples @ point > 0.99).all()
+
+
+# -- tf-idf options ----------------------------------------------------------------
+
+def test_tfidf_sublinear_compresses_counts():
+    from repro.text.tfidf import TfidfVectorizer
+
+    docs = [["word"] * 10 + ["thing"], ["thing", "word"]]
+    plain = TfidfVectorizer(sublinear_tf=False).fit_transform(docs).toarray()
+    sub = TfidfVectorizer(sublinear_tf=True).fit_transform(docs).toarray()
+    # Relative weight of the repeated word shrinks under sublinear tf.
+    ratio_plain = plain[0].max() / plain[0][plain[0] > 0].min()
+    ratio_sub = sub[0].max() / sub[0][sub[0] > 0].min()
+    assert ratio_sub < ratio_plain
+
+
+# -- word2vec internals --------------------------------------------------------------
+
+def test_word2vec_rejects_empty_pairs():
+    from repro.core.exceptions import VocabularyError
+    from repro.embeddings.word2vec import Word2Vec
+
+    with pytest.raises(VocabularyError):
+        Word2Vec(epochs=1, seed=0).fit([["solo"]])
+
+
+# -- hierarchical dataless fallback ---------------------------------------------------
+
+def test_hier_dataless_uniform_fallback(tree_small):
+    """Documents that descend to a non-leaf node get uniform fallback."""
+    from repro.baselines import HierDataless
+
+    clf = HierDataless(tree=tree_small.tree, seed=0)
+    clf.fit(tree_small.train_corpus, tree_small.label_names())
+    proba = clf.predict_proba(tree_small.test_corpus[:10])
+    assert np.allclose(proba.sum(axis=1), 1.0)
+
+
+# -- reporting with mixed cell types ----------------------------------------------------
+
+def test_format_table_mixed_types():
+    from repro.evaluation.reporting import format_table
+
+    rows = [{"Method": "A", "Score": 0.5, "Note": "-"},
+            {"Method": "B", "Score": "-", "Note": 3}]
+    text = format_table(rows)
+    assert "0.500" in text and "-" in text and "3" in text
+
+
+# -- figures: degenerate coordinates ------------------------------------------------------
+
+def test_render_pca_handles_constant_coords():
+    from repro.experiments.figures import render_pca_ascii
+
+    coords = np.zeros((4, 2))
+    art = render_pca_ascii(coords, ["a", "a", "b", "b"], width=10, height=4)
+    assert "A=a" in art
+
+
+# -- provider cache isolation ----------------------------------------------------------------
+
+def test_clear_cache_forces_rebuild(agnews_small):
+    from repro.plm import provider
+    from repro.plm.config import PLMConfig
+
+    # Snapshot the session caches: other tests share them via fixtures.
+    snapshots = [
+        (provider._PLM_CACHE, dict(provider._PLM_CACHE)),
+        (provider._ELECTRA_CACHE, dict(provider._ELECTRA_CACHE)),
+        (provider._NLI_CACHE, dict(provider._NLI_CACHE)),
+    ]
+    try:
+        cfg = PLMConfig(dim=8, n_layers=1, n_heads=2, ff_hidden=16, max_len=12,
+                        mlm_steps=3, batch_size=4, pretrain_docs=30)
+        first = provider.get_pretrained_lm(config=cfg, seed=5)
+        assert provider.get_pretrained_lm(config=cfg, seed=5) is first
+        provider.clear_cache()
+        assert provider.get_pretrained_lm(config=cfg, seed=5) is not first
+    finally:
+        for cache, saved in snapshots:
+            cache.clear()
+            cache.update(saved)
+
+
+# -- self-training loop stop criterion ----------------------------------------------------------
+
+def test_self_training_stops_when_stable(rng):
+    from repro.classifiers import BagOfEmbeddingsClassifier, SelfTrainingLoop
+    from repro.text.vocabulary import Vocabulary
+
+    docs = [["red"] * 5 if i % 2 == 0 else ["blue"] * 5 for i in range(40)]
+    targets = np.array([i % 2 for i in range(40)])
+    vocab = Vocabulary.build(docs)
+    clf = BagOfEmbeddingsClassifier(vocab, 2, dim=8, seed=0)
+    clf.fit(docs, targets, epochs=6)
+    loop = SelfTrainingLoop(max_iterations=6, tolerance=0.05)
+    loop.run(clf, docs)
+    # Converged task: should stop well before the iteration cap.
+    assert len(loop.history) < 6
+    assert loop.history[-1] <= 0.05

@@ -1,0 +1,125 @@
+"""Tests for nn layers: shapes, masking, parameter management."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import (
+    Dropout,
+    Embedding,
+    FeedForward,
+    LayerNorm,
+    Linear,
+    MultiHeadSelfAttention,
+    Sequential,
+    TransformerBlock,
+)
+from repro.nn.tensor import Tensor
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)
+
+
+def test_linear_shapes_and_bias(rng):
+    layer = Linear(4, 3, rng)
+    out = layer(Tensor(rng.normal(size=(5, 4))))
+    assert out.shape == (5, 3)
+    no_bias = Linear(4, 3, rng, bias=False)
+    assert no_bias.bias is None
+
+
+def test_embedding_lookup(rng):
+    emb = Embedding(10, 6, rng)
+    out = emb(np.array([[1, 2], [3, 3]]))
+    assert out.shape == (2, 2, 6)
+    assert np.allclose(out.data[1, 0], out.data[1, 1])
+
+
+def test_layernorm_normalizes(rng):
+    norm = LayerNorm(8)
+    x = Tensor(rng.normal(3.0, 2.0, size=(4, 8)))
+    out = norm(x).data
+    assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-6)
+    assert np.allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+
+def test_dropout_eval_mode_is_identity(rng):
+    drop = Dropout(0.5, rng)
+    drop.eval()
+    x = Tensor(rng.normal(size=(3, 3)))
+    assert np.allclose(drop(x).data, x.data)
+
+
+def test_dropout_train_mode_zeroes(rng):
+    drop = Dropout(0.5, rng)
+    x = Tensor(np.ones((100,)))
+    out = drop(x).data
+    assert (out == 0).any()
+    assert abs(out.mean() - 1.0) < 0.3  # inverted scaling preserves mean
+
+
+def test_dropout_rejects_bad_p(rng):
+    with pytest.raises(ValueError):
+        Dropout(1.0, rng)
+
+
+def test_attention_respects_padding(rng):
+    attn = MultiHeadSelfAttention(8, 2, rng)
+    x = Tensor(rng.normal(size=(1, 4, 8)))
+    pad = np.array([[False, False, True, True]])
+    attn(x, pad_mask=pad)
+    weights = attn.last_attention  # (B, H, T, T)
+    assert np.allclose(weights[0, :, :, 2:], 0.0, atol=1e-6)
+
+
+def test_attention_rejects_indivisible_heads(rng):
+    with pytest.raises(ValueError):
+        MultiHeadSelfAttention(10, 3, rng)
+
+
+def test_transformer_block_shape_preserved(rng):
+    block = TransformerBlock(8, 2, 16, rng)
+    x = Tensor(rng.normal(size=(2, 5, 8)))
+    assert block(x).shape == (2, 5, 8)
+
+
+def test_feedforward_shape(rng):
+    ff = FeedForward(8, 16, rng)
+    assert ff(Tensor(rng.normal(size=(3, 8)))).shape == (3, 8)
+
+
+def test_sequential_chains(rng):
+    model = Sequential(Linear(4, 8, rng), Linear(8, 2, rng))
+    assert model(Tensor(rng.normal(size=(3, 4)))).shape == (3, 2)
+
+
+def test_module_parameters_unique(rng):
+    block = TransformerBlock(8, 2, 16, rng)
+    params = block.parameters()
+    assert len({id(p) for p in params}) == len(params)
+    assert block.num_parameters() == sum(p.data.size for p in params)
+
+
+def test_state_dict_roundtrip(rng):
+    layer = Linear(3, 2, rng)
+    state = layer.state_dict()
+    layer.weight.data[:] = 0.0
+    layer.load_state_dict(state)
+    assert not np.allclose(layer.weight.data, 0.0)
+
+
+def test_load_state_dict_validates(rng):
+    layer = Linear(3, 2, rng)
+    with pytest.raises(ValueError):
+        layer.load_state_dict([np.zeros((1, 1))])
+    with pytest.raises(ValueError):
+        layer.load_state_dict([])
+
+
+def test_train_eval_propagates(rng):
+    model = Sequential(Dropout(0.5, rng), Linear(2, 2, rng))
+    model.eval()
+    assert not model.modules[0].training
+    model.train()
+    assert model.modules[0].training

@@ -1,0 +1,113 @@
+"""Tests for losses and optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Linear
+from repro.nn.losses import (
+    binary_cross_entropy_with_logits,
+    cross_entropy,
+    info_nce,
+    kl_divergence_with_logits,
+    margin_ranking_loss,
+    soft_cross_entropy,
+)
+from repro.nn.optim import SGD, Adam
+from repro.nn.tensor import Tensor
+
+
+def test_cross_entropy_perfect_prediction_near_zero():
+    logits = Tensor(np.array([[10.0, -10.0], [-10.0, 10.0]]))
+    loss = cross_entropy(logits, np.array([0, 1]))
+    assert loss.item() < 1e-4
+
+
+def test_cross_entropy_ignore_index():
+    logits = Tensor(np.array([[0.0, 100.0], [5.0, 0.0]]))
+    loss = cross_entropy(logits, np.array([0, -100]), ignore_index=-100)
+    assert loss.item() > 10  # only the wrong first row counts
+
+
+def test_cross_entropy_all_ignored_is_zero():
+    logits = Tensor(np.zeros((2, 3)))
+    loss = cross_entropy(logits, np.array([-100, -100]), ignore_index=-100)
+    assert loss.item() == 0.0
+
+
+def test_soft_cross_entropy_matches_hard_on_onehot():
+    rng = np.random.default_rng(0)
+    logits_data = rng.normal(size=(4, 3))
+    targets = np.array([0, 2, 1, 1])
+    onehot = np.eye(3)[targets]
+    hard = cross_entropy(Tensor(logits_data), targets).item()
+    soft = soft_cross_entropy(Tensor(logits_data), onehot).item()
+    assert abs(hard - soft) < 1e-10
+
+
+def test_kl_divergence_zero_when_matching():
+    probs = np.array([[0.7, 0.3], [0.2, 0.8]])
+    logits = Tensor(np.log(probs))
+    assert abs(kl_divergence_with_logits(logits, probs).item()) < 1e-9
+
+
+def test_bce_with_logits_stable_for_large_inputs():
+    logits = Tensor(np.array([100.0, -100.0]))
+    loss = binary_cross_entropy_with_logits(logits, np.array([1.0, 0.0]))
+    assert np.isfinite(loss.item()) and loss.item() < 1e-6
+
+
+def test_bce_weights_zero_out_entries():
+    logits = Tensor(np.array([5.0, -5.0]))
+    weighted = binary_cross_entropy_with_logits(
+        logits, np.array([0.0, 0.0]), weights=np.array([0.0, 1.0])
+    )
+    assert weighted.item() < 1e-2  # only the already-correct entry counts
+
+
+def test_margin_ranking_loss_zero_when_separated():
+    pos = Tensor(np.array([2.0, 2.0]))
+    neg = Tensor(np.array([0.0, 0.0]))
+    assert margin_ranking_loss(pos, neg, margin=0.5).item() == 0.0
+
+
+def test_info_nce_prefers_diagonal():
+    good = Tensor(np.eye(4) * 10.0)
+    bad = Tensor(np.ones((4, 4)))
+    assert info_nce(good).item() < info_nce(bad).item()
+
+
+def _train(optimizer_cls, **kwargs):
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(64, 3))
+    w_true = np.array([[1.0], [-2.0], [0.5]])
+    y = (x @ w_true).ravel() + 0.01 * rng.normal(size=64)
+    layer = Linear(3, 1, rng)
+    opt = optimizer_cls(layer.parameters(), **kwargs)
+    for _ in range(300):
+        pred = layer(Tensor(x)).reshape(-1)
+        loss = ((pred - Tensor(y)) ** 2).mean()
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+    return np.abs(layer.weight.data.ravel() - w_true.ravel()).max()
+
+
+def test_sgd_converges_on_linear_regression():
+    assert _train(SGD, lr=0.05) < 0.05
+
+
+def test_sgd_momentum_converges():
+    assert _train(SGD, lr=0.02, momentum=0.9) < 0.05
+
+
+def test_adam_converges_on_linear_regression():
+    assert _train(Adam, lr=0.05) < 0.05
+
+
+def test_clip_grad_norm():
+    p = Tensor(np.zeros(4), requires_grad=True)
+    p.grad = np.full(4, 10.0)
+    opt = SGD([p], lr=0.1)
+    norm = opt.clip_grad_norm(1.0)
+    assert norm == pytest.approx(20.0)
+    assert np.linalg.norm(p.grad) == pytest.approx(1.0)

@@ -1,0 +1,189 @@
+"""Autograd correctness: numerical gradient checks + property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor, concatenate, stack
+
+
+def numerical_gradient(f, x, eps=1e-6):
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        old = x[idx]
+        x[idx] = old + eps
+        fp = f()
+        x[idx] = old - eps
+        fm = f()
+        x[idx] = old
+        grad[idx] = (fp - fm) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+def check(build, *params, tol=1e-6):
+    """Compare autograd gradients against numerical ones."""
+    for p in params:
+        p.zero_grad()
+    loss = build()
+    loss.backward()
+    for p in params:
+        num = numerical_gradient(lambda: build().item(), p.data)
+        assert p.grad is not None
+        assert np.abs(num - p.grad).max() < tol, f"gradient mismatch for {p}"
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)
+
+
+def test_add_mul_broadcast_gradients(rng):
+    a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+    b = Tensor(rng.normal(size=(4,)), requires_grad=True)
+    check(lambda: ((a + b) * b).sum(), a, b)
+
+
+def test_matmul_gradients(rng):
+    a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+    b = Tensor(rng.normal(size=(4, 2)), requires_grad=True)
+    check(lambda: (a @ b).sum(), a, b)
+
+
+def test_batched_matmul_gradients(rng):
+    a = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+    b = Tensor(rng.normal(size=(2, 4, 3)), requires_grad=True)
+    check(lambda: (a @ b).sum(), a, b)
+
+
+def test_matmul_vector_cases(rng):
+    a = Tensor(rng.normal(size=(4,)), requires_grad=True)
+    m = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+    check(lambda: (a @ m).sum(), a, m)
+    n = Tensor(rng.normal(size=(5, 4)), requires_grad=True)
+    v = Tensor(rng.normal(size=(4,)), requires_grad=True)
+    check(lambda: (n @ v).sum(), n, v)
+
+
+@pytest.mark.parametrize("op", ["exp", "log", "tanh", "sigmoid", "gelu", "relu"])
+def test_unary_gradients(rng, op):
+    base = rng.uniform(0.2, 1.5, size=(3, 3))
+    x = Tensor(base, requires_grad=True)
+    check(lambda: getattr(x, op)().sum(), x, tol=1e-5)
+
+
+def test_pow_and_division(rng):
+    x = Tensor(rng.uniform(0.5, 2.0, size=(4,)), requires_grad=True)
+    check(lambda: (1.0 / x + x**3).sum(), x, tol=1e-5)
+
+
+def test_sum_mean_axis_gradients(rng):
+    x = Tensor(rng.normal(size=(3, 5)), requires_grad=True)
+    check(lambda: x.sum(axis=0).mean(), x)
+    check(lambda: x.mean(axis=1, keepdims=True).sum(), x)
+
+
+def test_max_gradient_routes_to_argmax(rng):
+    x = Tensor(np.array([[1.0, 3.0], [2.0, 0.5]]), requires_grad=True)
+    x.max(axis=1).sum().backward()
+    assert np.allclose(x.grad, [[0.0, 1.0], [1.0, 0.0]])
+
+
+def test_reshape_transpose_gradients(rng):
+    x = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+    check(lambda: x.reshape(6, 4).transpose(1, 0).sum(), x)
+    check(lambda: x.swapaxes(0, 2).sum(), x)
+
+
+def test_getitem_gradient_accumulates(rng):
+    x = Tensor(rng.normal(size=(5, 3)), requires_grad=True)
+    idx = np.array([0, 0, 2])
+    check(lambda: (x[idx] ** 2).sum(), x)
+
+
+def test_take_rows_gradient(rng):
+    table = Tensor(rng.normal(size=(6, 4)), requires_grad=True)
+    ids = np.array([[1, 1], [4, 0]])
+    check(lambda: table.take_rows(ids).sum(), table)
+
+
+def test_masked_fill_blocks_gradient(rng):
+    x = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+    mask = np.array([[True, False, False], [False, True, False]])
+    x.masked_fill(mask, -9.0).sum().backward()
+    assert x.grad[0, 0] == 0.0 and x.grad[1, 1] == 0.0
+    assert x.grad[0, 1] == 1.0
+
+
+def test_softmax_rows_sum_to_one(rng):
+    x = Tensor(rng.normal(size=(4, 7)))
+    probs = F.softmax(x).data
+    assert np.allclose(probs.sum(axis=1), 1.0)
+
+
+def test_log_softmax_matches_softmax_log(rng):
+    x = Tensor(rng.normal(size=(3, 5)))
+    assert np.allclose(F.log_softmax(x).data, np.log(F.softmax(x).data))
+
+
+def test_softmax_gradient(rng):
+    x = Tensor(rng.normal(size=(2, 4)), requires_grad=True)
+    check(lambda: (F.softmax(x) ** 2).sum(), x, tol=1e-5)
+
+
+def test_concatenate_and_stack_gradients(rng):
+    a = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+    b = Tensor(rng.normal(size=(2, 2)), requires_grad=True)
+    check(lambda: (concatenate([a, b], axis=1) ** 2).sum(), a, b)
+    c = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+    d = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+    check(lambda: (stack([c, d], axis=0) ** 3).sum(), c, d, tol=1e-5)
+
+
+def test_backward_requires_scalar():
+    x = Tensor(np.ones((2, 2)), requires_grad=True)
+    with pytest.raises(ValueError):
+        (x * 2).backward()
+
+
+def test_grad_accumulates_across_backward_calls():
+    x = Tensor(np.array(2.0), requires_grad=True)
+    (x * 3).backward()
+    (x * 3).backward()
+    assert float(x.grad) == 6.0
+    x.zero_grad()
+    assert x.grad is None
+
+
+def test_detach_cuts_graph():
+    x = Tensor(np.array(2.0), requires_grad=True)
+    y = x.detach() * 5
+    assert not y.requires_grad
+
+
+@given(
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=30, deadline=None)
+def test_broadcast_add_matches_numpy(n, m):
+    rng = np.random.default_rng(n * 10 + m)
+    a = rng.normal(size=(n, m))
+    b = rng.normal(size=(m,))
+    out = (Tensor(a) + Tensor(b)).data
+    assert np.allclose(out, a + b)
+
+
+@given(st.integers(min_value=2, max_value=5))
+@settings(max_examples=20, deadline=None)
+def test_unbroadcast_gradient_shape(n):
+    rng = np.random.default_rng(n)
+    a = Tensor(rng.normal(size=(n, 3)), requires_grad=True)
+    b = Tensor(rng.normal(size=(1, 3)), requires_grad=True)
+    ((a * b).sum()).backward()
+    assert b.grad.shape == (1, 3)
+    assert np.allclose(b.grad, a.data.sum(axis=0, keepdims=True))

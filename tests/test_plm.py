@@ -1,0 +1,208 @@
+"""Tests for the PLM substrate (encoder, pre-training, heads)."""
+
+import numpy as np
+import pytest
+
+from repro.plm.config import PLMConfig, tiny_config
+from repro.plm.encoder import TransformerEncoder, pad_batch
+from repro.plm.pretrainer import (
+    IGNORE,
+    _mask_tokens,
+    build_plm_vocabulary,
+    pretrain_mlm,
+)
+from repro.plm.prompts import PromptTemplate, Verbalizer
+from repro.core.types import LabelSet
+from repro.text.vocabulary import MASK, Vocabulary
+
+
+@pytest.fixture()
+def small_encoder(rng):
+    vocab = Vocabulary.build([["alpha", "beta", "gamma", "delta"]] * 3)
+    config = PLMConfig(dim=8, n_layers=1, n_heads=2, ff_hidden=16, max_len=10,
+                       mlm_steps=5, batch_size=4, pretrain_docs=10)
+    return TransformerEncoder(vocab, config, rng)
+
+
+def test_pad_batch_shapes_and_mask():
+    ids, mask = pad_batch([np.array([1, 2, 3]), np.array([4])], pad_id=0,
+                          max_len=5)
+    assert ids.shape == (2, 3)
+    assert ids[1, 0] == 4 and ids[1, 1] == 0
+    assert mask[1, 1] and not mask[0, 2]
+
+
+def test_pad_batch_truncates():
+    ids, _ = pad_batch([np.arange(10)], pad_id=0, max_len=4)
+    assert ids.shape == (1, 4)
+
+
+def test_pad_batch_rejects_empty():
+    with pytest.raises(ValueError):
+        pad_batch([], pad_id=0, max_len=4)
+
+
+def test_encoder_forward_shape(small_encoder):
+    ids = np.array([[5, 6, 7], [6, 6, 0]])
+    hidden = small_encoder(ids)
+    assert hidden.shape == (2, 3, 8)
+
+
+def test_encoder_rejects_overlong(small_encoder):
+    with pytest.raises(ValueError):
+        small_encoder(np.zeros((1, 11), dtype=int))
+
+
+def test_mlm_logits_shape(small_encoder):
+    ids = np.array([[5, 6], [7, 5]])
+    hidden = small_encoder(ids)
+    logits = small_encoder.mlm_logits(hidden)
+    assert logits.shape == (2, 2, len(small_encoder.vocabulary))
+
+
+def test_mask_tokens_respects_padding(rng):
+    vocab = Vocabulary.build([["a", "b", "c"]])
+    ids = np.array([[5, 6, 0, 0]])
+    pad = np.array([[False, False, True, True]])
+    corrupted, targets = _mask_tokens(ids, pad, vocab, mlm_prob=1.0, rng=rng)
+    assert (targets[0, 2:] == IGNORE).all()
+    assert (targets[0, :2] != IGNORE).all()
+
+
+def test_mask_tokens_guarantees_a_target(rng):
+    vocab = Vocabulary.build([["a"]])
+    ids = np.array([[5]])
+    pad = np.array([[False]])
+    _, targets = _mask_tokens(ids, pad, vocab, mlm_prob=0.0, rng=rng)
+    assert (targets != IGNORE).sum() == 1
+
+
+def test_pretraining_reduces_loss(rng):
+    docs = [["apple", "banana", "cherry", "date"] * 3 for _ in range(40)]
+    vocab = build_plm_vocabulary(docs)
+    config = PLMConfig(dim=16, n_layers=1, n_heads=2, ff_hidden=32, max_len=16,
+                       mlm_steps=60, batch_size=8, init_from_svd=False)
+    encoder = TransformerEncoder(vocab, config, rng)
+    log: list = []
+    pretrain_mlm(encoder, docs, config, seed=0, log=log)
+    assert np.mean(log[:10]) > np.mean(log[-10:])
+
+
+def test_plm_fill_mask_returns_probabilities(tiny_plm):
+    tokens = ["soccer", "team", MASK, "championship"]
+    predictions = tiny_plm.fill_mask(tokens, top_k=5)
+    assert len(predictions) == 5
+    assert all(0 <= p <= 1 for _, p in predictions)
+
+
+def test_plm_fill_mask_requires_mask(tiny_plm):
+    with pytest.raises(ValueError):
+        tiny_plm.fill_mask(["no", "mask"], top_k=3)
+
+
+def test_plm_predict_masked_is_context_sensitive(tiny_plm, agnews_small):
+    """Masked predictions must depend on the surrounding context.
+
+    (The tiny test-config model is too small for reliably *topical*
+    predictions — the bench suite checks that with the full config.)
+    """
+
+    def first_context(label):
+        for doc in agnews_small.train_corpus:
+            if doc.labels[0] == label and len(doc.tokens) >= 12:
+                return doc.tokens[:12]
+        return None
+
+    sports = first_context("sports")
+    business = first_context("business")
+    assert sports is not None and business is not None
+    p_sports = dict(tiny_plm.predict_masked(sports, 5, top_k=20))
+    p_business = dict(tiny_plm.predict_masked(business, 5, top_k=20))
+    assert p_sports != p_business
+
+
+def test_plm_encode_tokens_lengths(tiny_plm):
+    out = tiny_plm.encode_tokens([["soccer", "game"], ["market"]])
+    assert out[0].shape == (2, tiny_plm.dim)
+    assert out[1].shape == (1, tiny_plm.dim)
+
+
+def test_plm_doc_embeddings_normalized(tiny_plm):
+    emb = tiny_plm.doc_embeddings([["soccer", "game"], ["market", "profit"]])
+    assert np.allclose(np.linalg.norm(emb, axis=1), 1.0, atol=1e-9)
+
+
+def test_plm_doc_embeddings_skip_oov(tiny_plm):
+    """OOV positions are excluded from pooling (their contextual influence
+    on other tokens remains, so vectors are close but not identical)."""
+    with_oov = tiny_plm.doc_embeddings([["soccer", "team", "zzzzunknownzzz"]])
+    without = tiny_plm.doc_embeddings([["soccer", "team"]])
+    cos = float((with_oov * without).sum())
+    assert cos > 0.7
+
+
+def test_plm_encode_with_attention_shapes(tiny_plm):
+    hidden, attention = tiny_plm.encode_with_attention(["soccer", "match", "win"])
+    assert hidden.shape[0] == 3
+    assert attention.shape[-1] == 3
+
+
+def test_electra_scores_in_unit_interval(tiny_electra):
+    scores = tiny_electra.originality([["soccer", "team", "market"]])
+    assert scores[0].shape == (3,)
+    assert ((scores[0] >= 0) & (scores[0] <= 1)).all()
+
+
+def test_electra_detects_out_of_context_token(tiny_electra, agnews_small):
+    doc = None
+    for d in agnews_small.train_corpus:
+        if d.labels[0] == "sports" and len(d.tokens) >= 12:
+            doc = d.tokens[:12]
+            break
+    assert doc is not None
+    corrupted = list(doc)
+    corrupted[5] = "mortgage"  # finance word in a sports context
+    clean_scores = tiny_electra.originality([doc])[0]
+    corrupt_scores = tiny_electra.originality([corrupted])[0]
+    assert corrupt_scores[5] <= clean_scores[5] + 0.2
+
+
+def test_relevance_model_prefers_true_topic(tiny_relevance, agnews_small):
+    sports_docs = [d.tokens for d in agnews_small.train_corpus
+                   if d.labels[0] == "sports"][:10]
+    right = tiny_relevance.relevance_batch(sports_docs, [["sports"]] * 10)
+    wrong = tiny_relevance.relevance_batch(sports_docs, [["business"]] * 10)
+    assert right.mean() > wrong.mean()
+
+
+def test_relevance_matrix_shape(tiny_relevance):
+    matrix = tiny_relevance.relevance_matrix(
+        [["soccer", "match"], ["market", "profit"]],
+        [["sports"], ["business"], ["technology"]],
+    )
+    assert matrix.shape == (2, 3)
+    assert ((matrix >= 0) & (matrix <= 1)).all()
+
+
+def test_prompt_template_masked_and_filled():
+    template = PromptTemplate()
+    masked = template.render_masked(["w"] * 60, max_len=20)
+    assert masked[-1] == MASK
+    assert len(masked) <= 20
+    filled, position = template.render_filled(["w"] * 5, ["sports"], max_len=20)
+    assert filled[position] == "sports"
+
+
+def test_verbalizer_from_label_names():
+    label_set = LabelSet(labels=("a",), names={"a": "real estate"})
+    verbalizer = Verbalizer.from_label_names(label_set)
+    assert verbalizer.tokens("a") == ["real", "estate"]
+    assert verbalizer.head_token("a") == "real"
+
+
+def test_provider_caches(tiny_plm, agnews_small):
+    from repro.plm.provider import get_pretrained_lm
+
+    again = get_pretrained_lm(target_corpus=agnews_small.train_corpus,
+                              config=tiny_config(), seed=0)
+    assert again is tiny_plm

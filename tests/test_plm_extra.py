@@ -1,0 +1,87 @@
+"""Additional PLM substrate tests: determinism, batching, attention."""
+
+import numpy as np
+import pytest
+
+from repro.plm.config import PLMConfig, scaled_config, tiny_config
+from repro.plm.encoder import TransformerEncoder
+from repro.plm.pretrainer import build_plm_vocabulary, init_token_embeddings
+
+
+def test_config_cache_key_distinguishes_fields():
+    a = tiny_config()
+    b = scaled_config(a, mlm_steps=a.mlm_steps + 1)
+    assert a.cache_key() != b.cache_key()
+    assert a.cache_key() == tiny_config().cache_key()
+
+
+def test_scaled_config_overrides():
+    cfg = scaled_config(tiny_config(), dim=8)
+    assert cfg.dim == 8
+    assert cfg.n_layers == tiny_config().n_layers
+
+
+def test_encoding_batch_independence(tiny_plm):
+    """A document's contextual vectors must not depend on its batchmates."""
+    docs = [["soccer", "team", "win"], ["market", "profit"],
+            ["politics", "election", "vote", "senate"]]
+    batched = tiny_plm.encode_tokens(docs)
+    solo = [tiny_plm.encode_tokens([d])[0] for d in docs]
+    for a, b in zip(batched, solo):
+        assert np.allclose(a, b, atol=1e-9)
+
+
+def test_encoder_deterministic_given_seed():
+    vocab = build_plm_vocabulary([["a", "b", "c"]])
+    cfg = PLMConfig(dim=8, n_layers=1, n_heads=2, ff_hidden=16, max_len=8)
+    enc1 = TransformerEncoder(vocab, cfg, np.random.default_rng(3))
+    enc2 = TransformerEncoder(vocab, cfg, np.random.default_rng(3))
+    for p1, p2 in zip(enc1.state_dict(), enc2.state_dict()):
+        assert np.allclose(p1, p2)
+
+
+def test_svd_init_scale(tiny_plm, agnews_small):
+    """SVD-initialized token table keeps a BERT-like magnitude."""
+    table = tiny_plm.encoder.token_embedding.weight.data
+    mean_abs = np.abs(table).mean()
+    assert 0.01 < mean_abs < 0.5
+
+
+def test_init_token_embeddings_overwrites():
+    docs = [["x", "y", "z", "x", "y"]] * 30
+    vocab = build_plm_vocabulary(docs)
+    cfg = PLMConfig(dim=8, n_layers=1, n_heads=2, ff_hidden=16, max_len=8)
+    enc = TransformerEncoder(vocab, cfg, np.random.default_rng(0))
+    before = enc.token_embedding.weight.data.copy()
+    init_token_embeddings(enc, docs, cfg, seed=0)
+    assert not np.allclose(before, enc.token_embedding.weight.data)
+
+
+def test_attention_maps_shape(tiny_plm):
+    hidden, attention = tiny_plm.encode_with_attention(
+        ["soccer", "team", "won", "the", "cup"][:4]
+    )
+    n_heads = tiny_plm.encoder.config.n_heads
+    assert attention.shape[0] == n_heads
+    # Rows are probability distributions over key positions.
+    assert np.allclose(attention.sum(axis=-1), 1.0, atol=1e-6)
+
+
+def test_mask_logits_batch_matches_fill_mask(tiny_plm):
+    tokens = ["soccer", "team", "championship", "today"]
+    batch_logits = tiny_plm.mask_logits_batch([tokens], [1])[0]
+    probs = np.exp(batch_logits - batch_logits.max())
+    probs /= probs.sum()
+    top_batch = tiny_plm.vocabulary.token(int(probs.argmax()))
+    working = list(tokens)
+    working[1] = "[MASK]"
+    top_fill = tiny_plm.fill_mask(working, top_k=1,
+                                  exclude_specials=False)[0][0]
+    assert top_batch == top_fill
+
+
+def test_relevance_model_symmetry_of_batch_and_single(tiny_relevance):
+    doc = ["soccer", "team", "match"]
+    single = tiny_relevance.relevance(doc, ["sports"])
+    batch = tiny_relevance.relevance_batch([doc], [["sports"]])[0]
+    assert single == pytest.approx(float(batch))

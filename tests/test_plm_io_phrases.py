@@ -1,0 +1,62 @@
+"""Tests for PLM persistence and phrase mining."""
+
+import numpy as np
+import pytest
+
+from repro.plm.io import load_plm, save_plm
+from repro.text.phrases import merge_phrases, mine_phrases, phrase_corpus
+
+
+def test_save_load_roundtrip(tiny_plm, tmp_path):
+    path = tmp_path / "model.npz"
+    save_plm(tiny_plm, path)
+    restored = load_plm(path)
+    assert len(restored.vocabulary) == len(tiny_plm.vocabulary)
+    assert restored.vocabulary.token(10) == tiny_plm.vocabulary.token(10)
+    docs = [["soccer", "team", "championship"], ["market", "profit"]]
+    original = tiny_plm.doc_embeddings(docs)
+    roundtripped = restored.doc_embeddings(docs)
+    assert np.allclose(original, roundtripped, atol=1e-10)
+
+
+def test_save_load_preserves_masked_predictions(tiny_plm, tmp_path):
+    path = tmp_path / "model.npz"
+    save_plm(tiny_plm, path)
+    restored = load_plm(path)
+    tokens = ["soccer", "team", "won", "championship"]
+    assert tiny_plm.predict_masked(tokens, 0, top_k=5) == \
+        restored.predict_masked(tokens, 0, top_k=5)
+
+
+def test_mine_phrases_finds_collocation():
+    docs = [["deep", "learning", "model"]] * 10 + [["deep", "sea"]] * 2 + [
+        ["machine", "learning"]] * 2
+    phrases = mine_phrases(docs, min_count=5, min_pmi=0.1)
+    assert ("deep", "learning") in phrases
+
+
+def test_mine_phrases_respects_min_count():
+    docs = [["rare", "pair"]] * 2
+    assert mine_phrases(docs, min_count=5) == []
+
+
+def test_mine_phrases_skips_stopwords():
+    docs = [["of", "course"]] * 20
+    assert mine_phrases(docs, min_count=5, min_pmi=0.0) == []
+
+
+def test_merge_phrases_greedy_non_overlapping():
+    tokens = ["a", "b", "c", "b", "c"]
+    merged = merge_phrases(tokens, {("b", "c")})
+    assert merged == ["a", "b_c", "b_c"]
+
+
+def test_phrase_corpus_roundtrip():
+    docs = [["real", "estate", "market"]] * 8
+    merged, phrases = phrase_corpus(docs, min_count=4, min_pmi=0.1)
+    assert ("real", "estate") in phrases
+    assert merged[0][0] == "real_estate"
+
+
+def test_mine_phrases_empty_corpus():
+    assert mine_phrases([]) == []

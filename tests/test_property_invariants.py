@@ -1,0 +1,124 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.classifiers.self_training import sharpen_distribution
+from repro.core.seeding import ensure_rng
+from repro.datasets.generator import build_world, generate_documents
+from repro.datasets.profiles import ClassSpec, DatasetProfile, MixtureSpec
+from repro.evaluation.ranking import (
+    example_f1,
+    ndcg_at_k,
+    per_example_precision_at_k,
+    precision_at_k,
+)
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+THEMES = ["sports", "law", "food", "space"]
+
+
+@st.composite
+def tiny_profiles(draw):
+    n_classes = draw(st.integers(min_value=2, max_value=4))
+    doc_lo = draw(st.integers(min_value=5, max_value=12))
+    doc_hi = doc_lo + draw(st.integers(min_value=1, max_value=10))
+    classes = tuple(
+        ClassSpec(label=t, theme=t,
+                  weight=draw(st.floats(min_value=0.5, max_value=4.0)))
+        for t in THEMES[:n_classes]
+    )
+    return DatasetProfile(
+        name="prop", classes=classes, n_train=20, n_test=0,
+        doc_len=(doc_lo, doc_hi), lexicon_size=12,
+    )
+
+
+@given(tiny_profiles(), st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=25, deadline=None)
+def test_generator_invariants(profile, seed):
+    """Every generated document has a valid label, nonempty tokens within
+    the configured length budget (+2 for name injection)."""
+    world = build_world(profile)
+    docs = generate_documents(world, profile.n_train, ensure_rng(seed), "p-")
+    labels = {c.label for c in profile.classes}
+    lo, hi = profile.doc_len
+    for doc in docs:
+        assert doc.labels[0] in labels
+        assert lo <= len(doc.tokens) <= hi + 2
+
+
+@given(st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=10, deadline=None)
+def test_generator_same_seed_same_corpus(seed):
+    profile = DatasetProfile(
+        name="det", classes=(ClassSpec(label="a", theme="sports"),
+                             ClassSpec(label="b", theme="law")),
+        n_train=10, n_test=0, lexicon_size=10, doc_len=(5, 9),
+    )
+    world_a = build_world(profile)
+    world_b = build_world(profile)
+    docs_a = generate_documents(world_a, 10, ensure_rng(seed), "x-")
+    docs_b = generate_documents(world_b, 10, ensure_rng(seed), "x-")
+    assert [d.tokens for d in docs_a] == [d.tokens for d in docs_b]
+
+
+@given(st.lists(st.lists(st.floats(min_value=0.01, max_value=1.0),
+                         min_size=3, max_size=3),
+                min_size=1, max_size=20))
+@settings(max_examples=50, deadline=None)
+def test_sharpen_preserves_simplex(rows):
+    proba = np.asarray(rows)
+    proba /= proba.sum(axis=1, keepdims=True)
+    sharpened = sharpen_distribution(proba)
+    assert np.allclose(sharpened.sum(axis=1), 1.0)
+    assert (sharpened >= 0).all()
+
+
+@given(st.integers(min_value=1, max_value=6),
+       st.integers(min_value=1, max_value=5))
+@settings(max_examples=30, deadline=None)
+def test_ranking_metric_bounds(n_docs, k):
+    rng = np.random.default_rng(n_docs * 7 + k)
+    labels = [f"l{i}" for i in range(8)]
+    gold = [set(rng.choice(labels, size=2, replace=False)) for _ in range(n_docs)]
+    rankings = [list(rng.permutation(labels)) for _ in range(n_docs)]
+    p = precision_at_k(gold, rankings, k)
+    n = ndcg_at_k(gold, rankings, k)
+    assert 0.0 <= p <= 1.0
+    assert 0.0 <= n <= 1.0
+    per = per_example_precision_at_k(gold, rankings, k)
+    assert np.isclose(per.mean(), p)
+
+
+@given(st.integers(min_value=1, max_value=10))
+@settings(max_examples=20, deadline=None)
+def test_example_f1_identity(n):
+    rng = np.random.default_rng(n)
+    labels = [f"l{i}" for i in range(5)]
+    gold = [set(rng.choice(labels, size=1 + n % 3, replace=False))
+            for _ in range(n)]
+    assert example_f1(gold, [tuple(g) for g in gold]) == 1.0
+
+
+@given(st.lists(st.floats(min_value=-5, max_value=5),
+                min_size=2, max_size=12))
+@settings(max_examples=50, deadline=None)
+def test_softmax_is_permutation_equivariant(values):
+    x = np.asarray(values)
+    perm = np.argsort(x)  # a deterministic permutation
+    direct = F.softmax(Tensor(x[perm][None, :])).data[0]
+    permuted = F.softmax(Tensor(x[None, :])).data[0][perm]
+    assert np.allclose(direct, permuted, atol=1e-12)
+
+
+@given(st.lists(st.floats(min_value=-3, max_value=3),
+                min_size=2, max_size=8))
+@settings(max_examples=50, deadline=None)
+def test_softmax_shift_invariance(values):
+    x = np.asarray(values)[None, :]
+    a = F.softmax(Tensor(x)).data
+    b = F.softmax(Tensor(x + 123.0)).data
+    assert np.allclose(a, b, atol=1e-9)

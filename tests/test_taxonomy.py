@@ -1,0 +1,108 @@
+"""Tests for label trees and DAGs."""
+
+import pytest
+
+from repro.core.exceptions import TaxonomyError
+from repro.taxonomy.dag import LabelDAG
+from repro.taxonomy.tree import ROOT, LabelTree
+
+
+@pytest.fixture()
+def tree():
+    return LabelTree({
+        "sci": ROOT, "arts": ROOT,
+        "physics": "sci", "biology": "sci", "music": "arts",
+        "quantum": "physics",
+    })
+
+
+def test_tree_children_and_parent(tree):
+    assert tree.children(ROOT) == ["arts", "sci"]
+    assert tree.parent("quantum") == "physics"
+
+
+def test_tree_leaves_and_internal(tree):
+    assert set(tree.leaves()) == {"music", "biology", "quantum"}
+    assert set(tree.internal()) == {"sci", "arts", "physics"}
+
+
+def test_tree_paths_and_depth(tree):
+    assert tree.path_from_root("quantum") == ["sci", "physics", "quantum"]
+    assert tree.depth("quantum") == 3
+    assert tree.max_depth() == 3
+    assert tree.ancestor_at_depth("quantum", 1) == "sci"
+
+
+def test_tree_level(tree):
+    assert set(tree.level(1)) == {"sci", "arts"}
+    assert set(tree.level(2)) == {"physics", "biology", "music"}
+
+
+def test_tree_subtree_leaves(tree):
+    assert set(tree.subtree_leaves("sci")) == {"quantum", "biology"}
+    assert tree.subtree_leaves("music") == ["music"]
+
+
+def test_tree_rejects_cycle():
+    with pytest.raises(TaxonomyError):
+        LabelTree({"a": "b", "b": "a"})
+
+
+def test_tree_rejects_orphan():
+    with pytest.raises(TaxonomyError):
+        LabelTree({"a": "missing"})
+
+
+def test_tree_from_edges():
+    tree = LabelTree.from_edges([("x", "y")], top_level=["x"])
+    assert tree.parent("y") == "x"
+    assert "y" in tree
+
+
+def test_tree_ancestor_depth_bounds(tree):
+    with pytest.raises(TaxonomyError):
+        tree.ancestor_at_depth("quantum", 9)
+
+
+@pytest.fixture()
+def dag():
+    return LabelDAG(
+        edges=[("a", "c"), ("b", "c"), ("a", "d"), ("c", "e")],
+        top_level=["a", "b"],
+    )
+
+
+def test_dag_parents_children(dag):
+    assert dag.parents("c") == ["a", "b"]
+    assert dag.children("a") == ["c", "d"]
+
+
+def test_dag_leaves(dag):
+    assert set(dag.leaves()) == {"d", "e"}
+
+
+def test_dag_ancestors_and_closure(dag):
+    assert dag.ancestors("e") == {"a", "b", "c"}
+    assert dag.closure(["e"]) == {"a", "b", "c", "e"}
+    assert dag.closure(["d", "e"]) == {"a", "b", "c", "d", "e"}
+
+
+def test_dag_depth_and_levels(dag):
+    assert dag.depth("a") == 1
+    assert dag.depth("e") == 3
+    assert set(dag.levels()[1]) == {"a", "b"}
+
+
+def test_dag_rejects_cycle():
+    with pytest.raises(TaxonomyError):
+        LabelDAG(edges=[("a", "b"), ("b", "a")], top_level=["a"])
+
+
+def test_dag_rejects_unreachable():
+    with pytest.raises(TaxonomyError):
+        LabelDAG(edges=[("x", "y")], top_level=[])
+
+
+def test_dag_len_and_contains(dag):
+    assert len(dag) == 5
+    assert "c" in dag and "nope" not in dag

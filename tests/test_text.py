@@ -1,0 +1,95 @@
+"""Unit + property tests for the text substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text.stopwords import STOPWORDS, remove_stopwords
+from repro.text.tfidf import TfidfVectorizer
+from repro.text.tokenizer import ngrams, sentences, tokenize
+from repro.text.vocabulary import SPECIAL_TOKENS, Vocabulary
+
+
+def test_tokenize_lowercases_and_splits():
+    assert tokenize("Hello, World! 42") == ["hello", "world", "42"]
+
+
+def test_tokenize_keeps_internal_hyphens():
+    assert tokenize("state-of-the-art") == ["state-of-the-art"]
+
+
+def test_sentences_split():
+    assert sentences("One. Two! Three?") == ["One.", "Two!", "Three?"]
+
+
+def test_ngrams():
+    assert ngrams(["a", "b", "c"], 2) == [("a", "b"), ("b", "c")]
+
+
+def test_remove_stopwords():
+    assert remove_stopwords(["the", "match", "was", "great"]) == ["match", "great"]
+
+
+def test_vocabulary_build_and_lookup():
+    vocab = Vocabulary.build([["a", "b", "a"], ["b", "c"]])
+    assert len(vocab) == len(SPECIAL_TOKENS) + 3
+    assert vocab.token(vocab.id("a")) == "a"
+    assert vocab.id("unseen") == vocab.unk_id
+    assert vocab.frequency("a") == 2
+
+
+def test_vocabulary_min_count_filters():
+    vocab = Vocabulary.build([["a", "a", "b"]], min_count=2)
+    assert "a" in vocab and "b" not in vocab
+
+
+def test_vocabulary_max_size_caps():
+    vocab = Vocabulary.build([list("aabbc")], max_size=2)
+    assert len(vocab.content_tokens()) == 2
+
+
+def test_vocabulary_unigram_distribution_sums_to_one():
+    vocab = Vocabulary.build([["a", "b", "b"]])
+    dist = vocab.unigram_distribution()
+    assert abs(dist.sum() - 1.0) < 1e-12
+    assert all(dist[i] == 0 for i in vocab.special_ids)
+
+
+@given(st.lists(st.sampled_from(["cat", "dog", "fish", "bird"]),
+                min_size=1, max_size=30))
+@settings(max_examples=50, deadline=None)
+def test_vocabulary_encode_decode_roundtrip(tokens):
+    vocab = Vocabulary.build([tokens])
+    assert vocab.decode(vocab.encode(tokens)) == tokens
+
+
+def test_tfidf_shapes_and_normalization():
+    docs = [["cat", "dog"], ["dog", "dog", "fish"], ["bird"]]
+    vec = TfidfVectorizer()
+    mat = vec.fit_transform(docs)
+    assert mat.shape[0] == 3
+    norms = np.sqrt(np.asarray(mat.multiply(mat).sum(axis=1))).ravel()
+    assert np.allclose(norms[norms > 0], 1.0)
+
+
+def test_tfidf_rare_terms_outweigh_common():
+    docs = [["common", "rare"], ["common"], ["common"]]
+    vec = TfidfVectorizer()
+    mat = vec.fit_transform(docs).toarray()
+    vocab = vec.vocabulary
+    assert mat[0, vocab.id("rare")] > mat[0, vocab.id("common")]
+
+
+def test_tfidf_top_terms():
+    docs = [["alpha", "alpha", "beta"], ["beta", "gamma"]]
+    vec = TfidfVectorizer()
+    vec.fit(docs)
+    top = vec.top_terms([["alpha", "alpha", "beta"]], k=1)
+    assert top[0] == ["alpha"]
+
+
+def test_tfidf_drops_stopwords():
+    docs = [["the", "match"], ["match", "replay"]]
+    vec = TfidfVectorizer(drop_stopwords=True)
+    vec.fit(docs)
+    assert "the" not in vec.vocabulary
