@@ -1,0 +1,144 @@
+"""PLM inference-engine micro-benchmark: naive vs engine throughput.
+
+Encodes a 500-document mixed-length corpus (long-tailed, like real ones:
+mostly short documents with a long tail near ``max_len``) three ways:
+
+- **seed** — the pre-engine path, reimplemented verbatim: fixed-size
+  chunks in corpus order, padded to the chunk max, full autograd graph,
+  plus the double ``vocab.encode`` pooling pass;
+- **engine (cold)** — no-grad, length-bucketed, token-budget batches,
+  empty encode cache;
+- **engine (warm)** — same corpus again, served from the cache.
+
+Asserts the engine is >= 3x the seed throughput cold and >= 20x warm, and
+writes a ``BENCH_plm_inference.json`` artifact next to this file.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.enc_cache import EncodeCache
+from repro.datasets.pretraining import general_corpus
+from repro.nn.functional import l2_normalize
+from repro.plm.config import PLMConfig
+from repro.plm.encoder import pad_batch
+from repro.plm.engine import EngineConfig
+from repro.plm.model import PretrainedLM
+from repro.plm.provider import get_pretrained_lm
+
+ARTIFACT = Path(__file__).resolve().parent / "BENCH_plm_inference.json"
+N_DOCS = 500
+MIN_COLD_SPEEDUP = 3.0
+MIN_WARM_SPEEDUP = 20.0
+
+
+def _seed_doc_embeddings(plm: PretrainedLM, token_lists: list) -> np.ndarray:
+    """The seed implementation of doc_embeddings, verbatim."""
+    vocab = plm.vocabulary
+    sequences = [vocab.encode(t)[: plm.max_len] for t in token_lists]
+    encoded = []
+    for start in range(0, len(sequences), plm.batch_size):
+        chunk = sequences[start : start + plm.batch_size]
+        if not chunk:
+            continue
+        safe = [s if len(s) else np.array([vocab.unk_id]) for s in chunk]
+        ids, mask = pad_batch(safe, vocab.pad_id, plm.max_len)
+        hidden = plm.encoder(ids, pad_mask=mask).data
+        for row, seq in zip(hidden, safe):
+            encoded.append(row[: len(seq)].copy())
+    rows = []
+    for tokens, hidden in zip(token_lists, encoded):
+        ids = vocab.encode(list(tokens))[: hidden.shape[0]]
+        keep = ids != vocab.unk_id
+        rows.append(hidden[keep].mean(axis=0) if keep.any()
+                    else hidden.mean(axis=0))
+    return l2_normalize(np.stack(rows))
+
+
+def _mixed_corpus(plm: PretrainedLM, n_docs: int, seed: int = 0) -> list:
+    """Long-tailed document lengths: ~85% short, ~15% near max_len."""
+    rng = np.random.default_rng(seed)
+    source = general_corpus(seed=seed, n_docs=min(n_docs, 1200)).token_lists()
+    max_len = plm.max_len
+    docs = []
+    for i in range(n_docs):
+        tokens = source[i % len(source)]
+        if rng.random() < 0.85:
+            length = int(rng.integers(4, 11))
+        else:
+            length = int(rng.integers(max(12, max_len - 16), max_len + 4))
+        while len(tokens) < length:
+            tokens = tokens + source[(i + 7) % len(source)]
+        docs.append(list(tokens[:length]))
+    return docs
+
+
+def _timed(fn) -> tuple:
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def test_plm_inference_engine_throughput():
+    config = PLMConfig(dim=32, n_layers=2, n_heads=2, ff_hidden=64,
+                       mlm_steps=150, pretrain_docs=700)
+    base = get_pretrained_lm(config=config, seed=0)
+    docs = _mixed_corpus(base, N_DOCS)
+    total_tokens = sum(len(d) for d in docs)
+
+    seed_plm = PretrainedLM(
+        base.encoder,
+        engine_config=EngineConfig(bucket=False, inference=False, cache=False),
+    )
+    engine_plm = PretrainedLM(base.encoder, enc_cache=EncodeCache(),
+                              engine_config=EngineConfig())
+
+    # Warm numpy/allocator once so the first measured run is not penalized.
+    seed_plm.doc_embeddings(docs[:32])
+
+    seed_s, seed_out = _timed(lambda: _seed_doc_embeddings(seed_plm, docs))
+    cold_s, cold_out = _timed(lambda: engine_plm.doc_embeddings(docs))
+    warm_s, warm_out = _timed(lambda: engine_plm.doc_embeddings(docs))
+
+    np.testing.assert_allclose(cold_out, seed_out, atol=1e-9)
+    np.testing.assert_array_equal(cold_out, warm_out)
+
+    report = {
+        "n_docs": N_DOCS,
+        "total_tokens": total_tokens,
+        "config": {"dim": config.dim, "n_layers": config.n_layers,
+                   "max_len": config.max_len,
+                   "batch_size": seed_plm.batch_size},
+        "seed_seconds": round(seed_s, 4),
+        "engine_cold_seconds": round(cold_s, 4),
+        "engine_warm_seconds": round(warm_s, 4),
+        "seed_docs_per_second": round(N_DOCS / seed_s, 1),
+        "engine_cold_docs_per_second": round(N_DOCS / cold_s, 1),
+        "engine_warm_docs_per_second": round(N_DOCS / warm_s, 1),
+        "cold_speedup": round(seed_s / cold_s, 2),
+        "warm_speedup": round(seed_s / warm_s, 2),
+        "cache": engine_plm.enc_cache.stats(),
+    }
+    ARTIFACT.write_text(json.dumps(report, indent=2) + "\n")
+
+    print()
+    print("PLM inference engine, doc_embeddings over "
+          f"{N_DOCS} mixed-length docs ({total_tokens} tokens)")
+    print(f"  seed path:     {seed_s:7.3f}s  ({N_DOCS / seed_s:8.1f} docs/s)")
+    print(f"  engine (cold): {cold_s:7.3f}s  ({N_DOCS / cold_s:8.1f} docs/s)"
+          f"  -> {seed_s / cold_s:.2f}x")
+    print(f"  engine (warm): {warm_s:7.3f}s  ({N_DOCS / warm_s:8.1f} docs/s)"
+          f"  -> {seed_s / warm_s:.2f}x")
+    print(f"  artifact: {ARTIFACT}")
+
+    assert seed_s / cold_s >= MIN_COLD_SPEEDUP, report
+    assert seed_s / warm_s >= MIN_WARM_SPEEDUP, report
+
+
+if __name__ == "__main__":
+    test_plm_inference_engine_throughput()

@@ -1,0 +1,153 @@
+"""Cross-method encode cache for PLM document representations.
+
+Every surveyed method re-encodes the same corpora through the same frozen
+encoder, so per-document hidden states are cached process-wide, keyed by
+
+- a **namespace**: the owning PLM's content identity (config plus a digest
+  of its parameter arrays — stable across processes for identical models),
+- a **document key**: a digest of the document's encoded token ids, so two
+  surface-different documents that map to the same ids share one entry.
+
+Two tiers:
+
+- a bounded in-memory LRU (default 256 MB, ``REPRO_ENC_CACHE_BYTES``),
+- an optional on-disk ``.npz`` tier (``REPRO_ENC_CACHE_DIR`` or the
+  ``disk_dir`` argument); disk hits are promoted back into memory.
+
+Set ``REPRO_ENC_CACHE=0`` to disable the cache entirely (the provider then
+wires no cache into the models it builds).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from collections import OrderedDict
+from pathlib import Path
+
+import numpy as np
+
+_DEFAULT_MAX_BYTES = 256 << 20
+
+
+def doc_key(ids: np.ndarray) -> str:
+    """Stable digest of a document's encoded token ids."""
+    ids = np.ascontiguousarray(np.asarray(ids, dtype=np.int64))
+    return hashlib.blake2b(ids.tobytes(), digest_size=16).hexdigest()
+
+
+def array_digest(arrays: list, extra: str = "") -> str:
+    """Stable digest of a sequence of numpy arrays (model identity).
+
+    ``extra`` folds non-array identity (e.g. a config repr) into the hash.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    if extra:
+        h.update(extra.encode("utf-8"))
+    for array in arrays:
+        h.update(np.ascontiguousarray(array).tobytes())
+    return h.hexdigest()
+
+
+class EncodeCache:
+    """Bounded LRU over per-document arrays with an optional disk tier."""
+
+    def __init__(self, max_bytes: int = _DEFAULT_MAX_BYTES,
+                 disk_dir: "str | Path | None" = None):
+        self.max_bytes = int(max_bytes)
+        self.disk_dir = Path(disk_dir) if disk_dir else None
+        self._entries: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.disk_hits = 0
+        self.evictions = 0
+
+    @classmethod
+    def from_env(cls) -> "EncodeCache | None":
+        """Cache configured from the environment; None when disabled."""
+        if os.environ.get("REPRO_ENC_CACHE", "").lower() in ("0", "off", "false"):
+            return None
+        max_bytes = int(os.environ.get("REPRO_ENC_CACHE_BYTES", _DEFAULT_MAX_BYTES))
+        disk_dir = os.environ.get("REPRO_ENC_CACHE_DIR") or None
+        return cls(max_bytes=max_bytes, disk_dir=disk_dir)
+
+    # -- lookup ---------------------------------------------------------------
+    def get(self, namespace: str, key: str) -> "np.ndarray | None":
+        """Cached array for (namespace, key), consulting both tiers."""
+        entry = self._entries.get((namespace, key))
+        if entry is not None:
+            self._entries.move_to_end((namespace, key))
+            self.hits += 1
+            return entry
+        if self.disk_dir is not None:
+            path = self._disk_path(namespace, key)
+            if path.exists():
+                try:
+                    with np.load(path) as payload:
+                        entry = payload["hidden"]
+                except (OSError, ValueError, KeyError):
+                    entry = None  # partial/corrupt file: treat as a miss
+                if entry is not None:
+                    self.hits += 1
+                    self.disk_hits += 1
+                    self._insert(namespace, key, entry)
+                    return entry
+        self.misses += 1
+        return None
+
+    def put(self, namespace: str, key: str, value: np.ndarray) -> None:
+        """Insert ``value``, evicting least-recently-used entries over budget."""
+        self._insert(namespace, key, value)
+        if self.disk_dir is not None:
+            path = self._disk_path(namespace, key)
+            if not path.exists():
+                path.parent.mkdir(parents=True, exist_ok=True)
+                tmp = path.with_suffix(".tmp.npz")
+                np.savez(tmp, hidden=value)
+                tmp.replace(path)
+
+    def _insert(self, namespace: str, key: str, value: np.ndarray) -> None:
+        full_key = (namespace, key)
+        previous = self._entries.pop(full_key, None)
+        if previous is not None:
+            self._bytes -= previous.nbytes
+        self._entries[full_key] = value
+        self._bytes += value.nbytes
+        while self._bytes > self.max_bytes and len(self._entries) > 1:
+            _, evicted = self._entries.popitem(last=False)
+            self._bytes -= evicted.nbytes
+            self.evictions += 1
+
+    def _disk_path(self, namespace: str, key: str) -> Path:
+        assert self.disk_dir is not None
+        return self.disk_dir / namespace / f"{key}.npz"
+
+    # -- maintenance ----------------------------------------------------------
+    def clear(self) -> None:
+        """Drop the in-memory tier (disk entries are left in place)."""
+        self._entries.clear()
+        self._bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes currently held by the memory tier."""
+        return self._bytes
+
+    def stats(self) -> dict:
+        """Hit/miss/eviction counters plus current occupancy."""
+        return {
+            "entries": len(self._entries),
+            "bytes": self._bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "disk_hits": self.disk_hits,
+            "evictions": self.evictions,
+        }
+
+    def __repr__(self) -> str:
+        return (f"EncodeCache(entries={len(self._entries)}, "
+                f"bytes={self._bytes}, max_bytes={self.max_bytes})")

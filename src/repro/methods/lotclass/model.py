@@ -94,8 +94,9 @@ class LOTClass(WeaklySupervisedTextClassifier):
         if not probe_tokens:
             return np.zeros((0, self.plm.dim)), np.zeros(0, dtype=int), []
 
-        logits = self.plm.mask_logits_batch(probe_tokens, probe_positions)
-        top = np.argsort(-logits, axis=1)[:, : self.top_k]
+        # Top-k variant: never materializes the full (N, V) logit matrix.
+        top = self.plm.mask_topk_batch(probe_tokens, probe_positions,
+                                       self.top_k)
         plm_vocab = self.plm.vocabulary
 
         indicative: list[tuple[int, int, int]] = []  # (probe idx, doc idx, cat)

@@ -24,10 +24,13 @@ from repro.nn.losses import (
     kl_divergence_with_logits,
 )
 from repro.nn.optim import SGD, Adam
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, inference_mode, is_grad_enabled, no_grad
 
 __all__ = [
     "Tensor",
+    "inference_mode",
+    "no_grad",
+    "is_grad_enabled",
     "functional",
     "Module",
     "Linear",

@@ -55,3 +55,17 @@ def l2_normalize(x: np.ndarray, eps: float = 1e-12) -> np.ndarray:
     """Row-wise L2 normalization (plain numpy)."""
     x = np.asarray(x, dtype=float)
     return x / (np.linalg.norm(x, axis=-1, keepdims=True) + eps)
+
+
+def masked_mean_pool(hidden: np.ndarray, keep: np.ndarray) -> np.ndarray:
+    """Mean over the rows of ``hidden`` selected by boolean ``keep``.
+
+    ``keep`` may be shorter than ``hidden`` (extra rows are padding or a
+    substituted placeholder token and are never pooled). When nothing is
+    kept — an empty or fully-masked selection — falls back to the plain
+    mean over all rows, so degenerate documents still yield a vector.
+    """
+    keep = np.asarray(keep, dtype=bool)
+    if keep.any():
+        return hidden[: keep.size][keep].mean(axis=0)
+    return hidden.mean(axis=0)

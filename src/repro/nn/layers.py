@@ -170,12 +170,16 @@ class Sequential(Module):
 class MultiHeadSelfAttention(Module):
     """Multi-head self-attention over (B, T, D) inputs.
 
-    ``forward`` returns the attended values; the post-softmax attention
-    probabilities of the last call are kept on ``last_attention`` because
-    X-Class consumes them for attention-weighted pooling.
+    ``forward`` returns the attended values. When ``store_attention`` is
+    enabled the post-softmax attention probabilities of the last call are
+    kept on ``last_attention`` (X-Class consumes them for
+    attention-weighted pooling). It defaults to off: retaining a
+    (B, H, T, T) array per layer per forward bloats memory during
+    pre-training and batched encoding for a value only one consumer reads.
     """
 
-    def __init__(self, dim: int, n_heads: int, rng: np.random.Generator):
+    def __init__(self, dim: int, n_heads: int, rng: np.random.Generator,
+                 store_attention: bool = False):
         super().__init__()
         if dim % n_heads != 0:
             raise ValueError(f"dim {dim} not divisible by n_heads {n_heads}")
@@ -184,6 +188,7 @@ class MultiHeadSelfAttention(Module):
         self.head_dim = dim // n_heads
         self.qkv = Linear(dim, 3 * dim, rng)
         self.out = Linear(dim, dim, rng)
+        self.store_attention = store_attention
         self.last_attention: "np.ndarray | None" = None
 
     def forward(self, x: Tensor, pad_mask: "np.ndarray | None" = None) -> Tensor:
@@ -193,12 +198,15 @@ class MultiHeadSelfAttention(Module):
         qkv = qkv.transpose(2, 0, 3, 1, 4)  # (3, B, H, T, Dh)
         q, k, v = qkv[0], qkv[1], qkv[2]
         mask = None
-        if pad_mask is not None:
+        if pad_mask is not None and pad_mask.any():
             # pad_mask: (B, T) True at padding -> block keys at padded slots.
+            # Padding-free batches (common with length-bucketed inference)
+            # skip the mask entirely; an all-False mask is a no-op anyway.
             mask = pad_mask[:, None, None, :]
         logits = F.attention_scores(q, k, mask=mask)
         attn = F.softmax(logits, axis=-1)
-        self.last_attention = attn.data
+        if self.store_attention:
+            self.last_attention = attn.data
         context = attn @ v  # (B, H, T, Dh)
         context = context.transpose(0, 2, 1, 3).reshape(batch, seq, self.dim)
         return self.out(context)

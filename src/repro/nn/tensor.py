@@ -11,6 +11,43 @@ from __future__ import annotations
 
 import numpy as np
 
+_GRAD_ENABLED = True
+
+
+class inference_mode:
+    """Context manager disabling autograd for the ops inside it.
+
+    Tensor operations executed under ``inference_mode()`` allocate neither
+    backward closures nor graph edges: results are plain value tensors with
+    ``requires_grad=False`` regardless of their inputs. This is the
+    read-only evaluation path of the PLM inference engine — forwards that
+    never call :meth:`Tensor.backward` skip all graph bookkeeping and the
+    memory retention that comes with it. Re-entrant; restores the previous
+    state on exit.
+    """
+
+    __slots__ = ("_previous",)
+
+    def __enter__(self) -> "inference_mode":
+        global _GRAD_ENABLED
+        self._previous = _GRAD_ENABLED
+        _GRAD_ENABLED = False
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._previous
+        return False
+
+
+#: Alias matching the more common torch spelling.
+no_grad = inference_mode
+
+
+def is_grad_enabled() -> bool:
+    """Whether ops currently record the autograd graph."""
+    return _GRAD_ENABLED
+
 
 def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
     """Reduce ``grad`` back to ``shape`` after numpy broadcasting."""
@@ -51,10 +88,11 @@ class Tensor:
 
     def _make(self, data: np.ndarray, parents: tuple, backward) -> "Tensor":
         out = Tensor(data)
-        out.requires_grad = any(p.requires_grad for p in parents)
-        if out.requires_grad:
-            out._parents = parents
-            out._backward = backward
+        if _GRAD_ENABLED:
+            out.requires_grad = any(p.requires_grad for p in parents)
+            if out.requires_grad:
+                out._parents = parents
+                out._backward = backward
         return out
 
     @property
@@ -86,6 +124,8 @@ class Tensor:
     def __add__(self, other) -> "Tensor":
         other = self._lift(other)
         out_data = self.data + other.data
+        if not _GRAD_ENABLED:
+            return Tensor(out_data)
 
         def backward(grad):
             return (_unbroadcast(grad, self.shape), _unbroadcast(grad, other.shape))
@@ -97,6 +137,8 @@ class Tensor:
     def __mul__(self, other) -> "Tensor":
         other = self._lift(other)
         out_data = self.data * other.data
+        if not _GRAD_ENABLED:
+            return Tensor(out_data)
 
         def backward(grad):
             return (
@@ -126,6 +168,8 @@ class Tensor:
 
     def __pow__(self, exponent: float) -> "Tensor":
         out_data = self.data**exponent
+        if not _GRAD_ENABLED:
+            return Tensor(out_data)
 
         def backward(grad):
             return (grad * exponent * self.data ** (exponent - 1.0),)
@@ -135,6 +179,8 @@ class Tensor:
     def __matmul__(self, other) -> "Tensor":
         other = self._lift(other)
         out_data = self.data @ other.data
+        if not _GRAD_ENABLED:
+            return Tensor(out_data)
 
         def backward(grad):
             a, b = self.data, other.data
@@ -157,6 +203,8 @@ class Tensor:
     def exp(self) -> "Tensor":
         """Element-wise exponential."""
         out_data = np.exp(self.data)
+        if not _GRAD_ENABLED:
+            return Tensor(out_data)
 
         def backward(grad):
             return (grad * out_data,)
@@ -166,6 +214,8 @@ class Tensor:
     def log(self) -> "Tensor":
         """Element-wise natural log."""
         out_data = np.log(self.data)
+        if not _GRAD_ENABLED:
+            return Tensor(out_data)
 
         def backward(grad):
             return (grad / self.data,)
@@ -175,6 +225,8 @@ class Tensor:
     def tanh(self) -> "Tensor":
         """Element-wise tanh."""
         out_data = np.tanh(self.data)
+        if not _GRAD_ENABLED:
+            return Tensor(out_data)
 
         def backward(grad):
             return (grad * (1.0 - out_data**2),)
@@ -184,6 +236,8 @@ class Tensor:
     def relu(self) -> "Tensor":
         """Element-wise max(x, 0)."""
         out_data = np.maximum(self.data, 0.0)
+        if not _GRAD_ENABLED:
+            return Tensor(out_data)
 
         def backward(grad):
             return (grad * (self.data > 0.0),)
@@ -193,6 +247,8 @@ class Tensor:
     def sigmoid(self) -> "Tensor":
         """Element-wise logistic sigmoid."""
         out_data = 1.0 / (1.0 + np.exp(-self.data))
+        if not _GRAD_ENABLED:
+            return Tensor(out_data)
 
         def backward(grad):
             return (grad * out_data * (1.0 - out_data),)
@@ -203,13 +259,15 @@ class Tensor:
         """tanh-approximation GELU (as used by BERT)."""
         c = np.sqrt(2.0 / np.pi)
         x = self.data
-        inner = c * (x + 0.044715 * x**3)
+        inner = c * (x + 0.044715 * (x * x * x))
         t = np.tanh(inner)
         out_data = 0.5 * x * (1.0 + t)
+        if not _GRAD_ENABLED:
+            return Tensor(out_data)
 
         def backward(grad):
-            dinner = c * (1.0 + 3 * 0.044715 * x**2)
-            dt = (1.0 - t**2) * dinner
+            dinner = c * (1.0 + 3 * 0.044715 * (x * x))
+            dt = (1.0 - t * t) * dinner
             return (grad * (0.5 * (1.0 + t) + 0.5 * x * dt),)
 
         return self._make(out_data, (self,), backward)
@@ -218,6 +276,8 @@ class Tensor:
     def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
         """Sum over ``axis`` (all axes when None)."""
         out_data = self.data.sum(axis=axis, keepdims=keepdims)
+        if not _GRAD_ENABLED:
+            return Tensor(out_data)
 
         def backward(grad):
             g = np.asarray(grad)
@@ -239,6 +299,8 @@ class Tensor:
     def max(self, axis=None, keepdims: bool = False) -> "Tensor":
         """Maximum over ``axis``; gradient splits across ties."""
         out_data = self.data.max(axis=axis, keepdims=keepdims)
+        if not _GRAD_ENABLED:
+            return Tensor(out_data)
 
         def backward(grad):
             g = np.asarray(grad)
@@ -259,6 +321,8 @@ class Tensor:
             shape = tuple(shape[0])
         out_data = self.data.reshape(shape)
         original = self.shape
+        if not _GRAD_ENABLED:
+            return Tensor(out_data)
 
         def backward(grad):
             return (grad.reshape(original),)
@@ -273,6 +337,8 @@ class Tensor:
             axes = tuple(axes[0])
         out_data = self.data.transpose(axes)
         inverse = np.argsort(axes)
+        if not _GRAD_ENABLED:
+            return Tensor(out_data)
 
         def backward(grad):
             return (grad.transpose(inverse),)
@@ -288,6 +354,8 @@ class Tensor:
     def __getitem__(self, index) -> "Tensor":
         out_data = self.data[index]
         shape = self.shape
+        if not _GRAD_ENABLED:
+            return Tensor(out_data)
 
         def backward(grad):
             full = np.zeros(shape, dtype=float)
@@ -301,6 +369,8 @@ class Tensor:
         idx = np.asarray(indices, dtype=np.int64)
         out_data = self.data[idx]
         shape = self.shape
+        if not _GRAD_ENABLED:
+            return Tensor(out_data)
 
         def backward(grad):
             full = np.zeros(shape, dtype=float)
@@ -313,6 +383,8 @@ class Tensor:
         """Replace entries where ``mask`` is True with ``value``."""
         mask = np.asarray(mask, dtype=bool)
         out_data = np.where(mask, value, self.data)
+        if not _GRAD_ENABLED:
+            return Tensor(out_data)
 
         def backward(grad):
             return (np.where(mask, 0.0, grad),)
@@ -384,7 +456,7 @@ def concatenate(tensors: list, axis: int = 0) -> Tensor:
         return tuple(np.split(grad, splits, axis=axis))
 
     probe = Tensor(out_data)
-    probe.requires_grad = any(t.requires_grad for t in tensors)
+    probe.requires_grad = _GRAD_ENABLED and any(t.requires_grad for t in tensors)
     if probe.requires_grad:
         probe._parents = tuple(tensors)
         probe._backward = backward
@@ -400,7 +472,7 @@ def stack(tensors: list, axis: int = 0) -> Tensor:
         return tuple(np.moveaxis(grad, axis, 0))
 
     probe = Tensor(out_data)
-    probe.requires_grad = any(t.requires_grad for t in tensors)
+    probe.requires_grad = _GRAD_ENABLED and any(t.requires_grad for t in tensors)
     if probe.requires_grad:
         probe._parents = tuple(tensors)
         probe._backward = backward

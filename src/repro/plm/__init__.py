@@ -13,6 +13,7 @@ methods consume from BERT-family models:
 from repro.plm.config import PLMConfig, tiny_config
 from repro.plm.electra import ElectraDiscriminator
 from repro.plm.encoder import TransformerEncoder
+from repro.plm.engine import EngineConfig
 from repro.plm.io import load_plm, save_plm
 from repro.plm.model import PretrainedLM
 from repro.plm.nli import RelevanceModel
@@ -28,6 +29,7 @@ __all__ = [
     "PLMConfig",
     "tiny_config",
     "TransformerEncoder",
+    "EngineConfig",
     "PretrainedLM",
     "RelevanceModel",
     "ElectraDiscriminator",

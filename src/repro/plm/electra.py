@@ -15,7 +15,8 @@ import numpy as np
 from repro.core.seeding import ensure_rng
 from repro.nn.losses import binary_cross_entropy_with_logits
 from repro.nn.optim import Adam
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, inference_mode
+from repro.plm import engine
 from repro.plm.encoder import pad_batch
 from repro.plm.model import PretrainedLM
 
@@ -34,7 +35,9 @@ class ElectraDiscriminator:
         self._trained = False
 
     def _hidden_and_embeddings(self, ids: np.ndarray, pad_mask: np.ndarray) -> tuple:
-        hidden = self.plm.encoder(ids, pad_mask=pad_mask).data  # frozen
+        # The encoder is frozen even during head training: no graph needed.
+        with inference_mode():
+            hidden = self.plm.encoder(ids, pad_mask=pad_mask).data
         emb = self.plm.encoder.token_embedding.weight.data[ids]
         return hidden, emb
 
@@ -72,19 +75,25 @@ class ElectraDiscriminator:
         return self
 
     def originality(self, token_lists: list) -> list:
-        """Per-token P(original | context) for each document."""
+        """Per-token P(original | context) for each document.
+
+        Runs on the PLM's inference engine: length-bucketed batches, no
+        autograd graph.
+        """
         vocab = self.plm.vocabulary
-        out: list[np.ndarray] = []
-        for start in range(0, len(token_lists), 32):
-            chunk = token_lists[start : start + 32]
-            sequences = [vocab.encode(t)[: self.plm.max_len] for t in chunk]
-            safe = [s if len(s) else np.array([vocab.unk_id]) for s in sequences]
-            ids, pad_mask = pad_batch(safe, vocab.pad_id, self.plm.max_len)
-            hidden, emb = self._hidden_and_embeddings(ids, pad_mask)
-            logits = self._logits(hidden, emb).data
+        sequences = [vocab.encode(t)[: self.plm.max_len] for t in token_lists]
+        safe = [s if len(s) else np.array([vocab.unk_id]) for s in sequences]
+        out: list = [None] * len(safe)
+        table = self.plm.encoder.token_embedding.weight.data
+
+        def score(indices, ids, pad_mask, hidden):
+            logits = self._logits(hidden.data, table[ids]).data
             probs = 1.0 / (1.0 + np.exp(-logits))
-            for row, seq in zip(probs, safe):
-                out.append(row[: len(seq)].copy())
+            for row, i in enumerate(indices):
+                out[i] = probs[row, : len(safe[i])].copy()
+
+        engine.run_encoder(self.plm.encoder, safe, vocab.pad_id,
+                           self.plm.engine, score)
         return out
 
     def token_originality(self, tokens: list, position: int) -> float:

@@ -52,8 +52,19 @@ class TransformerEncoder(Module):
         return transformed @ self.token_embedding.weight.swapaxes(0, 1) + self.mlm_bias
 
     def attention_maps(self) -> list:
-        """Per-layer attention probabilities of the most recent forward."""
+        """Per-layer attention probabilities of the most recent forward.
+
+        Entries are None unless the forward ran with attention storage
+        enabled (see :meth:`set_store_attention`).
+        """
         return [block.attn.last_attention for block in self.blocks]
+
+    def set_store_attention(self, flag: bool) -> None:
+        """Toggle retention of per-layer attention maps on future forwards."""
+        for block in self.blocks:
+            block.attn.store_attention = flag
+            if not flag:
+                block.attn.last_attention = None
 
 
 def pad_batch(id_lists: list, pad_id: int, max_len: int) -> tuple:

@@ -57,4 +57,8 @@ def load_plm(path: "str | Path") -> PretrainedLM:
     rng = np.random.default_rng(0)  # weights are overwritten below
     encoder = TransformerEncoder(vocab, config, rng)
     encoder.load_state_dict(arrays)
-    return PretrainedLM(encoder)
+    # The encode cache is content-addressed (weights digest), so a model
+    # round-tripped through disk shares cached encodings with its source.
+    from repro.plm.provider import shared_encode_cache
+
+    return PretrainedLM(encoder, enc_cache=shared_encode_cache())

@@ -1,11 +1,21 @@
-"""User-facing facade over the pre-trained transformer."""
+"""User-facing facade over the pre-trained transformer.
+
+All read paths run through the inference engine
+(:mod:`repro.plm.engine`): gradient-free, length-bucketed, and — when a
+cache is wired in (:mod:`repro.core.enc_cache`) — sharing per-document
+hidden states across every method that touches the same corpus.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.nn.functional import l2_normalize
+from repro.core.enc_cache import EncodeCache, array_digest, doc_key
+from repro.nn.functional import l2_normalize, masked_mean_pool
+from repro.nn.tensor import Tensor
+from repro.plm import engine
 from repro.plm.encoder import TransformerEncoder, pad_batch
+from repro.plm.engine import EngineConfig
 from repro.text.vocabulary import MASK, Vocabulary
 
 
@@ -14,11 +24,31 @@ class PretrainedLM:
 
     Wraps a :class:`TransformerEncoder` with batched encoding, pooled
     document embeddings, masked-token ranking, and attention access.
+
+    Parameters
+    ----------
+    encoder:
+        The (frozen) pre-trained encoder.
+    batch_size:
+        Baseline sequences per batch; the engine's token budget scales the
+        effective batch up for short documents.
+    enc_cache:
+        Optional :class:`~repro.core.enc_cache.EncodeCache` shared across
+        models — the provider wires in a process-wide instance so the
+        second method to encode a corpus gets its hidden states for free.
+    engine_config:
+        Inference-engine knobs; defaults honour the ``REPRO_ENGINE_*``
+        environment variables.
     """
 
-    def __init__(self, encoder: TransformerEncoder, batch_size: int = 32):
+    def __init__(self, encoder: TransformerEncoder, batch_size: int = 32,
+                 enc_cache: "EncodeCache | None" = None,
+                 engine_config: "EngineConfig | None" = None):
         self.encoder = encoder
         self.batch_size = batch_size
+        self.engine = engine_config or EngineConfig.from_env(batch_size=batch_size)
+        self.enc_cache = enc_cache
+        self._cache_namespace: "str | None" = None
         self.encoder.eval()
 
     @property
@@ -33,57 +63,112 @@ class PretrainedLM:
     def max_len(self) -> int:
         return self.encoder.config.max_len
 
+    @property
+    def cache_namespace(self) -> str:
+        """Content identity of this model for the encode cache.
+
+        A digest of the config plus every parameter array, computed lazily
+        on first cached encode. Read paths assume frozen weights (true for
+        everything built on this facade); anything that re-trains the
+        encoder must construct a fresh ``PretrainedLM``.
+        """
+        if self._cache_namespace is None:
+            self._cache_namespace = array_digest(
+                [p.data for p in self.encoder.parameters()],
+                extra=repr(self.encoder.config.cache_key()),
+            )
+        return self._cache_namespace
+
     # -- encoding -----------------------------------------------------------
+    def _encode_ids(self, token_lists: list) -> tuple:
+        """Hidden states plus encoded ids, one encode pass, cache-aware.
+
+        Returns ``(hidden_list, ids_list)``: per-document (T_i, dim)
+        contextual vectors and the (truncated) id arrays they were encoded
+        from. Empty documents are substituted with a single ``[UNK]`` for
+        the forward (their ``ids`` entry stays empty, which downstream
+        pooling uses to detect the fallback case). Returned hidden arrays
+        may be cache-owned — callers that hand them out copy first.
+        """
+        vocab = self.vocabulary
+        ids_list = [vocab.encode(t)[: self.max_len] for t in token_lists]
+        safe = [s if len(s) else np.array([vocab.unk_id]) for s in ids_list]
+        hidden: list = [None] * len(safe)
+        cache = self.enc_cache if self.engine.cache else None
+        keys: "list | None" = None
+        misses = list(range(len(safe)))
+        if cache is not None:
+            namespace = self.cache_namespace
+            keys = [doc_key(s) for s in safe]
+            misses = []
+            first_by_key: dict = {}
+            for i, key in enumerate(keys):
+                found = cache.get(namespace, key)
+                if found is not None:
+                    hidden[i] = found
+                elif key in first_by_key:
+                    pass  # duplicate within this call: encoded once below
+                else:
+                    first_by_key[key] = i
+                    misses.append(i)
+        if misses:
+            encoded = engine.encode_hidden(
+                self.encoder, [safe[i] for i in misses], vocab.pad_id, self.engine
+            )
+            for i, states in zip(misses, encoded):
+                hidden[i] = states
+                if cache is not None:
+                    cache.put(self.cache_namespace, keys[i], states)
+        if cache is not None:
+            for i, key in enumerate(keys):
+                if hidden[i] is None:  # duplicate: share the first copy's states
+                    hidden[i] = hidden[first_by_key[key]]
+        return hidden, ids_list
+
     def encode_tokens(self, token_lists: list) -> list:
         """Contextualized vectors per document: list of (T_i, dim) arrays.
 
         Documents longer than ``max_len`` are truncated (documented
         substitution for sliding-window encoding).
         """
-        vocab = self.vocabulary
-        sequences = [vocab.encode(t)[: self.max_len] for t in token_lists]
-        out: list[np.ndarray] = []
-        for start in range(0, len(sequences), self.batch_size):
-            chunk = sequences[start : start + self.batch_size]
-            if not chunk:
-                continue
-            safe = [s if len(s) else np.array([vocab.unk_id]) for s in chunk]
-            ids, mask = pad_batch(safe, vocab.pad_id, self.max_len)
-            hidden = self.encoder(ids, pad_mask=mask).data
-            for row, seq in zip(hidden, safe):
-                out.append(row[: len(seq)].copy())
-        return out
+        hidden, _ = self._encode_ids(token_lists)
+        if self.enc_cache is not None and self.engine.cache:
+            return [states.copy() for states in hidden]  # protect the cache
+        return hidden
 
     def doc_embeddings(self, token_lists: list, normalize: bool = True) -> np.ndarray:
         """Average-pooled contextual document embeddings (N, dim).
 
         Out-of-vocabulary positions are excluded from the pool (their UNK
         vectors carry no content); fully-OOV documents fall back to the
-        plain mean.
+        plain mean. Ids come straight from the encode pass — documents are
+        encoded exactly once.
         """
-        vocab = self.vocabulary
-        unk = vocab.unk_id
-        encoded = self.encode_tokens(token_lists)
-        rows = []
-        for tokens, hidden in zip(token_lists, encoded):
-            ids = vocab.encode(list(tokens))[: hidden.shape[0]]
-            keep = ids != unk
-            if keep.any():
-                rows.append(hidden[keep].mean(axis=0))
-            else:
-                rows.append(hidden.mean(axis=0))
+        unk = self.vocabulary.unk_id
+        hidden, ids_list = self._encode_ids(token_lists)
+        rows = [masked_mean_pool(states, ids != unk)
+                for states, ids in zip(hidden, ids_list)]
         out = np.stack(rows)
         return l2_normalize(out) if normalize else out
 
     def encode_with_attention(self, tokens: list) -> tuple:
-        """(hidden (T, dim), last-layer attention (heads, T, T)) for one doc."""
+        """(hidden (T, dim), last-layer attention (heads, T, T)) for one doc.
+
+        Attention storage is off by default; this temporarily enables it
+        for the single forward.
+        """
         vocab = self.vocabulary
         seq = vocab.encode(tokens)[: self.max_len]
         if len(seq) == 0:
             seq = np.array([vocab.unk_id])
         ids, mask = pad_batch([seq], vocab.pad_id, self.max_len)
-        hidden = self.encoder(ids, pad_mask=mask).data[0]
-        attention = self.encoder.attention_maps()[-1][0]  # (H, T, T)
+        self.encoder.set_store_attention(True)
+        try:
+            with self.engine.grad_context():
+                hidden = self.encoder(ids, pad_mask=mask).data[0]
+            attention = self.encoder.attention_maps()[-1][0]  # (H, T, T)
+        finally:
+            self.encoder.set_store_attention(False)
         return hidden[: len(seq)], attention[:, : len(seq), : len(seq)]
 
     # -- masked prediction -----------------------------------------------------
@@ -112,8 +197,11 @@ class PretrainedLM:
         if position >= self.max_len:
             raise ValueError("mask position beyond max_len after truncation")
         ids, mask = pad_batch([seq], vocab.pad_id, self.max_len)
-        hidden = self.encoder(ids, pad_mask=mask)
-        logits = self.encoder.mlm_logits(hidden).data[0, position]
+        with self.engine.grad_context():
+            hidden = self.encoder(ids, pad_mask=mask)
+            # The MLM head is position-wise: project just the masked row.
+            row = Tensor(hidden.data[0, position][None, :])
+            logits = self.encoder.mlm_logits(row).data[0]
         probs = np.exp(logits - logits.max())
         probs /= probs.sum()
         if exclude_specials:
@@ -123,24 +211,37 @@ class PretrainedLM:
         idx = np.argsort(-probs)[:top_k]
         return [(vocab.token(int(i)), float(probs[i])) for i in idx]
 
-    def mask_logits_batch(self, token_lists: list, positions: list) -> np.ndarray:
-        """Vocabulary logits at one masked position per document (N, V)."""
+    def _masked_sequences(self, token_lists: list, positions: list) -> list:
         vocab = self.vocabulary
         sequences = []
         for tokens, pos in zip(token_lists, positions):
             working = list(tokens)
             working[pos] = MASK
             sequences.append(vocab.encode(working)[: self.max_len])
-        out = np.zeros((len(sequences), len(vocab)))
-        for start in range(0, len(sequences), self.batch_size):
-            chunk = sequences[start : start + self.batch_size]
-            pos_chunk = positions[start : start + self.batch_size]
-            ids, mask = pad_batch(chunk, vocab.pad_id, self.max_len)
-            hidden = self.encoder(ids, pad_mask=mask)
-            logits = self.encoder.mlm_logits(hidden).data
-            for row, (logit_mat, pos) in enumerate(zip(logits, pos_chunk)):
-                out[start + row] = logit_mat[min(pos, logit_mat.shape[0] - 1)]
-        return out
+        return sequences
+
+    def mask_logits_batch(self, token_lists: list, positions: list) -> np.ndarray:
+        """Vocabulary logits at one masked position per document (N, V).
+
+        The result is float32 and rows are filled batch by batch; callers
+        that only need a ranking should prefer :meth:`mask_topk_batch`,
+        which never materializes full-vocabulary rows.
+        """
+        sequences = self._masked_sequences(token_lists, positions)
+        return engine.mask_logits(self.encoder, sequences, positions,
+                                  self.vocabulary.pad_id, self.engine)
+
+    def mask_topk_batch(self, token_lists: list, positions: list,
+                        top_k: int) -> np.ndarray:
+        """Top-``k`` vocabulary ids by masked-slot logit per document (N, k).
+
+        Rows are sorted by descending logit; only (B, V) logits exist
+        transiently per batch.
+        """
+        sequences = self._masked_sequences(token_lists, positions)
+        ids, _ = engine.mask_topk(self.encoder, sequences, positions,
+                                  self.vocabulary.pad_id, self.engine, top_k)
+        return ids
 
     def word_embedding(self, word: str) -> np.ndarray:
         """Static (non-contextual) input embedding of ``word``."""

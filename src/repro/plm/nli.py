@@ -17,7 +17,7 @@ from repro.core.seeding import ensure_rng
 from repro.nn.layers import Linear, Module
 from repro.nn.losses import binary_cross_entropy_with_logits
 from repro.nn.optim import Adam
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, inference_mode
 from repro.plm.model import PretrainedLM
 
 
@@ -118,7 +118,8 @@ class RelevanceModel:
         """Entailment probabilities for aligned (document, class-name) pairs."""
         hypotheses = [self._hypothesis(n) for n in hypothesis_names]
         feats = self._features(premises, hypotheses)
-        logits = self.head(Tensor(feats)).data.reshape(-1)
+        with inference_mode():
+            logits = self.head(Tensor(feats)).data.reshape(-1)
         return 1.0 / (1.0 + np.exp(-logits))
 
     def relevance_matrix(self, premises: list, hypothesis_names: list) -> np.ndarray:
@@ -135,5 +136,6 @@ class RelevanceModel:
         p_rep = np.repeat(p, m, axis=0)
         h_rep = np.tile(h, (n, 1))
         feats = self._pair_features(p_rep, h_rep)
-        logits = self.head(Tensor(feats)).data.reshape(n, m)
+        with inference_mode():
+            logits = self.head(Tensor(feats)).data.reshape(n, m)
         return 1.0 / (1.0 + np.exp(-logits))

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.enc_cache import EncodeCache
 from repro.core.seeding import ensure_rng
 from repro.core.types import Corpus
 from repro.datasets.pretraining import general_corpus
@@ -29,13 +30,28 @@ from repro.plm.pretrainer import (
 _PLM_CACHE: dict = {}
 _ELECTRA_CACHE: dict = {}
 _NLI_CACHE: dict = {}
+_ENC_CACHE: "list[EncodeCache | None]" = []  # lazily-built singleton slot
+
+
+def shared_encode_cache() -> "EncodeCache | None":
+    """The process-wide document-encoding cache (None when disabled).
+
+    Built once from the environment (``REPRO_ENC_CACHE*``) and wired into
+    every provider-constructed :class:`PretrainedLM`, so all methods that
+    encode the same corpus through the same model share hidden states.
+    """
+    if not _ENC_CACHE:
+        _ENC_CACHE.append(EncodeCache.from_env())
+    return _ENC_CACHE[0]
 
 
 def clear_cache() -> None:
-    """Drop all cached models (tests use this for isolation)."""
+    """Drop all cached models and encodings (tests use this for isolation)."""
     _PLM_CACHE.clear()
     _ELECTRA_CACHE.clear()
     _NLI_CACHE.clear()
+    if _ENC_CACHE and _ENC_CACHE[0] is not None:
+        _ENC_CACHE[0].clear()
 
 
 def _corpus_key(corpus: "Corpus | None") -> tuple:
@@ -63,7 +79,7 @@ def get_pretrained_lm(target_corpus: "Corpus | None" = None,
     if config.init_from_svd:
         init_token_embeddings(encoder, streams, config, seed=seed)
     pretrain_mlm(encoder, streams, config, seed=rng)
-    plm = PretrainedLM(encoder)
+    plm = PretrainedLM(encoder, enc_cache=shared_encode_cache())
     _PLM_CACHE[key] = plm
     # Stash the pre-training provenance for downstream fine-tuning heads.
     plm._pretrain_corpus = pretrain  # noqa: SLF001 - internal plumbing

@@ -65,7 +65,7 @@ def test_dropout_rejects_bad_p(rng):
 
 
 def test_attention_respects_padding(rng):
-    attn = MultiHeadSelfAttention(8, 2, rng)
+    attn = MultiHeadSelfAttention(8, 2, rng, store_attention=True)
     x = Tensor(rng.normal(size=(1, 4, 8)))
     pad = np.array([[False, False, True, True]])
     attn(x, pad_mask=pad)

@@ -1,0 +1,318 @@
+"""Equivalence and unit tests for the PLM inference engine.
+
+The engine (no-grad eval, length-bucketed batching, encode cache) must be
+invisible numerically: every entry point returns the same values as the
+naive fixed-chunk, graph-recording path, including on degenerate inputs
+(empty documents, all-OOV documents, documents longer than ``max_len``,
+batches of one).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.enc_cache import EncodeCache, doc_key
+from repro.nn.functional import l2_normalize
+from repro.nn.tensor import Tensor, inference_mode, is_grad_enabled
+from repro.plm.config import PLMConfig
+from repro.plm.encoder import TransformerEncoder, pad_batch
+from repro.plm.engine import EngineConfig, plan_batches
+from repro.plm.model import PretrainedLM
+from repro.text.vocabulary import MASK, Vocabulary
+
+pytestmark = pytest.mark.engine
+
+NAIVE = EngineConfig(bucket=False, inference=False, cache=False)
+
+
+@pytest.fixture(scope="module")
+def shared_encoder():
+    rng = np.random.default_rng(7)
+    vocab = Vocabulary.build([[f"w{i}" for i in range(60)]] * 3)
+    config = PLMConfig(dim=16, n_layers=2, n_heads=2, ff_hidden=32, max_len=12)
+    return TransformerEncoder(vocab, config, rng)
+
+
+@pytest.fixture(scope="module")
+def naive_plm(shared_encoder):
+    return PretrainedLM(shared_encoder, engine_config=NAIVE)
+
+
+@pytest.fixture()
+def fast_plm(shared_encoder):
+    return PretrainedLM(shared_encoder, enc_cache=EncodeCache(),
+                        engine_config=EngineConfig())
+
+
+@pytest.fixture(scope="module")
+def mixed_docs():
+    """Mixed lengths plus every edge case the engine must survive."""
+    docs = [[f"w{(i * 7 + j) % 60}" for j in range(1 + (i * 3) % 14)]
+            for i in range(30)]
+    docs[3] = []                                 # empty document
+    docs[5] = ["zzz-oov"] * 4                    # fully out-of-vocabulary
+    docs[7] = [f"w{j % 60}" for j in range(40)]  # longer than max_len
+    return docs
+
+
+def seed_encode_tokens(plm, token_lists):
+    """The seed implementation, verbatim, as the ground truth."""
+    vocab = plm.vocabulary
+    sequences = [vocab.encode(t)[: plm.max_len] for t in token_lists]
+    out = []
+    for start in range(0, len(sequences), plm.batch_size):
+        chunk = sequences[start : start + plm.batch_size]
+        if not chunk:
+            continue
+        safe = [s if len(s) else np.array([vocab.unk_id]) for s in chunk]
+        ids, mask = pad_batch(safe, vocab.pad_id, plm.max_len)
+        hidden = plm.encoder(ids, pad_mask=mask).data
+        for row, seq in zip(hidden, safe):
+            out.append(row[: len(seq)].copy())
+    return out
+
+
+def seed_doc_embeddings(plm, token_lists, normalize=True):
+    """The seed implementation (with its double vocab.encode), verbatim."""
+    vocab = plm.vocabulary
+    encoded = seed_encode_tokens(plm, token_lists)
+    rows = []
+    for tokens, hidden in zip(token_lists, encoded):
+        ids = vocab.encode(list(tokens))[: hidden.shape[0]]
+        keep = ids != vocab.unk_id
+        rows.append(hidden[keep].mean(axis=0) if keep.any()
+                    else hidden.mean(axis=0))
+    out = np.stack(rows)
+    return l2_normalize(out) if normalize else out
+
+
+# -- inference_mode ----------------------------------------------------------
+def test_inference_mode_builds_no_graph():
+    w = Tensor(np.ones((3, 3)), requires_grad=True)
+    x = Tensor(np.arange(9.0).reshape(3, 3))
+    with inference_mode():
+        assert not is_grad_enabled()
+        out = ((x @ w).gelu() + w).sum()
+        assert not out.requires_grad
+        assert out._parents == () and out._backward is None
+    assert is_grad_enabled()
+
+
+def test_inference_mode_is_reentrant_and_restores():
+    with inference_mode():
+        with inference_mode():
+            assert not is_grad_enabled()
+        assert not is_grad_enabled()
+    assert is_grad_enabled()
+
+
+def test_inference_mode_values_match_grad_mode():
+    w = Tensor(np.linspace(-1, 1, 9).reshape(3, 3), requires_grad=True)
+    x = Tensor(np.arange(9.0).reshape(3, 3))
+    tracked = ((x @ w).tanh() * 2.0).sum(axis=0).data
+    with inference_mode():
+        untracked = ((x @ w).tanh() * 2.0).sum(axis=0).data
+    np.testing.assert_array_equal(tracked, untracked)
+
+
+def test_params_still_trainable_after_inference_mode():
+    w = Tensor(np.ones(4), requires_grad=True)
+    with inference_mode():
+        (w * 2.0).sum()
+    loss = (w * 3.0).sum()
+    loss.backward()
+    np.testing.assert_allclose(w.grad, 3.0)
+
+
+# -- batch planning ----------------------------------------------------------
+def test_plan_batches_unbucketed_is_fixed_chunks():
+    batches = plan_batches([5, 1, 3, 2, 4],
+                           EngineConfig(batch_size=2, bucket=False), 12)
+    assert [list(b) for b in batches] == [[0, 1], [2, 3], [4]]
+
+
+def test_plan_batches_sorts_by_length_and_covers_all():
+    lengths = [9, 1, 7, 2, 8, 3]
+    batches = plan_batches(lengths, EngineConfig(batch_size=2), 12)
+    flat = [i for batch in batches for i in batch]
+    assert sorted(flat) == list(range(6))
+    seen_lengths = [lengths[i] for i in flat]
+    assert seen_lengths == sorted(seen_lengths)
+
+
+def test_plan_batches_token_budget_grows_short_batches():
+    # 8 docs of length 2 with budget 12 tokens -> batches of 6 docs, not 3.
+    config = EngineConfig(batch_size=3, token_budget=12)
+    batches = plan_batches([2] * 8, config, 12)
+    assert max(len(b) for b in batches) > 3
+    for batch in batches:
+        assert len(batch) * 2 <= 12
+
+
+def test_plan_batches_empty_input():
+    assert plan_batches([], EngineConfig(), 12) == []
+
+
+# -- encode equivalence ------------------------------------------------------
+def test_encode_tokens_matches_seed_reference(naive_plm, fast_plm, mixed_docs):
+    reference = seed_encode_tokens(naive_plm, mixed_docs)
+    for plm in (naive_plm, fast_plm):
+        out = plm.encode_tokens(mixed_docs)
+        assert len(out) == len(reference)
+        for got, want in zip(out, reference):
+            assert got.shape == want.shape
+            np.testing.assert_allclose(got, want, atol=1e-9)
+
+
+def test_doc_embeddings_matches_seed_reference(naive_plm, fast_plm, mixed_docs):
+    for normalize in (True, False):
+        reference = seed_doc_embeddings(naive_plm, mixed_docs, normalize)
+        for plm in (naive_plm, fast_plm):
+            got = plm.doc_embeddings(mixed_docs, normalize=normalize)
+            np.testing.assert_allclose(got, reference, atol=1e-9)
+
+
+def test_encode_batch_of_one(naive_plm, fast_plm):
+    doc = [["w1", "w2", "w3"]]
+    np.testing.assert_allclose(naive_plm.encode_tokens(doc)[0],
+                               fast_plm.encode_tokens(doc)[0], atol=1e-9)
+    np.testing.assert_allclose(naive_plm.doc_embeddings(doc),
+                               fast_plm.doc_embeddings(doc), atol=1e-9)
+
+
+def test_encode_tokens_results_are_caller_owned(fast_plm):
+    docs = [["w1", "w2"]]
+    first = fast_plm.encode_tokens(docs)[0]
+    first[:] = 0.0  # mutate the returned array
+    second = fast_plm.encode_tokens(docs)[0]
+    assert not np.allclose(second, 0.0)  # the cache entry was not clobbered
+
+
+# -- mask logits equivalence -------------------------------------------------
+def test_mask_logits_batch_matches_naive(naive_plm, fast_plm, mixed_docs):
+    docs = [d if d else ["w1", "w2"] for d in mixed_docs]
+    positions = [min(1, len(d) - 1) for d in docs]
+    naive = naive_plm.mask_logits_batch(docs, positions)
+    fast = fast_plm.mask_logits_batch(docs, positions)
+    assert naive.dtype == np.float32 and fast.dtype == np.float32
+    np.testing.assert_allclose(naive, fast, atol=1e-6)
+
+
+def test_mask_logits_gathered_head_matches_full_projection(naive_plm):
+    """Position-gathered MLM head == full (B, T, V) projection rows."""
+    docs = [["w3", "w4", "w5", "w6"], ["w9", "w10"]]
+    positions = [2, 0]
+    got = naive_plm.mask_logits_batch(docs, positions)
+    vocab = naive_plm.vocabulary
+    sequences = naive_plm._masked_sequences(docs, positions)
+    ids, mask = pad_batch(sequences, vocab.pad_id, naive_plm.max_len)
+    hidden = naive_plm.encoder(ids, pad_mask=mask)
+    full = naive_plm.encoder.mlm_logits(hidden).data
+    want = np.stack([full[i, p] for i, p in enumerate(positions)])
+    np.testing.assert_allclose(got, want.astype(np.float32), atol=1e-6)
+
+
+def test_mask_topk_matches_full_argsort(naive_plm, fast_plm):
+    docs = [[f"w{(i + j) % 60}" for j in range(3 + i % 9)] for i in range(12)]
+    positions = [i % 3 for i in range(12)]
+    k = 7
+    logits = naive_plm.mask_logits_batch(docs, positions).astype(np.float64)
+    full_top = np.argsort(-logits, axis=1)[:, :k]
+    top = fast_plm.mask_topk_batch(docs, positions, k)
+    assert top.shape == (12, k)
+    for got, want in zip(top, full_top):
+        assert set(got.tolist()) == set(want.tolist())
+
+
+def test_fill_mask_matches_naive(naive_plm, fast_plm):
+    tokens = ["w1", "w2", MASK, "w4"]
+    naive = naive_plm.fill_mask(tokens, top_k=6)
+    fast = fast_plm.fill_mask(tokens, top_k=6)
+    assert [w for w, _ in naive] == [w for w, _ in fast]
+    np.testing.assert_allclose([p for _, p in naive], [p for _, p in fast],
+                               atol=1e-9)
+
+
+# -- encode cache ------------------------------------------------------------
+def test_cache_hits_on_reencode(shared_encoder, mixed_docs):
+    cache = EncodeCache()
+    plm = PretrainedLM(shared_encoder, enc_cache=cache)
+    first = plm.doc_embeddings(mixed_docs)
+    assert cache.hits == 0 and cache.misses == len(mixed_docs)
+    second = plm.doc_embeddings(mixed_docs)
+    np.testing.assert_array_equal(first, second)
+    assert cache.hits == len(mixed_docs)
+
+
+def test_cache_shared_across_models_with_same_weights(shared_encoder):
+    cache = EncodeCache()
+    docs = [["w1", "w2", "w3"], ["w4"]]
+    one = PretrainedLM(shared_encoder, enc_cache=cache)
+    two = PretrainedLM(shared_encoder, enc_cache=cache)
+    one.doc_embeddings(docs)
+    two.doc_embeddings(docs)
+    assert cache.hits == len(docs)  # second model reused the first's work
+
+
+def test_cache_lru_eviction_respects_budget():
+    cache = EncodeCache(max_bytes=4 * 80)  # room for ~4 tiny arrays
+    for i in range(10):
+        cache.put("ns", f"k{i}", np.full((10,), float(i)))
+    assert cache.nbytes <= 4 * 80
+    assert cache.evictions > 0
+    assert cache.get("ns", "k9") is not None  # most recent survives
+    assert cache.get("ns", "k0") is None      # oldest evicted
+
+
+def test_cache_disk_tier_roundtrip(tmp_path):
+    cache = EncodeCache(disk_dir=tmp_path)
+    value = np.arange(12.0).reshape(3, 4)
+    cache.put("ns", "doc", value)
+    fresh = EncodeCache(disk_dir=tmp_path)  # cold memory tier, warm disk
+    got = fresh.get("ns", "doc")
+    np.testing.assert_array_equal(got, value)
+    assert fresh.disk_hits == 1
+
+
+def test_cache_namespace_isolates_models(shared_encoder):
+    cache = EncodeCache()
+    cache.put("other-namespace", doc_key(np.array([1, 2, 3])), np.zeros((3, 16)))
+    plm = PretrainedLM(shared_encoder, enc_cache=cache)
+    emb = plm.doc_embeddings([["w1", "w2", "w3"]])
+    assert not np.allclose(emb, 0.0)  # foreign entry never served
+
+
+def test_duplicate_docs_encoded_once_per_call(shared_encoder):
+    cache = EncodeCache()
+    plm = PretrainedLM(shared_encoder, enc_cache=cache)
+    docs = [["w1", "w2"]] * 10 + [["w3"]] * 5
+    emb = plm.doc_embeddings(docs)
+    assert len(cache) == 2  # only the unique documents hit the encoder
+    np.testing.assert_allclose(emb[0], emb[9])
+    np.testing.assert_allclose(emb[10], emb[14])
+    single = plm.doc_embeddings([["w1", "w2"]])
+    np.testing.assert_allclose(single[0], emb[0])
+
+
+def test_engine_cache_knob_disables_lookup(shared_encoder):
+    cache = EncodeCache()
+    plm = PretrainedLM(shared_encoder, enc_cache=cache,
+                       engine_config=EngineConfig(cache=False))
+    plm.doc_embeddings([["w1", "w2"]])
+    assert len(cache) == 0 and cache.misses == 0
+
+
+# -- attention storage -------------------------------------------------------
+def test_attention_storage_defaults_off(shared_encoder, fast_plm):
+    fast_plm.encode_tokens([["w1", "w2", "w3"]])
+    assert all(m is None for m in shared_encoder.attention_maps())
+
+
+def test_encode_with_attention_still_works_and_restores(shared_encoder,
+                                                        fast_plm):
+    hidden, attention = fast_plm.encode_with_attention(["w1", "w2", "w3"])
+    assert hidden.shape == (3, fast_plm.dim)
+    assert attention.shape[-2:] == (3, 3)
+    np.testing.assert_allclose(attention.sum(axis=-1), 1.0, atol=1e-8)
+    assert all(not block.attn.store_attention
+               for block in shared_encoder.blocks)
+    assert all(m is None for m in shared_encoder.attention_maps())
