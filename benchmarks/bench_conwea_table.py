@@ -13,7 +13,8 @@ from repro.experiments import tables
 
 def test_conwea_table(benchmark):
     rows = run_once(benchmark,
-                    lambda: tables.conwea_table(seed=0, fast=not FULL))
+                    lambda: tables.conwea_table(seed=0, fast=not FULL),
+                    artifact="conwea_table")
     print()
     print(format_table(rows, title="ConWea results (coarse/fine views)"))
 

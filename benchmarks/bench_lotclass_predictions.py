@@ -12,7 +12,8 @@ from repro.experiments import tables
 
 def test_lotclass_prediction_demo(benchmark):
     rows = run_once(benchmark,
-                    lambda: tables.lotclass_prediction_rows(seed=0))
+                    lambda: tables.lotclass_prediction_rows(seed=0),
+                    artifact="lotclass_predictions")
     print()
     print(format_table(rows, title='MLM predictions for "goal" in context'))
 

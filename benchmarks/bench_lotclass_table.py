@@ -13,7 +13,8 @@ from repro.experiments import tables
 
 def test_lotclass_table(benchmark):
     rows = run_once(benchmark,
-                    lambda: tables.lotclass_table(seed=0, fast=not FULL))
+                    lambda: tables.lotclass_table(seed=0, fast=not FULL),
+                    artifact="lotclass_table")
     print()
     print(format_table(rows, title="LOTClass results (accuracy)"))
 

@@ -19,7 +19,8 @@ GRAPH_BASELINES = ("ESim", "Metapath2vec", "HIN2vec")
 
 def test_metacat_tables(benchmark):
     rows = run_once(benchmark,
-                    lambda: tables.metacat_tables(seed=0, fast=not FULL))
+                    lambda: tables.metacat_tables(seed=0, fast=not FULL),
+                    artifact="metacat_table")
     print()
     print(format_table(rows, title="MetaCat results (micro/macro F1)"))
 

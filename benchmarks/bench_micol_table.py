@@ -17,7 +17,8 @@ MICOL_ROWS = ("MICoL (Bi, P->P<-P)", "MICoL (Bi, P<-(PP)->P)",
 
 def test_micol_table(benchmark):
     rows = run_once(benchmark,
-                    lambda: tables.micol_table(seed=0, fast=not FULL))
+                    lambda: tables.micol_table(seed=0, fast=not FULL),
+                    artifact="micol_table")
     print()
     print(format_table(rows, title="MICoL results (P@k, NDCG@k)"))
 

@@ -13,7 +13,8 @@ from repro.experiments import tables
 
 def test_promptclass_table(benchmark):
     rows = run_once(benchmark,
-                    lambda: tables.promptclass_table(seed=0, fast=not FULL))
+                    lambda: tables.promptclass_table(seed=0, fast=not FULL),
+                    artifact="promptclass_table")
     print()
     print(format_table(rows, title="PromptClass results (micro/macro F1)"))
 

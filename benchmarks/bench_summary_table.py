@@ -11,7 +11,8 @@ from repro.experiments import tables
 
 
 def test_summary_table(benchmark):
-    rows = run_once(benchmark, tables.summary_table)
+    rows = run_once(benchmark, tables.summary_table,
+                    artifact="summary_table")
     print()
     print(format_table(rows, title="Method capability summary"))
 

@@ -13,7 +13,8 @@ from repro.experiments import tables
 
 def test_taxoclass_table(benchmark):
     rows = run_once(benchmark,
-                    lambda: tables.taxoclass_table(seed=0, fast=not FULL))
+                    lambda: tables.taxoclass_table(seed=0, fast=not FULL),
+                    artifact="taxoclass_table")
     print()
     print(format_table(rows, title="TaxoClass results (Example-F1, P@1)"))
 

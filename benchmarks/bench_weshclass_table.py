@@ -12,7 +12,8 @@ from repro.experiments import tables
 
 def test_weshclass_table(benchmark):
     rows = run_once(benchmark,
-                    lambda: tables.weshclass_table(seed=0, fast=not FULL))
+                    lambda: tables.weshclass_table(seed=0, fast=not FULL),
+                    artifact="weshclass_table")
     print()
     print(format_table(rows, title="WeSHClass results (macro/micro F1)"))
 

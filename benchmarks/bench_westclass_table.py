@@ -13,7 +13,8 @@ from repro.experiments import tables
 
 def test_westclass_table(benchmark):
     rows = run_once(benchmark,
-                    lambda: tables.westclass_table(seed=0, fast=not FULL))
+                    lambda: tables.westclass_table(seed=0, fast=not FULL),
+                    artifact="westclass_table")
     print()
     print(format_table(rows, title="WeSTClass results (macro/micro F1)"))
 

@@ -13,7 +13,8 @@ from repro.experiments import tables
 
 def test_xclass_dataset_table(benchmark):
     rows = run_once(benchmark,
-                    lambda: tables.xclass_dataset_table(seed=0, fast=not FULL))
+                    lambda: tables.xclass_dataset_table(seed=0, fast=not FULL),
+                    artifact="xclass_dataset_table")
     print()
     print(format_table(rows, title="X-Class dataset statistics"))
     assert all(r["n_classes"] >= 2 for r in rows)
@@ -23,7 +24,8 @@ def test_xclass_dataset_table(benchmark):
 
 def test_xclass_table(benchmark):
     rows = run_once(benchmark,
-                    lambda: tables.xclass_table(seed=0, fast=not FULL))
+                    lambda: tables.xclass_table(seed=0, fast=not FULL),
+                    artifact="xclass_table")
     print()
     print(format_table(rows, title="X-Class results (micro/macro F1)"))
 

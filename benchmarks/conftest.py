@@ -9,12 +9,19 @@ the default covers one representative dataset per table.
 """
 
 import builtins
+import json
 import os
 import sys
+import time
+from pathlib import Path
 
 import pytest
 
 FULL = os.environ.get("REPRO_BENCH_FULL") == "1"
+
+# Benches measure real compute: a warm row memo store would turn every
+# table into a cache read. Explicit REPRO_ROW_CACHE=1 re-enables it.
+os.environ.setdefault("REPRO_ROW_CACHE", "0")
 
 # The bench tables ARE the deliverable: route print() past pytest's
 # capture (including the default fd-level capture) so
@@ -46,9 +53,46 @@ def full_mode():
     return FULL
 
 
-def run_once(benchmark, fn):
-    """Time ``fn`` exactly once (tables are minutes-scale, deterministic)."""
-    return benchmark.pedantic(fn, rounds=1, iterations=1)
+def write_bench_artifact(name: str, payload: dict) -> Path:
+    """Write ``BENCH_<name>.json`` next to the benches (atomic replace).
+
+    The single writer every bench goes through, so the machine-readable
+    perf trajectory stays uniform across PRs.
+    """
+    path = Path(__file__).resolve().parent / f"BENCH_{name}.json"
+    tmp = path.with_suffix(f".{os.getpid()}.tmp")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True,
+                              default=repr) + "\n")
+    os.replace(tmp, path)
+    return path
+
+
+def run_once(benchmark, fn, artifact: "str | None" = None):
+    """Time ``fn`` exactly once (tables are minutes-scale, deterministic).
+
+    With ``artifact``, also record ``BENCH_<artifact>.json``: wall-clock
+    seconds, full/fast mode, and the returned rows when they are a list.
+    """
+    state = {}
+
+    def timed():
+        start = time.perf_counter()
+        state["result"] = fn()
+        state["seconds"] = time.perf_counter() - start
+        return state["result"]
+
+    result = benchmark.pedantic(timed, rounds=1, iterations=1)
+    if artifact is not None:
+        payload = {
+            "artifact": artifact,
+            "full": FULL,
+            "seconds": round(state["seconds"], 3),
+        }
+        if isinstance(result, list):
+            payload["n_rows"] = len(result)
+            payload["rows"] = result
+        write_bench_artifact(artifact, payload)
+    return result
 
 
 def by_method(rows, dataset_key="Dataset"):

@@ -47,10 +47,8 @@ class Doc2Vec:
         unk = self.vocabulary.unk_id
         for _ in range(self.epochs):
             for d, tokens in enumerate(token_lists):
-                ids = np.array(
-                    [self.vocabulary.id(t) for t in tokens if self.vocabulary.id(t) != unk],
-                    dtype=np.int64,
-                )
+                ids = self.vocabulary.ids(tokens)
+                ids = ids[ids != unk]
                 if ids.size == 0:
                     continue
                 negs = self.rng.choice(len(noise), size=(ids.size, self.negatives), p=noise)

@@ -50,25 +50,40 @@ class Word2Vec:
         self.context_vectors: "np.ndarray | None" = None
 
     def _pairs(self, token_lists: list) -> np.ndarray:
-        """All (center, context) id pairs with per-center random windows."""
+        """All (center, context) id pairs with per-center random windows.
+
+        Vectorized window expansion: for each document, every (center,
+        offset) cell of an (n, 2W) grid is kept iff the offset is inside
+        that center's sampled span and lands in-bounds. Offsets ascend
+        and rows flatten in center order, reproducing the pair order (and
+        RNG draw order) of the original per-token Python loop exactly.
+        """
         assert self.vocabulary is not None
         unk = self.vocabulary.unk_id
-        pairs: list[tuple[int, int]] = []
+        offsets = np.concatenate(
+            [np.arange(-self.window, 0), np.arange(1, self.window + 1)]
+        )  # ascending, 0 excluded
+        chunks: list[np.ndarray] = []
         for tokens in token_lists:
-            ids = [self.vocabulary.id(t) for t in tokens]
-            ids = [i for i in ids if i != unk]
+            ids = self.vocabulary.ids(tokens)
+            ids = ids[ids != unk]
             n = len(ids)
             if n < 2:
                 continue
             spans = self.rng.integers(1, self.window + 1, size=n)
-            for center in range(n):
-                span = int(spans[center])
-                for other in range(max(0, center - span), min(n, center + span + 1)):
-                    if other != center:
-                        pairs.append((ids[center], ids[other]))
-        if not pairs:
+            others = np.arange(n)[:, None] + offsets[None, :]  # (n, 2W)
+            keep = (
+                (np.abs(offsets)[None, :] <= spans[:, None])
+                & (others >= 0)
+                & (others < n)
+            )
+            centers, cells = np.nonzero(keep)  # row-major == original order
+            chunks.append(
+                np.stack([ids[centers], ids[others[centers, cells]]], axis=1)
+            )
+        if not chunks:
             raise VocabularyError("no training pairs (corpus too small?)")
-        return np.asarray(pairs, dtype=np.int64)
+        return np.concatenate(chunks).astype(np.int64, copy=False)
 
     def fit(self, token_lists: list, vocabulary: "Vocabulary | None" = None) -> "Word2Vec":
         """Train on tokenized documents."""

@@ -13,11 +13,15 @@ def format_table(rows: list, columns: "list | None" = None,
                  title: "str | None" = None) -> str:
     """Render dict rows as an aligned text table.
 
-    ``columns`` fixes the column order (defaults to first row's keys).
+    ``columns`` fixes the column order (defaults to first row's keys,
+    with the ``seconds`` wall-clock column always rendered last).
     """
     if not rows:
         return title or "(empty table)"
-    columns = columns or list(rows[0].keys())
+    if columns is None:
+        columns = [c for c in rows[0] if c != "seconds"]
+        if "seconds" in rows[0]:
+            columns.append("seconds")
     rendered = [[_format_cell(row.get(col, "")) for col in columns] for row in rows]
     widths = [
         max(len(str(col)), max(len(r[i]) for r in rendered))

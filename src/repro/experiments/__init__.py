@@ -1,5 +1,12 @@
 """Experiment harness: one spec per paper table/figure."""
 
+from repro.experiments.engine import (
+    RowSpec,
+    RunReport,
+    derive_row_seed,
+    run_specs,
+    take_last_report,
+)
 from repro.experiments.runner import (
     evaluate_flat,
     evaluate_multilabel,
@@ -7,4 +14,15 @@ from repro.experiments.runner import (
 )
 from repro.experiments import figures, tables
 
-__all__ = ["evaluate_flat", "evaluate_multilabel", "run_rows", "tables", "figures"]
+__all__ = [
+    "RowSpec",
+    "RunReport",
+    "derive_row_seed",
+    "evaluate_flat",
+    "evaluate_multilabel",
+    "run_rows",
+    "run_specs",
+    "take_last_report",
+    "tables",
+    "figures",
+]

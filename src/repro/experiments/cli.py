@@ -5,6 +5,7 @@ Regenerate any paper table or figure without pytest::
     python -m repro.experiments.cli --list
     python -m repro.experiments.cli westclass
     python -m repro.experiments.cli micol --full --seed 1
+    python -m repro.experiments.cli xclass --jobs 4
     python -m repro.experiments.cli pca-figure
 """
 
@@ -15,13 +16,14 @@ import sys
 import time
 
 from repro.evaluation.reporting import format_table
-from repro.experiments import figures, tables
+from repro.experiments import engine, figures, tables
 
 TABLES = {
     "westclass": (tables.westclass_table, "WeSTClass results table"),
     "conwea": (tables.conwea_table, "ConWea results table"),
     "lotclass-predictions": (
-        lambda seed=0, fast=True: tables.lotclass_prediction_rows(seed=seed),
+        lambda seed=0, fast=True, **engine_kwargs:
+            tables.lotclass_prediction_rows(seed=seed, **engine_kwargs),
         "LOTClass Table 1 (MLM replacement predictions)",
     ),
     "lotclass": (tables.lotclass_table, "LOTClass results table"),
@@ -32,7 +34,8 @@ TABLES = {
     "taxoclass": (tables.taxoclass_table, "TaxoClass results table"),
     "metacat": (tables.metacat_tables, "MetaCat results tables"),
     "micol": (tables.micol_table, "MICoL results table"),
-    "summary": (lambda seed=0, fast=True: tables.summary_table(),
+    "summary": (lambda seed=0, fast=True, **engine_kwargs:
+                tables.summary_table(),
                 "Method capability summary"),
 }
 
@@ -65,6 +68,14 @@ def main(argv: "list | None" = None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--full", action="store_true",
                         help="run every dataset of the table (slower)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for table rows "
+                             "(default: REPRO_JOBS or 1 = serial)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the row memo store for this run")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="per-row timeout in seconds (parallel runs; "
+                             "default: REPRO_ROW_TIMEOUT or none)")
     args = parser.parse_args(argv)
 
     if args.list or not args.experiment:
@@ -82,8 +93,16 @@ def main(argv: "list | None" = None) -> int:
         _run_figure(name, args.seed)
     elif name in TABLES:
         fn, description = TABLES[name]
-        rows = fn(seed=args.seed, fast=not args.full)
+        rows = fn(seed=args.seed, fast=not args.full, jobs=args.jobs,
+                  use_cache=False if args.no_cache else None,
+                  timeout=args.timeout)
         print(format_table(rows, title=description))
+        report = engine.take_last_report()
+        if report is not None:
+            print(f"\n[engine] rows={report.rows} memo_hits={report.hits} "
+                  f"computed={report.misses} errors={report.errors} "
+                  f"timeouts={report.timeouts} jobs={report.jobs} "
+                  f"{report.seconds:.1f}s")
     else:
         print(f"unknown experiment {name!r}; use --list", file=sys.stderr)
         return 2

@@ -1,0 +1,461 @@
+"""Parallel experiment engine: process-pool row fan-out + row memoization.
+
+Every paper table is a list of independent rows (method x dataset x
+supervision cells), yet the seed harness ran them strictly serially and
+recomputed every row on every regeneration. This module executes
+:class:`RowSpec` lists with three independent layers:
+
+- **Deterministic sharded seeding** — each row's method seed is derived
+  from ``(table_seed, row_name)`` by :func:`derive_row_seed`, so a row's
+  numbers depend only on its own identity, never on execution order or
+  placement. Parallel output is therefore bit-identical to serial output.
+- **Process-pool fan-out** — rows run on a ``multiprocessing`` (spawn)
+  worker pool sized by ``jobs`` / ``REPRO_JOBS``. Workers are persistent
+  (the in-process PLM/bundle caches amortize across the rows a worker
+  executes) and communicate over duplex pipes, so a hung or crashed
+  worker can be terminated and replaced without touching its siblings.
+  A per-row ``timeout`` (or ``REPRO_ROW_TIMEOUT``) turns runaway rows
+  into ``error`` rows instead of wedged tables.
+- **Spec-keyed memoization** — finished rows are stored content-addressed
+  under ``~/.cache/repro/rows`` (override: ``REPRO_ROW_CACHE_DIR``),
+  keyed by a digest of table name, row name, derived seed, fast/full
+  flag, dataset fingerprint, runner kwargs, and a digest of the ``repro``
+  source tree. Unchanged rows are cache hits on re-run; any code, seed,
+  or dataset change busts the key. Writes are atomic
+  (tmp-then-``os.replace``) and an in-memory tier fronts the disk tier.
+  Error/timeout rows are never memoized.
+
+Failures follow the existing ``error``-column convention of
+``runner.run_rows``: ``MemoryError`` renders as the papers' literal
+``"-"``; any other exception, a worker crash, or a timeout yields an
+``error`` cell while the rest of the table completes.
+
+Workers compose with the PR-1 encode cache: when the pool spawns and no
+``REPRO_ENC_CACHE_DIR`` is configured, the engine points workers at a
+shared on-disk tier next to the row store, so documents encoded by one
+worker are disk hits for every other.
+
+Env knobs: ``REPRO_JOBS`` (default worker count), ``REPRO_ROW_CACHE``
+(``0`` disables memoization), ``REPRO_ROW_CACHE_DIR`` (store location),
+``REPRO_ROW_TIMEOUT`` (default per-row timeout, seconds).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as _wait_connections
+from pathlib import Path
+
+#: Sentinel a runner may return to drop its row from the table (mirrors
+#: the seed harness skipping e.g. a theme with no matching context).
+SKIP_ROW = {"__skip__": True}
+
+_ROW_SEED_SPAN = 2**31
+_POLL_SECONDS = 0.05
+
+
+# ---------------------------------------------------------------------------
+# Specs and reports
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RowSpec:
+    """One table row: a picklable runner plus everything that keys it.
+
+    ``runner(row_seed, **kwargs)`` must be a module-level callable
+    returning the row's metric columns; closures over live PLM/bundle
+    objects are not allowed (workers rebuild those from ``kwargs``).
+    ``static`` columns (dataset/method labels) are merged in first.
+    A spec with ``runner=None`` is emitted as-is — the tables' literal
+    pre-excluded entries.
+    """
+
+    table: str
+    name: str
+    runner: "object" = None
+    kwargs: dict = field(default_factory=dict)
+    static: dict = field(default_factory=dict)
+    dataset: str = ""
+    fast: bool = True
+
+
+@dataclass
+class RunReport:
+    """What one :func:`run_specs` call did (CLI footer material)."""
+
+    rows: int = 0
+    hits: int = 0
+    misses: int = 0
+    errors: int = 0
+    timeouts: int = 0
+    jobs: int = 1
+    seconds: float = 0.0
+
+
+_LAST_REPORT: "list[RunReport]" = []
+
+
+def take_last_report() -> "RunReport | None":
+    """Pop the report of the most recent :func:`run_specs` call."""
+    return _LAST_REPORT.pop() if _LAST_REPORT else None
+
+
+# ---------------------------------------------------------------------------
+# Seeding and memo keys
+# ---------------------------------------------------------------------------
+
+def derive_row_seed(table_seed: int, row_name: str) -> int:
+    """Deterministic per-row seed from ``(table_seed, row_name)``.
+
+    Stable across processes and Python versions (blake2b, not ``hash``),
+    so a row produces identical numbers wherever and whenever it runs.
+    """
+    payload = f"{int(table_seed)}\x1f{row_name}".encode("utf-8")
+    digest = hashlib.blake2b(payload, digest_size=8).digest()
+    return int.from_bytes(digest[:4], "big") % _ROW_SEED_SPAN
+
+
+_SOURCE_VERSION: "list[str]" = []
+
+
+def source_version() -> str:
+    """Digest of the ``repro`` source tree (memo-key component).
+
+    Hashing file contents (not mtimes) keeps keys stable across
+    checkouts while busting every cached row when any source changes.
+    """
+    if _SOURCE_VERSION:
+        return _SOURCE_VERSION[0]
+    root = Path(__file__).resolve().parents[1]  # src/repro
+    h = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root).as_posix()
+        if "__pycache__" in rel:
+            continue
+        h.update(rel.encode("utf-8"))
+        h.update(b"\x00")
+        h.update(path.read_bytes())
+        h.update(b"\x00")
+    _SOURCE_VERSION.append(h.hexdigest()[:16])
+    return _SOURCE_VERSION[0]
+
+
+def memo_key(spec: RowSpec, row_seed: int) -> str:
+    """Content-address of one row's result."""
+    payload = json.dumps(
+        {
+            "table": spec.table,
+            "row": spec.name,
+            "seed": row_seed,
+            "fast": spec.fast,
+            "dataset": spec.dataset,
+            "kwargs": spec.kwargs,
+            "source": source_version(),
+        },
+        sort_keys=True,
+        default=repr,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:40]
+
+
+# ---------------------------------------------------------------------------
+# Memo store
+# ---------------------------------------------------------------------------
+
+_MEMO_MEMORY: "dict[str, dict]" = {}
+
+
+def default_cache_dir() -> Path:
+    """Row-store directory (``REPRO_ROW_CACHE_DIR`` or the XDG default)."""
+    env = os.environ.get("REPRO_ROW_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro" / "rows"
+
+
+def clear_memo_memory() -> None:
+    """Drop the in-memory tier (benches use this to force disk reads)."""
+    _MEMO_MEMORY.clear()
+
+
+class RowMemo:
+    """Two-tier (memory + JSON files) store of finished row payloads."""
+
+    def __init__(self, directory: "str | Path"):
+        self.directory = Path(directory)
+
+    def get(self, key: str) -> "dict | None":
+        payload = _MEMO_MEMORY.get(key)
+        if payload is None:
+            try:
+                raw = (self.directory / f"{key}.json").read_text()
+                payload = json.loads(raw)
+            except (OSError, ValueError):
+                return None
+            if not isinstance(payload, dict) or "metrics" not in payload:
+                return None  # corrupt entry: treat as a miss
+            _MEMO_MEMORY[key] = payload
+        # Callers mutate rows (merge static columns, significance
+        # markers); hand out a copy so tiers stay pristine.
+        return {"metrics": dict(payload["metrics"]),
+                "seconds": payload.get("seconds", 0.0)}
+
+    def put(self, key: str, payload: dict) -> None:
+        _MEMO_MEMORY[key] = {"metrics": dict(payload["metrics"]),
+                             "seconds": payload.get("seconds", 0.0)}
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            tmp = self.directory / f".{key}.{os.getpid()}.tmp"
+            tmp.write_text(json.dumps(payload, sort_keys=True))
+            os.replace(tmp, self.directory / f"{key}.json")
+        except OSError:
+            pass  # a read-only cache dir degrades to memory-only
+
+
+# ---------------------------------------------------------------------------
+# Row execution (shared by the serial path and the workers)
+# ---------------------------------------------------------------------------
+
+def _execute_row(spec: RowSpec, row_seed: int) -> tuple:
+    """Run one row; exceptions become ``error`` cells, never escapes."""
+    start = time.perf_counter()
+    try:
+        metrics = spec.runner(row_seed, **spec.kwargs)
+    except MemoryError:  # the tables' literal "-" case
+        metrics = {"error": "-"}
+    except Exception as exc:  # noqa: BLE001 - isolate row failures
+        metrics = {"error": f"{type(exc).__name__}: {exc}"}
+    return metrics, time.perf_counter() - start
+
+
+def _worker_main(conn) -> None:
+    """Worker loop: receive ``(index, spec, row_seed)``, send results."""
+    while True:
+        try:
+            task = conn.recv()
+        except (EOFError, OSError):
+            return
+        if task is None:
+            return
+        index, spec, row_seed = task
+        metrics, seconds = _execute_row(spec, row_seed)
+        try:
+            conn.send((index, metrics, seconds))
+        except (BrokenPipeError, OSError):
+            return
+
+
+class _Worker:
+    """One pool slot: a spawn process plus its duplex pipe."""
+
+    def __init__(self, ctx):
+        self.conn, child = ctx.Pipe(duplex=True)
+        self.process = ctx.Process(target=_worker_main, args=(child,),
+                                   daemon=True)
+        self.process.start()
+        child.close()
+        self.task = None  # (index, spec, row_seed) currently running
+        self.deadline = None
+
+    def assign(self, task: tuple, timeout: "float | None") -> None:
+        self.conn.send(task)
+        self.task = task
+        self.deadline = time.monotonic() + timeout if timeout else None
+
+    def stop(self, force: bool = False) -> None:
+        if not force:
+            try:
+                self.conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+            self.process.join(timeout=1.0)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=1.0)
+        self.conn.close()
+
+
+def _enc_cache_dir_for(cache_dir: Path) -> Path:
+    """Shared encode-cache disk tier next to the row store."""
+    return Path(cache_dir).parent / "enc"
+
+
+def _run_pool(tasks: list, jobs: int, timeout: "float | None",
+              cache_dir: Path, record) -> None:
+    """Fan ``tasks`` out over a spawn pool; ``record(i, metrics, s, kind)``.
+
+    Timeouts and crashes terminate only the affected worker; a fresh one
+    takes its slot and the remaining rows proceed.
+    """
+    ctx = multiprocessing.get_context("spawn")
+    pending = deque(tasks)
+    remaining = len(tasks)
+
+    # Compose with the PR-1 encode cache: point workers (which inherit
+    # the environment at spawn time) at a shared disk tier so hidden
+    # states encoded by one worker are hits for every other.
+    shared_enc = None
+    if (os.environ.get("REPRO_ENC_CACHE", "").lower() not in ("0", "off", "false")
+            and not os.environ.get("REPRO_ENC_CACHE_DIR")):
+        shared_enc = str(_enc_cache_dir_for(cache_dir))
+        os.environ["REPRO_ENC_CACHE_DIR"] = shared_enc
+
+    workers = []
+    try:
+        workers = [_Worker(ctx) for _ in range(min(jobs, remaining))]
+        while remaining:
+            for slot, worker in enumerate(workers):
+                if worker.task is None:
+                    if not pending:
+                        continue
+                    if not worker.process.is_alive():
+                        worker.stop(force=True)
+                        workers[slot] = worker = _Worker(ctx)
+                    worker.assign(pending.popleft(), timeout)
+            busy = [w for w in workers if w.task is not None]
+            ready = _wait_connections([w.conn for w in busy],
+                                      timeout=_POLL_SECONDS)
+            now = time.monotonic()
+            for slot, worker in enumerate(workers):
+                if worker.task is None:
+                    continue
+                index = worker.task[0]
+                if worker.conn in ready:
+                    try:
+                        got, metrics, seconds = worker.conn.recv()
+                    except (EOFError, OSError):
+                        record(index, {"error": "worker crashed"}, 0.0, "crash")
+                        remaining -= 1
+                        worker.stop(force=True)
+                        workers[slot] = _Worker(ctx)
+                        continue
+                    record(got, metrics, seconds, "done")
+                    remaining -= 1
+                    worker.task = None
+                    worker.deadline = None
+                elif worker.deadline is not None and now > worker.deadline:
+                    record(index,
+                           {"error": f"timeout after {timeout:g}s"},
+                           float(timeout), "timeout")
+                    remaining -= 1
+                    worker.stop(force=True)
+                    workers[slot] = _Worker(ctx)
+                elif not worker.process.is_alive():
+                    record(index, {"error": "worker crashed"}, 0.0, "crash")
+                    remaining -= 1
+                    worker.stop(force=True)
+                    workers[slot] = _Worker(ctx)
+    finally:
+        for worker in workers:
+            worker.stop()
+        if shared_enc and os.environ.get("REPRO_ENC_CACHE_DIR") == shared_enc:
+            del os.environ["REPRO_ENC_CACHE_DIR"]
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+def _resolve_jobs(jobs: "int | None") -> int:
+    if jobs is not None:
+        return max(1, int(jobs))
+    try:
+        return max(1, int(os.environ.get("REPRO_JOBS", "1")))
+    except ValueError:
+        return 1
+
+
+def _resolve_use_cache(use_cache: "bool | None") -> bool:
+    if use_cache is not None:
+        return bool(use_cache)
+    return os.environ.get("REPRO_ROW_CACHE", "").lower() not in ("0", "off",
+                                                                 "false")
+
+
+def _resolve_timeout(timeout: "float | None") -> "float | None":
+    if timeout is not None:
+        return float(timeout) if timeout > 0 else None
+    raw = os.environ.get("REPRO_ROW_TIMEOUT")
+    try:
+        return float(raw) if raw else None
+    except ValueError:
+        return None
+
+
+def run_specs(specs: list, table_seed: int = 0, *, jobs: "int | None" = None,
+              use_cache: "bool | None" = None,
+              timeout: "float | None" = None,
+              cache_dir: "str | Path | None" = None) -> list:
+    """Execute :class:`RowSpec` s into table rows (the serial-loop successor).
+
+    Row order always matches spec order. ``jobs <= 1`` runs in-process
+    (no pool, timeout not enforced); ``jobs > 1`` fans misses out over a
+    spawn pool. Every computed row gains a ``seconds`` wall-clock column.
+    """
+    start = time.perf_counter()
+    jobs = _resolve_jobs(jobs)
+    timeout = _resolve_timeout(timeout)
+    cache_dir = Path(cache_dir) if cache_dir else default_cache_dir()
+    memo = RowMemo(cache_dir) if _resolve_use_cache(use_cache) else None
+
+    report = RunReport(jobs=jobs)
+    results: "list[dict | None]" = [None] * len(specs)
+    seeds = [derive_row_seed(table_seed, spec.name) for spec in specs]
+    keys = [memo_key(spec, seed) if memo else None
+            for spec, seed in zip(specs, seeds)]
+
+    tasks = []
+    for i, spec in enumerate(specs):
+        if spec.runner is None:
+            results[i] = {"metrics": {}, "seconds": 0.0}
+            continue
+        if memo is not None:
+            hit = memo.get(keys[i])
+            if hit is not None:
+                results[i] = hit
+                report.hits += 1
+                continue
+        tasks.append((i, spec, seeds[i]))
+    report.misses = len(tasks)
+
+    def record(index: int, metrics: dict, seconds: float,
+               kind: str = "done") -> None:
+        if results[index] is not None:  # late result after timeout/crash
+            return
+        results[index] = {"metrics": metrics, "seconds": seconds}
+        if "error" in metrics:
+            report.errors += 1
+            if kind == "timeout":
+                report.timeouts += 1
+        elif memo is not None:
+            memo.put(keys[index], results[index])
+
+    if tasks:
+        if jobs <= 1:
+            for index, spec, row_seed in tasks:
+                metrics, seconds = _execute_row(spec, row_seed)
+                record(index, metrics, seconds)
+        else:
+            _run_pool(tasks, jobs, timeout, cache_dir, record)
+
+    rows = []
+    for spec, payload in zip(specs, results):
+        metrics = payload["metrics"]
+        if metrics.get("__skip__"):
+            continue
+        row = dict(spec.static)
+        row.update(metrics)
+        row["seconds"] = round(float(payload["seconds"]), 3)
+        rows.append(row)
+
+    report.rows = len(rows)
+    report.seconds = time.perf_counter() - start
+    _LAST_REPORT.clear()
+    _LAST_REPORT.append(report)
+    return rows

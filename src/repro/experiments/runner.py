@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.core.types import Corpus
@@ -52,14 +54,20 @@ def run_rows(specs: list, evaluate) -> list:
 
     ``evaluate`` maps (classifier, supervision) -> metric dict. Failures
     surface as rows with an ``error`` column rather than killing the
-    whole table (mirrors the papers' "-" entries).
+    whole table (mirrors the papers' "-" entries). Every row carries a
+    ``seconds`` wall-clock column, so tables double as a perf
+    trajectory. This is the legacy serial path; table generation goes
+    through :mod:`repro.experiments.engine`, which parallelizes and
+    memoizes the same row shape.
     """
     rows = []
     for name, factory, supervision in specs:
         row = {"Method": name}
+        start = time.perf_counter()
         try:
             row.update(evaluate(factory(), supervision))
         except MemoryError:  # the tables' literal "-" case
             row["error"] = "-"
+        row["seconds"] = round(time.perf_counter() - start, 3)
         rows.append(row)
     return rows

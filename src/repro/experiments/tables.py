@@ -2,11 +2,31 @@
 
 Every function takes ``seed`` (dataset + method seeding) and ``fast``
 (True = fewer datasets / lighter methods; the default used by the bench
-suite so a full run stays CPU-friendly). Absolute numbers are not expected
-to match the paper — the *orderings* asserted in the benches are.
+suite so a full run stays CPU-friendly), plus the engine knobs ``jobs``,
+``use_cache`` and ``timeout`` (see :mod:`repro.experiments.engine`).
+Absolute numbers are not expected to match the paper — the *orderings*
+asserted in the benches are.
+
+Tables are expressed as :class:`~repro.experiments.engine.RowSpec` lists:
+a module-level runner function plus plain-data kwargs per row, never
+closures over live PLM/bundle objects, so rows pickle cleanly into spawn
+workers and key the memo store. Runners rebuild bundles and PLMs from
+``(profile, table_seed)``; in-process caches (``load_profile`` results
+here, pre-trained models in ``repro.plm.provider``) make that free after
+the first row a process executes.
+
+Every runner receives the engine's derived per-row seed (it keys the
+memo store and is the seed for any row-local randomness a runner
+introduces), but the experiment definitions — datasets, supervision,
+and method construction — are seeded with the *table* seed, exactly as
+the serial harness always did. Each row's inputs are pure spec data
+either way, so numbers are independent of execution order, and the
+regenerated tables match the pre-engine serial output bit for bit.
 """
 
 from __future__ import annotations
+
+from functools import lru_cache
 
 import numpy as np
 
@@ -48,6 +68,7 @@ from repro.core.supervision import LabelNames as _LabelNames
 from repro.core.supervision import require as _require
 from repro.datasets import load_profile
 from repro.evaluation.metrics import macro_f1, micro_f1
+from repro.experiments.engine import SKIP_ROW, RowSpec, run_specs
 from repro.experiments.runner import (
     evaluate_flat,
     evaluate_multilabel,
@@ -77,170 +98,240 @@ def _fit_flat(classifier, bundle, supervision) -> dict:
     return evaluate_flat(classifier, bundle, supervision)
 
 
+@lru_cache(maxsize=None)
+def _bundle(profile: str, seed: int):
+    """Per-process bundle cache: rows re-derive rather than pickle bundles."""
+    return load_profile(profile, seed=seed)
+
+
+@lru_cache(maxsize=None)
+def _view(profile: str, seed: int, view: str):
+    """``view`` is ``"fine"`` (as generated) or ``"coarse"`` (level-1)."""
+    bundle = _bundle(profile, seed)
+    return coarse_view(bundle) if view == "coarse" else bundle
+
+
+def _make(entry: tuple, seed: int, **inject):
+    """Construct a method from a ``(cls, kwargs, needs)`` table entry.
+
+    ``needs`` names lazily-built dependencies (``plm``, ``tree``, ...);
+    the matching ``inject`` thunk is only called when required, so e.g.
+    a non-PLM row in a worker never pays PLM pre-training.
+    """
+    cls, kwargs, needs = entry
+    kwargs = dict(kwargs)
+    for name in needs:
+        kwargs[name] = inject[name]()
+    return cls(seed=seed, **kwargs)
+
+
+def _specs(table: str, seed: int, fast: bool, items: list) -> list:
+    """RowSpecs for ``(name, runner, kwargs, static, dataset)`` tuples."""
+    return [
+        RowSpec(table=table, name=name, runner=runner, kwargs=kwargs,
+                static=static, dataset=dataset, fast=fast)
+        for name, runner, kwargs, static, dataset in items
+    ]
+
+
 # ---------------------------------------------------------------------------
 # T-WESTCLASS
 # ---------------------------------------------------------------------------
 
-def westclass_table(seed: int = 0, fast: bool = True) -> list:
+_WESTCLASS_METHODS = {
+    "IR with tf-idf": (IRWithTfidf, {}, (), ("LABELS", "KEYWORDS", "DOCS")),
+    "Topic Model": (PLSATopicModel, {}, (), ("LABELS", "KEYWORDS")),
+    "Dataless": (Dataless, {}, (), ("LABELS",)),
+    "UNEC": (UNEC, {}, (), ("LABELS",)),
+    "PTE": (PTE, {}, (), ("DOCS",)),
+    "NoST-CNN": (WeSTClass, {"classifier": "cnn", "self_train": False}, (),
+                 ("LABELS", "KEYWORDS", "DOCS")),
+    "NoST-HAN": (WeSTClass, {"classifier": "han", "self_train": False}, (),
+                 ("LABELS", "KEYWORDS", "DOCS")),
+    "WeSTClass-HAN": (WeSTClass, {"classifier": "han"}, (),
+                      ("LABELS", "KEYWORDS", "DOCS")),
+    "WeSTClass-CNN": (WeSTClass, {"classifier": "cnn"}, (),
+                      ("LABELS", "KEYWORDS", "DOCS")),
+}
+
+
+def _westclass_row(row_seed: int, profile: str, method: str,
+                   table_seed: int) -> dict:
+    bundle = _bundle(profile, table_seed)
+    cls, kwargs, needs, supported = _WESTCLASS_METHODS[method]
+    sups = {
+        "LABELS": bundle.label_names(),
+        "KEYWORDS": bundle.keywords(),
+        "DOCS": bundle.labeled_documents(5, seed=table_seed),
+    }
+    row: dict = {}
+    for sup_name in ("LABELS", "KEYWORDS", "DOCS"):
+        if sup_name not in supported:
+            row[f"{sup_name} macro"] = "-"
+            row[f"{sup_name} micro"] = "-"
+            continue
+        metrics = _fit_flat(_make((cls, kwargs, needs), table_seed), bundle,
+                            sups[sup_name])
+        row[f"{sup_name} macro"] = metrics["macro_f1"]
+        row[f"{sup_name} micro"] = metrics["micro_f1"]
+    return row
+
+
+def westclass_table(seed: int = 0, fast: bool = True, *,
+                    jobs: "int | None" = None,
+                    use_cache: "bool | None" = None,
+                    timeout: "float | None" = None) -> list:
     """WeSTClass results table: 3 corpora x 3 supervision types."""
     datasets = ["agnews"] if fast else ["nyt_small", "agnews", "yelp"]
-    rows = []
-    for name in datasets:
-        bundle = load_profile(name, seed=seed)
-        sups = {
-            "LABELS": bundle.label_names(),
-            "KEYWORDS": bundle.keywords(),
-            "DOCS": bundle.labeled_documents(5, seed=seed),
-        }
-        methods = [
-            ("IR with tf-idf", lambda: IRWithTfidf(seed=seed),
-             ("LABELS", "KEYWORDS", "DOCS")),
-            ("Topic Model", lambda: PLSATopicModel(seed=seed),
-             ("LABELS", "KEYWORDS")),
-            ("Dataless", lambda: Dataless(seed=seed), ("LABELS",)),
-            ("UNEC", lambda: UNEC(seed=seed), ("LABELS",)),
-            ("PTE", lambda: PTE(seed=seed), ("DOCS",)),
-            ("NoST-CNN", lambda: WeSTClass(classifier="cnn", self_train=False,
-                                           seed=seed),
-             ("LABELS", "KEYWORDS", "DOCS")),
-            ("NoST-HAN", lambda: WeSTClass(classifier="han", self_train=False,
-                                           seed=seed),
-             ("LABELS", "KEYWORDS", "DOCS")),
-            ("WeSTClass-HAN", lambda: WeSTClass(classifier="han", seed=seed),
-             ("LABELS", "KEYWORDS", "DOCS")),
-            ("WeSTClass-CNN", lambda: WeSTClass(classifier="cnn", seed=seed),
-             ("LABELS", "KEYWORDS", "DOCS")),
-        ]
-        for method_name, factory, supported in methods:
-            row = {"Dataset": name, "Method": method_name}
-            for sup_name in ("LABELS", "KEYWORDS", "DOCS"):
-                if sup_name not in supported:
-                    row[f"{sup_name} macro"] = "-"
-                    row[f"{sup_name} micro"] = "-"
-                    continue
-                metrics = _fit_flat(factory(), bundle, sups[sup_name])
-                row[f"{sup_name} macro"] = metrics["macro_f1"]
-                row[f"{sup_name} micro"] = metrics["micro_f1"]
-            rows.append(row)
-    return rows
+    specs = _specs("westclass", seed, fast, [
+        (f"{name}/{method}", _westclass_row,
+         {"profile": name, "method": method, "table_seed": seed},
+         {"Dataset": name, "Method": method}, f"{name}@{seed}")
+        for name in datasets for method in _WESTCLASS_METHODS
+    ])
+    return run_specs(specs, table_seed=seed, jobs=jobs, use_cache=use_cache,
+                     timeout=timeout)
 
 
 # ---------------------------------------------------------------------------
 # T-CONWEA
 # ---------------------------------------------------------------------------
 
-def conwea_table(seed: int = 0, fast: bool = True) -> list:
+_CONWEA_METHODS = {
+    "IR-TF-IDF": (IRWithTfidf, {}, ()),
+    "Dataless": (Dataless, {}, ()),
+    "Word2Vec": (Word2VecMatch, {}, ()),
+    "Doc2Cube": (Doc2Cube, {}, ()),
+    "WeSTClass": (WeSTClass, {}, ()),
+    "ConWea": (ConWea, {}, ("plm",)),
+    "ConWea-NoCon": (ConWea, {"contextualize": False}, ("plm",)),
+    "ConWea-NoExpan": (ConWea, {"expand": False}, ("plm",)),
+    "ConWea-WSD": (ConWea, {"wsd_mode": True}, ("plm",)),
+    "HAN-Supervised": (SupervisedHAN, {}, ()),
+}
+
+
+def _conwea_row(row_seed: int, profile: str, view: str, method: str,
+                table_seed: int) -> dict:
+    bundle = _view(profile, table_seed, view)
+    # One PLM per corpus (fine and coarse views share the text).
+    classifier = _make(_CONWEA_METHODS[method], table_seed,
+                       plm=lambda: _plm(_bundle(profile, table_seed),
+                                        table_seed))
+    supervision = (
+        bundle.label_names() if method == "Dataless" else bundle.keywords()
+    )
+    metrics = _fit_flat(classifier, bundle, supervision)
+    return {"Micro-F1": metrics["micro_f1"], "Macro-F1": metrics["macro_f1"]}
+
+
+def conwea_table(seed: int = 0, fast: bool = True, *,
+                 jobs: "int | None" = None,
+                 use_cache: "bool | None" = None,
+                 timeout: "float | None" = None) -> list:
     """ConWea results: coarse/fine views of two tree corpora + ablations."""
     profiles = ["nyt_fine"] if fast else ["nyt_fine", "twenty_news"]
-    rows = []
+    items = []
     for name in profiles:
-        fine = load_profile(name, seed=seed)
-        # One PLM per corpus (fine and coarse views share the text).
-        plm = _plm(fine, seed)
-        views = [(f"{name}-coarse", coarse_view(fine)), (f"{name}-fine", fine)]
-        for view_name, bundle in views:
-            keywords = bundle.keywords()
-            methods = [
-                ("IR-TF-IDF", lambda: IRWithTfidf(seed=seed)),
-                ("Dataless", lambda: Dataless(seed=seed)),
-                ("Word2Vec", lambda: Word2VecMatch(seed=seed)),
-                ("Doc2Cube", lambda: Doc2Cube(seed=seed)),
-                ("WeSTClass", lambda: WeSTClass(seed=seed)),
-                ("ConWea", lambda: ConWea(plm=plm, seed=seed)),
-                ("ConWea-NoCon", lambda: ConWea(plm=plm, contextualize=False,
-                                                seed=seed)),
-                ("ConWea-NoExpan", lambda: ConWea(plm=plm, expand=False,
-                                                  seed=seed)),
-                ("ConWea-WSD", lambda: ConWea(plm=plm, wsd_mode=True, seed=seed)),
-                ("HAN-Supervised", lambda: SupervisedHAN(seed=seed)),
-            ]
-            for method_name, factory in methods:
-                supervision = (
-                    bundle.label_names() if method_name == "Dataless" else keywords
-                )
-                metrics = _fit_flat(factory(), bundle, supervision)
-                rows.append(
-                    {
-                        "View": view_name,
-                        "Method": method_name,
-                        "Micro-F1": metrics["micro_f1"],
-                        "Macro-F1": metrics["macro_f1"],
-                    }
-                )
-    return rows
+        for view in ("coarse", "fine"):
+            for method in _CONWEA_METHODS:
+                items.append((
+                    f"{name}-{view}/{method}", _conwea_row,
+                    {"profile": name, "view": view, "method": method,
+                     "table_seed": seed},
+                    {"View": f"{name}-{view}", "Method": method},
+                    f"{name}@{seed}",
+                ))
+    return run_specs(_specs("conwea", seed, fast, items), table_seed=seed,
+                     jobs=jobs, use_cache=use_cache, timeout=timeout)
 
 
 # ---------------------------------------------------------------------------
 # T-LOTCLASS-1 (the MLM replacement-prediction demonstration)
 # ---------------------------------------------------------------------------
 
+def _lotclass_prediction_row(row_seed: int, theme: str, word: str,
+                             table_seed: int) -> dict:
+    bundle = _bundle("agnews", table_seed)
+    plm = _plm(bundle, table_seed)
+    context = None
+    for doc in bundle.train_corpus:
+        if doc.labels[0] == theme and word in doc.tokens[:24]:
+            context = doc.tokens[:28]
+            break
+    if context is None:
+        return dict(SKIP_ROW)
+    position = context.index(word)
+    predictions = [w for w, _ in plm.predict_masked(context, position,
+                                                    top_k=10)]
+    return {
+        "Context topic": theme,
+        "Sentence (prefix)": " ".join(context[:12]) + " ...",
+        "Predictions": ", ".join(predictions),
+    }
+
+
 def lotclass_prediction_rows(seed: int = 0, word: str = "goal",
-                             themes: tuple = ("sports", "business")) -> list:
+                             themes: tuple = ("sports", "business"), *,
+                             jobs: "int | None" = None,
+                             use_cache: "bool | None" = None,
+                             timeout: "float | None" = None) -> list:
     """Paper Table 1 analog: MLM predictions for one surface form in two
     different topical contexts."""
-    bundle = load_profile("agnews", seed=seed)
-    plm = _plm(bundle, seed)
-    rows = []
-    for theme in themes:
-        context = None
-        for doc in bundle.train_corpus:
-            if doc.labels[0] == theme and word in doc.tokens[:24]:
-                context = doc.tokens[:28]
-                break
-        if context is None:
-            continue
-        position = context.index(word)
-        predictions = [w for w, _ in plm.predict_masked(context, position,
-                                                        top_k=10)]
-        rows.append(
-            {
-                "Context topic": theme,
-                "Sentence (prefix)": " ".join(context[:12]) + " ...",
-                "Predictions": ", ".join(predictions),
-            }
-        )
-    return rows
+    specs = _specs("lotclass-predictions", seed, True, [
+        (f"agnews/{theme}/{word}", _lotclass_prediction_row,
+         {"theme": theme, "word": word, "table_seed": seed},
+         {}, f"agnews@{seed}")
+        for theme in themes
+    ])
+    return run_specs(specs, table_seed=seed, jobs=jobs, use_cache=use_cache,
+                     timeout=timeout)
 
 
 # ---------------------------------------------------------------------------
 # T-LOTCLASS-2
 # ---------------------------------------------------------------------------
 
-def lotclass_table(seed: int = 0, fast: bool = True) -> list:
+_LOTCLASS_METHODS = {
+    "Dataless": (Dataless, {}, (), "names"),
+    "WeSTClass": (WeSTClass, {}, (), "names"),
+    "BERT w. simple match": (BertSimpleMatch, {}, ("plm",), "names"),
+    "Ours w/o. self train": (LOTClass, {"self_train": False}, ("plm",),
+                             "names"),
+    "Ours": (LOTClass, {}, ("plm",), "names"),
+    "UDA (semi-sup.)": (UDASemiSupervised, {}, ("plm",), "docs"),
+    "char-CNN (supervised)": (SupervisedCharCNN, {"epochs": 6}, (), "names"),
+    "BERT (supervised)": (SupervisedBERT, {}, ("plm",), "names"),
+}
+
+
+def _lotclass_row(row_seed: int, profile: str, method: str,
+                  table_seed: int) -> dict:
+    bundle = _bundle(profile, table_seed)
+    cls, kwargs, needs, sup_kind = _LOTCLASS_METHODS[method]
+    classifier = _make((cls, kwargs, needs), table_seed,
+                       plm=lambda: _plm(bundle, table_seed))
+    supervision = (bundle.label_names() if sup_kind == "names"
+                   else bundle.labeled_documents(8, seed=table_seed))
+    metrics = _fit_flat(classifier, bundle, supervision)
+    return {"Accuracy": metrics["micro_f1"]}
+
+
+def lotclass_table(seed: int = 0, fast: bool = True, *,
+                   jobs: "int | None" = None,
+                   use_cache: "bool | None" = None,
+                   timeout: "float | None" = None) -> list:
     """LOTClass results table (accuracy, label names only)."""
     datasets = ["agnews"] if fast else ["agnews", "dbpedia", "imdb",
-                                        "amazon_polarity"]
-    rows = []
-    for name in datasets:
-        bundle = load_profile(name, seed=seed)
-        plm = _plm(bundle, seed)
-        names = bundle.label_names()
-        docs = bundle.labeled_documents(8, seed=seed)
-        methods = [
-            ("Dataless", lambda: Dataless(seed=seed), names),
-            ("WeSTClass", lambda: WeSTClass(seed=seed), names),
-            ("BERT w. simple match", lambda: BertSimpleMatch(plm=plm, seed=seed),
-             names),
-            ("Ours w/o. self train",
-             lambda: LOTClass(plm=plm, self_train=False, seed=seed), names),
-            ("Ours", lambda: LOTClass(plm=plm, seed=seed), names),
-            ("UDA (semi-sup.)",
-             lambda: UDASemiSupervised(plm=plm, seed=seed), docs),
-            ("char-CNN (supervised)",
-             lambda: SupervisedCharCNN(epochs=6, seed=seed), names),
-            ("BERT (supervised)", lambda: SupervisedBERT(plm=plm, seed=seed),
-             names),
-        ]
-        for method_name, factory, supervision in methods:
-            metrics = _fit_flat(factory(), bundle, supervision)
-            rows.append(
-                {
-                    "Dataset": name,
-                    "Method": method_name,
-                    "Accuracy": metrics["micro_f1"],
-                }
-            )
-    return rows
+                                       "amazon_polarity"]
+    specs = _specs("lotclass", seed, fast, [
+        (f"{name}/{method}", _lotclass_row,
+         {"profile": name, "method": method, "table_seed": seed},
+         {"Dataset": name, "Method": method}, f"{name}@{seed}")
+        for name in datasets for method in _LOTCLASS_METHODS
+    ])
+    return run_specs(specs, table_seed=seed, jobs=jobs, use_cache=use_cache,
+                     timeout=timeout)
 
 
 # ---------------------------------------------------------------------------
@@ -252,158 +343,206 @@ XCLASS_PROFILES_FULL = ["agnews", "twenty_news", "nyt_small", "nyt_topic",
                         "nyt_location", "yelp", "dbpedia"]
 
 
+@lru_cache(maxsize=None)
 def _xclass_bundle(name: str, seed: int):
-    bundle = load_profile(name, seed=seed)
+    bundle = _bundle(name, seed)
     if bundle.tree is not None:
         bundle = coarse_view(bundle)
     return bundle
 
 
-def xclass_dataset_table(seed: int = 0, fast: bool = True) -> list:
+def _xclass_stats_row(row_seed: int, profile: str, table_seed: int) -> dict:
+    return _xclass_bundle(profile, table_seed).stats()
+
+
+def xclass_dataset_table(seed: int = 0, fast: bool = True, *,
+                         jobs: "int | None" = None,
+                         use_cache: "bool | None" = None,
+                         timeout: "float | None" = None) -> list:
     """X-Class dataset-statistics table."""
     names = XCLASS_PROFILES_FAST if fast else XCLASS_PROFILES_FULL
-    return [_xclass_bundle(name, seed).stats() for name in names]
+    specs = _specs("xclass-data", seed, fast, [
+        (f"{name}/stats", _xclass_stats_row,
+         {"profile": name, "table_seed": seed}, {}, f"{name}@{seed}")
+        for name in names
+    ])
+    return run_specs(specs, table_seed=seed, jobs=jobs, use_cache=use_cache,
+                     timeout=timeout)
 
 
-def xclass_table(seed: int = 0, fast: bool = True) -> list:
+_XCLASS_METHODS = {
+    "Supervised": (SupervisedBERT, {}, ("plm",)),
+    "WeSTClass": (WeSTClass, {}, ()),
+    "ConWea": (ConWea, {}, ("plm",)),
+    "LOTClass": (LOTClass, {}, ("plm",)),
+    "X-Class": (XClass, {}, ("plm",)),
+    "X-Class-Rep": (XClass, {"variant": "rep"}, ("plm",)),
+    "X-Class-Align": (XClass, {"variant": "align"}, ("plm",)),
+}
+
+
+def _xclass_row(row_seed: int, profile: str, method: str,
+                table_seed: int) -> dict:
+    bundle = _xclass_bundle(profile, table_seed)
+    classifier = _make(_XCLASS_METHODS[method], table_seed,
+                       plm=lambda: _plm(bundle, table_seed))
+    supervision = (
+        bundle.keywords() if method == "ConWea" else bundle.label_names()
+    )
+    metrics = _fit_flat(classifier, bundle, supervision)
+    return {"Micro-F1": metrics["micro_f1"], "Macro-F1": metrics["macro_f1"]}
+
+
+def xclass_table(seed: int = 0, fast: bool = True, *,
+                 jobs: "int | None" = None,
+                 use_cache: "bool | None" = None,
+                 timeout: "float | None" = None) -> list:
     """X-Class results table (micro/macro F1, label names only)."""
     names = XCLASS_PROFILES_FAST if fast else XCLASS_PROFILES_FULL
-    rows = []
-    for name in names:
-        bundle = _xclass_bundle(name, seed)
-        plm = _plm(bundle, seed)
-        label_names = bundle.label_names()
-        methods = [
-            ("Supervised", lambda: SupervisedBERT(plm=plm, seed=seed)),
-            ("WeSTClass", lambda: WeSTClass(seed=seed)),
-            ("ConWea", lambda: ConWea(plm=plm, seed=seed)),
-            ("LOTClass", lambda: LOTClass(plm=plm, seed=seed)),
-            ("X-Class", lambda: XClass(plm=plm, seed=seed)),
-            ("X-Class-Rep", lambda: XClass(plm=plm, variant="rep", seed=seed)),
-            ("X-Class-Align", lambda: XClass(plm=plm, variant="align", seed=seed)),
-        ]
-        for method_name, factory in methods:
-            supervision = (
-                bundle.keywords() if method_name == "ConWea" else label_names
-            )
-            metrics = _fit_flat(factory(), bundle, supervision)
-            rows.append(
-                {
-                    "Dataset": name,
-                    "Method": method_name,
-                    "Micro-F1": metrics["micro_f1"],
-                    "Macro-F1": metrics["macro_f1"],
-                }
-            )
-    return rows
+    specs = _specs("xclass", seed, fast, [
+        (f"{name}/{method}", _xclass_row,
+         {"profile": name, "method": method, "table_seed": seed},
+         {"Dataset": name, "Method": method}, f"{name}@{seed}")
+        for name in names for method in _XCLASS_METHODS
+    ])
+    return run_specs(specs, table_seed=seed, jobs=jobs, use_cache=use_cache,
+                     timeout=timeout)
 
 
 # ---------------------------------------------------------------------------
 # T-PROMPT
 # ---------------------------------------------------------------------------
 
-def promptclass_table(seed: int = 0, fast: bool = True) -> list:
+_PROMPTCLASS_METHODS = {
+    "WeSTClass": (WeSTClass, {}, (), "names"),
+    "ConWea": (ConWea, {}, ("plm",), "keywords"),
+    "LOTClass": (LOTClass, {}, ("plm",), "names"),
+    "XClass": (XClass, {}, ("plm",), "names"),
+    "ClassKG": (ClassKG, {}, (), "keywords"),
+    "RoBERTa (0-shot)": (PromptClass, {"prompt_backend": "mlm",
+                                       "zero_shot_only": True},
+                         ("plm",), "names"),
+    "ELECTRA (0-shot)": (PromptClass, {"prompt_backend": "electra",
+                                       "zero_shot_only": True},
+                         ("plm",), "names"),
+    "PromptClass ELECTRA+BERT": (PromptClass, {"prompt_backend": "electra",
+                                               "head_backend": "bert"},
+                                 ("plm",), "names"),
+    "PromptClass RoBERTa+RoBERTa": (PromptClass, {"prompt_backend": "mlm",
+                                                  "head_backend": "roberta"},
+                                    ("plm",), "names"),
+    "PromptClass ELECTRA+ELECTRA": (PromptClass,
+                                    {"prompt_backend": "electra",
+                                     "head_backend": "electra", "blend": 0.4},
+                                    ("plm",), "names"),
+    "Fully Supervised": (SupervisedBERT, {}, ("plm",), "names"),
+}
+
+
+@lru_cache(maxsize=None)
+def _coarse_if_tree(profile: str, seed: int):
+    bundle = _bundle(profile, seed)
+    if bundle.tree is not None:
+        bundle = coarse_view(bundle)
+    return bundle
+
+
+def _promptclass_row(row_seed: int, profile: str, method: str,
+                     table_seed: int) -> dict:
+    bundle = _coarse_if_tree(profile, table_seed)
+    cls, kwargs, needs, sup_kind = _PROMPTCLASS_METHODS[method]
+    classifier = _make((cls, kwargs, needs), table_seed,
+                       plm=lambda: _plm(bundle, table_seed))
+    supervision = (bundle.keywords() if sup_kind == "keywords"
+                   else bundle.label_names())
+    metrics = _fit_flat(classifier, bundle, supervision)
+    return {"Micro-F1": metrics["micro_f1"], "Macro-F1": metrics["macro_f1"]}
+
+
+def promptclass_table(seed: int = 0, fast: bool = True, *,
+                      jobs: "int | None" = None,
+                      use_cache: "bool | None" = None,
+                      timeout: "float | None" = None) -> list:
     """PromptClass results table (micro/macro F1, label names only)."""
-    datasets = ["agnews"] if fast else ["agnews", "twenty_news", "yelp", "imdb"]
-    rows = []
-    for name in datasets:
-        bundle = load_profile(name, seed=seed)
-        if bundle.tree is not None:
-            bundle = coarse_view(bundle)
-        plm = _plm(bundle, seed)
-        names = bundle.label_names()
-        methods = [
-            ("WeSTClass", lambda: WeSTClass(seed=seed), names),
-            ("ConWea", lambda: ConWea(plm=plm, seed=seed), bundle.keywords()),
-            ("LOTClass", lambda: LOTClass(plm=plm, seed=seed), names),
-            ("XClass", lambda: XClass(plm=plm, seed=seed), names),
-            ("ClassKG", lambda: ClassKG(seed=seed), bundle.keywords()),
-            ("RoBERTa (0-shot)",
-             lambda: PromptClass(plm=plm, prompt_backend="mlm",
-                                 zero_shot_only=True, seed=seed), names),
-            ("ELECTRA (0-shot)",
-             lambda: PromptClass(plm=plm, prompt_backend="electra",
-                                 zero_shot_only=True, seed=seed), names),
-            ("PromptClass ELECTRA+BERT",
-             lambda: PromptClass(plm=plm, prompt_backend="electra",
-                                 head_backend="bert", seed=seed), names),
-            ("PromptClass RoBERTa+RoBERTa",
-             lambda: PromptClass(plm=plm, prompt_backend="mlm",
-                                 head_backend="roberta", seed=seed), names),
-            ("PromptClass ELECTRA+ELECTRA",
-             lambda: PromptClass(plm=plm, prompt_backend="electra",
-                                 head_backend="electra", blend=0.4, seed=seed),
-             names),
-            ("Fully Supervised", lambda: SupervisedBERT(plm=plm, seed=seed),
-             names),
-        ]
-        for method_name, factory, supervision in methods:
-            metrics = _fit_flat(factory(), bundle, supervision)
-            rows.append(
-                {
-                    "Dataset": name,
-                    "Method": method_name,
-                    "Micro-F1": metrics["micro_f1"],
-                    "Macro-F1": metrics["macro_f1"],
-                }
-            )
-    return rows
+    datasets = ["agnews"] if fast else ["agnews", "twenty_news", "yelp",
+                                       "imdb"]
+    specs = _specs("promptclass", seed, fast, [
+        (f"{name}/{method}", _promptclass_row,
+         {"profile": name, "method": method, "table_seed": seed},
+         {"Dataset": name, "Method": method}, f"{name}@{seed}")
+        for name in datasets for method in _PROMPTCLASS_METHODS
+    ])
+    return run_specs(specs, table_seed=seed, jobs=jobs, use_cache=use_cache,
+                     timeout=timeout)
 
 
 # ---------------------------------------------------------------------------
 # T-WESHCLASS
 # ---------------------------------------------------------------------------
 
-def weshclass_table(seed: int = 0, fast: bool = True) -> list:
+_WESHCLASS_METHODS = {
+    "Hier-Dataless": (HierDataless, {}, ("tree", "concept_themes"),
+                      ("KEYWORDS",)),
+    "Hier-SVM": (HierSVM, {}, ("tree",), ("DOCS",)),
+    "CNN": (WeSTClass, {"self_train": False}, (), ("KEYWORDS", "DOCS")),
+    "WeSTClass": (WeSTClass, {}, (), ("KEYWORDS", "DOCS")),
+    "No-global": (WeSHClass, {"use_global": False}, ("tree",),
+                  ("KEYWORDS", "DOCS")),
+    "No-vMF": (WeSHClass, {"use_vmf": False}, ("tree",),
+               ("KEYWORDS", "DOCS")),
+    "No-self-train": (WeSHClass, {"self_train": False}, ("tree",),
+                      ("KEYWORDS", "DOCS")),
+    "WeSHClass": (WeSHClass, {}, ("tree",), ("KEYWORDS", "DOCS")),
+}
+
+
+def _weshclass_row(row_seed: int, profile: str, method: str,
+                   table_seed: int) -> dict:
+    bundle = _bundle(profile, table_seed)
+    tree = bundle.tree
+    assert tree is not None
+    cls, kwargs, needs, supported = _WESHCLASS_METHODS[method]
+    sups = {
+        "KEYWORDS": bundle.keywords(),
+        "DOCS": bundle.labeled_documents(3, seed=table_seed),
+    }
+    row: dict = {}
+    for sup_name in ("KEYWORDS", "DOCS"):
+        if sup_name not in supported:
+            row[f"{sup_name} macro"] = "-"
+            row[f"{sup_name} micro"] = "-"
+            continue
+        classifier = _make(
+            (cls, kwargs, needs), table_seed, tree=lambda: tree,
+            concept_themes=lambda: tuple(c.theme
+                                         for c in bundle.profile.classes),
+        )
+        # Hier-Dataless consumes label names; map accordingly.
+        supervision = (
+            bundle.label_names() if method == "Hier-Dataless"
+            else sups[sup_name]
+        )
+        metrics = _fit_flat(classifier, bundle, supervision)
+        row[f"{sup_name} macro"] = metrics["macro_f1"]
+        row[f"{sup_name} micro"] = metrics["micro_f1"]
+    return row
+
+
+def weshclass_table(seed: int = 0, fast: bool = True, *,
+                    jobs: "int | None" = None,
+                    use_cache: "bool | None" = None,
+                    timeout: "float | None" = None) -> list:
     """WeSHClass results table: trees x {KEYWORDS, DOCS} + ablations."""
     profiles = ["arxiv_tree"] if fast else ["nyt_fine", "arxiv_tree",
                                             "yelp_tree"]
-    rows = []
-    for name in profiles:
-        bundle = load_profile(name, seed=seed)
-        tree = bundle.tree
-        assert tree is not None
-        concept_themes = tuple(c.theme for c in bundle.profile.classes)
-        sups = {
-            "KEYWORDS": bundle.keywords(),
-            "DOCS": bundle.labeled_documents(3, seed=seed),
-        }
-        methods = [
-            ("Hier-Dataless",
-             lambda: HierDataless(tree=tree, concept_themes=concept_themes,
-                                  seed=seed), ("KEYWORDS",)),
-            ("Hier-SVM", lambda: HierSVM(tree=tree, seed=seed), ("DOCS",)),
-            ("CNN", lambda: WeSTClass(self_train=False, seed=seed),
-             ("KEYWORDS", "DOCS")),
-            ("WeSTClass", lambda: WeSTClass(seed=seed), ("KEYWORDS", "DOCS")),
-            ("No-global", lambda: WeSHClass(tree=tree, use_global=False,
-                                            seed=seed), ("KEYWORDS", "DOCS")),
-            ("No-vMF", lambda: WeSHClass(tree=tree, use_vmf=False, seed=seed),
-             ("KEYWORDS", "DOCS")),
-            ("No-self-train", lambda: WeSHClass(tree=tree, self_train=False,
-                                                seed=seed),
-             ("KEYWORDS", "DOCS")),
-            ("WeSHClass", lambda: WeSHClass(tree=tree, seed=seed),
-             ("KEYWORDS", "DOCS")),
-        ]
-        for method_name, factory, supported in methods:
-            row = {"Dataset": name, "Method": method_name}
-            for sup_name in ("KEYWORDS", "DOCS"):
-                if sup_name not in supported:
-                    row[f"{sup_name} macro"] = "-"
-                    row[f"{sup_name} micro"] = "-"
-                    continue
-                # Hier-Dataless consumes label names; map accordingly.
-                supervision = (
-                    bundle.label_names()
-                    if method_name == "Hier-Dataless"
-                    else sups[sup_name]
-                )
-                metrics = _fit_flat(factory(), bundle, supervision)
-                row[f"{sup_name} macro"] = metrics["macro_f1"]
-                row[f"{sup_name} micro"] = metrics["micro_f1"]
-            rows.append(row)
-    return rows
+    specs = _specs("weshclass", seed, fast, [
+        (f"{name}/{method}", _weshclass_row,
+         {"profile": name, "method": method, "table_seed": seed},
+         {"Dataset": name, "Method": method}, f"{name}@{seed}")
+        for name in profiles for method in _WESHCLASS_METHODS
+    ])
+    return run_specs(specs, table_seed=seed, jobs=jobs, use_cache=use_cache,
+                     timeout=timeout)
 
 
 # ---------------------------------------------------------------------------
@@ -445,198 +584,264 @@ class _PathAsSet:
         return rankings
 
 
-def taxoclass_table(seed: int = 0, fast: bool = True) -> list:
+def _taxoclass_leaf_supervision(bundle):
+    """Leaf-label view for the single-path semi-supervised baselines.
+
+    Only a minority of classes get labeled documents: with 10^4-10^5
+    category taxonomies, labeling every class is exactly what the
+    TaxoClass setting rules out.
+    """
+    from repro.core.supervision import LabeledDocuments
+    from repro.core.types import LabelSet
+
+    leaf_docs: "dict[str, list]" = {}
+    for doc in bundle.train_corpus:
+        core = doc.metadata.get("core_labels", list(doc.labels))
+        leaf_docs.setdefault(core[0], []).append(doc)
+    covered = sorted(leaf_docs)[: max(2, int(len(leaf_docs) * 0.4))]
+    few = {label: leaf_docs[label][:3] for label in covered}
+    leaf_label_set = LabelSet(
+        labels=tuple(sorted(few)),
+        names={l: bundle.label_set.names.get(l, l) for l in few},
+    )
+    return LabeledDocuments(label_set=leaf_label_set, documents=few)
+
+
+def _taxoclass_row(row_seed: int, profile: str, method: str,
+                   table_seed: int) -> dict:
+    bundle = _bundle(profile, table_seed)
+    dag = bundle.dag
+    assert dag is not None
+    if method == "WeSHClass":
+        classifier = _PathAsSet(WeSHClass(tree=dag_as_tree(dag),
+                                          seed=table_seed), dag)
+        supervision = _taxoclass_leaf_supervision(bundle)
+    elif method == "SS-PCEM":
+        classifier = _PathAsSet(PCEM(seed=table_seed), dag)
+        supervision = _taxoclass_leaf_supervision(bundle)
+    elif method == "Semi-BERT":
+        classifier = SemiBERT(plm=_plm(bundle, table_seed), fraction=0.3,
+                              seed=table_seed)
+        supervision = bundle.label_names()
+    elif method == "Hier-0Shot-TC":
+        classifier = HierZeroShotTC(dag=dag, plm=_plm(bundle, table_seed),
+                                    seed=table_seed)
+        supervision = bundle.label_names()
+    else:  # TaxoClass
+        classifier = TaxoClass(dag=dag, plm=_plm(bundle, table_seed),
+                               seed=table_seed)
+        supervision = bundle.label_names()
+    metrics = evaluate_multilabel(classifier, bundle, supervision, ks=(1,))
+    return {"Example-F1": metrics["example_f1"], "P@1": metrics["p@1"]}
+
+
+_TAXOCLASS_METHODS = ("WeSHClass", "SS-PCEM", "Semi-BERT", "Hier-0Shot-TC",
+                      "TaxoClass")
+
+
+def taxoclass_table(seed: int = 0, fast: bool = True, *,
+                    jobs: "int | None" = None,
+                    use_cache: "bool | None" = None,
+                    timeout: "float | None" = None) -> list:
     """TaxoClass results table (Example-F1, P@1) on DAG profiles."""
     profiles = ["amazon_dag"] if fast else ["amazon_dag", "dbpedia_dag"]
-    rows = []
-    for name in profiles:
-        bundle = load_profile(name, seed=seed)
-        dag = bundle.dag
-        assert dag is not None
-        plm = _plm(bundle, seed)
-        tree = dag_as_tree(dag)
-        from repro.core.supervision import LabeledDocuments
-        from repro.core.types import LabelSet
-
-        # Leaf-label view for the single-path semi-supervised baselines.
-        # Only a minority of classes get labeled documents: with 10^4-10^5
-        # category taxonomies, labeling every class is exactly what the
-        # TaxoClass setting rules out.
-        leaf_docs: dict[str, list] = {}
-        for doc in bundle.train_corpus:
-            core = doc.metadata.get("core_labels", list(doc.labels))
-            leaf_docs.setdefault(core[0], []).append(doc)
-        covered = sorted(leaf_docs)[: max(2, int(len(leaf_docs) * 0.4))]
-        few = {label: leaf_docs[label][:3] for label in covered}
-        leaf_label_set = LabelSet(
-            labels=tuple(sorted(few)),
-            names={l: bundle.label_set.names.get(l, l) for l in few},
-        )
-        leaf_sup = LabeledDocuments(label_set=leaf_label_set, documents=few)
-
-        methods = [
-            ("WeSHClass",
-             lambda: _PathAsSet(WeSHClass(tree=tree, seed=seed), dag), leaf_sup),
-            ("SS-PCEM", lambda: _PathAsSet(PCEM(seed=seed), dag), leaf_sup),
-            ("Semi-BERT", lambda: SemiBERT(plm=plm, fraction=0.3, seed=seed),
-             bundle.label_names()),
-            ("Hier-0Shot-TC", lambda: HierZeroShotTC(dag=dag, plm=plm,
-                                                     seed=seed),
-             bundle.label_names()),
-            ("TaxoClass", lambda: TaxoClass(dag=dag, plm=plm, seed=seed),
-             bundle.label_names()),
-        ]
-        for method_name, factory, supervision in methods:
-            metrics = evaluate_multilabel(factory(), bundle, supervision,
-                                          ks=(1,))
-            rows.append(
-                {
-                    "Dataset": name,
-                    "Method": method_name,
-                    "Example-F1": metrics["example_f1"],
-                    "P@1": metrics["p@1"],
-                }
-            )
-    return rows
+    specs = _specs("taxoclass", seed, fast, [
+        (f"{name}/{method}", _taxoclass_row,
+         {"profile": name, "method": method, "table_seed": seed},
+         {"Dataset": name, "Method": method}, f"{name}@{seed}")
+        for name in profiles for method in _TAXOCLASS_METHODS
+    ])
+    return run_specs(specs, table_seed=seed, jobs=jobs, use_cache=use_cache,
+                     timeout=timeout)
 
 
 # ---------------------------------------------------------------------------
 # T-METACAT
 # ---------------------------------------------------------------------------
 
-def metacat_tables(seed: int = 0, fast: bool = True) -> list:
+_METACAT_METHODS = {
+    "CNN": (FewShotCNN, {}, ()),
+    "HAN": (FewShotHAN, {}, ()),
+    "PTE": (PTE, {}, ()),
+    "WeSTClass": (WeSTClass, {}, ()),
+    "PCEM": (PCEM, {}, ()),
+    "BERT": (FewShotBERT, {}, ("plm",)),
+    "ESim": (ESim, {}, ()),
+    "Metapath2vec": (Metapath2Vec, {}, ()),
+    "HIN2vec": (HIN2Vec, {}, ()),
+    "TextGCN": (TextGCN, {}, ()),
+    "MetaCat": (MetaCat, {}, ()),
+}
+
+
+def _metacat_row(row_seed: int, profile: str, method: str,
+                 table_seed: int) -> dict:
+    bundle = _bundle(profile, table_seed)
+    classifier = _make(_METACAT_METHODS[method], table_seed,
+                       plm=lambda: _plm(bundle, table_seed))
+    docs = bundle.labeled_documents(5, seed=table_seed)
+    metrics = _fit_flat(classifier, bundle, docs)
+    return {"Micro-F1": metrics["micro_f1"], "Macro-F1": metrics["macro_f1"]}
+
+
+def metacat_tables(seed: int = 0, fast: bool = True, *,
+                   jobs: "int | None" = None,
+                   use_cache: "bool | None" = None,
+                   timeout: "float | None" = None) -> list:
     """MetaCat Tables 2+3: micro and macro F1 on the metadata profiles."""
     profiles = ["github_bio"] if fast else ["github_bio", "github_ai",
                                             "github_sec", "amazon_meta",
                                             "twitter"]
-    rows = []
+    items = []
     for name in profiles:
-        bundle = load_profile(name, seed=seed)
-        plm = _plm(bundle, seed)
-        docs = bundle.labeled_documents(5, seed=seed)
         # Reproduce the paper's "-" (OOM) entries: TextGCN is excluded on
         # the two largest profiles.
         textgcn_ok = name not in ("github_sec", "amazon_meta")
-        methods = [
-            ("CNN", lambda: FewShotCNN(seed=seed)),
-            ("HAN", lambda: FewShotHAN(seed=seed)),
-            ("PTE", lambda: PTE(seed=seed)),
-            ("WeSTClass", lambda: WeSTClass(seed=seed)),
-            ("PCEM", lambda: PCEM(seed=seed)),
-            ("BERT", lambda: FewShotBERT(plm=plm, seed=seed)),
-            ("ESim", lambda: ESim(seed=seed)),
-            ("Metapath2vec", lambda: Metapath2Vec(seed=seed)),
-            ("HIN2vec", lambda: HIN2Vec(seed=seed)),
-            ("TextGCN", (lambda: TextGCN(seed=seed)) if textgcn_ok else None),
-            ("MetaCat", lambda: MetaCat(seed=seed)),
-        ]
-        for method_name, factory in methods:
-            if factory is None:
-                rows.append({"Dataset": name, "Method": method_name,
-                             "Micro-F1": "-", "Macro-F1": "-"})
+        for method in _METACAT_METHODS:
+            if method == "TextGCN" and not textgcn_ok:
+                items.append((f"{name}/{method}", None, {},
+                              {"Dataset": name, "Method": method,
+                               "Micro-F1": "-", "Macro-F1": "-"},
+                              f"{name}@{seed}"))
                 continue
-            metrics = _fit_flat(factory(), bundle, docs)
-            rows.append(
-                {
-                    "Dataset": name,
-                    "Method": method_name,
-                    "Micro-F1": metrics["micro_f1"],
-                    "Macro-F1": metrics["macro_f1"],
-                }
-            )
-    return rows
+            items.append((f"{name}/{method}", _metacat_row,
+                          {"profile": name, "method": method,
+                           "table_seed": seed},
+                          {"Dataset": name, "Method": method},
+                          f"{name}@{seed}"))
+    return run_specs(_specs("metacat", seed, fast, items), table_seed=seed,
+                     jobs=jobs, use_cache=use_cache, timeout=timeout)
 
 
 # ---------------------------------------------------------------------------
 # T-MICOL
 # ---------------------------------------------------------------------------
 
+_MICOL_MATCH_FRACTIONS = {
+    "MATCH (2%)": "2%",
+    "MATCH (10%)": "10%",
+    "MATCH (30%)": "30%",
+    "MATCH (full)": "full",
+}
+
+_MICOL_METHODS = ("Doc2Vec", "SciBERT", "ZeroShot-Entail", "SPECTER", "EDA",
+                  "UDA", "MICoL (Bi, P->P<-P)", "MICoL (Bi, P<-(PP)->P)",
+                  "MICoL (Cross, P->P<-P)", "MICoL (Cross, P<-(PP)->P)",
+                  ) + tuple(_MICOL_MATCH_FRACTIONS)
+
+
+def _match_size(fraction: str, n: int) -> int:
+    # Scaled analogs of MATCH's 10K / 50K / 100K / full training sets.
+    return {"2%": max(4, n // 50), "10%": n // 10,
+            "30%": int(n * 0.3), "full": n}[fraction]
+
+
+def _micol_classifier(method: str, bundle, table_seed: int):
+    plm = lambda: _plm(bundle, table_seed)  # noqa: E731 - lazy build
+    if method == "Doc2Vec":
+        return Doc2VecRanker(seed=table_seed)
+    if method == "SciBERT":
+        return _StaticConceptRanker(seed=table_seed)
+    if method == "ZeroShot-Entail":
+        return ZeroShotEntailRanker(plm=plm(), seed=table_seed)
+    if method == "SPECTER":
+        return MICoL(plm=plm(), fine_tune=False, seed=table_seed)
+    if method == "EDA":
+        return EDAContrastive(plm=plm(), seed=table_seed)
+    if method == "UDA":
+        return UDAContrastive(plm=plm(), seed=table_seed)
+    if method.startswith("MICoL"):
+        encoder = "bi" if "(Bi" in method else "cross"
+        metapath = P_REF_P if "P->P<-P" in method else P_COCITED_P
+        return MICoL(plm=plm(), encoder=encoder, metapath=metapath,
+                     seed=table_seed)
+    fraction = _MICOL_MATCH_FRACTIONS[method]
+    return MATCH(plm=plm(),
+                 n_train_examples=_match_size(fraction,
+                                              len(bundle.train_corpus)),
+                 seed=table_seed)
+
+
+def _micol_row(row_seed: int, profile: str, method: str,
+               table_seed: int) -> dict:
+    from repro.evaluation.ranking import per_example_precision_at_k
+
+    bundle = _bundle(profile, table_seed)
+    classifier = _micol_classifier(method, bundle, table_seed)
+    metrics = evaluate_multilabel(classifier, bundle, bundle.label_names(),
+                                  ks=(1, 3, 5))
+    gold = [set(d.labels) for d in bundle.test_corpus]
+    scores = per_example_precision_at_k(
+        gold, classifier.rank(bundle.test_corpus), 5
+    )
+    return {
+        "P@1": metrics["p@1"],
+        "P@3": metrics["p@3"],
+        "P@5": metrics["p@5"],
+        "NDCG@3": metrics["ndcg@3"],
+        "NDCG@5": metrics["ndcg@5"],
+        "_p5_scores": [float(s) for s in scores],
+    }
+
+
 def micol_table(seed: int = 0, fast: bool = True,
-                significance: bool = True) -> list:
+                significance: bool = True, *,
+                jobs: "int | None" = None,
+                use_cache: "bool | None" = None,
+                timeout: "float | None" = None) -> list:
     """MICoL results table (P@k, NDCG@k) with the MATCH crossover rows.
 
     With ``significance`` on, zero-shot rows whose per-document P@5 is
     significantly below the best MICoL variant (one-sided paired
     bootstrap, p < 0.01) carry the paper's ``**`` marker.
     """
-    from repro.evaluation.ranking import per_example_precision_at_k
     from repro.evaluation.significance import paired_bootstrap_pvalue
 
     profiles = ["magcs"] if fast else ["magcs", "pubmed"]
-    rows = []
-    for name in profiles:
-        bundle = load_profile(name, seed=seed)
-        plm = _plm(bundle, seed)
-        n = len(bundle.train_corpus)
-        # Scaled analogs of MATCH's 10K / 50K / 100K / full training sets.
-        match_sizes = [("MATCH (2%)", max(4, n // 50)),
-                       ("MATCH (10%)", n // 10),
-                       ("MATCH (30%)", int(n * 0.3)),
-                       ("MATCH (full)", n)]
-        methods = [
-            ("Doc2Vec", lambda: Doc2VecRanker(seed=seed)),
-            ("SciBERT", lambda: _StaticConceptRanker(seed=seed)),
-            ("ZeroShot-Entail",
-             lambda: ZeroShotEntailRanker(plm=plm, seed=seed)),
-            ("SPECTER", lambda: MICoL(plm=plm, fine_tune=False, seed=seed)),
-            ("EDA", lambda: EDAContrastive(plm=plm, seed=seed)),
-            ("UDA", lambda: UDAContrastive(plm=plm, seed=seed)),
-            ("MICoL (Bi, P->P<-P)",
-             lambda: MICoL(plm=plm, encoder="bi", metapath=P_REF_P, seed=seed)),
-            ("MICoL (Bi, P<-(PP)->P)",
-             lambda: MICoL(plm=plm, encoder="bi", metapath=P_COCITED_P,
-                           seed=seed)),
-            ("MICoL (Cross, P->P<-P)",
-             lambda: MICoL(plm=plm, encoder="cross", metapath=P_REF_P,
-                           seed=seed)),
-            ("MICoL (Cross, P<-(PP)->P)",
-             lambda: MICoL(plm=plm, encoder="cross", metapath=P_COCITED_P,
-                           seed=seed)),
-        ] + [
-            (label, (lambda size=size: MATCH(plm=plm, n_train_examples=size,
-                                             seed=seed)))
-            for label, size in match_sizes
-        ]
-        gold = [set(d.labels) for d in bundle.test_corpus]
-        profile_rows = []
-        per_method_scores: dict[str, np.ndarray] = {}
-        for method_name, factory in methods:
-            classifier = factory()
-            metrics = evaluate_multilabel(classifier, bundle,
-                                          bundle.label_names(), ks=(1, 3, 5))
-            per_method_scores[method_name] = per_example_precision_at_k(
-                gold, classifier.rank(bundle.test_corpus), 5
+    specs = _specs("micol", seed, fast, [
+        (f"{name}/{method}", _micol_row,
+         {"profile": name, "method": method, "table_seed": seed},
+         {"Dataset": name, "Method": method}, f"{name}@{seed}")
+        for name in profiles for method in _MICOL_METHODS
+    ])
+    rows = run_specs(specs, table_seed=seed, jobs=jobs, use_cache=use_cache,
+                     timeout=timeout)
+    # Per-document P@5 scores ride along as a hidden column; pop them
+    # before rendering and (optionally) run the significance pass.
+    per_profile: "dict[str, dict[str, np.ndarray]]" = {}
+    for row in rows:
+        scores = row.pop("_p5_scores", None)
+        if scores is not None:
+            per_profile.setdefault(row["Dataset"], {})[row["Method"]] = (
+                np.asarray(scores)
             )
-            profile_rows.append(
-                {
-                    "Dataset": name,
-                    "Method": method_name,
-                    "P@1": metrics["p@1"],
-                    "P@3": metrics["p@3"],
-                    "P@5": metrics["p@5"],
-                    "NDCG@3": metrics["ndcg@3"],
-                    "NDCG@5": metrics["ndcg@5"],
-                }
-            )
-        if significance:
+    if significance:
+        for name in profiles:
+            per_method_scores = per_profile.get(name, {})
             # The paper's ** markers: significantly below the best MICoL
             # variant under a paired bootstrap on per-document P@5.
-            micol_names = [n for n in per_method_scores if n.startswith("MICoL")]
+            micol_names = [m for m in per_method_scores
+                           if m.startswith("MICoL")]
+            if not micol_names:
+                continue
             best_micol = max(micol_names,
-                             key=lambda n: per_method_scores[n].mean())
+                             key=lambda m: per_method_scores[m].mean())
             reference = per_method_scores[best_micol]
-            for row in profile_rows:
+            for row in rows:
+                if row["Dataset"] != name:
+                    continue
                 method_name = row["Method"]
                 if method_name.startswith(("MICoL", "MATCH")):
                     row["sig"] = ""
                     continue
+                if method_name not in per_method_scores:
+                    continue  # error row: no per-document scores
                 p_value = paired_bootstrap_pvalue(
                     reference, per_method_scores[method_name], seed=seed
                 )
                 row["sig"] = "**" if p_value < 0.01 else (
                     "*" if p_value < 0.05 else ""
                 )
-        rows.extend(profile_rows)
     return rows
 
 

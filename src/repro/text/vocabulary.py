@@ -92,9 +92,20 @@ class Vocabulary:
             raise VocabularyError(f"id {idx} out of range (size {len(self)})")
         return self._id_to_token[idx]
 
+    def ids(self, tokens: "list[str] | tuple") -> np.ndarray:
+        """Batch id lookup: int64 array for ``tokens`` (unknowns -> UNK).
+
+        The batch-hot path (word2vec/doc2vec pair generation): one dict
+        probe per token into a preallocated array, no list intermediate.
+        """
+        get = self._token_to_id.get
+        unk = self._token_to_id[UNK]
+        return np.fromiter((get(t, unk) for t in tokens), dtype=np.int64,
+                           count=len(tokens))
+
     def encode(self, tokens: list[str]) -> np.ndarray:
         """Int array of ids for ``tokens`` (unknowns -> UNK)."""
-        return np.array([self.id(t) for t in tokens], dtype=np.int64)
+        return self.ids(tokens)
 
     def decode(self, ids: Iterable[int]) -> list[str]:
         """Tokens for ``ids``."""

@@ -1,0 +1,158 @@
+"""Experiment engine: fan-out equality, failure isolation, memoization.
+
+The runners here are module-level on purpose — specs must pickle into
+spawn workers, which is exactly the constraint the engine imposes on
+``tables.py``.
+"""
+
+import time
+
+import pytest
+
+from repro.experiments.engine import (
+    RowSpec,
+    clear_memo_memory,
+    derive_row_seed,
+    memo_key,
+    run_specs,
+    take_last_report,
+)
+
+pytestmark = pytest.mark.harness
+
+
+def _metric_row(row_seed, base, log_path=None):
+    if log_path is not None:
+        with open(log_path, "a") as fh:
+            fh.write("call\n")
+    return {"score": (row_seed * 31 + base) % 997 / 997.0}
+
+
+def _raising_row(row_seed):
+    raise ValueError("poisoned")
+
+
+def _oom_row(row_seed):
+    raise MemoryError
+
+
+def _hanging_row(row_seed):
+    time.sleep(120.0)
+    return {}
+
+
+def _specs(n, table="t", dataset="d0", log_path=None):
+    kwargs = {"log_path": str(log_path)} if log_path is not None else {}
+    return [
+        RowSpec(table=table, name=f"row{i}", runner=_metric_row,
+                kwargs={"base": i, **kwargs}, static={"Method": f"m{i}"},
+                dataset=dataset)
+        for i in range(n)
+    ]
+
+
+def _calls(log_path):
+    try:
+        return len(log_path.read_text().splitlines())
+    except OSError:
+        return 0
+
+
+def _strip_seconds(rows):
+    return [{k: v for k, v in row.items() if k != "seconds"} for row in rows]
+
+
+def test_row_seeds_are_stable_and_sharded():
+    # Pinned: derived seeds are part of the memo-key contract.
+    assert derive_row_seed(0, "row0") == 1548062754
+    assert derive_row_seed(1, "row0") == 2085109840
+    assert derive_row_seed(0, "row1") == 2127226448
+
+
+def test_parallel_rows_equal_serial_rows(tmp_path):
+    specs = _specs(6)
+    serial = run_specs(specs, table_seed=3, jobs=1, use_cache=False)
+    parallel = run_specs(specs, table_seed=3, jobs=4, use_cache=False)
+    assert _strip_seconds(parallel) == _strip_seconds(serial)
+    assert all("seconds" in row for row in serial)
+    report = take_last_report()
+    assert report.jobs == 4 and report.rows == 6 and report.errors == 0
+
+
+def test_poisoned_rows_do_not_kill_the_table(tmp_path):
+    specs = _specs(4)
+    specs[1] = RowSpec(table="t", name="boom", runner=_raising_row)
+    specs[2] = RowSpec(table="t", name="oom", runner=_oom_row)
+    rows = run_specs(specs, table_seed=0, jobs=2, use_cache=False)
+    assert rows[1]["error"] == "ValueError: poisoned"
+    assert rows[2]["error"] == "-"  # MemoryError -> the papers' literal "-"
+    assert "score" in rows[0] and "score" in rows[3]
+    assert take_last_report().errors == 2
+
+
+def test_hung_row_times_out_without_killing_the_table():
+    specs = _specs(3)
+    specs[1] = RowSpec(table="t", name="hang", runner=_hanging_row)
+    # The per-row deadline starts at dispatch, so it also covers worker
+    # startup — keep it comfortably above spawn+import cost.
+    rows = run_specs(specs, table_seed=0, jobs=2, use_cache=False,
+                     timeout=15.0)
+    assert "timeout" in rows[1]["error"]
+    assert "score" in rows[0] and "score" in rows[2]
+    report = take_last_report()
+    assert report.timeouts == 1 and report.errors == 1
+
+
+def test_warm_memo_store_runs_zero_factories(tmp_path):
+    log = tmp_path / "calls.log"
+    store = tmp_path / "rows"
+    specs = _specs(4, log_path=log)
+    cold = run_specs(specs, table_seed=0, jobs=1, cache_dir=store)
+    assert _calls(log) == 4
+    assert take_last_report().misses == 4
+
+    warm = run_specs(specs, table_seed=0, jobs=1, cache_dir=store)
+    assert _calls(log) == 4  # zero new factory calls
+    assert take_last_report().hits == 4
+    assert warm == cold  # seconds included: payloads are replayed verbatim
+
+    clear_memo_memory()  # drop the memory tier: disk alone must hit too
+    disk = run_specs(specs, table_seed=0, jobs=1, cache_dir=store)
+    assert _calls(log) == 4
+    assert take_last_report().hits == 4
+    assert disk == cold
+
+
+def test_seed_and_dataset_changes_bust_the_memo_key(tmp_path):
+    log = tmp_path / "calls.log"
+    store = tmp_path / "rows"
+    specs = _specs(2, log_path=log)
+    run_specs(specs, table_seed=0, jobs=1, cache_dir=store)
+    assert _calls(log) == 2
+
+    run_specs(specs, table_seed=1, jobs=1, cache_dir=store)
+    assert _calls(log) == 4  # new table seed -> recomputed
+
+    refingerprinted = _specs(2, dataset="d1", log_path=log)
+    run_specs(refingerprinted, table_seed=0, jobs=1, cache_dir=store)
+    assert _calls(log) == 6  # new dataset fingerprint -> recomputed
+
+    spec = specs[0]
+    seed = derive_row_seed(0, spec.name)
+    assert memo_key(spec, seed) != memo_key(spec, derive_row_seed(1, spec.name))
+    assert memo_key(spec, seed) != memo_key(refingerprinted[0], seed)
+
+
+def test_errors_are_never_memoized(tmp_path):
+    store = tmp_path / "rows"
+    specs = [RowSpec(table="t", name="boom", runner=_raising_row)]
+    run_specs(specs, table_seed=0, jobs=1, cache_dir=store)
+    run_specs(specs, table_seed=0, jobs=1, cache_dir=store)
+    assert take_last_report().misses == 1  # re-attempted, not replayed
+
+
+def test_static_rows_pass_through():
+    specs = [RowSpec(table="t", name="static", runner=None,
+                     static={"Method": "TextGCN", "Micro-F1": "-"})]
+    rows = run_specs(specs, table_seed=0, jobs=1, use_cache=False)
+    assert rows == [{"Method": "TextGCN", "Micro-F1": "-", "seconds": 0.0}]
