@@ -20,7 +20,7 @@ from repro.embeddings.ppmi_svd import cooccurrence_matrix, ppmi
 from repro.nn.layers import Linear
 from repro.nn.losses import cross_entropy
 from repro.nn.optim import Adam
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, get_default_dtype
 from repro.text.tfidf import TfidfVectorizer
 from repro.text.vocabulary import Vocabulary
 
@@ -98,14 +98,15 @@ class TextGCN(WeaklySupervisedTextClassifier):
         # TextGCN formulation with X = I folds the first layer's weight
         # into per-node vectors).
         embed = Tensor(node_rng.normal(0, 0.05, size=(n_nodes, self.hidden)),
-                       requires_grad=True)
+                       requires_grad=True, dtype=get_default_dtype())
         out_layer = Linear(self.hidden, len(self.label_set),
                            np.random.default_rng(int(rng.integers(2**31))))
         optimizer = Adam([embed] + out_layer.parameters(), lr=self.lr,
                          weight_decay=1e-4)
         adj_dense = None
         if n_nodes <= 4000:
-            adj_dense = Tensor(np.asarray(adj.todense()))
+            adj_dense = Tensor(np.asarray(adj.todense()),
+                               dtype=get_default_dtype())
         for _ in range(self.epochs):
             if adj_dense is not None:
                 hidden = (adj_dense @ embed).relu()

@@ -14,7 +14,7 @@ from repro.core.supervision import LabeledDocuments, Supervision, require
 from repro.core.types import Corpus
 from repro.nn.layers import Linear
 from repro.nn.optim import Adam
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, get_default_dtype
 from repro.taxonomy.tree import ROOT, LabelTree
 from repro.text.tfidf import TfidfVectorizer
 
@@ -31,7 +31,8 @@ def _train_linear_svm(features: np.ndarray, targets: np.ndarray, n_classes: int,
         for start in range(0, n, 64):
             take = order[start : start + 64]
             logits = linear(Tensor(features[take]))
-            correct_mask = np.zeros((take.size, n_classes))
+            correct_mask = np.zeros((take.size, n_classes),
+                                    dtype=features.dtype)
             correct_mask[np.arange(take.size), targets[take]] = 1.0
             correct = (logits * Tensor(correct_mask)).sum(axis=1, keepdims=True)
             violations = (logits - correct + margin) * Tensor(1.0 - correct_mask)
@@ -71,7 +72,8 @@ class HierSVM(WeaklySupervisedTextClassifier):
                     targets.append(hits[0])
             if len(set(targets)) < 2:
                 continue
-            mat = np.asarray(self._vectorizer.transform(features).todense())
+            mat = np.asarray(self._vectorizer.transform(features).todense(),
+                             dtype=get_default_dtype())
             model = _train_linear_svm(
                 mat, np.asarray(targets), len(children),
                 np.random.default_rng(int(rng.integers(2**31))),

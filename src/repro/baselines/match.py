@@ -17,7 +17,7 @@ from repro.core.types import Corpus
 from repro.nn.layers import Linear
 from repro.nn.losses import binary_cross_entropy_with_logits
 from repro.nn.optim import Adam
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, get_default_dtype
 from repro.plm.model import PretrainedLM
 from repro.plm.provider import get_pretrained_lm
 
@@ -43,7 +43,7 @@ class MATCH(MultiLabelTextClassifier):
         """Mean embedding of each doc's metadata entity ids (hash trick)."""
         assert self.plm is not None
         dim = 16
-        out = np.zeros((len(corpus), dim))
+        out = np.zeros((len(corpus), dim), dtype=get_default_dtype())
         for i, doc in enumerate(corpus):
             entities = []
             meta = doc.metadata
@@ -83,7 +83,8 @@ class MATCH(MultiLabelTextClassifier):
         subset = corpus.subset([int(i) for i in take])
         features = self._features(subset)
         label_index = {l: j for j, l in enumerate(self.label_set)}
-        targets = np.zeros((len(subset), len(self.label_set)))
+        targets = np.zeros((len(subset), len(self.label_set)),
+                           dtype=features.dtype)
         for row, doc in enumerate(subset):
             for label in doc.labels:
                 if label in label_index:

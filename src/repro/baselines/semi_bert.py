@@ -47,7 +47,8 @@ class SemiBERT(MultiLabelTextClassifier):
             [corpus[int(i)].tokens for i in take]
         )
         label_index = {l: j for j, l in enumerate(self.label_set)}
-        targets = np.zeros((take.size, len(self.label_set)))
+        targets = np.zeros((take.size, len(self.label_set)),
+                           dtype=features.dtype)
         for row, i in enumerate(take):
             for label in corpus[int(i)].labels:
                 if label in label_index:

@@ -14,7 +14,7 @@ from repro.core.seeding import ensure_rng
 from repro.nn.layers import Embedding, Module
 from repro.nn.losses import soft_cross_entropy
 from repro.nn.optim import Adam
-from repro.plm.encoder import pad_batch
+from repro.plm.encoder import BatchPlan
 from repro.text.vocabulary import Vocabulary
 
 
@@ -83,8 +83,12 @@ class TokenClassifier(Module):
             batch_size: int = 32, lr: float = 2e-3,
             sample_weights: "np.ndarray | None" = None) -> "TokenClassifier":
         """Train with soft cross-entropy on (token list, target) pairs."""
-        soft = as_soft_targets(targets, self.n_classes)
+        dtype = self.embedding.weight.data.dtype
+        soft = as_soft_targets(targets, self.n_classes).astype(dtype)
         sequences = self._encode(token_lists)
+        # Pad the corpus once; every minibatch is then a vectorized gather
+        # into reusable id/mask buffers instead of a per-batch Python loop.
+        plan = BatchPlan(sequences, self.vocabulary.pad_id, self.max_len)
         optimizer = Adam(self.parameters(), lr=lr)
         self.train()
         n = len(sequences)
@@ -92,8 +96,7 @@ class TokenClassifier(Module):
             order = self.rng.permutation(n)
             for start in range(0, n, batch_size):
                 take = order[start : start + batch_size]
-                ids, pad_mask = pad_batch([sequences[i] for i in take],
-                                          self.vocabulary.pad_id, self.max_len)
+                ids, pad_mask = plan.gather(take)
                 logits = self._forward(ids, pad_mask)
                 if sample_weights is not None:
                     # Weighted soft CE: scale rows of the target matrix.
@@ -116,16 +119,18 @@ class TokenClassifier(Module):
         if not self._fitted:
             raise NotFittedError(f"{type(self).__name__} is not fitted")
         sequences = self._encode(token_lists)
-        out = np.zeros((len(sequences), self.n_classes))
+        plan = BatchPlan(sequences, self.vocabulary.pad_id, self.max_len)
+        n = len(sequences)
+        out = np.zeros((n, self.n_classes), dtype=self.embedding.weight.data.dtype)
         self.eval()
-        for start in range(0, len(sequences), batch_size):
-            chunk = sequences[start : start + batch_size]
-            ids, pad_mask = pad_batch(chunk, self.vocabulary.pad_id, self.max_len)
+        for start in range(0, n, batch_size):
+            take = np.arange(start, min(start + batch_size, n))
+            ids, pad_mask = plan.gather(take)
             logits = self._forward(ids, pad_mask).data
             shifted = logits - logits.max(axis=1, keepdims=True)
             probs = np.exp(shifted)
             probs /= probs.sum(axis=1, keepdims=True)
-            out[start : start + len(chunk)] = probs
+            out[start : start + take.size] = probs
         return out
 
     def predict(self, token_lists: list) -> np.ndarray:

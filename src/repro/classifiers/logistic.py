@@ -28,7 +28,8 @@ class LogisticRegression:
         """Train on (features, targets); targets may be hard ints or soft rows."""
         from repro.classifiers.base import as_soft_targets
 
-        features = np.asarray(features, dtype=float)
+        features = np.asarray(features,
+                              dtype=self.linear.weight.data.dtype)
         soft = as_soft_targets(targets, self.n_classes)
         optimizer = Adam(self.linear.parameters(), lr=lr,
                          weight_decay=self.l2)
@@ -49,7 +50,9 @@ class LogisticRegression:
         """(N, n_classes) softmax probabilities."""
         if not self._fitted:
             raise NotFittedError("LogisticRegression is not fitted")
-        logits = self.linear(Tensor(np.asarray(features, dtype=float))).data
+        features = np.asarray(features,
+                              dtype=self.linear.weight.data.dtype)
+        logits = self.linear(Tensor(features)).data
         shifted = logits - logits.max(axis=1, keepdims=True)
         probs = np.exp(shifted)
         return probs / probs.sum(axis=1, keepdims=True)

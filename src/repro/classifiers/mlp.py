@@ -26,8 +26,9 @@ class BagOfEmbeddingsClassifier(TokenClassifier):
 
     def _forward(self, ids: np.ndarray, pad_mask: np.ndarray) -> Tensor:
         x = self.embedding(ids)  # (B, T, D)
-        keep = Tensor((~pad_mask).astype(float)[:, :, None])
+        dtype = x.data.dtype
+        keep = Tensor((~pad_mask).astype(dtype)[:, :, None])
         summed = (x * keep).sum(axis=1)
-        counts = np.maximum((~pad_mask).sum(axis=1, keepdims=True), 1).astype(float)
+        counts = np.maximum((~pad_mask).sum(axis=1, keepdims=True), 1).astype(dtype)
         mean = summed * Tensor(1.0 / counts)
         return self.head(self.fc1(mean).tanh())

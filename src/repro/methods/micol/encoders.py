@@ -33,11 +33,13 @@ class BiEncoder(Module):
         # Near-identity start: contrastive steps refine rather than
         # re-learn the embedding geometry.
         eye = np.eye(dim, out_dim)
-        self.proj.weight.data = eye + 0.02 * rng.standard_normal((dim, out_dim))
+        init = eye + 0.02 * rng.standard_normal((dim, out_dim))
+        self.proj.weight.data = init.astype(self.proj.weight.data.dtype)
 
     def encode(self, embeddings: np.ndarray) -> np.ndarray:
         """L2-normalized projections of ``embeddings``."""
-        z = self.proj(Tensor(np.asarray(embeddings, dtype=float))).data
+        dtype = self.proj.weight.data.dtype
+        z = self.proj(Tensor(np.asarray(embeddings, dtype=dtype))).data
         norms = np.linalg.norm(z, axis=1, keepdims=True) + 1e-12
         return z / norms
 
@@ -83,7 +85,8 @@ class CrossEncoder(Module):
 
     def score(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Pairwise relevance for aligned rows."""
-        feats = self._pair_features(np.asarray(a, float), np.asarray(b, float))
+        dtype = self.fc.weight.data.dtype
+        feats = self._pair_features(np.asarray(a, dtype), np.asarray(b, dtype))
         logits = self.fc(Tensor(feats)).data.reshape(-1)
         return 1.0 / (1.0 + np.exp(-logits))
 

@@ -25,7 +25,7 @@ from repro.methods.taxoclass.exploration import candidate_matrix
 from repro.nn.layers import Linear
 from repro.nn.losses import binary_cross_entropy_with_logits
 from repro.nn.optim import Adam
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, get_default_dtype
 from repro.plm.model import PretrainedLM
 from repro.plm.provider import get_pretrained_lm, get_relevance_model
 from repro.taxonomy.dag import LabelDAG
@@ -45,6 +45,8 @@ class _OneVsAllHead:
         rng = rng or np.random.default_rng(0)
         optimizer = Adam(self.linear.parameters(), lr=lr, weight_decay=1e-4)
         n = features.shape[0]
+        features = np.asarray(features,
+                              dtype=self.linear.weight.data.dtype)
         for _ in range(epochs):
             order = rng.permutation(n)
             for start in range(0, n, batch_size):
@@ -60,7 +62,9 @@ class _OneVsAllHead:
 
     def scores(self, features: np.ndarray) -> np.ndarray:
         """Per-label sigmoid probabilities."""
-        logits = self.linear(Tensor(np.asarray(features, dtype=float))).data
+        features = np.asarray(features,
+                              dtype=self.linear.weight.data.dtype)
+        logits = self.linear(Tensor(features)).data
         return 1.0 / (1.0 + np.exp(-logits))
 
 
@@ -116,8 +120,8 @@ class TaxoClass(MultiLabelTextClassifier):
                                       max_candidates=self.max_candidates)
         label_index = {l: i for i, l in enumerate(labels)}
         n, m = len(corpus), len(labels)
-        targets = np.zeros((n, m))
-        known = np.zeros((n, m))
+        targets = np.zeros((n, m), dtype=get_default_dtype())
+        known = np.zeros((n, m), dtype=get_default_dtype())
         for i, cand in enumerate(candidates):
             if not cand:
                 continue

@@ -23,14 +23,28 @@ from repro.nn.losses import (
     cross_entropy,
     kl_divergence_with_logits,
 )
+from repro.nn.functional import fused_enabled, set_fused
 from repro.nn.optim import SGD, Adam
-from repro.nn.tensor import Tensor, inference_mode, is_grad_enabled, no_grad
+from repro.nn.tensor import (
+    Tensor,
+    default_dtype,
+    get_default_dtype,
+    inference_mode,
+    is_grad_enabled,
+    no_grad,
+    set_default_dtype,
+)
 
 __all__ = [
     "Tensor",
     "inference_mode",
     "no_grad",
     "is_grad_enabled",
+    "get_default_dtype",
+    "set_default_dtype",
+    "default_dtype",
+    "fused_enabled",
+    "set_fused",
     "functional",
     "Module",
     "Linear",

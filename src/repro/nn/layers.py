@@ -9,7 +9,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.nn import functional as F
-from repro.nn.tensor import Tensor, concatenate
+from repro.nn.tensor import Tensor, concatenate, get_default_dtype
 
 
 class Module:
@@ -40,10 +40,10 @@ class Module:
                     params.append(p)
         return params
 
-    def zero_grad(self) -> None:
-        """Clear gradients of all parameters."""
+    def zero_grad(self, set_to_none: bool = True) -> None:
+        """Clear gradients of all parameters (see ``Tensor.zero_grad``)."""
         for p in self.parameters():
-            p.zero_grad()
+            p.zero_grad(set_to_none=set_to_none)
 
     def train(self) -> "Module":
         """Switch to training mode (dropout active)."""
@@ -86,7 +86,9 @@ class Module:
         for p, array in zip(params, state):
             if p.data.shape != array.shape:
                 raise ValueError(f"shape mismatch: {p.data.shape} vs {array.shape}")
-            p.data = array.copy()
+            # Cast to the parameter's dtype so checkpoints written under a
+            # different default dtype load into this model's compute dtype.
+            p.data = array.astype(p.data.dtype)
 
 
 class Linear(Module):
@@ -96,11 +98,15 @@ class Linear(Module):
                  rng: np.random.Generator, bias: bool = True):
         super().__init__()
         limit = np.sqrt(6.0 / (in_features + out_features))
+        dtype = get_default_dtype()
         self.weight = Tensor(
             rng.uniform(-limit, limit, size=(in_features, out_features)),
-            requires_grad=True,
+            requires_grad=True, dtype=dtype,
         )
-        self.bias = Tensor(np.zeros(out_features), requires_grad=True) if bias else None
+        self.bias = (
+            Tensor(np.zeros(out_features, dtype=dtype), requires_grad=True)
+            if bias else None
+        )
 
     def forward(self, x: Tensor) -> Tensor:
         out = x @ self.weight
@@ -116,7 +122,8 @@ class Embedding(Module):
                  scale: float = 0.02):
         super().__init__()
         self.weight = Tensor(
-            rng.normal(0.0, scale, size=(num_embeddings, dim)), requires_grad=True
+            rng.normal(0.0, scale, size=(num_embeddings, dim)),
+            requires_grad=True, dtype=get_default_dtype(),
         )
 
     def forward(self, ids: np.ndarray) -> Tensor:
@@ -128,8 +135,9 @@ class LayerNorm(Module):
 
     def __init__(self, dim: int, eps: float = 1e-5):
         super().__init__()
-        self.gain = Tensor(np.ones(dim), requires_grad=True)
-        self.bias = Tensor(np.zeros(dim), requires_grad=True)
+        dtype = get_default_dtype()
+        self.gain = Tensor(np.ones(dim, dtype=dtype), requires_grad=True)
+        self.bias = Tensor(np.zeros(dim, dtype=dtype), requires_grad=True)
         self.eps = eps
 
     def forward(self, x: Tensor) -> Tensor:
@@ -149,7 +157,10 @@ class Dropout(Module):
     def forward(self, x: Tensor) -> Tensor:
         if not self.training or self.p == 0.0:
             return x
-        keep = (self.rng.random(x.shape) >= self.p).astype(float) / (1.0 - self.p)
+        # Build the keep-mask in the layer's compute dtype: an
+        # ``astype(float)`` here would upcast every training batch.
+        keep = (self.rng.random(x.shape) >= self.p).astype(x.data.dtype)
+        keep *= 1.0 / (1.0 - self.p)
         return x * Tensor(keep)
 
 
@@ -203,8 +214,8 @@ class MultiHeadSelfAttention(Module):
             # Padding-free batches (common with length-bucketed inference)
             # skip the mask entirely; an all-False mask is a no-op anyway.
             mask = pad_mask[:, None, None, :]
-        logits = F.attention_scores(q, k, mask=mask)
-        attn = F.softmax(logits, axis=-1)
+        logits = F.attention_scores(q, k)
+        attn = F.masked_softmax(logits, mask, axis=-1)
         if self.store_attention:
             self.last_attention = attn.data
         context = attn @ v  # (B, H, T, Dh)

@@ -1,4 +1,12 @@
-"""Optimizers for autograd parameters."""
+"""Optimizers for autograd parameters.
+
+Every update runs in place: moment/velocity buffers are preallocated in
+each parameter's dtype at construction, one shared-shape scratch buffer
+per parameter absorbs the intermediate products, and ``step`` never
+rebinds ``p.data`` or ``p.grad`` — the only allocations in a training
+step belong to the forward/backward graph. ``clip_grad_norm`` likewise
+scales gradients in place after a single squared-norm accumulation pass.
+"""
 
 from __future__ import annotations
 
@@ -11,53 +19,72 @@ class Optimizer:
     def __init__(self, parameters: list):
         self.parameters = list(parameters)
 
-    def zero_grad(self) -> None:
-        """Clear gradients of the tracked parameters."""
+    def zero_grad(self, set_to_none: bool = True) -> None:
+        """Clear gradients of the tracked parameters.
+
+        ``set_to_none=True`` (default) drops the buffers — the cheapest
+        path, since backward assigns fresh leaf gradients anyway;
+        ``False`` zero-fills in place so the allocations are reused.
+        """
         for p in self.parameters:
-            p.zero_grad()
+            p.zero_grad(set_to_none=set_to_none)
 
     def step(self) -> None:
         """Apply one update from the current gradients."""
         raise NotImplementedError
 
     def clip_grad_norm(self, max_norm: float) -> float:
-        """Global-norm gradient clipping; returns the pre-clip norm."""
+        """Global-norm gradient clipping; returns the pre-clip norm.
+
+        One pass accumulates the squared norm (per-array partial sums in
+        the gradient dtype via ``np.vdot``'s pairwise reduction, combined
+        in float64), then gradients are scaled in place — no per-parameter
+        temporaries.
+        """
         total = 0.0
         for p in self.parameters:
             if p.grad is not None:
-                total += float((p.grad**2).sum())
+                flat = p.grad.reshape(-1)
+                total += float(np.vdot(flat, flat))
         norm = float(np.sqrt(total))
         if norm > max_norm and norm > 0:
             scale = max_norm / norm
             for p in self.parameters:
                 if p.grad is not None:
-                    p.grad = p.grad * scale
+                    np.multiply(p.grad, scale, out=p.grad)
         return norm
 
 
 class SGD(Optimizer):
-    """Stochastic gradient descent with optional momentum."""
+    """Stochastic gradient descent with optional momentum (in-place)."""
 
     def __init__(self, parameters: list, lr: float = 0.1, momentum: float = 0.0):
         super().__init__(parameters)
         self.lr = lr
         self.momentum = momentum
         self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+        self._buf = [np.empty_like(p.data) for p in self.parameters]
 
     def step(self) -> None:
-        for p, v in zip(self.parameters, self._velocity):
+        for p, v, buf in zip(self.parameters, self._velocity, self._buf):
             if p.grad is None:
                 continue
+            update = p.grad
             if self.momentum:
                 v *= self.momentum
-                v += p.grad
-                p.data -= self.lr * v
-            else:
-                p.data -= self.lr * p.grad
+                v += update
+                update = v
+            np.multiply(update, self.lr, out=buf)
+            p.data -= buf
 
 
 class Adam(Optimizer):
-    """Adam with optional decoupled weight decay (AdamW when set)."""
+    """Adam with optional decoupled weight decay (AdamW when set).
+
+    Fully in-place: first/second moments and one scratch buffer per
+    parameter are preallocated in the parameter's dtype; ``step`` performs
+    no allocations.
+    """
 
     def __init__(self, parameters: list, lr: float = 1e-3, betas=(0.9, 0.999),
                  eps: float = 1e-8, weight_decay: float = 0.0):
@@ -68,23 +95,32 @@ class Adam(Optimizer):
         self.weight_decay = weight_decay
         self._m = [np.zeros_like(p.data) for p in self.parameters]
         self._v = [np.zeros_like(p.data) for p in self.parameters]
+        self._buf = [np.empty_like(p.data) for p in self.parameters]
         self._t = 0
 
     def step(self) -> None:
         self._t += 1
         bias1 = 1.0 - self.beta1**self._t
         bias2 = 1.0 - self.beta2**self._t
-        for p, m, v in zip(self.parameters, self._m, self._v):
+        decay = 1.0 - self.lr * self.weight_decay
+        for p, m, v, buf in zip(self.parameters, self._m, self._v, self._buf):
             if p.grad is None:
                 continue
             grad = p.grad
             m *= self.beta1
-            m += (1.0 - self.beta1) * grad
+            np.multiply(grad, 1.0 - self.beta1, out=buf)
+            m += buf
             v *= self.beta2
-            v += (1.0 - self.beta2) * grad**2
-            m_hat = m / bias1
-            v_hat = v / bias2
-            update = m_hat / (np.sqrt(v_hat) + self.eps)
+            np.multiply(grad, grad, out=buf)
+            buf *= 1.0 - self.beta2
+            v += buf
+            # buf = lr * (m / bias1) / (sqrt(v / bias2) + eps)
+            np.divide(v, bias2, out=buf)
+            np.sqrt(buf, out=buf)
+            buf += self.eps
+            np.divide(m, buf, out=buf)
+            buf *= self.lr / bias1
             if self.weight_decay:
-                update = update + self.weight_decay * p.data
-            p.data -= self.lr * update
+                # p -= lr*(update + wd*p)  ==  p *= (1 - lr*wd); p -= lr*update
+                p.data *= decay
+            p.data -= buf

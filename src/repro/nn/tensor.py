@@ -5,13 +5,75 @@ library's classifiers: broadcasting arithmetic, matmul, reductions,
 reshaping, indexing/gather, and the standard nonlinearities. Gradients are
 accumulated in ``Tensor.grad`` by :meth:`Tensor.backward`, which performs a
 topological sweep over the recorded graph.
+
+Dtype policy
+------------
+The engine is *dtype-preserving*: an op's result has the dtype numpy
+promotion gives its (floating) inputs, and every backward kernel emits
+gradients in the dtype of the forward value. Non-float inputs (python
+scalars, int arrays, lists) are converted to the configurable **default
+dtype** — float32 unless overridden by :func:`set_default_dtype` or the
+``REPRO_NN_DTYPE`` environment variable. Training at float32 halves the
+memory bandwidth of every gradient step; float64 remains one switch away
+for gradient checking.
 """
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 _GRAD_ENABLED = True
+
+_ALLOWED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+
+def _resolve_dtype(dtype) -> np.dtype:
+    resolved = np.dtype(dtype)
+    if resolved not in _ALLOWED_DTYPES:
+        raise ValueError(
+            f"default dtype must be float32 or float64, got {dtype!r}"
+        )
+    return resolved
+
+
+_DEFAULT_DTYPE = _resolve_dtype(os.environ.get("REPRO_NN_DTYPE", "float32"))
+
+
+def get_default_dtype() -> np.dtype:
+    """The dtype non-float data is converted to when it enters the graph."""
+    return _DEFAULT_DTYPE
+
+
+def set_default_dtype(dtype) -> np.dtype:
+    """Set the default compute dtype; returns the previous one.
+
+    Affects tensors and parameters created *afterwards* — switch before
+    building a model. ``float64`` is the gradcheck configuration;
+    ``float32`` (the default) is the training configuration.
+    """
+    global _DEFAULT_DTYPE
+    previous = _DEFAULT_DTYPE
+    _DEFAULT_DTYPE = _resolve_dtype(dtype)
+    return previous
+
+
+class default_dtype:
+    """Context manager scoping :func:`set_default_dtype` (tests, gradcheck)."""
+
+    __slots__ = ("_dtype", "_previous")
+
+    def __init__(self, dtype):
+        self._dtype = _resolve_dtype(dtype)
+
+    def __enter__(self) -> np.dtype:
+        self._previous = set_default_dtype(self._dtype)
+        return self._dtype
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        set_default_dtype(self._previous)
+        return False
 
 
 class inference_mode:
@@ -74,8 +136,13 @@ class Tensor:
     __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
     __array_priority__ = 100  # numpy defers binary ops to Tensor
 
-    def __init__(self, data, requires_grad: bool = False):
-        self.data = np.asarray(data, dtype=np.float64)
+    def __init__(self, data, requires_grad: bool = False, dtype=None):
+        if dtype is not None:
+            self.data = np.asarray(data, dtype=dtype)
+        elif getattr(data, "dtype", None) is not None and data.dtype.kind == "f":
+            self.data = np.asarray(data)  # dtype: preserve
+        else:
+            self.data = np.asarray(data, dtype=_DEFAULT_DTYPE)
         self.requires_grad = bool(requires_grad)
         self.grad: "np.ndarray | None" = None
         self._backward = None
@@ -101,6 +168,11 @@ class Tensor:
         return self.data.shape
 
     @property
+    def dtype(self) -> np.dtype:
+        """Array dtype."""
+        return self.data.dtype
+
+    @property
     def ndim(self) -> int:
         """Number of dimensions."""
         return self.data.ndim
@@ -122,6 +194,18 @@ class Tensor:
 
     # -- arithmetic ------------------------------------------------------------
     def __add__(self, other) -> "Tensor":
+        # Scalar fast path: python numbers promote weakly (a float32 array
+        # plus 1.0 stays float32) — lifting them to 0-d default-dtype
+        # tensors would upcast narrower operands and add a graph edge.
+        if isinstance(other, (int, float)):
+            out_data = self.data + other
+            if not _GRAD_ENABLED:
+                return Tensor(out_data)
+
+            def backward(grad):
+                return (grad,)
+
+            return self._make(out_data, (self,), backward)
         other = self._lift(other)
         out_data = self.data + other.data
         if not _GRAD_ENABLED:
@@ -135,6 +219,16 @@ class Tensor:
     __radd__ = __add__
 
     def __mul__(self, other) -> "Tensor":
+        if isinstance(other, (int, float)):
+            scalar = other
+            out_data = self.data * scalar
+            if not _GRAD_ENABLED:
+                return Tensor(out_data)
+
+            def backward(grad):
+                return (grad * scalar,)
+
+            return self._make(out_data, (self,), backward)
         other = self._lift(other)
         out_data = self.data * other.data
         if not _GRAD_ENABLED:
@@ -154,16 +248,24 @@ class Tensor:
         return self * -1.0
 
     def __sub__(self, other) -> "Tensor":
+        if isinstance(other, (int, float)):
+            return self + (-other)
         return self + (-self._lift(other))
 
     def __rsub__(self, other) -> "Tensor":
+        if isinstance(other, (int, float)):
+            return (-self) + other
         return self._lift(other) + (-self)
 
     def __truediv__(self, other) -> "Tensor":
+        if isinstance(other, (int, float)):
+            return self * (1.0 / other)
         other = self._lift(other)
         return self * other ** -1.0
 
     def __rtruediv__(self, other) -> "Tensor":
+        if isinstance(other, (int, float)):
+            return self ** -1.0 * other
         return self._lift(other) * self ** -1.0
 
     def __pow__(self, exponent: float) -> "Tensor":
@@ -257,7 +359,7 @@ class Tensor:
 
     def gelu(self) -> "Tensor":
         """tanh-approximation GELU (as used by BERT)."""
-        c = np.sqrt(2.0 / np.pi)
+        c = float(np.sqrt(2.0 / np.pi))  # python float: np scalars upcast f32
         x = self.data
         inner = c * (x + 0.044715 * (x * x * x))
         t = np.tanh(inner)
@@ -280,7 +382,7 @@ class Tensor:
             return Tensor(out_data)
 
         def backward(grad):
-            g = np.asarray(grad)
+            g = grad
             if axis is not None and not keepdims:
                 g = np.expand_dims(g, axis)
             return (np.broadcast_to(g, self.shape).copy(),)
@@ -303,12 +405,12 @@ class Tensor:
             return Tensor(out_data)
 
         def backward(grad):
-            g = np.asarray(grad)
+            g = grad
             out = out_data
             if axis is not None and not keepdims:
                 g = np.expand_dims(g, axis)
                 out = np.expand_dims(out_data, axis)
-            mask = (self.data == out).astype(float)
+            mask = (self.data == out).astype(self.data.dtype)
             mask /= mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
             return (mask * g,)
 
@@ -354,12 +456,26 @@ class Tensor:
     def __getitem__(self, index) -> "Tensor":
         out_data = self.data[index]
         shape = self.shape
+        dtype = self.data.dtype
         if not _GRAD_ENABLED:
             return Tensor(out_data)
 
+        # Basic indexing (ints/slices) selects each element at most once,
+        # so the backward is a plain assignment; only advanced (array)
+        # indexing can revisit elements and needs the slow scatter-add.
+        parts = index if isinstance(index, tuple) else (index,)
+        basic = all(
+            isinstance(p, (int, np.integer, slice)) or p is None
+            or p is Ellipsis
+            for p in parts
+        )
+
         def backward(grad):
-            full = np.zeros(shape, dtype=float)
-            np.add.at(full, index, grad)
+            full = np.zeros(shape, dtype=dtype)
+            if basic:
+                full[index] = grad
+            else:
+                np.add.at(full, index, grad)
             return (full,)
 
         return self._make(out_data, (self,), backward)
@@ -369,12 +485,23 @@ class Tensor:
         idx = np.asarray(indices, dtype=np.int64)
         out_data = self.data[idx]
         shape = self.shape
+        dtype = self.data.dtype
         if not _GRAD_ENABLED:
             return Tensor(out_data)
 
         def backward(grad):
-            full = np.zeros(shape, dtype=float)
-            np.add.at(full, idx.reshape(-1), grad.reshape(-1, shape[-1]))
+            # Sorted segmented reduction: grouping duplicate ids and
+            # summing each group with one reduceat beats np.add.at's
+            # element-wise scatter on every batch size that matters here.
+            full = np.zeros(shape, dtype=dtype)
+            flat_idx = idx.reshape(-1)
+            flat_grad = grad.reshape(-1, shape[-1])
+            order = np.argsort(flat_idx, kind="stable")
+            sorted_idx = flat_idx[order]
+            starts = np.flatnonzero(np.diff(sorted_idx, prepend=-1))
+            full[sorted_idx[starts]] = np.add.reduceat(
+                flat_grad[order], starts, axis=0
+            )
             return (full,)
 
         return self._make(out_data, (self,), backward)
@@ -402,7 +529,7 @@ class Tensor:
             if self.data.size != 1:
                 raise ValueError("backward() without grad requires a scalar tensor")
             grad = np.ones_like(self.data)
-        grad = np.asarray(grad, dtype=np.float64)
+        seed = np.asarray(grad, dtype=self.data.dtype)
 
         topo: list[Tensor] = []
         visited: set[int] = set()
@@ -419,13 +546,29 @@ class Tensor:
             for parent in node._parents:
                 stack.append((parent, False))
 
-        grads: dict[int, np.ndarray] = {id(self): grad}
+        grads: dict[int, np.ndarray] = {id(self): seed}
+        # Arrays already handed out as some leaf's ``.grad``: a backward
+        # kernel may return the *same* array (or views of it) for several
+        # parents, and leaf grads must be safe for the optimizers to
+        # mutate in place.
+        assigned: set[int] = set()
         for node in reversed(topo):
             node_grad = grads.pop(id(node), None)
             if node_grad is None:
                 continue
             if node._backward is None:
-                node.grad = node_grad if node.grad is None else node.grad + node_grad
+                if node_grad.dtype != node.data.dtype:
+                    node_grad = node_grad.astype(node.data.dtype)
+                if node.grad is None:
+                    if (node_grad.base is not None
+                            or not node_grad.flags.owndata
+                            or node_grad is seed
+                            or id(node_grad) in assigned):
+                        node_grad = node_grad.copy()
+                    node.grad = node_grad
+                    assigned.add(id(node_grad))
+                else:
+                    np.add(node.grad, node_grad, out=node.grad)
                 continue
             parent_grads = node._backward(node_grad)
             for parent, pgrad in zip(node._parents, parent_grads):
@@ -435,11 +578,19 @@ class Tensor:
                 if key in grads:
                     grads[key] = grads[key] + pgrad
                 else:
-                    grads[key] = np.asarray(pgrad, dtype=np.float64)
+                    grads[key] = np.asarray(pgrad)  # dtype: preserve
 
-    def zero_grad(self) -> None:
-        """Clear the accumulated gradient."""
-        self.grad = None
+    def zero_grad(self, set_to_none: bool = True) -> None:
+        """Clear the accumulated gradient.
+
+        ``set_to_none=True`` (the fast path) drops the buffer so the next
+        backward assigns instead of accumulating; ``False`` keeps the
+        allocation and zero-fills it in place.
+        """
+        if set_to_none or self.grad is None:
+            self.grad = None
+        else:
+            self.grad.fill(0.0)
 
     def __repr__(self) -> str:
         return f"Tensor(shape={self.shape}, requires_grad={self.requires_grad})"

@@ -15,9 +15,9 @@ import numpy as np
 from repro.core.seeding import ensure_rng
 from repro.nn.losses import binary_cross_entropy_with_logits
 from repro.nn.optim import Adam
-from repro.nn.tensor import Tensor, inference_mode
+from repro.nn.tensor import Tensor, get_default_dtype, inference_mode
 from repro.plm import engine
-from repro.plm.encoder import pad_batch
+from repro.plm.encoder import BatchPlan
 from repro.plm.model import PretrainedLM
 
 
@@ -29,9 +29,10 @@ class ElectraDiscriminator:
         rng = ensure_rng(seed)
         dim = plm.dim
         limit = np.sqrt(6.0 / (2 * dim))
+        dtype = get_default_dtype()
         self.weight = Tensor(rng.uniform(-limit, limit, size=(dim, dim)),
-                             requires_grad=True)
-        self.bias = Tensor(np.zeros(1), requires_grad=True)
+                             requires_grad=True, dtype=dtype)
+        self.bias = Tensor(np.zeros(1, dtype=dtype), requires_grad=True)
         self._trained = False
 
     def _hidden_and_embeddings(self, ids: np.ndarray, pad_mask: np.ndarray) -> tuple:
@@ -54,17 +55,18 @@ class ElectraDiscriminator:
         sequences = [vocab.encode(t)[: self.plm.max_len] for t in token_lists if t]
         noise = vocab.unigram_distribution()
         optimizer = Adam([self.weight, self.bias], lr=lr)
+        plan = BatchPlan(sequences, vocab.pad_id, self.plm.max_len)
+        dtype = self.weight.data.dtype
         for _ in range(steps):
             idx = rng.integers(0, len(sequences), size=batch_size)
-            ids, pad_mask = pad_batch([sequences[i] for i in idx],
-                                      vocab.pad_id, self.plm.max_len)
+            ids, pad_mask = plan.gather(idx)
             corrupted = ids.copy()
             replace = (~pad_mask) & (rng.random(ids.shape) < corrupt_prob)
             if replace.any():
                 corrupted[replace] = rng.choice(len(noise), size=int(replace.sum()),
                                                 p=noise)
-            targets = np.where(replace, 0.0, 1.0)
-            weights = (~pad_mask).astype(float)
+            targets = np.where(replace, 0.0, 1.0).astype(dtype)
+            weights = (~pad_mask).astype(dtype)
             hidden, emb = self._hidden_and_embeddings(corrupted, pad_mask)
             logits = self._logits(hidden, emb)
             loss = binary_cross_entropy_with_logits(logits, targets, weights=weights)
@@ -82,7 +84,8 @@ class ElectraDiscriminator:
         """
         vocab = self.plm.vocabulary
         sequences = [vocab.encode(t)[: self.plm.max_len] for t in token_lists]
-        safe = [s if len(s) else np.array([vocab.unk_id]) for s in sequences]
+        safe = [s if len(s) else np.array([vocab.unk_id], dtype=np.int64)
+                for s in sequences]
         out: list = [None] * len(safe)
         table = self.plm.encoder.token_embedding.weight.data
 

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.nn.layers import Embedding, LayerNorm, Linear, Module, TransformerBlock
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, get_default_dtype
 from repro.plm.config import PLMConfig
 from repro.text.vocabulary import Vocabulary
 
@@ -32,7 +32,8 @@ class TransformerEncoder(Module):
         ]
         self.final_norm = LayerNorm(config.dim)
         self.mlm_transform = Linear(config.dim, config.dim, rng)
-        self.mlm_bias = Tensor(np.zeros(len(vocabulary)), requires_grad=True)
+        self.mlm_bias = Tensor(np.zeros(len(vocabulary), dtype=get_default_dtype()),
+                               requires_grad=True)
 
     def forward(self, ids: np.ndarray, pad_mask: "np.ndarray | None" = None) -> Tensor:
         """Hidden states for int id batch (B, T)."""
@@ -40,7 +41,10 @@ class TransformerEncoder(Module):
         batch, seq = ids.shape
         if seq > self.config.max_len:
             raise ValueError(f"sequence length {seq} exceeds max_len {self.config.max_len}")
-        positions = np.broadcast_to(np.arange(seq), (batch, seq))
+        # Position rows are shared across the batch: look them up once as
+        # (1, T, D) and let broadcasting add them — the backward then sums
+        # over the batch axis instead of scatter-adding B*T rows.
+        positions = np.arange(seq)[None, :]
         x = self.token_embedding(ids) + self.position_embedding(positions)
         for block in self.blocks:
             x = block(x, pad_mask=pad_mask)
@@ -65,6 +69,62 @@ class TransformerEncoder(Module):
             block.attn.store_attention = flag
             if not flag:
                 block.attn.last_attention = None
+
+
+class BatchPlan:
+    """Precomputed padding plan for repeated minibatch slicing.
+
+    Training loops that draw many minibatches from one fixed sequence set
+    (``TokenClassifier.fit`` epochs, the MLM pretrainer, the ELECTRA head)
+    previously re-ran :func:`pad_batch` — a Python loop over documents —
+    for every batch. A plan pads the whole corpus **once** into a single
+    (N, T) id matrix plus a length vector, and ``gather`` then assembles
+    any minibatch with two vectorized numpy ops into reusable id/mask
+    buffers.
+
+    ``gather`` returns *views into internal buffers* that are overwritten
+    by the next call — consume (or copy) them before gathering again. The
+    produced (ids, pad_mask) pair is element-identical to
+    ``pad_batch([sequences[i] for i in indices], pad_id, max_len)``.
+    """
+
+    def __init__(self, id_lists: list, pad_id: int, max_len: int):
+        if not id_lists:
+            raise ValueError("empty sequence set")
+        self.pad_id = int(pad_id)
+        self.max_len = int(max_len)
+        width = min(max(len(ids) for ids in id_lists), max_len)
+        width = max(width, 1)
+        self.width = width
+        self.lengths = np.array([min(len(ids), width) for ids in id_lists],
+                                dtype=np.int64)
+        self.ids = np.full((len(id_lists), width), self.pad_id, dtype=np.int64)
+        for i, ids in enumerate(id_lists):
+            n = self.lengths[i]
+            self.ids[i, :n] = np.asarray(ids, dtype=np.int64)[:n]
+        self._positions = np.arange(width, dtype=np.int64)
+        self._ids_buf = np.empty((0, width), dtype=np.int64)
+        self._mask_buf = np.empty((0, width), dtype=bool)
+
+    def __len__(self) -> int:
+        return self.ids.shape[0]
+
+    def gather(self, indices) -> tuple:
+        """(ids, pad_mask) for ``indices`` — buffer views, trimmed to the
+        batch's own max length."""
+        idx = np.asarray(indices, dtype=np.int64)
+        if idx.size == 0:
+            raise ValueError("empty batch")
+        lens = self.lengths[idx]
+        seq = max(int(lens.max()), 1)
+        if self._ids_buf.shape[0] < idx.size:
+            self._ids_buf = np.empty((idx.size, self.width), dtype=np.int64)
+            self._mask_buf = np.empty((idx.size, self.width), dtype=bool)
+        ids = self._ids_buf[: idx.size, :seq]
+        mask = self._mask_buf[: idx.size, :seq]
+        np.take(self.ids[:, :seq], idx, axis=0, out=ids)
+        np.greater_equal(self._positions[:seq][None, :], lens[:, None], out=mask)
+        return ids, mask
 
 
 def pad_batch(id_lists: list, pad_id: int, max_len: int) -> tuple:

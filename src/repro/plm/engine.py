@@ -102,7 +102,7 @@ def plan_batches(lengths: list, config: EngineConfig, max_len: int) -> list:
         return [np.arange(start, min(start + config.batch_size, n))
                 for start in range(0, n, config.batch_size)]
     budget = config.token_budget or config.batch_size * max_len
-    order = np.argsort(np.asarray(lengths), kind="stable")
+    order = np.argsort(np.asarray(lengths, dtype=np.int64), kind="stable")
     batches: list[np.ndarray] = []
     current: list[int] = []
     for idx in order:
@@ -110,11 +110,11 @@ def plan_batches(lengths: list, config: EngineConfig, max_len: int) -> list:
         padded = min(max(int(lengths[idx]), 1), max_len)
         if current and ((len(current) + 1) * padded > budget
                         or len(current) >= config.batch_size * max_len):
-            batches.append(np.asarray(current))
+            batches.append(np.asarray(current, dtype=np.int64))
             current = []
         current.append(int(idx))
     if current:
-        batches.append(np.asarray(current))
+        batches.append(np.asarray(current, dtype=np.int64))
     return batches
 
 
@@ -160,7 +160,8 @@ def _masked_rows(sequences: list, positions: list, indices: np.ndarray,
     composition).
     """
     pos = np.array(
-        [min(positions[i], max(len(sequences[i]), 1) - 1) for i in indices]
+        [min(positions[i], max(len(sequences[i]), 1) - 1) for i in indices],
+        dtype=np.int64,
     )
     return Tensor(hidden.data[np.arange(len(indices)), pos])
 
@@ -195,7 +196,7 @@ def mask_topk(encoder: TransformerEncoder, sequences: list, positions: list,
     n = len(sequences)
     k = min(top_k, len(encoder.vocabulary))
     top_ids = np.zeros((n, k), dtype=np.int64)
-    top_logits = np.zeros((n, k))
+    top_logits = np.zeros((n, k), dtype=np.float32)
 
     def head(indices, ids, pad_mask, hidden):
         rows = _masked_rows(sequences, positions, indices, hidden)

@@ -29,7 +29,7 @@ def save_plm(plm: PretrainedLM, path: "str | Path") -> Path:
     payload = {
         f"param_{i}": array for i, array in enumerate(encoder.state_dict())
     }
-    payload["meta"] = np.array(
+    payload["meta"] = np.asarray(
         json.dumps(
             {
                 "config": dict(encoder.config.__dict__),
@@ -37,7 +37,8 @@ def save_plm(plm: PretrainedLM, path: "str | Path") -> Path:
                 "counts": counts,
                 "n_params": len(encoder.state_dict()),
             }
-        )
+        ),
+        dtype=np.str_,
     )
     np.savez_compressed(path, **payload)
     return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")

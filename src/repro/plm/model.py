@@ -92,7 +92,8 @@ class PretrainedLM:
         """
         vocab = self.vocabulary
         ids_list = [vocab.encode(t)[: self.max_len] for t in token_lists]
-        safe = [s if len(s) else np.array([vocab.unk_id]) for s in ids_list]
+        safe = [s if len(s) else np.array([vocab.unk_id], dtype=np.int64)
+                for s in ids_list]
         hidden: list = [None] * len(safe)
         cache = self.enc_cache if self.engine.cache else None
         keys: "list | None" = None
@@ -160,7 +161,7 @@ class PretrainedLM:
         vocab = self.vocabulary
         seq = vocab.encode(tokens)[: self.max_len]
         if len(seq) == 0:
-            seq = np.array([vocab.unk_id])
+            seq = np.array([vocab.unk_id], dtype=np.int64)
         ids, mask = pad_batch([seq], vocab.pad_id, self.max_len)
         self.encoder.set_store_attention(True)
         try:

@@ -77,23 +77,28 @@ class RelevanceModel:
         if len(unique) < 2:
             raise ValueError("need at least two themes for negative pairs")
         optimizer = Adam(self.head.parameters(), lr=lr)
-        themes_arr = list(themes)
+        # Embed every premise and every theme hypothesis exactly once: the
+        # encoder inputs never change across steps, so each step reduces
+        # to a vectorized gather + the (tiny) head update.
+        premise_emb = self.plm.doc_embeddings(token_lists, normalize=True)
+        theme_emb = self.plm.doc_embeddings(
+            [self._hypothesis(theme_names[t]) for t in unique], normalize=True
+        )
+        theme_index = {t: j for j, t in enumerate(unique)}
+        true_idx = np.array([theme_index[t] for t in themes], dtype=np.int64)
+        n_themes = len(unique)
         for _ in range(steps):
             idx = rng.integers(0, len(token_lists), size=batch_size)
-            premises, hypotheses, labels = [], [], []
-            for i in idx:
-                true_theme = themes_arr[i]
-                if rng.random() < 0.5:
-                    theme, label = true_theme, 1.0
-                else:
-                    others = [t for t in unique if t != true_theme]
-                    theme, label = others[int(rng.integers(0, len(others)))], 0.0
-                premises.append(token_lists[i])
-                hypotheses.append(self._hypothesis(theme_names[theme]))
-                labels.append(label)
-            feats = self._features(premises, hypotheses)
+            positive = rng.random(batch_size) < 0.5
+            # Uniform draw over the other themes: offset-and-wrap skips the
+            # true theme without building per-example candidate lists.
+            offsets = rng.integers(1, n_themes, size=batch_size)
+            chosen = np.where(positive, true_idx[idx],
+                              (true_idx[idx] + offsets) % n_themes)
+            labels = positive.astype(premise_emb.dtype)
+            feats = self._pair_features(premise_emb[idx], theme_emb[chosen])
             logits = self.head(Tensor(feats)).reshape(-1)
-            loss = binary_cross_entropy_with_logits(logits, np.array(labels))
+            loss = binary_cross_entropy_with_logits(logits, labels)
             optimizer.zero_grad()
             loss.backward()
             optimizer.step()

@@ -17,7 +17,7 @@ from repro.embeddings.ppmi_svd import PPMISVDEmbeddings
 from repro.nn.losses import cross_entropy
 from repro.nn.optim import Adam
 from repro.plm.config import PLMConfig
-from repro.plm.encoder import TransformerEncoder, pad_batch
+from repro.plm.encoder import BatchPlan, TransformerEncoder
 from repro.text.vocabulary import Vocabulary
 
 IGNORE = -100
@@ -34,10 +34,13 @@ def init_token_embeddings(encoder: TransformerEncoder, token_lists: list,
     """Overwrite the token table with scaled PPMI-SVD vectors."""
     svd = PPMISVDEmbeddings(dim=config.dim, window=config.svd_window)
     svd.fit(token_lists, vocabulary=encoder.vocabulary, seed=seed)
-    table = svd.matrix().copy()
+    weight = encoder.token_embedding.weight
+    # order='C': the SVD matrix can be F-ordered, and BLAS results differ
+    # by a ulp between layouts — save/load round-trips must stay bit-exact.
+    table = svd.matrix().astype(weight.data.dtype, order="C")
     # Match BERT-style initialization scale so LayerNorm statistics are sane.
-    scale = np.abs(table).mean() + 1e-12
-    encoder.token_embedding.weight.data = table * (0.08 / scale)
+    scale = float(np.abs(table).mean()) + 1e-12
+    weight.data = table * (0.08 / scale)
 
 
 def _mask_tokens(ids: np.ndarray, pad_mask: np.ndarray, vocab: Vocabulary,
@@ -50,7 +53,8 @@ def _mask_tokens(ids: np.ndarray, pad_mask: np.ndarray, vocab: Vocabulary,
     if not selected.any():
         # Guarantee at least one prediction target per batch.
         rows = np.arange(ids.shape[0])
-        cols = np.array([int(np.flatnonzero(c)[0]) if c.any() else 0 for c in candidates])
+        cols = np.array([int(np.flatnonzero(c)[0]) if c.any() else 0
+                         for c in candidates], dtype=np.int64)
         selected[rows, cols] = candidates[rows, cols]
     targets[selected] = ids[selected]
     action = rng.random(ids.shape)
@@ -74,10 +78,12 @@ def pretrain_mlm(encoder: TransformerEncoder, token_lists: list,
     if not sequences:
         raise ValueError("pre-training corpus is empty")
     optimizer = Adam(encoder.parameters(), lr=config.lr)
+    # One padding plan for the whole run: every step's batch is a pair of
+    # vectorized gathers into reusable buffers instead of a Python loop.
+    plan = BatchPlan(sequences, vocab.pad_id, train_len)
     for step in range(config.mlm_steps):
         idx = rng.integers(0, len(sequences), size=config.batch_size)
-        batch_ids, pad_mask = pad_batch([sequences[i] for i in idx],
-                                        vocab.pad_id, train_len)
+        batch_ids, pad_mask = plan.gather(idx)
         corrupted, targets = _mask_tokens(batch_ids, pad_mask, vocab,
                                           config.mlm_prob, rng)
         hidden = encoder(corrupted, pad_mask=pad_mask)

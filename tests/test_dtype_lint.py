@@ -1,0 +1,121 @@
+"""Dtype-discipline lint for the training-path packages.
+
+The compute engine is float32 by default, and a single bare
+``np.zeros(...)`` / ``np.asarray(...)`` (numpy defaults to float64) or
+``astype(float)`` on a hot path silently doubles the memory bandwidth of
+every step that touches it. This tier-1 test walks the ASTs of
+``repro.nn`` and ``repro.plm`` and fails on:
+
+- array-constructor calls (``np.asarray``, ``np.array``, ``np.zeros``,
+  ``np.ones``, ``np.empty``, ``np.full``) without an explicit ``dtype=``
+  argument (the ``*_like`` constructors are dtype-preserving and exempt);
+- ``.astype(float)`` / ``.astype("float")`` / ``.astype(np.float64)``
+  casts, which always mean float64.
+
+Intentional exceptions are declared in ``ALLOWLIST`` below as
+``(filename, exact stripped source line)`` pairs — a waiver is visible in
+the diff of this file, so silent float64 upcasts cannot regress
+unreviewed.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+import repro.nn
+import repro.plm
+
+BARE_CONSTRUCTORS = {"asarray", "array", "zeros", "ones", "empty", "full"}
+
+#: (filename, stripped source line) pairs that may skip an explicit dtype.
+#: Every entry must say why.
+ALLOWLIST = {
+    # Tensor.__init__'s float branch is the *definition* of dtype
+    # preservation: it must not force a dtype.
+    ("tensor.py", "self.data = np.asarray(data)  # dtype: preserve"),
+    # Interior autograd accumulation keeps the dtype of the incoming
+    # gradient (leaves cast to the parameter dtype on assignment).
+    ("tensor.py", "grads[key] = np.asarray(pgrad)  # dtype: preserve"),
+    # The plain-numpy input normalizer: preserving floats is its job.
+    ("functional.py", "x = np.asarray(x)  # dtype: preserve"),
+}
+
+
+def _module_files(package) -> list:
+    root = Path(package.__file__).resolve().parent
+    return sorted(root.glob("*.py"))
+
+
+def _is_np_attr(node: ast.AST, names: set) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr in names
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "np"
+    )
+
+
+def _is_float64_literal(node: ast.AST) -> bool:
+    if isinstance(node, ast.Name) and node.id == "float":
+        return True
+    if isinstance(node, ast.Constant) and node.value in ("float", "float64"):
+        return True
+    return _is_np_attr(node, {"float64", "float_", "double"})
+
+
+def _violations(path: Path) -> list:
+    source = path.read_text()
+    lines = source.splitlines()
+    tree = ast.parse(source, filename=str(path))
+    found = []
+
+    def line_of(node: ast.Call) -> str:
+        return lines[node.lineno - 1].strip()
+
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if _is_np_attr(func, BARE_CONSTRUCTORS):
+            has_dtype = any(kw.arg == "dtype" for kw in node.keywords)
+            # np.asarray/np.array also accept dtype positionally (2nd arg).
+            if func.attr in ("asarray", "array") and len(node.args) >= 2:
+                has_dtype = True
+            if not has_dtype and (path.name, line_of(node)) not in ALLOWLIST:
+                found.append(
+                    f"{path.name}:{node.lineno}: bare np.{func.attr} without "
+                    f"dtype= — {line_of(node)}"
+                )
+        elif isinstance(func, ast.Attribute) and func.attr == "astype":
+            if node.args and _is_float64_literal(node.args[0]):
+                if (path.name, line_of(node)) not in ALLOWLIST:
+                    found.append(
+                        f"{path.name}:{node.lineno}: astype(float64) upcast "
+                        f"— {line_of(node)}"
+                    )
+    return found
+
+
+def test_no_silent_float64_in_training_packages():
+    problems = []
+    for package in (repro.nn, repro.plm):
+        for path in _module_files(package):
+            problems.extend(_violations(path))
+    assert not problems, (
+        "dtype-discipline violations (add an explicit dtype=, use a "
+        "*_like constructor, or add a reviewed ALLOWLIST entry):\n"
+        + "\n".join(problems)
+    )
+
+
+def test_allowlist_entries_still_exist():
+    """Stale waivers must be pruned, not accumulate."""
+    live = set()
+    for package in (repro.nn, repro.plm):
+        for path in _module_files(package):
+            stripped = {line.strip() for line in path.read_text().splitlines()}
+            for name, text in ALLOWLIST:
+                if name == path.name and text in stripped:
+                    live.add((name, text))
+    assert live == ALLOWLIST, f"stale ALLOWLIST entries: {ALLOWLIST - live}"

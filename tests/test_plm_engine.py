@@ -312,7 +312,8 @@ def test_encode_with_attention_still_works_and_restores(shared_encoder,
     hidden, attention = fast_plm.encode_with_attention(["w1", "w2", "w3"])
     assert hidden.shape == (3, fast_plm.dim)
     assert attention.shape[-2:] == (3, 3)
-    np.testing.assert_allclose(attention.sum(axis=-1), 1.0, atol=1e-8)
+    # float32 softmax: rows sum to 1 within a few ulps.
+    np.testing.assert_allclose(attention.sum(axis=-1), 1.0, atol=1e-6)
     assert all(not block.attn.store_attention
                for block in shared_encoder.blocks)
     assert all(m is None for m in shared_encoder.attention_maps())
