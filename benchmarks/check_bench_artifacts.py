@@ -1,0 +1,93 @@
+"""CI gate for bench artifacts: required keys must be present and sane.
+
+Usage::
+
+    python benchmarks/check_bench_artifacts.py [name ...]
+
+Each ``name`` maps to ``benchmarks/BENCH_<name>.json``; with no names,
+every artifact with a registered schema that exists on disk is checked.
+Exits non-zero with one line per problem (missing file, unparseable
+JSON, missing key, non-numeric timing) so a bench that silently stopped
+emitting its numbers fails the smoke job instead of uploading an empty
+artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+
+#: Required top-level keys per artifact (numeric ones checked as numbers).
+SCHEMAS = {
+    "plm_inference": {
+        "numeric": ["seed_seconds", "engine_cold_seconds",
+                    "engine_warm_seconds", "cold_speedup", "warm_speedup"],
+        "present": ["n_docs", "cache"],
+    },
+    "experiment_engine": {
+        "numeric": [],
+        "present": ["latency_table", "westclass", "metacat"],
+    },
+    "training": {
+        "numeric": ["pretrain_speedup", "fit_speedup"],
+        "present": ["configs", "pretrain_seconds", "fit_seconds"],
+    },
+    "obs_overhead": {
+        "numeric": ["disabled_ns_per_span", "disabled_ns_per_count",
+                    "enabled_ns_per_span", "enabled_ns_per_count"],
+        "present": [],
+    },
+}
+
+
+def check_artifact(name: str) -> list:
+    """Problems with ``BENCH_<name>.json`` (empty list = OK)."""
+    schema = SCHEMAS.get(name)
+    if schema is None:
+        return [f"{name}: no schema registered "
+                f"(known: {', '.join(sorted(SCHEMAS))})"]
+    path = HERE / f"BENCH_{name}.json"
+    if not path.exists():
+        return [f"{name}: {path} does not exist"]
+    try:
+        payload = json.loads(path.read_text())
+    except ValueError as exc:
+        return [f"{name}: {path.name} is not valid JSON ({exc})"]
+    if not isinstance(payload, dict):
+        return [f"{name}: {path.name} must hold a JSON object"]
+    problems = []
+    for key in schema["present"] + schema["numeric"]:
+        if key not in payload:
+            problems.append(f"{name}: missing required key {key!r}")
+    for key in schema["numeric"]:
+        value = payload.get(key)
+        if key in payload and not isinstance(value, (int, float)):
+            problems.append(f"{name}: key {key!r} must be numeric, "
+                            f"got {value!r}")
+    return problems
+
+
+def main(argv: "list | None" = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    names = argv or [name for name in sorted(SCHEMAS)
+                     if (HERE / f"BENCH_{name}.json").exists()]
+    if not names:
+        print("no bench artifacts found to check", file=sys.stderr)
+        return 1
+    failures = []
+    for name in names:
+        problems = check_artifact(name)
+        if problems:
+            failures.extend(problems)
+        else:
+            print(f"ok: BENCH_{name}.json")
+    for problem in failures:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

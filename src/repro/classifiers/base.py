@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.core.exceptions import NotFittedError
 from repro.core.seeding import ensure_rng
 from repro.nn.layers import Embedding, Module
@@ -92,24 +93,27 @@ class TokenClassifier(Module):
         optimizer = Adam(self.parameters(), lr=lr)
         self.train()
         n = len(sequences)
-        for _ in range(epochs):
-            order = self.rng.permutation(n)
-            for start in range(0, n, batch_size):
-                take = order[start : start + batch_size]
-                ids, pad_mask = plan.gather(take)
-                logits = self._forward(ids, pad_mask)
-                if sample_weights is not None:
-                    # Weighted soft CE: scale rows of the target matrix.
-                    w = sample_weights[take][:, None]
-                    loss = soft_cross_entropy(logits, soft[take] * w) * (
-                        len(take) / max(w.sum(), 1e-9)
-                    )
-                else:
-                    loss = soft_cross_entropy(logits, soft[take])
-                optimizer.zero_grad()
-                loss.backward()
-                optimizer.clip_grad_norm(5.0)
-                optimizer.step()
+        with obs.span(f"nn.fit:{type(self).__name__}", docs=n,
+                      epochs=int(epochs)):
+            for epoch in range(epochs):
+                with obs.span("epoch", index=epoch):
+                    order = self.rng.permutation(n)
+                    for start in range(0, n, batch_size):
+                        take = order[start : start + batch_size]
+                        ids, pad_mask = plan.gather(take)
+                        logits = self._forward(ids, pad_mask)
+                        if sample_weights is not None:
+                            # Weighted soft CE: scale rows of the target matrix.
+                            w = sample_weights[take][:, None]
+                            loss = soft_cross_entropy(logits, soft[take] * w) * (
+                                len(take) / max(w.sum(), 1e-9)
+                            )
+                        else:
+                            loss = soft_cross_entropy(logits, soft[take])
+                        optimizer.zero_grad()
+                        loss.backward()
+                        optimizer.clip_grad_norm(5.0)
+                        optimizer.step()
         self.eval()
         self._fitted = True
         return self

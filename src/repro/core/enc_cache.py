@@ -21,11 +21,13 @@ wires no cache into the models it builds).
 from __future__ import annotations
 
 import hashlib
-import os
 from collections import OrderedDict
 from pathlib import Path
 
 import numpy as np
+
+from repro import obs
+from repro.core import env as _env
 
 _DEFAULT_MAX_BYTES = 256 << 20
 
@@ -66,11 +68,10 @@ class EncodeCache:
     @classmethod
     def from_env(cls) -> "EncodeCache | None":
         """Cache configured from the environment; None when disabled."""
-        if os.environ.get("REPRO_ENC_CACHE", "").lower() in ("0", "off", "false"):
+        if not _env.enc_cache_enabled():
             return None
-        max_bytes = int(os.environ.get("REPRO_ENC_CACHE_BYTES", _DEFAULT_MAX_BYTES))
-        disk_dir = os.environ.get("REPRO_ENC_CACHE_DIR") or None
-        return cls(max_bytes=max_bytes, disk_dir=disk_dir)
+        return cls(max_bytes=_env.enc_cache_bytes(_DEFAULT_MAX_BYTES),
+                   disk_dir=_env.enc_cache_dir())
 
     # -- lookup ---------------------------------------------------------------
     def get(self, namespace: str, key: str) -> "np.ndarray | None":
@@ -79,6 +80,7 @@ class EncodeCache:
         if entry is not None:
             self._entries.move_to_end((namespace, key))
             self.hits += 1
+            obs.count("enc_cache.hits")
             return entry
         if self.disk_dir is not None:
             path = self._disk_path(namespace, key)
@@ -91,9 +93,12 @@ class EncodeCache:
                 if entry is not None:
                     self.hits += 1
                     self.disk_hits += 1
+                    obs.count("enc_cache.hits")
+                    obs.count("enc_cache.disk_hits")
                     self._insert(namespace, key, entry)
                     return entry
         self.misses += 1
+        obs.count("enc_cache.misses")
         return None
 
     def put(self, namespace: str, key: str, value: np.ndarray) -> None:

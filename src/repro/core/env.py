@@ -1,0 +1,167 @@
+"""Central accessors for every ``REPRO_*`` environment knob.
+
+The engines grew their env vars independently, each with its own parsing
+and its own failure mode (silent fallback, bare ``ValueError`` traceback,
+or import-time crash). This module is the single place the environment is
+read: every knob has one typed accessor with validation, a documented
+default, and a :class:`~repro.core.exceptions.ConfigurationError` naming
+the variable and the offending value when parsing fails.
+
+Only the standard library and :mod:`repro.core.exceptions` are imported
+here, so every layer of the package (including :mod:`repro.nn` at import
+time and :mod:`repro.obs`) can depend on it without cycles.
+
+Knob inventory
+--------------
+==========================  =============================================
+``REPRO_JOBS``              default worker count for table fan-out
+``REPRO_ROW_CACHE``         ``0`` disables the row memo store
+``REPRO_ROW_CACHE_DIR``     row memo store location
+``REPRO_ROW_TIMEOUT``       default per-row timeout (seconds)
+``REPRO_ENC_CACHE``         ``0`` disables the encode cache
+``REPRO_ENC_CACHE_BYTES``   encode-cache memory-tier budget
+``REPRO_ENC_CACHE_DIR``     encode-cache disk tier location
+``REPRO_ENGINE_BUCKET``     ``0`` disables length bucketing
+``REPRO_ENGINE_INFERENCE_MODE``  ``0`` keeps autograd on read paths
+``REPRO_ENGINE_CACHE``      ``0`` skips the cache on model read paths
+``REPRO_ENGINE_TOKEN_BUDGET``  padded tokens per inference batch
+``REPRO_NN_DTYPE``          default compute dtype (float32/float64)
+``REPRO_NN_FUSED``          ``0`` selects composite autograd kernels
+``REPRO_NN_PROFILE``        ``1`` enables the per-op profile hook
+``REPRO_TRACE``             directory for JSONL traces (enables tracing)
+==========================  =============================================
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.core.exceptions import ConfigurationError
+
+_FALSY = ("0", "off", "false", "no")
+_TRUTHY = ("1", "on", "true", "yes")
+
+
+def env_raw(name: str) -> "str | None":
+    """The raw string value, with empty treated as unset."""
+    value = os.environ.get(name)
+    return value if value else None
+
+
+def env_flag(name: str, default: bool) -> bool:
+    """Boolean knob: ``0/off/false/no`` vs ``1/on/true/yes``.
+
+    Unset (or empty) yields ``default``; anything unrecognized raises a
+    :class:`ConfigurationError` instead of silently counting as truthy.
+    """
+    raw = env_raw(name)
+    if raw is None:
+        return default
+    lowered = raw.lower()
+    if lowered in _FALSY:
+        return False
+    if lowered in _TRUTHY:
+        return True
+    raise ConfigurationError(
+        f"{name} must be one of {_TRUTHY + _FALSY}, got {raw!r}"
+    )
+
+
+def env_int(name: str, default: "int | None") -> "int | None":
+    """Integer knob; a malformed value names the variable, not a traceback."""
+    raw = env_raw(name)
+    if raw is None:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"{name} must be an integer, got {raw!r}"
+        ) from None
+
+
+def env_float(name: str, default: "float | None") -> "float | None":
+    """Float knob; a malformed value names the variable, not a traceback."""
+    raw = env_raw(name)
+    if raw is None:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"{name} must be a number, got {raw!r}"
+        ) from None
+
+
+def env_path(name: str, default: "Path | None" = None) -> "Path | None":
+    """Path knob (unset/empty -> ``default``)."""
+    raw = env_raw(name)
+    return Path(raw) if raw is not None else default
+
+
+# ---------------------------------------------------------------------------
+# Named accessors (one per knob, so call sites never spell raw names)
+# ---------------------------------------------------------------------------
+
+def jobs() -> int:
+    """Default worker count for table fan-out (``REPRO_JOBS``, min 1)."""
+    return max(1, env_int("REPRO_JOBS", 1))
+
+
+def row_cache_enabled() -> bool:
+    """Whether the row memo store is active (``REPRO_ROW_CACHE``)."""
+    return env_flag("REPRO_ROW_CACHE", True)
+
+
+def row_cache_dir() -> Path:
+    """Row memo store directory (``REPRO_ROW_CACHE_DIR`` or XDG default)."""
+    return env_path("REPRO_ROW_CACHE_DIR",
+                    Path.home() / ".cache" / "repro" / "rows")
+
+
+def row_timeout() -> "float | None":
+    """Default per-row timeout in seconds (``REPRO_ROW_TIMEOUT``)."""
+    value = env_float("REPRO_ROW_TIMEOUT", None)
+    return value if value and value > 0 else None
+
+
+def enc_cache_enabled() -> bool:
+    """Whether the provider builds an encode cache (``REPRO_ENC_CACHE``)."""
+    return env_flag("REPRO_ENC_CACHE", True)
+
+
+def enc_cache_bytes(default: int) -> int:
+    """Encode-cache memory budget (``REPRO_ENC_CACHE_BYTES``)."""
+    return env_int("REPRO_ENC_CACHE_BYTES", default)
+
+
+def enc_cache_dir() -> "Path | None":
+    """Encode-cache disk tier (``REPRO_ENC_CACHE_DIR``; None = memory only)."""
+    return env_path("REPRO_ENC_CACHE_DIR")
+
+
+def engine_token_budget() -> "int | None":
+    """Padded tokens per inference batch (``REPRO_ENGINE_TOKEN_BUDGET``)."""
+    budget = env_int("REPRO_ENGINE_TOKEN_BUDGET", None)
+    return budget or None
+
+
+def nn_dtype() -> str:
+    """Default compute dtype name (``REPRO_NN_DTYPE``)."""
+    return env_raw("REPRO_NN_DTYPE") or "float32"
+
+
+def nn_fused() -> bool:
+    """Whether fused training kernels are active (``REPRO_NN_FUSED``)."""
+    return env_flag("REPRO_NN_FUSED", True)
+
+
+def nn_profile() -> bool:
+    """Whether the per-op profile hook is requested (``REPRO_NN_PROFILE``)."""
+    return env_flag("REPRO_NN_PROFILE", False)
+
+
+def trace_dir() -> "Path | None":
+    """Trace output directory (``REPRO_TRACE``; None = tracing off)."""
+    return env_path("REPRO_TRACE")

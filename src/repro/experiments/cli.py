@@ -7,6 +7,11 @@ Regenerate any paper table or figure without pytest::
     python -m repro.experiments.cli micol --full --seed 1
     python -m repro.experiments.cli xclass --jobs 4
     python -m repro.experiments.cli pca-figure
+    python -m repro.experiments.cli westclass --trace /tmp/traces
+
+``--trace DIR`` (or ``REPRO_TRACE=DIR``) records the run through
+:mod:`repro.obs` and writes ``DIR/trace_<experiment>.jsonl``; render it
+with ``python -m repro.obs.report DIR/trace_<experiment>.jsonl``.
 """
 
 from __future__ import annotations
@@ -14,7 +19,10 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 
+from repro import obs
+from repro.core import env as _env
 from repro.evaluation.reporting import format_table
 from repro.experiments import engine, figures, tables
 
@@ -76,6 +84,9 @@ def main(argv: "list | None" = None) -> int:
     parser.add_argument("--timeout", type=float, default=None,
                         help="per-row timeout in seconds (parallel runs; "
                              "default: REPRO_ROW_TIMEOUT or none)")
+    parser.add_argument("--trace", type=Path, default=None, metavar="DIR",
+                        help="write a JSONL run trace into DIR "
+                             "(default: REPRO_TRACE or off)")
     args = parser.parse_args(argv)
 
     if args.list or not args.experiment:
@@ -88,24 +99,36 @@ def main(argv: "list | None" = None) -> int:
         return 0
 
     name = args.experiment
-    start = time.time()
-    if name in FIGURES:
-        _run_figure(name, args.seed)
-    elif name in TABLES:
-        fn, description = TABLES[name]
-        rows = fn(seed=args.seed, fast=not args.full, jobs=args.jobs,
-                  use_cache=False if args.no_cache else None,
-                  timeout=args.timeout)
-        print(format_table(rows, title=description))
-        report = engine.take_last_report()
-        if report is not None:
-            print(f"\n[engine] rows={report.rows} memo_hits={report.hits} "
-                  f"computed={report.misses} errors={report.errors} "
-                  f"timeouts={report.timeouts} jobs={report.jobs} "
-                  f"{report.seconds:.1f}s")
-    else:
+    if name not in FIGURES and name not in TABLES:
         print(f"unknown experiment {name!r}; use --list", file=sys.stderr)
         return 2
+
+    trace_dir = args.trace if args.trace is not None else _env.trace_dir()
+    if trace_dir is not None:
+        obs.enable(f"cli:{name}")
+    start = time.time()
+    try:
+        with obs.span(f"cli:{name}"):
+            if name in FIGURES:
+                _run_figure(name, args.seed)
+            else:
+                fn, description = TABLES[name]
+                rows = fn(seed=args.seed, fast=not args.full, jobs=args.jobs,
+                          use_cache=False if args.no_cache else None,
+                          timeout=args.timeout)
+                print(format_table(rows, title=description))
+                report = engine.take_last_report()
+                if report is not None:
+                    print(f"\n[engine] rows={report.rows} "
+                          f"memo_hits={report.hits} "
+                          f"computed={report.misses} errors={report.errors} "
+                          f"timeouts={report.timeouts} jobs={report.jobs} "
+                          f"{report.seconds:.1f}s")
+    finally:
+        if trace_dir is not None:
+            tracer = obs.disable()
+            path = tracer.write(Path(trace_dir) / f"trace_{name}.jsonl")
+            print(f"[trace] {path}")
     print(f"\n[{time.time() - start:.1f}s]")
     return 0
 

@@ -35,8 +35,18 @@ Workers compose with the PR-1 encode cache: when the pool spawns and no
 shared on-disk tier next to the row store, so documents encoded by one
 worker are disk hits for every other.
 
-Env knobs: ``REPRO_JOBS`` (default worker count), ``REPRO_ROW_CACHE``
-(``0`` disables memoization), ``REPRO_ROW_CACHE_DIR`` (store location),
+When tracing is enabled (:mod:`repro.obs`), every executed row runs
+under a ``row:<table>/<name>`` span. Parallel rows record into a
+short-lived worker-side tracer whose export travels back through the
+result pipe alongside the metrics; the parent absorbs those payloads in
+spec order — not completion order — so the trace *content* of a
+``--jobs N`` run is deterministic (only timings vary). Memo hits and
+misses, executed/error/timeout rows all tick :func:`repro.obs.count`
+counters mirroring the :class:`RunReport` fields.
+
+Env knobs (all read through :mod:`repro.core.env`): ``REPRO_JOBS``
+(default worker count), ``REPRO_ROW_CACHE`` (``0`` disables
+memoization), ``REPRO_ROW_CACHE_DIR`` (store location),
 ``REPRO_ROW_TIMEOUT`` (default per-row timeout, seconds).
 """
 
@@ -51,6 +61,9 @@ from collections import deque
 from dataclasses import dataclass, field
 from multiprocessing.connection import wait as _wait_connections
 from pathlib import Path
+
+from repro import obs
+from repro.core import env as _env
 
 #: Sentinel a runner may return to drop its row from the table (mirrors
 #: the seed harness skipping e.g. a theme with no matching context).
@@ -173,10 +186,7 @@ _MEMO_MEMORY: "dict[str, dict]" = {}
 
 def default_cache_dir() -> Path:
     """Row-store directory (``REPRO_ROW_CACHE_DIR`` or the XDG default)."""
-    env = os.environ.get("REPRO_ROW_CACHE_DIR")
-    if env:
-        return Path(env)
-    return Path.home() / ".cache" / "repro" / "rows"
+    return _env.row_cache_dir()
 
 
 def clear_memo_memory() -> None:
@@ -234,8 +244,17 @@ def _execute_row(spec: RowSpec, row_seed: int) -> tuple:
     return metrics, time.perf_counter() - start
 
 
+def _row_span_name(spec: RowSpec) -> str:
+    return f"row:{spec.table}/{spec.name}"
+
+
 def _worker_main(conn) -> None:
-    """Worker loop: receive ``(index, spec, row_seed)``, send results."""
+    """Worker loop: receive ``(index, spec, row_seed, trace)``, send results.
+
+    When ``trace`` is set the row runs under a fresh worker-side tracer;
+    its exported spans and counters ride back with the metrics and the
+    parent re-roots them into the run trace (:meth:`Tracer.absorb`).
+    """
     while True:
         try:
             task = conn.recv()
@@ -243,10 +262,17 @@ def _worker_main(conn) -> None:
             return
         if task is None:
             return
-        index, spec, row_seed = task
-        metrics, seconds = _execute_row(spec, row_seed)
+        index, spec, row_seed, trace = task
+        payload = None
+        if trace:
+            obs.enable(_row_span_name(spec))
+            with obs.span(_row_span_name(spec)):
+                metrics, seconds = _execute_row(spec, row_seed)
+            payload = obs.disable().export()
+        else:
+            metrics, seconds = _execute_row(spec, row_seed)
         try:
-            conn.send((index, metrics, seconds))
+            conn.send((index, metrics, seconds, payload))
         except (BrokenPipeError, OSError):
             return
 
@@ -301,8 +327,7 @@ def _run_pool(tasks: list, jobs: int, timeout: "float | None",
     # the environment at spawn time) at a shared disk tier so hidden
     # states encoded by one worker are hits for every other.
     shared_enc = None
-    if (os.environ.get("REPRO_ENC_CACHE", "").lower() not in ("0", "off", "false")
-            and not os.environ.get("REPRO_ENC_CACHE_DIR")):
+    if _env.enc_cache_enabled() and _env.enc_cache_dir() is None:
         shared_enc = str(_enc_cache_dir_for(cache_dir))
         os.environ["REPRO_ENC_CACHE_DIR"] = shared_enc
 
@@ -328,14 +353,14 @@ def _run_pool(tasks: list, jobs: int, timeout: "float | None",
                 index = worker.task[0]
                 if worker.conn in ready:
                     try:
-                        got, metrics, seconds = worker.conn.recv()
+                        got, metrics, seconds, payload = worker.conn.recv()
                     except (EOFError, OSError):
                         record(index, {"error": "worker crashed"}, 0.0, "crash")
                         remaining -= 1
                         worker.stop(force=True)
                         workers[slot] = _Worker(ctx)
                         continue
-                    record(got, metrics, seconds, "done")
+                    record(got, metrics, seconds, "done", payload)
                     remaining -= 1
                     worker.task = None
                     worker.deadline = None
@@ -365,27 +390,19 @@ def _run_pool(tasks: list, jobs: int, timeout: "float | None",
 def _resolve_jobs(jobs: "int | None") -> int:
     if jobs is not None:
         return max(1, int(jobs))
-    try:
-        return max(1, int(os.environ.get("REPRO_JOBS", "1")))
-    except ValueError:
-        return 1
+    return _env.jobs()
 
 
 def _resolve_use_cache(use_cache: "bool | None") -> bool:
     if use_cache is not None:
         return bool(use_cache)
-    return os.environ.get("REPRO_ROW_CACHE", "").lower() not in ("0", "off",
-                                                                 "false")
+    return _env.row_cache_enabled()
 
 
 def _resolve_timeout(timeout: "float | None") -> "float | None":
     if timeout is not None:
         return float(timeout) if timeout > 0 else None
-    raw = os.environ.get("REPRO_ROW_TIMEOUT")
-    try:
-        return float(raw) if raw else None
-    except ValueError:
-        return None
+    return _env.row_timeout()
 
 
 def run_specs(specs: list, table_seed: int = 0, *, jobs: "int | None" = None,
@@ -403,6 +420,7 @@ def run_specs(specs: list, table_seed: int = 0, *, jobs: "int | None" = None,
     timeout = _resolve_timeout(timeout)
     cache_dir = Path(cache_dir) if cache_dir else default_cache_dir()
     memo = RowMemo(cache_dir) if _resolve_use_cache(use_cache) else None
+    trace = obs.enabled()
 
     report = RunReport(jobs=jobs)
     results: "list[dict | None]" = [None] * len(specs)
@@ -420,29 +438,47 @@ def run_specs(specs: list, table_seed: int = 0, *, jobs: "int | None" = None,
             if hit is not None:
                 results[i] = hit
                 report.hits += 1
+                obs.count("row_memo.hits")
                 continue
-        tasks.append((i, spec, seeds[i]))
+        tasks.append((i, spec, seeds[i], trace))
     report.misses = len(tasks)
+    obs.count("row_memo.misses", len(tasks))
+
+    traces: "dict[int, dict]" = {}
 
     def record(index: int, metrics: dict, seconds: float,
-               kind: str = "done") -> None:
+               kind: str = "done", payload: "dict | None" = None) -> None:
         if results[index] is not None:  # late result after timeout/crash
             return
         results[index] = {"metrics": metrics, "seconds": seconds}
+        if payload is not None:
+            traces[index] = payload
         if "error" in metrics:
             report.errors += 1
+            obs.count("rows.errors")
             if kind == "timeout":
                 report.timeouts += 1
-        elif memo is not None:
-            memo.put(keys[index], results[index])
+                obs.count("rows.timeouts")
+        else:
+            obs.count("rows.executed")
+            if memo is not None:
+                memo.put(keys[index], results[index])
 
     if tasks:
         if jobs <= 1:
-            for index, spec, row_seed in tasks:
-                metrics, seconds = _execute_row(spec, row_seed)
+            for index, spec, row_seed, _ in tasks:
+                with obs.span(_row_span_name(spec)):
+                    metrics, seconds = _execute_row(spec, row_seed)
                 record(index, metrics, seconds)
         else:
             _run_pool(tasks, jobs, timeout, cache_dir, record)
+            if trace:
+                # Absorb worker traces in spec order — not completion
+                # order — so parallel trace content is deterministic.
+                for index, _, _, _ in tasks:
+                    payload = traces.get(index)
+                    if payload is not None:
+                        obs.tracer().absorb(payload)
 
     rows = []
     for spec, payload in zip(specs, results):

@@ -6,6 +6,7 @@ import time
 
 import numpy as np
 
+from repro import obs
 from repro.core.types import Corpus
 from repro.datasets.bundle import DatasetBundle
 from repro.evaluation.metrics import macro_f1, micro_f1
@@ -64,10 +65,11 @@ def run_rows(specs: list, evaluate) -> list:
     for name, factory, supervision in specs:
         row = {"Method": name}
         start = time.perf_counter()
-        try:
-            row.update(evaluate(factory(), supervision))
-        except MemoryError:  # the tables' literal "-" case
-            row["error"] = "-"
+        with obs.span(f"row:{name}"):
+            try:
+                row.update(evaluate(factory(), supervision))
+            except MemoryError:  # the tables' literal "-" case
+                row["error"] = "-"
         row["seconds"] = round(time.perf_counter() - start, 3)
         rows.append(row)
     return rows

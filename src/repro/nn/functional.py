@@ -18,13 +18,13 @@ dtype-preserving (see :mod:`repro.nn.tensor`).
 
 from __future__ import annotations
 
-import os
-
 import numpy as np
 
+from repro import obs
+from repro.core import env as _env
 from repro.nn.tensor import Tensor, _unbroadcast, get_default_dtype, is_grad_enabled
 
-_FUSED = os.environ.get("REPRO_NN_FUSED", "1").lower() not in ("0", "off", "false")
+_FUSED = _env.nn_fused()
 
 #: Finite stand-in for -inf in masked softmax: large enough that exp()
 #: underflows to exactly 0, small enough to be float32-representable.
@@ -62,6 +62,7 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
         shifted = x - x.max(axis=axis, keepdims=True).detach()
         exp = shifted.exp()
         return exp / exp.sum(axis=axis, keepdims=True)
+    obs.count("nn.fused_dispatches")
     data = x.data
     probs = data - data.max(axis=axis, keepdims=True)
     np.exp(probs, out=probs)
@@ -82,6 +83,7 @@ def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     if not _FUSED:
         shifted = x - x.max(axis=axis, keepdims=True).detach()
         return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+    obs.count("nn.fused_dispatches")
     data = x.data
     out = data - data.max(axis=axis, keepdims=True)
     lse = np.log(np.exp(out).sum(axis=axis, keepdims=True))
@@ -107,6 +109,7 @@ def masked_softmax(x: Tensor, mask: "np.ndarray | None", axis: int = -1) -> Tens
         return softmax(x, axis=axis)
     if not _FUSED:
         return softmax(x.masked_fill(mask, _MASK_FILL), axis=axis)
+    obs.count("nn.fused_dispatches")
     mask = np.asarray(mask, dtype=bool)
     probs = np.where(mask, _MASK_FILL, x.data)
     probs -= probs.max(axis=axis, keepdims=True)
@@ -132,6 +135,7 @@ def layer_norm(x: Tensor, gain: Tensor, bias: Tensor, eps: float = 1e-5) -> Tens
         var = (centered * centered).mean(axis=-1, keepdims=True)
         normed = centered * (var + eps) ** -0.5
         return normed * gain + bias
+    obs.count("nn.fused_dispatches")
     data = x.data
     d = data.shape[-1]
     xhat = data - data.mean(axis=-1, keepdims=True)

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.nn import functional as F
 from repro.nn.tensor import Tensor, is_grad_enabled
 
@@ -46,6 +47,7 @@ def cross_entropy(logits: Tensor, targets: np.ndarray,
             picked = flat[np.arange(flat_targets.size), flat_targets]
         return -picked.mean()
 
+    obs.count("nn.fused_dispatches")
     data = logits.data
     n_classes = data.shape[-1]
     flat = data.reshape(-1, n_classes)
@@ -93,6 +95,7 @@ def soft_cross_entropy(logits: Tensor, target_probs: np.ndarray) -> Tensor:
         per_example = -(Tensor(target) * log_probs).sum(axis=-1)
         return per_example.mean()
 
+    obs.count("nn.fused_dispatches")
     data = logits.data
     target = np.asarray(target_probs, dtype=data.dtype)
     n_classes = data.shape[-1]

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
+
 
 class Optimizer:
     """Base optimizer over a fixed parameter list."""
@@ -66,6 +68,7 @@ class SGD(Optimizer):
         self._buf = [np.empty_like(p.data) for p in self.parameters]
 
     def step(self) -> None:
+        obs.count("nn.optimizer_steps")
         for p, v, buf in zip(self.parameters, self._velocity, self._buf):
             if p.grad is None:
                 continue
@@ -99,6 +102,7 @@ class Adam(Optimizer):
         self._t = 0
 
     def step(self) -> None:
+        obs.count("nn.optimizer_steps")
         self._t += 1
         bias1 = 1.0 - self.beta1**self._t
         bias2 = 1.0 - self.beta2**self._t

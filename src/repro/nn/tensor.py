@@ -20,11 +20,28 @@ for gradient checking.
 
 from __future__ import annotations
 
-import os
-
 import numpy as np
 
+from repro.core import env as _env
+
 _GRAD_ENABLED = True
+
+#: Per-op profile hook (observability): when set, called with the backward
+#: closure's qualname on every graph-node creation. ``None`` (the default)
+#: costs one global load per op — see ``benchmarks/bench_obs_overhead.py``.
+_OP_HOOK = None
+
+
+def set_op_hook(hook) -> None:
+    """Install (or clear, with ``None``) the per-op profile hook.
+
+    The hook receives the creating op's backward qualname (e.g.
+    ``Tensor.__mul__.<locals>.backward``) once per graph node recorded in
+    grad mode. ``repro.obs`` installs one when tracing is enabled under
+    ``REPRO_NN_PROFILE=1``; nothing else should need to.
+    """
+    global _OP_HOOK
+    _OP_HOOK = hook
 
 _ALLOWED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
 
@@ -38,7 +55,7 @@ def _resolve_dtype(dtype) -> np.dtype:
     return resolved
 
 
-_DEFAULT_DTYPE = _resolve_dtype(os.environ.get("REPRO_NN_DTYPE", "float32"))
+_DEFAULT_DTYPE = _resolve_dtype(_env.nn_dtype())
 
 
 def get_default_dtype() -> np.dtype:
@@ -154,6 +171,8 @@ class Tensor:
         return value if isinstance(value, Tensor) else Tensor(value)
 
     def _make(self, data: np.ndarray, parents: tuple, backward) -> "Tensor":
+        if _OP_HOOK is not None:
+            _OP_HOOK(backward.__qualname__)
         out = Tensor(data)
         if _GRAD_ENABLED:
             out.requires_grad = any(p.requires_grad for p in parents)

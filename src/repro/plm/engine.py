@@ -35,20 +35,14 @@ Env knobs (read by :meth:`EngineConfig.from_env`):
 from __future__ import annotations
 
 import contextlib
-import os
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
+from repro.core import env as _env
 from repro.nn.tensor import Tensor, inference_mode
 from repro.plm.encoder import TransformerEncoder, pad_batch
-
-
-def _env_flag(name: str, default: bool = True) -> bool:
-    value = os.environ.get(name)
-    if value is None:
-        return default
-    return value.lower() not in ("0", "off", "false")
 
 
 @dataclass(frozen=True)
@@ -64,20 +58,12 @@ class EngineConfig:
     @classmethod
     def from_env(cls, batch_size: int = 32) -> "EngineConfig":
         """Config honouring the ``REPRO_ENGINE_*`` environment knobs."""
-        budget = os.environ.get("REPRO_ENGINE_TOKEN_BUDGET")
-        if budget:
-            try:
-                budget = int(budget)
-            except ValueError:
-                raise ValueError(
-                    f"REPRO_ENGINE_TOKEN_BUDGET must be an integer, got {budget!r}"
-                ) from None
         return cls(
             batch_size=batch_size,
-            bucket=_env_flag("REPRO_ENGINE_BUCKET"),
-            inference=_env_flag("REPRO_ENGINE_INFERENCE_MODE"),
-            cache=_env_flag("REPRO_ENGINE_CACHE"),
-            token_budget=budget or None,
+            bucket=_env.env_flag("REPRO_ENGINE_BUCKET", True),
+            inference=_env.env_flag("REPRO_ENGINE_INFERENCE_MODE", True),
+            cache=_env.env_flag("REPRO_ENGINE_CACHE", True),
+            token_budget=_env.engine_token_budget(),
         )
 
     def grad_context(self):
@@ -132,9 +118,15 @@ def run_encoder(encoder: TransformerEncoder, sequences: list, pad_id: int,
     for indices in batches:
         chunk = [sequences[i] for i in indices]
         ids, pad_mask = pad_batch(chunk, pad_id, max_len)
-        with config.grad_context():
-            hidden = encoder(ids, pad_mask=pad_mask)
-            per_batch(indices, ids, pad_mask, hidden)
+        with obs.span("encode:batch", docs=len(chunk),
+                      width=int(ids.shape[1])):
+            with config.grad_context():
+                hidden = encoder(ids, pad_mask=pad_mask)
+                per_batch(indices, ids, pad_mask, hidden)
+        if obs.enabled():
+            obs.count("plm.batches")
+            obs.count("plm.tokens_encoded", int(ids.size - pad_mask.sum()))
+            obs.count("plm.padded_tokens", int(ids.size))
 
 
 def encode_hidden(encoder: TransformerEncoder, sequences: list, pad_id: int,

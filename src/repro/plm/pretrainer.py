@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.core.seeding import ensure_rng
 from repro.embeddings.ppmi_svd import PPMISVDEmbeddings
 from repro.nn.losses import cross_entropy
@@ -81,21 +82,23 @@ def pretrain_mlm(encoder: TransformerEncoder, token_lists: list,
     # One padding plan for the whole run: every step's batch is a pair of
     # vectorized gathers into reusable buffers instead of a Python loop.
     plan = BatchPlan(sequences, vocab.pad_id, train_len)
-    for step in range(config.mlm_steps):
-        idx = rng.integers(0, len(sequences), size=config.batch_size)
-        batch_ids, pad_mask = plan.gather(idx)
-        corrupted, targets = _mask_tokens(batch_ids, pad_mask, vocab,
-                                          config.mlm_prob, rng)
-        hidden = encoder(corrupted, pad_mask=pad_mask)
-        # Project only the masked positions onto the vocabulary — the
-        # output layer dominates step cost otherwise.
-        rows, cols = np.nonzero(targets != IGNORE)
-        picked = hidden[rows, cols]  # (M, D)
-        logits = encoder.mlm_logits(picked)
-        loss = cross_entropy(logits, targets[rows, cols])
-        optimizer.zero_grad()
-        loss.backward()
-        optimizer.clip_grad_norm(5.0)
-        optimizer.step()
-        if log is not None:
-            log.append(float(loss.item()))
+    with obs.span("nn.pretrain_mlm", steps=int(config.mlm_steps),
+                  docs=len(sequences)):
+        for step in range(config.mlm_steps):
+            idx = rng.integers(0, len(sequences), size=config.batch_size)
+            batch_ids, pad_mask = plan.gather(idx)
+            corrupted, targets = _mask_tokens(batch_ids, pad_mask, vocab,
+                                              config.mlm_prob, rng)
+            hidden = encoder(corrupted, pad_mask=pad_mask)
+            # Project only the masked positions onto the vocabulary — the
+            # output layer dominates step cost otherwise.
+            rows, cols = np.nonzero(targets != IGNORE)
+            picked = hidden[rows, cols]  # (M, D)
+            logits = encoder.mlm_logits(picked)
+            loss = cross_entropy(logits, targets[rows, cols])
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.clip_grad_norm(5.0)
+            optimizer.step()
+            if log is not None:
+                log.append(float(loss.item()))
