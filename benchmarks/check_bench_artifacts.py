@@ -40,6 +40,12 @@ SCHEMAS = {
                     "enabled_ns_per_span", "enabled_ns_per_count"],
         "present": [],
     },
+    "serving": {
+        "numeric": ["unbatched_seconds", "batched_seconds", "speedup",
+                    "batched_p50_ms", "batched_p99_ms",
+                    "unbatched_p50_ms", "unbatched_p99_ms"],
+        "present": ["n_requests", "n_clients", "batches", "shed_demo"],
+    },
 }
 
 

@@ -1,0 +1,27 @@
+"""Package entry point: ``python -m repro <command>``.
+
+``python -m repro serve ...`` routes to the serving CLI
+(:mod:`repro.serve.cli`); everything else falls through to the
+experiment runner (:mod:`repro.experiments.cli`), so
+``python -m repro westclass`` and ``python -m repro.experiments.cli
+westclass`` are equivalent.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def main(argv: "list | None" = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "serve":
+        from repro.serve.cli import main as serve_main
+
+        return serve_main(argv[1:])
+    from repro.experiments.cli import main as experiments_main
+
+    return experiments_main(argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

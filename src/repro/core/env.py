@@ -25,6 +25,7 @@ Knob inventory
 ``REPRO_ENGINE_INFERENCE_MODE``  ``0`` keeps autograd on read paths
 ``REPRO_ENGINE_CACHE``      ``0`` skips the cache on model read paths
 ``REPRO_ENGINE_TOKEN_BUDGET``  padded tokens per inference batch
+``REPRO_MODEL_DIR``         model-registry root (``repro.serve``)
 ``REPRO_NN_DTYPE``          default compute dtype (float32/float64)
 ``REPRO_NN_FUSED``          ``0`` selects composite autograd kernels
 ``REPRO_NN_PROFILE``        ``1`` enables the per-op profile hook
@@ -145,6 +146,16 @@ def engine_token_budget() -> "int | None":
     """Padded tokens per inference batch (``REPRO_ENGINE_TOKEN_BUDGET``)."""
     budget = env_int("REPRO_ENGINE_TOKEN_BUDGET", None)
     return budget or None
+
+
+def model_dir() -> Path:
+    """Model-registry root (``REPRO_MODEL_DIR`` or XDG default).
+
+    The versioned registry (:mod:`repro.serve.registry`) stores one
+    directory per published model under this root.
+    """
+    return env_path("REPRO_MODEL_DIR",
+                    Path.home() / ".cache" / "repro" / "models")
 
 
 def nn_dtype() -> str:

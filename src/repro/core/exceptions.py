@@ -27,3 +27,29 @@ class VocabularyError(ReproError):
 
 class TaxonomyError(ReproError):
     """Raised for malformed label trees or DAGs."""
+
+
+class ArtifactError(ReproError):
+    """Raised for unreadable, corrupt, or tampered model artifacts.
+
+    Every artifact-store load failure — truncated archive, digest
+    mismatch, missing payload file, unparseable manifest — surfaces as
+    this type with the offending path in the message, never as a bare
+    numpy/pickle/zipfile error.
+    """
+
+
+class ServingError(ReproError):
+    """Base class for model-serving failures (`repro.serve`)."""
+
+
+class Overloaded(ServingError):
+    """Raised when the serving queue is full and a request is shed.
+
+    Backpressure signal: the bounded request queue refuses new work
+    instead of stalling the submitting thread.
+    """
+
+
+class DeadlineExceeded(ServingError):
+    """Raised when a request's deadline passed before it was served."""

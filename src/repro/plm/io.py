@@ -4,15 +4,30 @@ A fitted :class:`~repro.plm.model.PretrainedLM` serializes to a single
 ``.npz`` file: the parameter arrays (in ``Module.parameters()`` order), the
 vocabulary tokens, counts, and the config fields — enough to rebuild the
 model bit-identically in another process, skipping pre-training.
+
+The archive records its compute dtype explicitly (``meta["dtype"]``), and
+:func:`load_plm` rebuilds the encoder *under that dtype* regardless of the
+process-wide default (:func:`repro.nn.tensor.get_default_dtype`). A
+float32-trained model therefore loads bit-exact in a float64-default
+process and vice versa — ``Module.load_state_dict`` casts checkpoints to
+the receiving parameters' dtype, so the parameters must be created at the
+archive's dtype first.
+
+Corrupt or truncated archives raise
+:class:`~repro.core.exceptions.ArtifactError` naming the file, never a
+bare numpy/zipfile/JSON error.
 """
 
 from __future__ import annotations
 
 import json
+import zipfile
 from pathlib import Path
 
 import numpy as np
 
+from repro.core.exceptions import ArtifactError
+from repro.nn.tensor import default_dtype
 from repro.plm.config import PLMConfig
 from repro.plm.encoder import TransformerEncoder
 from repro.plm.model import PretrainedLM
@@ -26,16 +41,18 @@ def save_plm(plm: PretrainedLM, path: "str | Path") -> Path:
     vocab = encoder.vocabulary
     tokens = [vocab.token(i) for i in range(len(vocab))]
     counts = [vocab.frequency(t) for t in tokens]
-    payload = {
-        f"param_{i}": array for i, array in enumerate(encoder.state_dict())
-    }
+    state = encoder.state_dict()
+    payload = {f"param_{i}": array for i, array in enumerate(state)}
     payload["meta"] = np.asarray(
         json.dumps(
             {
                 "config": dict(encoder.config.__dict__),
                 "tokens": tokens,
                 "counts": counts,
-                "n_params": len(encoder.state_dict()),
+                "n_params": len(state),
+                # The compute dtype the parameters were trained at; load
+                # rebuilds the encoder under it for bit-exact round-trips.
+                "dtype": str(np.dtype(state[0].dtype)) if state else "float32",
             }
         ),
         dtype=np.str_,
@@ -45,19 +62,42 @@ def save_plm(plm: PretrainedLM, path: "str | Path") -> Path:
 
 
 def load_plm(path: "str | Path") -> PretrainedLM:
-    """Rebuild a :class:`PretrainedLM` saved by :func:`save_plm`."""
-    with np.load(Path(path), allow_pickle=False) as data:
-        meta = json.loads(str(data["meta"]))
-        arrays = [data[f"param_{i}"] for i in range(meta["n_params"])]
+    """Rebuild a :class:`PretrainedLM` saved by :func:`save_plm`.
+
+    Raises :class:`ArtifactError` (naming ``path``) when the archive is
+    corrupt, truncated, or missing expected entries.
+    """
+    path = Path(path)
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            meta = json.loads(str(data["meta"]))
+            arrays = [data[f"param_{i}"] for i in range(meta["n_params"])]
+    except FileNotFoundError:
+        raise ArtifactError(f"PLM archive {path} does not exist") from None
+    except (zipfile.BadZipFile, OSError, ValueError, KeyError,
+            json.JSONDecodeError) as exc:
+        raise ArtifactError(
+            f"PLM archive {path} is corrupt or truncated: {exc}"
+        ) from exc
     config = PLMConfig(**meta["config"])
     n_specials = len(Vocabulary().specials)
     vocab = Vocabulary()
     for token, count in zip(meta["tokens"][n_specials:],
                             meta["counts"][n_specials:]):
         vocab.add(token, count=int(count))
+    # Pre-dtype-field archives fall back to the stored arrays' dtype (npz
+    # preserves it); either way the encoder is built at the archive dtype
+    # so load_state_dict's cast is the identity.
+    dtype = meta.get("dtype") or (str(arrays[0].dtype) if arrays else "float32")
     rng = np.random.default_rng(0)  # weights are overwritten below
-    encoder = TransformerEncoder(vocab, config, rng)
-    encoder.load_state_dict(arrays)
+    try:
+        with default_dtype(dtype):
+            encoder = TransformerEncoder(vocab, config, rng)
+            encoder.load_state_dict(arrays)
+    except ValueError as exc:
+        raise ArtifactError(
+            f"PLM archive {path} does not match its manifest: {exc}"
+        ) from exc
     # The encode cache is content-addressed (weights digest), so a model
     # round-tripped through disk shares cached encodings with its source.
     from repro.plm.provider import shared_encode_cache

@@ -1,0 +1,324 @@
+"""Predict-only snapshots of fitted methods (the artifact store).
+
+An artifact is a directory holding everything ``predict`` needs and
+nothing ``fit`` needed:
+
+- ``manifest.json`` — schema version, method identity, label space,
+  per-file SHA-256 digests plus a combined content digest, and free-form
+  provenance (dataset profile, seed, config);
+- ``plm_<i>.npz`` — one archive per distinct
+  :class:`~repro.plm.model.PretrainedLM` reachable from the method,
+  written by :func:`repro.plm.io.save_plm` (dtype-faithful, bit-exact);
+- ``state.pkl`` — the fitted method object with every PLM (and encode
+  cache) swapped out via pickle persistent ids, so the heavy weights
+  live in the npz archives and process-local caches never serialize.
+
+Writes are atomic: the directory is assembled under a temp name and
+renamed into place, so readers never observe a half-written artifact.
+Loads verify digests by default and raise
+:class:`~repro.core.exceptions.ArtifactError` naming the offending file
+for any corruption — never a bare pickle/numpy error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import pickle
+import shutil
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import obs
+from repro.core.base import MultiLabelTextClassifier
+from repro.core.enc_cache import EncodeCache
+from repro.core.exceptions import ArtifactError
+from repro.core.types import Corpus, Document
+from repro.plm.io import load_plm, save_plm
+from repro.plm.model import PretrainedLM
+
+ARTIFACT_SCHEMA = 1
+MANIFEST = "manifest.json"
+STATE = "state.pkl"
+
+
+def as_corpus(docs, name: str = "request") -> Corpus:
+    """Coerce request payloads into a :class:`Corpus`.
+
+    Accepts a ready corpus, an iterable of raw strings, or an iterable
+    of token lists; strings tokenize through the default tokenizer.
+    """
+    if isinstance(docs, Corpus):
+        return docs
+    documents = []
+    for i, doc in enumerate(docs):
+        if isinstance(doc, Document):
+            documents.append(Document(doc_id=f"{name}-{i}", text=doc.text,
+                                      tokens=list(doc.tokens)))
+        elif isinstance(doc, str):
+            documents.append(Document(doc_id=f"{name}-{i}", text=doc))
+        else:
+            documents.append(Document(doc_id=f"{name}-{i}",
+                                      tokens=[str(t) for t in doc]))
+    return Corpus(documents, name=name)
+
+
+# ---------------------------------------------------------------------------
+# PLM-aware pickling
+# ---------------------------------------------------------------------------
+
+class _ExportPickler(pickle.Pickler):
+    """Pickler that externalizes PLMs and drops process-local caches."""
+
+    def __init__(self, file, plms: list):
+        super().__init__(file, protocol=pickle.HIGHEST_PROTOCOL)
+        self._plms = plms
+        self._index: dict[int, int] = {}
+
+    def persistent_id(self, obj):
+        if isinstance(obj, PretrainedLM):
+            key = id(obj)
+            if key not in self._index:
+                self._index[key] = len(self._plms)
+                self._plms.append(obj)
+            return ("repro.plm", self._index[key])
+        if isinstance(obj, EncodeCache):
+            # Caches are process-local working state, not model state.
+            return ("repro.enc_cache", None)
+        return None
+
+
+class _ImportUnpickler(pickle.Unpickler):
+    """Unpickler resolving persistent ids back to freshly loaded PLMs."""
+
+    def __init__(self, file, plms: list):
+        super().__init__(file)
+        self._plms = plms
+
+    def persistent_load(self, pid):
+        kind, index = pid
+        if kind == "repro.plm":
+            return self._plms[index]
+        if kind == "repro.enc_cache":
+            from repro.plm.provider import shared_encode_cache
+
+            return shared_encode_cache()
+        raise ArtifactError(f"unknown persistent id {pid!r} in artifact state")
+
+
+# ---------------------------------------------------------------------------
+# Digests
+# ---------------------------------------------------------------------------
+
+def _sha256(path: Path) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for block in iter(lambda: fh.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()
+
+
+def _combined_digest(files: dict) -> str:
+    digest = hashlib.sha256()
+    for name in sorted(files):
+        digest.update(f"{name}:{files[name]['sha256']}\n".encode())
+    return digest.hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Export
+# ---------------------------------------------------------------------------
+
+def export_artifact(model, path: "str | Path", *,
+                    provenance: "dict | None" = None,
+                    overwrite: bool = False) -> Path:
+    """Snapshot fitted ``model`` into artifact directory ``path``.
+
+    ``model`` is any fitted classifier with ``predict`` (the
+    :mod:`repro.core.base` contract). ``provenance`` is recorded verbatim
+    in the manifest (dataset profile, seed, config — anything that lets a
+    reader re-derive the training run).
+    """
+    path = Path(path)
+    if path.exists():
+        if not overwrite:
+            raise ArtifactError(f"artifact {path} already exists")
+        shutil.rmtree(path)
+    fitted = getattr(model, "_fitted", True)
+    if not fitted:
+        raise ArtifactError(
+            f"refusing to export unfitted model {type(model).__name__}"
+        )
+
+    tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+    if tmp.exists():
+        shutil.rmtree(tmp)
+    tmp.mkdir(parents=True)
+    try:
+        with obs.span("serve:export", method=type(model).__name__):
+            plms: list[PretrainedLM] = []
+            buffer = io.BytesIO()
+            _ExportPickler(buffer, plms).dump(model)
+            (tmp / STATE).write_bytes(buffer.getvalue())
+            plm_files = []
+            for i, plm in enumerate(plms):
+                plm_files.append(f"plm_{i}.npz")
+                save_plm(plm, tmp / f"plm_{i}.npz")
+
+            files = {}
+            for name in [STATE, *plm_files]:
+                file_path = tmp / name
+                files[name] = {"sha256": _sha256(file_path),
+                               "bytes": file_path.stat().st_size}
+            label_set = getattr(model, "label_set", None)
+            manifest = {
+                "schema": ARTIFACT_SCHEMA,
+                "kind": "repro.serve.artifact",
+                "method": type(model).__name__,
+                "method_module": type(model).__module__,
+                "multi_label": isinstance(model, MultiLabelTextClassifier),
+                "labels": list(label_set.labels) if label_set is not None else None,
+                "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+                "plms": plm_files,
+                "files": files,
+                "digest": _combined_digest(files),
+                "provenance": dict(provenance or {}),
+            }
+            (tmp / MANIFEST).write_text(json.dumps(manifest, indent=2,
+                                                   sort_keys=True) + "\n")
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():
+            shutil.rmtree(tmp)
+    obs.count("serve.exports")
+    return path
+
+
+# ---------------------------------------------------------------------------
+# Load
+# ---------------------------------------------------------------------------
+
+def read_manifest(path: "str | Path") -> dict:
+    """The parsed, schema-checked manifest of artifact ``path``."""
+    path = Path(path)
+    manifest_path = path / MANIFEST
+    if not manifest_path.exists():
+        raise ArtifactError(f"{manifest_path} does not exist "
+                            "(not an artifact directory?)")
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except (ValueError, OSError) as exc:
+        raise ArtifactError(f"{manifest_path} is unreadable: {exc}") from exc
+    if not isinstance(manifest, dict) or manifest.get("kind") != "repro.serve.artifact":
+        raise ArtifactError(f"{manifest_path} is not a repro model manifest")
+    schema = manifest.get("schema")
+    if schema != ARTIFACT_SCHEMA:
+        raise ArtifactError(
+            f"{manifest_path} has schema {schema!r}; this build reads "
+            f"schema {ARTIFACT_SCHEMA}"
+        )
+    return manifest
+
+
+def verify_artifact(path: "str | Path", manifest: "dict | None" = None) -> dict:
+    """Check every payload file of ``path`` against its recorded digest.
+
+    Returns the manifest; raises :class:`ArtifactError` naming the first
+    missing or tampered file.
+    """
+    path = Path(path)
+    manifest = manifest or read_manifest(path)
+    files = manifest.get("files", {})
+    for name, meta in files.items():
+        file_path = path / name
+        if not file_path.exists():
+            raise ArtifactError(f"artifact file {file_path} is missing")
+        actual = _sha256(file_path)
+        if actual != meta.get("sha256"):
+            raise ArtifactError(
+                f"digest mismatch for {file_path}: manifest records "
+                f"{meta.get('sha256')!r}, file hashes {actual!r}"
+            )
+    if manifest.get("digest") != _combined_digest(files):
+        raise ArtifactError(
+            f"combined content digest mismatch in {path / MANIFEST}"
+        )
+    return manifest
+
+
+class ServableModel:
+    """A loaded artifact: the fitted method plus its manifest.
+
+    ``predict``/``scores`` accept raw strings, token lists, or a
+    :class:`Corpus`; single- and multi-label methods are served through
+    the same surface (the manifest records which one this is).
+    """
+
+    def __init__(self, model, manifest: dict, path: "Path | None" = None):
+        self.model = model
+        self.manifest = manifest
+        self.path = path
+
+    @property
+    def labels(self) -> "list | None":
+        return self.manifest.get("labels")
+
+    @property
+    def multi_label(self) -> bool:
+        return bool(self.manifest.get("multi_label"))
+
+    def predict(self, docs) -> list:
+        """Predicted label (or label tuple, multi-label) per document."""
+        return self.model.predict(as_corpus(docs))
+
+    def scores(self, docs) -> np.ndarray:
+        """(n_docs, n_labels) probabilities / relevance scores."""
+        corpus = as_corpus(docs)
+        if self.multi_label:
+            return self.model.score(corpus)
+        return self.model.predict_proba(corpus)
+
+    def warmup(self) -> None:
+        """One throwaway predict so first real requests skip lazy init."""
+        with obs.span("serve:warmup", method=self.manifest.get("method")):
+            self.predict([["warmup"]])
+
+    def __repr__(self) -> str:
+        return (f"ServableModel(method={self.manifest.get('method')}, "
+                f"labels={len(self.labels or [])})")
+
+
+def load_artifact(path: "str | Path", verify: bool = True) -> ServableModel:
+    """Reconstruct the fitted method snapshotted at ``path``.
+
+    With ``verify`` (the default) every payload file is digest-checked
+    first, so a flipped bit fails loudly as :class:`ArtifactError` before
+    any bytes are unpickled.
+    """
+    path = Path(path)
+    with obs.span("serve:load", artifact=str(path)):
+        manifest = read_manifest(path)
+        if verify:
+            verify_artifact(path, manifest)
+        plms = []
+        for name in manifest.get("plms", []):
+            plms.append(load_plm(path / name))
+        state_path = path / STATE
+        try:
+            with open(state_path, "rb") as fh:
+                model = _ImportUnpickler(fh, plms).load()
+        except ArtifactError:
+            raise
+        except FileNotFoundError:
+            raise ArtifactError(f"artifact file {state_path} is missing") from None
+        except Exception as exc:  # pickle raises a zoo of types on bad bytes
+            raise ArtifactError(
+                f"artifact state {state_path} is corrupt: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
+    obs.count("serve.loads")
+    return ServableModel(model, manifest, path=path)

@@ -1,0 +1,186 @@
+"""Versioned model registry rooted at ``REPRO_MODEL_DIR``.
+
+On-disk layout — one directory per model name, one artifact directory
+per version::
+
+    <root>/
+        agnews-westclass/
+            v0001/            # artifact (manifest.json, state.pkl, plm_*.npz)
+            v0002/
+
+Versions are monotonically increasing integers assigned at publish time;
+``latest`` resolves to the highest one. Publishing is atomic (the
+artifact store renames a fully-written directory into place), loads
+digest-verify by default, and ``evict`` removes a version (or a whole
+model). Names are restricted to ``[a-z0-9._-]`` so registry paths stay
+shell- and URL-safe.
+"""
+
+from __future__ import annotations
+
+import re
+import shutil
+from pathlib import Path
+
+from repro.core import env as _env
+from repro.core.exceptions import ArtifactError
+from repro.serve.artifacts import (
+    ServableModel,
+    export_artifact,
+    load_artifact,
+    read_manifest,
+)
+
+_NAME_RE = re.compile(r"^[a-z0-9][a-z0-9._-]*$")
+_VERSION_RE = re.compile(r"^v(\d{4,})$")
+LATEST = "latest"
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ArtifactError(
+            f"invalid model name {name!r}: use lowercase letters, digits, "
+            "'.', '_' and '-' (must start alphanumeric)"
+        )
+    return name
+
+
+def parse_ref(ref: str) -> tuple:
+    """Split ``name`` / ``name@latest`` / ``name@7`` / ``name@v0007``."""
+    name, _, version = ref.partition("@")
+    return _check_name(name), version or LATEST
+
+
+class ModelRegistry:
+    """Named, versioned model store over the artifact format.
+
+    Parameters
+    ----------
+    root:
+        Registry directory; defaults to the ``REPRO_MODEL_DIR``
+        environment knob (see :func:`repro.core.env.model_dir`).
+    """
+
+    def __init__(self, root: "str | Path | None" = None):
+        self.root = Path(root) if root is not None else _env.model_dir()
+
+    # -- paths ---------------------------------------------------------------
+    def model_dir(self, name: str) -> Path:
+        return self.root / _check_name(name)
+
+    def version_dir(self, name: str, version: int) -> Path:
+        return self.model_dir(name) / f"v{version:04d}"
+
+    # -- queries -------------------------------------------------------------
+    def models(self) -> list:
+        """Sorted names of every published model."""
+        if not self.root.exists():
+            return []
+        return sorted(
+            p.name for p in self.root.iterdir()
+            if p.is_dir() and _NAME_RE.match(p.name) and self.versions(p.name)
+        )
+
+    def versions(self, name: str) -> list:
+        """Sorted version numbers published under ``name``."""
+        directory = self.model_dir(name)
+        if not directory.exists():
+            return []
+        found = []
+        for p in directory.iterdir():
+            match = _VERSION_RE.match(p.name)
+            if match and p.is_dir() and (p / "manifest.json").exists():
+                found.append(int(match.group(1)))
+        return sorted(found)
+
+    def resolve(self, name: str, version: "int | str" = LATEST) -> int:
+        """Resolve ``version`` (int, ``"7"``, ``"v0007"``, ``"latest"``)."""
+        versions = self.versions(name)
+        if not versions:
+            raise ArtifactError(
+                f"model {name!r} has no published versions under {self.root}"
+            )
+        if version == LATEST:
+            return versions[-1]
+        if isinstance(version, str):
+            match = _VERSION_RE.match(version)
+            if match:
+                version = int(match.group(1))
+            else:
+                try:
+                    version = int(version)
+                except ValueError:
+                    raise ArtifactError(
+                        f"bad version {version!r} for model {name!r}"
+                    ) from None
+        if version not in versions:
+            raise ArtifactError(
+                f"model {name!r} has no version {version} "
+                f"(published: {versions})"
+            )
+        return version
+
+    def inspect(self, name: str, version: "int | str" = LATEST) -> dict:
+        """The manifest of ``name@version`` plus registry coordinates."""
+        resolved = self.resolve(name, version)
+        manifest = read_manifest(self.version_dir(name, resolved))
+        return {"name": name, "version": resolved,
+                "path": str(self.version_dir(name, resolved)), **manifest}
+
+    def describe(self) -> list:
+        """One summary row per model (for ``repro serve list``)."""
+        rows = []
+        for name in self.models():
+            versions = self.versions(name)
+            manifest = read_manifest(self.version_dir(name, versions[-1]))
+            rows.append({
+                "name": name,
+                "versions": len(versions),
+                "latest": versions[-1],
+                "method": manifest.get("method"),
+                "labels": len(manifest.get("labels") or []),
+                "created": manifest.get("created"),
+            })
+        return rows
+
+    # -- mutation ------------------------------------------------------------
+    def publish(self, name: str, model, *,
+                provenance: "dict | None" = None) -> int:
+        """Export fitted ``model`` as the next version of ``name``.
+
+        Returns the assigned version number. The version directory is
+        written atomically, so concurrent readers either see the previous
+        ``latest`` or the complete new one.
+        """
+        _check_name(name)
+        versions = self.versions(name)
+        version = (versions[-1] + 1) if versions else 1
+        target = self.version_dir(name, version)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        export_artifact(model, target, provenance=provenance)
+        return version
+
+    def load(self, name: str, version: "int | str" = LATEST,
+             verify: bool = True) -> ServableModel:
+        """Load ``name@version`` (digest-verified by default)."""
+        resolved = self.resolve(name, version)
+        return load_artifact(self.version_dir(name, resolved), verify=verify)
+
+    def evict(self, name: str, version: "int | str | None" = None) -> list:
+        """Delete one version (or, with ``version=None``, every version).
+
+        Returns the version numbers removed.
+        """
+        if version is None:
+            removed = self.versions(name)
+            if removed:
+                shutil.rmtree(self.model_dir(name))
+            return removed
+        resolved = self.resolve(name, version)
+        shutil.rmtree(self.version_dir(name, resolved))
+        if not self.versions(name):
+            shutil.rmtree(self.model_dir(name), ignore_errors=True)
+        return [resolved]
+
+    def __repr__(self) -> str:
+        return f"ModelRegistry(root={str(self.root)!r})"

@@ -1,8 +1,12 @@
 """Tests for PLM persistence and phrase mining."""
 
+import json
+
 import numpy as np
 import pytest
 
+from repro.core.exceptions import ArtifactError
+from repro.nn.tensor import default_dtype
 from repro.plm.io import load_plm, save_plm
 from repro.text.phrases import merge_phrases, mine_phrases, phrase_corpus
 
@@ -26,6 +30,79 @@ def test_save_load_preserves_masked_predictions(tiny_plm, tmp_path):
     tokens = ["soccer", "team", "won", "championship"]
     assert tiny_plm.predict_masked(tokens, 0, top_k=5) == \
         restored.predict_masked(tokens, 0, top_k=5)
+
+
+def test_archive_records_explicit_dtype(tiny_plm, tmp_path):
+    path = tmp_path / "model.npz"
+    save_plm(tiny_plm, path)
+    with np.load(path, allow_pickle=False) as data:
+        meta = json.loads(str(data["meta"]))
+    assert meta["dtype"] == str(tiny_plm.encoder.state_dict()[0].dtype)
+
+
+def test_float32_archive_loads_bit_exact_under_float64_default(tiny_plm,
+                                                               tmp_path):
+    """Loading reconstructs the archive's dtype, not the process default."""
+    path = tmp_path / "model.npz"
+    save_plm(tiny_plm, path)
+    saved = tiny_plm.encoder.state_dict()
+    assert saved[0].dtype == np.float32
+    with default_dtype("float64"):
+        restored = load_plm(path)
+    for ours, theirs in zip(saved, restored.encoder.state_dict()):
+        assert theirs.dtype == ours.dtype
+        np.testing.assert_array_equal(ours, theirs)
+
+
+def test_float64_archive_loads_bit_exact_under_float32_default(tmp_path):
+    from repro.plm.config import tiny_config
+    from repro.plm.encoder import TransformerEncoder
+    from repro.plm.model import PretrainedLM
+    from repro.text.vocabulary import Vocabulary
+
+    vocab = Vocabulary()
+    for token in ["alpha", "beta", "gamma", "delta"]:
+        vocab.add(token, count=5)
+    with default_dtype("float64"):
+        encoder = TransformerEncoder(vocab, tiny_config(),
+                                     np.random.default_rng(3))
+    plm64 = PretrainedLM(encoder)
+    saved = plm64.encoder.state_dict()
+    assert saved[0].dtype == np.float64
+    path = tmp_path / "model64.npz"
+    save_plm(plm64, path)
+    restored = load_plm(path)  # process default stays float32
+    for ours, theirs in zip(saved, restored.encoder.state_dict()):
+        assert theirs.dtype == np.float64
+        np.testing.assert_array_equal(ours, theirs)
+
+
+def test_pre_dtype_archives_fall_back_to_array_dtype(tiny_plm, tmp_path):
+    """Archives written before the dtype field still load faithfully."""
+    path = tmp_path / "legacy.npz"
+    save_plm(tiny_plm, path)
+    with np.load(path, allow_pickle=False) as data:
+        payload = {name: data[name] for name in data.files}
+    meta = json.loads(str(payload["meta"]))
+    del meta["dtype"]
+    payload["meta"] = np.asarray(json.dumps(meta), dtype=np.str_)
+    np.savez_compressed(path, **payload)
+    restored = load_plm(path)
+    for ours, theirs in zip(tiny_plm.encoder.state_dict(),
+                            restored.encoder.state_dict()):
+        assert theirs.dtype == ours.dtype
+        np.testing.assert_array_equal(ours, theirs)
+
+
+def test_load_plm_errors_are_typed(tiny_plm, tmp_path):
+    with pytest.raises(ArtifactError, match="does not exist"):
+        load_plm(tmp_path / "ghost.npz")
+    path = tmp_path / "model.npz"
+    save_plm(tiny_plm, path)
+    truncated = tmp_path / "truncated.npz"
+    truncated.write_bytes(path.read_bytes()[:256])
+    with pytest.raises(ArtifactError, match="truncated.npz"):
+        load_plm(truncated)
 
 
 def test_mine_phrases_finds_collocation():
