@@ -17,20 +17,18 @@ The floors are not fixed constants: the achievable ratios depend on how
 much the host rewards batching (BLAS vs per-call overhead) and on how
 cheap pure-python bookkeeping is relative to float32 compute — both of
 which collapse on an oversubscribed CI runner, where fixed 2x/8x floors
-flaked. Before timing the real workload we run two pure-numpy probes
-(fused-vs-looped matmul for the cold ratio, dict-lookup-vs-compute for
-the warm cache-served ratio) and scale the floors from the measured
-host gains, clamped to [1.3, 2.0] cold and [3.0, 8.0] warm. A fast,
-idle host still enforces the original 2x/8x; a degraded host relaxes
-gracefully instead of failing on noise. The calibration measurements
-and derived floors are recorded in the artifact.
+flaked. The shared ``hostcal`` probes (fused-vs-looped matmul for the
+cold ratio, dict-lookup-vs-compute for the warm cache-served ratio)
+measure the host, and the floors scale from those gains, clamped to
+[1.3, 2.0] cold and [3.0, 8.0] warm. A fast, idle host still enforces
+the original 2x/8x; a degraded host relaxes gracefully instead of
+failing on noise. The calibration measurements and derived floors are
+recorded in the artifact.
 """
 
 from __future__ import annotations
 
-import json
 import time
-from pathlib import Path
 
 import numpy as np
 
@@ -43,7 +41,9 @@ from repro.plm.engine import EngineConfig
 from repro.plm.model import PretrainedLM
 from repro.plm.provider import get_pretrained_lm
 
-ARTIFACT = Path(__file__).resolve().parent / "BENCH_plm_inference.json"
+import hostcal
+from conftest import write_bench_artifact
+
 N_DOCS = 500
 
 # Floors derived in _calibrate_floors, clamped to [MIN, MAX].  The MAX
@@ -100,51 +100,17 @@ def _timed(fn) -> tuple:
     return time.perf_counter() - start, result
 
 
-def _best_of(fn, repeats: int = 5) -> float:
-    """Min wall time over ``repeats`` runs — strips scheduler noise."""
-    return min(_timed(fn)[0] for _ in range(repeats))
-
-
 def _calibrate_floors(seed: int = 0) -> dict:
-    """Measure this host's batching reward and timing jitter.
+    """Host-aware speedup floors from the shared ``hostcal`` probes.
 
-    Two pure-numpy probes, independent of any repro code:
-
-    - **batch gain** — 64 looped ``(8, 32) @ (32, 32)`` float32 matmuls
-      vs one fused ``(512, 32)`` matmul over the same rows.  The engine's
-      cold advantage (no-grad, length-bucketed token-budget batches) is
-      bounded by how much this host rewards replacing per-call python
-      overhead with one BLAS call — near 1.0 when BLAS is already
-      contended, >5 on an idle host.
-    - **jitter** — mean/min wall time over repeats of a millisecond-scale
-      python sweep (dict lookups + tiny reductions, the shape of a warm
-      cache-served pass).  The warm pass is so short in absolute terms
-      that scheduler noise inflates it disproportionately; this measures
-      exactly that inflation.  ~1.0-1.4 idle, 2-5 on a loaded runner.
-
-    Floors scale down from the fixed maxima with the measured gains and
-    jitter, clamped to hard minima the engine must clear regardless.
+    Floors scale down from the fixed maxima with the measured batching
+    gain and jitter, clamped to hard minima the engine must clear
+    regardless (probe semantics documented in :mod:`hostcal`).
     """
-    rng = np.random.default_rng(seed)
-    weight = rng.standard_normal((32, 32)).astype(np.float32)
-    small = [rng.standard_normal((8, 32)).astype(np.float32)
-             for _ in range(64)]
-    fused = np.concatenate(small, axis=0)
-    fused @ weight  # warm BLAS once
-
-    looped_s = _best_of(lambda: [x @ weight for x in small])
-    fused_s = _best_of(lambda: [fused @ weight])
-    batch_gain = looped_s / max(fused_s, 1e-9)
-
-    keys = [(i, i + 1) for i in range(N_DOCS)]
-    table = {key: small[i % len(small)] for i, key in enumerate(keys)}
-    sweep = lambda: [table[k].mean(axis=0) for k in keys]
-    times = [_timed(sweep)[0] for _ in range(7)]
-    jitter = max(1.0, (sum(times) / len(times)) / max(min(times), 1e-9))
-
+    probes = hostcal.calibrate(seed=seed)
+    batch_gain, jitter = probes["batch_gain"], probes["jitter"]
     return {
-        "batch_gain": round(batch_gain, 2),
-        "jitter": round(jitter, 2),
+        **probes,
         "min_cold_speedup": round(
             min(COLD_FLOOR_MAX,
                 max(COLD_FLOOR_MIN,
@@ -202,7 +168,7 @@ def test_plm_inference_engine_throughput():
         "cache": engine_plm.enc_cache.stats(),
         "calibration": calibration,
     }
-    ARTIFACT.write_text(json.dumps(report, indent=2) + "\n")
+    artifact_path = write_bench_artifact("plm_inference", report)
 
     print()
     print("PLM inference engine, doc_embeddings over "
@@ -215,7 +181,7 @@ def test_plm_inference_engine_throughput():
     print(f"  calibrated floors: cold >= {min_cold}x, warm >= {min_warm}x "
           f"(batch_gain {calibration['batch_gain']}, "
           f"jitter {calibration['jitter']})")
-    print(f"  artifact: {ARTIFACT}")
+    print(f"  artifact: {artifact_path}")
 
     assert seed_s / cold_s >= min_cold, report
     assert seed_s / warm_s >= min_warm, report

@@ -17,6 +17,17 @@ A final burst against a tiny queue demonstrates load shedding (typed
 Asserts batched throughput >= 2x unbatched and writes
 ``BENCH_serving.json`` (throughput, p50/p99 latency, batch and shed
 counts) next to this file.
+
+A second bench serves the same fitted model from a float32 artifact and
+an int8 quantized artifact (which auto-enables the packed fused-infer
+path) over identical near-``max_len`` single-document request streams.
+Arms are interleaved across rounds and compared on per-arm minima, so
+scheduler noise hits both sides equally; the speedup floor is
+host-calibrated via :mod:`hostcal` and capped at
+:data:`QUANT_FLOOR_MAX`. Accuracy is compared as macro-F1 against gold
+labels on the full test corpus — the quantized artifact must stay
+within :data:`QUANT_MAX_ACCURACY_DELTA` points of float32. Writes
+``BENCH_quantized.json``.
 """
 
 from __future__ import annotations
@@ -28,17 +39,28 @@ import numpy as np
 
 from repro.core.exceptions import Overloaded
 from repro.datasets import load_profile
+from repro.evaluation.metrics import macro_f1
+from repro.experiments.runner import gold_single
 from repro.methods import XClass
 from repro.plm.config import PLMConfig
 from repro.plm.model import PretrainedLM
 from repro.plm.provider import get_pretrained_lm
 from repro.serve import ServeConfig, ServingEngine, export_artifact, load_artifact
 
+import hostcal
 from conftest import write_bench_artifact
 
 N_REQUESTS = 64
 N_CLIENTS = 8
 MIN_SPEEDUP = 2.0
+
+# Quantized-vs-float32 arm: interleaved rounds, per-arm minima, and a
+# host-calibrated speedup floor (capped at the fixed 1.5x target; a
+# contended host relaxes toward the hard minimum instead of flaking).
+QUANT_ROUNDS = 5
+QUANT_FLOOR_MIN, QUANT_FLOOR_FRACTION, QUANT_FLOOR_MAX = 1.15, 0.25, 1.5
+QUANT_MAX_ACCURACY_DELTA = 0.5  # macro-F1 points
+QUANT_DOC_TOKENS = 44  # near max_len=48: encoder-dominated requests
 
 
 def _build_servable(tmp_dir) -> "tuple":
@@ -179,8 +201,139 @@ def test_serving_engine_throughput(tmp_path):
     assert speedup >= MIN_SPEEDUP, report
 
 
+def _long_docs(sources: list, n_docs: int) -> list:
+    """``n_docs`` token lists padded to near-``max_len`` by concatenation."""
+    docs = []
+    for i in range(n_docs):
+        doc, j = list(sources[i % len(sources)]), 1
+        while len(doc) < QUANT_DOC_TOKENS:
+            doc += sources[(i + j) % len(sources)]
+            j += 1
+        docs.append(doc[:48])
+    return docs
+
+
+def _plm_bytes(artifact_dir) -> int:
+    """On-disk size of the PLM archives inside one artifact directory."""
+    return sum(p.stat().st_size for p in artifact_dir.glob("plm_*.npz"))
+
+
+def _quantized_floor() -> dict:
+    """Host-calibrated speedup floor for the quantized arm.
+
+    Scales with how much the host rewards replacing python-side op
+    dispatch with packed numpy kernels (the same batch_gain probe the
+    inference bench uses), damped by timing jitter, clamped to
+    [QUANT_FLOOR_MIN, QUANT_FLOOR_MAX].
+    """
+    probes = hostcal.calibrate()
+    floor = QUANT_FLOOR_FRACTION * probes["batch_gain"] / probes["jitter"]
+    return {
+        **probes,
+        "min_speedup": round(
+            min(QUANT_FLOOR_MAX, max(QUANT_FLOOR_MIN, floor)), 2),
+    }
+
+
+def test_quantized_serving_speedup(tmp_path):
+    calibration = _quantized_floor()
+    min_speedup = calibration["min_speedup"]
+
+    # Deeper encoder than the batching bench: quantized artifacts target
+    # encode-dominated serving, so the bench workload should be too.
+    config = PLMConfig(dim=32, n_layers=6, n_heads=2, ff_hidden=64,
+                       mlm_steps=150, pretrain_docs=700)
+    bundle = load_profile("agnews", seed=0, scale=0.4)
+    plm = get_pretrained_lm(target_corpus=bundle.train_corpus, config=config,
+                            seed=0)
+    model = XClass(plm=plm, seed=0)
+    model.fit(bundle.train_corpus, bundle.label_names())
+
+    provenance = {"profile": "agnews", "seed": 0, "bench": "quantized"}
+    f32_path = export_artifact(model, tmp_path / "bench-f32",
+                               provenance=provenance)
+    int8_path = export_artifact(model, tmp_path / "bench-int8",
+                                provenance=provenance, quantize="int8",
+                                probe=bundle.test_corpus[:48])
+    size_ratio = _plm_bytes(f32_path) / max(_plm_bytes(int8_path), 1)
+
+    arms = {}
+    for key, path in (("float32", f32_path), ("int8", int8_path)):
+        loaded = load_artifact(path)
+        # Cache-less facade (as above), but keep the artifact's engine
+        # config: the int8 manifest is what enables fused_infer.
+        loaded.model.plm = PretrainedLM(loaded.model.plm.encoder,
+                                        enc_cache=None,
+                                        engine_config=loaded.model.plm.engine)
+        loaded.warmup()
+        arms[key] = loaded
+
+    # Accuracy first (also warms both arms through the full test set).
+    test_docs = bundle.test_corpus.token_lists()
+    gold = gold_single(bundle.test_corpus)
+    labels = list(bundle.label_set)
+    f1 = {key: macro_f1(gold, loaded.predict(test_docs), labels=labels)
+          for key, loaded in arms.items()}
+    accuracy_delta = (f1["float32"] - f1["int8"]) * 100.0
+
+    requests = _long_docs(test_docs + bundle.train_corpus.token_lists(),
+                          N_REQUESTS)
+
+    def workload(loaded) -> float:
+        start = time.perf_counter()
+        for doc in requests:
+            loaded.predict([doc])
+        return time.perf_counter() - start
+
+    # Interleave the arms each round so load spikes hit both; per-arm
+    # minima then estimate each arm's unloaded speed.
+    times = {"float32": [], "int8": []}
+    for _ in range(QUANT_ROUNDS):
+        for key in times:
+            times[key].append(workload(arms[key]))
+    float32_s, int8_s = min(times["float32"]), min(times["int8"])
+    speedup = float32_s / int8_s
+
+    report = {
+        "quantize": "int8",
+        "n_requests": N_REQUESTS,
+        "rounds": QUANT_ROUNDS,
+        "doc_tokens": QUANT_DOC_TOKENS,
+        "float32_seconds": round(float32_s, 4),
+        "quantized_seconds": round(int8_s, 4),
+        "speedup": round(speedup, 2),
+        "min_speedup": min_speedup,
+        "float32_macro_f1": round(f1["float32"], 4),
+        "quantized_macro_f1": round(f1["int8"], 4),
+        "accuracy_delta": round(accuracy_delta, 4),
+        "max_accuracy_delta": QUANT_MAX_ACCURACY_DELTA,
+        "size_ratio": round(size_ratio, 2),
+        "calibration": calibration,
+    }
+    write_bench_artifact("quantized", report)
+
+    print()
+    print(f"quantized serving, {N_REQUESTS} near-max_len single-doc "
+          f"requests x {QUANT_ROUNDS} interleaved rounds")
+    print(f"  float32:   {float32_s * 1000:7.1f}ms  "
+          f"macro-F1 {f1['float32']:.4f}")
+    print(f"  int8:      {int8_s * 1000:7.1f}ms  "
+          f"macro-F1 {f1['int8']:.4f}  -> {speedup:.2f}x, "
+          f"{size_ratio:.1f}x smaller on disk")
+    print(f"  calibrated floor: >= {min_speedup}x "
+          f"(batch_gain {calibration['batch_gain']}, "
+          f"jitter {calibration['jitter']}); "
+          f"accuracy delta {accuracy_delta:+.2f} pts "
+          f"(max {QUANT_MAX_ACCURACY_DELTA})")
+
+    assert size_ratio > 2.0, report
+    assert abs(accuracy_delta) <= QUANT_MAX_ACCURACY_DELTA, report
+    assert speedup >= min_speedup, report
+
+
 if __name__ == "__main__":
     import tempfile
     from pathlib import Path
 
     test_serving_engine_throughput(Path(tempfile.mkdtemp()))
+    test_quantized_serving_speedup(Path(tempfile.mkdtemp()))

@@ -5,11 +5,13 @@ Usage::
     python benchmarks/check_bench_artifacts.py [name ...]
 
 Each ``name`` maps to ``benchmarks/BENCH_<name>.json``; with no names,
-every artifact with a registered schema that exists on disk is checked.
-Exits non-zero with one line per problem (missing file, unparseable
-JSON, missing key, non-numeric timing) so a bench that silently stopped
-emitting its numbers fails the smoke job instead of uploading an empty
-artifact.
+every artifact with a registered schema that exists on disk is checked,
+and any ``BENCH_*.json`` on disk *without* a registered schema is a
+failure — an artifact nobody registered is an artifact nobody gates, so
+it would otherwise rot silently. Exits non-zero with one line per
+problem (missing file, unparseable JSON, missing key, non-numeric
+timing, unknown artifact) so a bench that silently stopped emitting its
+numbers fails the smoke job instead of uploading an empty artifact.
 """
 
 from __future__ import annotations
@@ -19,6 +21,12 @@ import sys
 from pathlib import Path
 
 HERE = Path(__file__).resolve().parent
+
+#: run_once tables share one shape: timing + the rendered rows.
+_TABLE_SCHEMA = {
+    "numeric": ["seconds"],
+    "present": ["artifact", "full", "n_rows", "rows"],
+}
 
 #: Required top-level keys per artifact (numeric ones checked as numbers).
 SCHEMAS = {
@@ -46,6 +54,32 @@ SCHEMAS = {
                     "unbatched_p50_ms", "unbatched_p99_ms"],
         "present": ["n_requests", "n_clients", "batches", "shed_demo"],
     },
+    "quantized": {
+        "numeric": ["float32_seconds", "quantized_seconds", "speedup",
+                    "min_speedup", "accuracy_delta", "max_accuracy_delta",
+                    "size_ratio"],
+        "present": ["quantize", "n_requests", "calibration"],
+    },
+    "xl_encode": {
+        "numeric": ["encode_seconds", "docs_per_second", "cache_max_bytes"],
+        "present": ["profile", "n_docs", "cache", "shard_files"],
+    },
+    "regression": {
+        "numeric": ["checked"],
+        "present": ["regressed", "results", "meta"],
+    },
+    "conwea_table": _TABLE_SCHEMA,
+    "lotclass_predictions": _TABLE_SCHEMA,
+    "lotclass_table": _TABLE_SCHEMA,
+    "metacat_table": _TABLE_SCHEMA,
+    "micol_table": _TABLE_SCHEMA,
+    "promptclass_table": _TABLE_SCHEMA,
+    "summary_table": _TABLE_SCHEMA,
+    "taxoclass_table": _TABLE_SCHEMA,
+    "weshclass_table": _TABLE_SCHEMA,
+    "westclass_table": _TABLE_SCHEMA,
+    "xclass_dataset_table": _TABLE_SCHEMA,
+    "xclass_table": _TABLE_SCHEMA,
 }
 
 
@@ -76,6 +110,17 @@ def check_artifact(name: str) -> list:
     return problems
 
 
+def unknown_artifacts(directory: "Path | None" = None) -> list:
+    """``BENCH_*.json`` files on disk with no registered schema."""
+    directory = HERE if directory is None else directory
+    unknown = []
+    for path in sorted(directory.glob("BENCH_*.json")):
+        name = path.stem[len("BENCH_"):]
+        if name not in SCHEMAS:
+            unknown.append(name)
+    return unknown
+
+
 def main(argv: "list | None" = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     names = argv or [name for name in sorted(SCHEMAS)
@@ -90,6 +135,15 @@ def main(argv: "list | None" = None) -> int:
             failures.extend(problems)
         else:
             print(f"ok: BENCH_{name}.json")
+    if not argv:
+        # Full-directory mode also rejects unregistered artifacts: a
+        # BENCH file with no schema is a bench nobody gates.
+        for name in unknown_artifacts():
+            failures.append(
+                f"{name}: BENCH_{name}.json has no registered schema "
+                "(register it in check_bench_artifacts.SCHEMAS and "
+                "check_regression.METRICS)"
+            )
     for problem in failures:
         print(f"FAIL: {problem}", file=sys.stderr)
     return 1 if failures else 0

@@ -1,0 +1,259 @@
+"""Perf-regression gate over the committed ``benchmarks/history/`` store.
+
+Every ``write_bench_artifact`` call appends a git-SHA-stamped,
+host-calibrated record to ``history/<name>.jsonl``. This checker
+compares the newest record of each history file against the median of
+the previous ``--last`` committed baselines, metric by metric:
+
+- only metrics in the :data:`METRICS` registry are compared (a table's
+  wall-clock ``seconds``, a speedup ratio, an accuracy delta — numbers
+  whose drift means something), each with a direction: ``lower`` means
+  smaller is better, ``higher`` the reverse;
+- the allowed drift starts at :data:`BASE_TOLERANCE` (1.5x) and widens
+  with the measured host jitter ratio between the current run and the
+  baselines, plus a cross-host factor when the hostname changed — the
+  PR 5 calibration idea applied to trend comparison;
+- the total tolerance is capped at :data:`TOLERANCE_CAP` (1.95x), so a
+  genuine 2x slowdown fails on every host no matter how noisy.
+
+Usage::
+
+    python benchmarks/check_regression.py [name ...]
+        [--history benchmarks/history] [--last 5]
+        [--report benchmarks/BENCH_regression.json]
+
+With no names, every ``history/*.jsonl`` with a metric registry entry is
+checked. A history file with fewer than 2 records passes vacuously
+(``no baseline``) — the gate needs committed history to bite, which is
+exactly why ``write_bench_artifact`` appends on every bench run. Exits
+non-zero if any metric regressed; the full comparison report is written
+as a stamped JSON artifact for CI upload either way.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+HISTORY_DIR = HERE / "history"
+
+BASE_TOLERANCE = 1.5
+TOLERANCE_CAP = 1.95
+#: Jitter can widen tolerance by at most this factor (a hopelessly noisy
+#: host should fail loudly, not absorb every regression).
+MAX_JITTER_WIDENING = 1.25
+CROSS_HOST_WIDENING = 1.04
+DEFAULT_LAST = 5
+
+_TABLE_METRICS = {"seconds": "lower"}
+
+#: Compared metrics per history name, with their improvement direction.
+METRICS = {
+    "plm_inference": {
+        "seed_seconds": "lower",
+        "engine_cold_seconds": "lower",
+        "engine_warm_seconds": "lower",
+        "cold_speedup": "higher",
+        "warm_speedup": "higher",
+    },
+    "serving": {
+        "unbatched_seconds": "lower",
+        "batched_seconds": "lower",
+        "speedup": "higher",
+        "batched_p99_ms": "lower",
+    },
+    "quantized": {
+        "float32_seconds": "lower",
+        "quantized_seconds": "lower",
+        "speedup": "higher",
+        "accuracy_delta": "lower",
+    },
+    "xl_encode": {
+        "encode_seconds": "lower",
+        "docs_per_second": "higher",
+    },
+    "training": {
+        "pretrain_speedup": "higher",
+        "fit_speedup": "higher",
+    },
+    "obs_overhead": {
+        "enabled_ns_per_span": "lower",
+        "enabled_ns_per_count": "lower",
+    },
+    "conwea_table": _TABLE_METRICS,
+    "lotclass_predictions": _TABLE_METRICS,
+    "lotclass_table": _TABLE_METRICS,
+    "metacat_table": _TABLE_METRICS,
+    "micol_table": _TABLE_METRICS,
+    "promptclass_table": _TABLE_METRICS,
+    "summary_table": _TABLE_METRICS,
+    "taxoclass_table": _TABLE_METRICS,
+    "weshclass_table": _TABLE_METRICS,
+    "westclass_table": _TABLE_METRICS,
+    "xclass_dataset_table": _TABLE_METRICS,
+    "xclass_table": _TABLE_METRICS,
+}
+
+
+def read_history(path: Path) -> list:
+    """Parsed records of one ``history/<name>.jsonl`` (bad lines skipped)."""
+    records = []
+    if not path.exists():
+        return records
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(record, dict) and isinstance(record.get("metrics"), dict):
+            records.append(record)
+    return records
+
+
+def _median(values: list) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return float(ordered[mid])
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def _jitter(record: dict) -> float:
+    calibration = record.get("calibration") or {}
+    try:
+        return max(1.0, float(calibration.get("jitter", 1.0)))
+    except (TypeError, ValueError):
+        return 1.0
+
+
+def tolerance_for(current: dict, baselines: list) -> float:
+    """Host-calibrated drift allowance for one comparison.
+
+    Base 1.5x, widened by how much noisier the current host is than the
+    baselines were (jitter ratio, capped) and by a small cross-host
+    factor when the hostname changed; the product is capped below 2x so
+    a synthetic 2x slowdown always regresses.
+    """
+    tolerance = BASE_TOLERANCE
+    baseline_jitter = _median([_jitter(b) for b in baselines])
+    ratio = _jitter(current) / max(baseline_jitter, 1.0)
+    tolerance *= min(max(ratio, 1.0), MAX_JITTER_WIDENING)
+    hosts = {b.get("host") for b in baselines} | {current.get("host")}
+    if len(hosts - {None, "unknown"}) > 1:
+        tolerance *= CROSS_HOST_WIDENING
+    return min(tolerance, TOLERANCE_CAP)
+
+
+def compare(name: str, records: list, last: int = DEFAULT_LAST) -> dict:
+    """Compare the newest record of ``name`` against its baselines.
+
+    Returns ``{"name", "status", "comparisons": [...]}`` where status is
+    ``ok``, ``regressed``, or ``no baseline``.
+    """
+    if len(records) < 2:
+        return {"name": name, "status": "no baseline",
+                "n_baselines": max(0, len(records) - 1), "comparisons": []}
+    current = records[-1]
+    baselines = records[-1 - last:-1]
+    registry = METRICS.get(name, {})
+    tolerance = tolerance_for(current, baselines)
+    comparisons = []
+    regressed = False
+    for metric, direction in sorted(registry.items()):
+        value = current["metrics"].get(metric)
+        history = [b["metrics"][metric] for b in baselines
+                   if isinstance(b["metrics"].get(metric), (int, float))]
+        if not isinstance(value, (int, float)) or not history:
+            continue
+        baseline = _median(history)
+        if direction == "lower":
+            # Worse = bigger. Guard near-zero baselines (sub-ms timings).
+            ratio = value / max(baseline, 1e-9)
+        else:
+            ratio = baseline / max(value, 1e-9)
+        bad = ratio > tolerance and abs(value - baseline) > 1e-9
+        regressed = regressed or bad
+        comparisons.append({
+            "metric": metric,
+            "direction": direction,
+            "current": value,
+            "baseline_median": round(float(baseline), 6),
+            "n_baselines": len(history),
+            "ratio": round(float(ratio), 4),
+            "tolerance": round(float(tolerance), 4),
+            "regressed": bad,
+        })
+    return {
+        "name": name,
+        "status": "regressed" if regressed else "ok",
+        "sha": current.get("sha"),
+        "n_baselines": len(baselines),
+        "comparisons": comparisons,
+    }
+
+
+def check_all(history_dir: Path = HISTORY_DIR, names: "list | None" = None,
+              last: int = DEFAULT_LAST) -> dict:
+    """Run the gate over ``names`` (default: every known history file)."""
+    if names:
+        targets = list(names)
+    else:
+        targets = sorted(
+            p.stem for p in history_dir.glob("*.jsonl") if p.stem in METRICS
+        )
+    results = [compare(name, read_history(history_dir / f"{name}.jsonl"),
+                       last=last)
+               for name in targets]
+    return {
+        "checked": len(results),
+        "regressed": [r["name"] for r in results if r["status"] == "regressed"],
+        "results": results,
+    }
+
+
+def main(argv: "list | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Compare current bench records against committed baselines."
+    )
+    parser.add_argument("names", nargs="*",
+                        help="history names to check (default: all known)")
+    parser.add_argument("--history", type=Path, default=HISTORY_DIR,
+                        help="history directory (default: benchmarks/history)")
+    parser.add_argument("--last", type=int, default=DEFAULT_LAST,
+                        help="baselines to compare against (default: 5)")
+    parser.add_argument("--report", type=Path,
+                        default=HERE / "BENCH_regression.json",
+                        help="where to write the comparison report")
+    args = parser.parse_args(argv)
+
+    report = check_all(args.history, args.names or None, last=args.last)
+    import hostcal
+
+    report["meta"] = hostcal.stamp()
+    args.report.parent.mkdir(parents=True, exist_ok=True)
+    args.report.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    for result in report["results"]:
+        marker = {"ok": "ok", "no baseline": "ok (no baseline)"}.get(
+            result["status"], "REGRESSED")
+        print(f"{marker}: {result['name']} "
+              f"({len(result['comparisons'])} metrics vs "
+              f"{result['n_baselines']} baselines)")
+        for c in result["comparisons"]:
+            if c["regressed"]:
+                print(f"  REGRESSED {c['metric']}: {c['current']} vs median "
+                      f"{c['baseline_median']} "
+                      f"(ratio {c['ratio']} > tolerance {c['tolerance']})",
+                      file=sys.stderr)
+    print(f"report: {args.report}")
+    return 1 if report["regressed"] else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

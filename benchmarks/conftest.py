@@ -53,17 +53,47 @@ def full_mode():
     return FULL
 
 
+ARTIFACT_DIR = Path(__file__).resolve().parent
+HISTORY_DIR = ARTIFACT_DIR / "history"
+
+
+def _append_history(name: str, payload: dict, meta: dict) -> None:
+    """Append one git-SHA-stamped record to ``history/<name>.jsonl``.
+
+    Only scalar numeric top-level keys are kept (the regression gate
+    compares numbers, not tables), so history stays small enough to
+    commit while every record remains host-comparable via its stamp.
+    """
+    metrics = {
+        key: value for key, value in payload.items()
+        if isinstance(value, (int, float)) and not isinstance(value, bool)
+    }
+    record = {"name": name, **meta, "metrics": metrics}
+    HISTORY_DIR.mkdir(exist_ok=True)
+    with open(HISTORY_DIR / f"{name}.jsonl", "a") as fh:
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
+
+
 def write_bench_artifact(name: str, payload: dict) -> Path:
     """Write ``BENCH_<name>.json`` next to the benches (atomic replace).
 
     The single writer every bench goes through, so the machine-readable
-    perf trajectory stays uniform across PRs.
+    perf trajectory stays uniform across PRs. Every payload is stamped
+    with git SHA, hostname, and the host-calibration probes (``meta``
+    key), and a scalar-metrics record is appended to
+    ``benchmarks/history/<name>.jsonl`` for the regression gate.
     """
-    path = Path(__file__).resolve().parent / f"BENCH_{name}.json"
+    import hostcal
+
+    payload = dict(payload)
+    meta = hostcal.stamp()
+    payload["meta"] = meta
+    path = ARTIFACT_DIR / f"BENCH_{name}.json"
     tmp = path.with_suffix(f".{os.getpid()}.tmp")
     tmp.write_text(json.dumps(payload, indent=2, sort_keys=True,
                               default=repr) + "\n")
     os.replace(tmp, path)
+    _append_history(name, payload, meta)
     return path
 
 

@@ -1,0 +1,110 @@
+"""Host calibration and provenance stamping for bench artifacts.
+
+Bench numbers are only comparable across runs when you know *what ran*
+(git SHA), *where* (hostname), and *how fast that host was that day*
+(calibration probes). This module is the single source for all three:
+
+- :func:`calibrate` — the PR 5 pure-numpy probes, measured once per
+  process and cached:
+
+  * **batch_gain** — looped vs fused float32 matmul over identical rows;
+    how much this host rewards replacing per-call python overhead with
+    one BLAS call (near 1.0 contended, >5 idle);
+  * **jitter** — mean/min wall time of a millisecond-scale python sweep
+    (dict lookups + tiny reductions); how much scheduler noise inflates
+    short measurements (~1.0-1.4 idle, 2-5 on a loaded runner).
+
+- :func:`stamp` — the provenance dict every ``write_bench_artifact``
+  payload carries and every ``benchmarks/history/`` record starts from.
+
+The regression gate (``check_regression.py``) widens its tolerances by
+the jitter ratio between the current run and the committed baselines, so
+a noisy runner relaxes gracefully instead of flagging phantom
+regressions — while a genuine 2x slowdown stays over every tolerance cap.
+"""
+
+from __future__ import annotations
+
+import platform
+import subprocess
+import time
+from pathlib import Path
+
+import numpy as np
+
+HERE = Path(__file__).resolve().parent
+
+_CALIBRATION: "dict | None" = None
+_PROBE_KEYS = 500
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def _best_of(fn, repeats: int = 5) -> float:
+    """Min wall time over ``repeats`` runs — strips scheduler noise."""
+    return min(_timed(fn) for _ in range(repeats))
+
+
+def calibrate(seed: int = 0, refresh: bool = False) -> dict:
+    """This host's batching reward and timing jitter (cached per process).
+
+    Pure numpy, independent of any repro code, so the probes measure the
+    machine rather than the codebase under test.
+    """
+    global _CALIBRATION
+    if _CALIBRATION is not None and not refresh:
+        return _CALIBRATION
+    rng = np.random.default_rng(seed)
+    weight = rng.standard_normal((32, 32)).astype(np.float32)
+    small = [rng.standard_normal((8, 32)).astype(np.float32)
+             for _ in range(64)]
+    fused = np.concatenate(small, axis=0)
+    fused @ weight  # warm BLAS once
+
+    looped_s = _best_of(lambda: [x @ weight for x in small])
+    fused_s = _best_of(lambda: [fused @ weight])
+    batch_gain = looped_s / max(fused_s, 1e-9)
+
+    keys = [(i, i + 1) for i in range(_PROBE_KEYS)]
+    table = {key: small[i % len(small)] for i, key in enumerate(keys)}
+    sweep = lambda: [table[k].mean(axis=0) for k in keys]
+    times = [_timed(sweep) for _ in range(7)]
+    jitter = max(1.0, (sum(times) / len(times)) / max(min(times), 1e-9))
+
+    _CALIBRATION = {
+        "batch_gain": round(batch_gain, 2),
+        "jitter": round(jitter, 2),
+    }
+    return _CALIBRATION
+
+
+def git_sha() -> str:
+    """The repo's current commit SHA (``unknown`` outside a checkout)."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=HERE,
+            capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def host() -> str:
+    """Hostname for cross-host tolerance decisions."""
+    return platform.node() or "unknown"
+
+
+def stamp() -> dict:
+    """Provenance every artifact and history record carries."""
+    return {
+        "sha": git_sha(),
+        "host": host(),
+        "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "calibration": calibrate(),
+    }

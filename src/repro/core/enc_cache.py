@@ -10,9 +10,20 @@ encoder, so per-document hidden states are cached process-wide, keyed by
 
 Two tiers:
 
-- a bounded in-memory LRU (default 256 MB, ``REPRO_ENC_CACHE_BYTES``),
-- an optional on-disk ``.npz`` tier (``REPRO_ENC_CACHE_DIR`` or the
-  ``disk_dir`` argument); disk hits are promoted back into memory.
+- a bounded in-memory LRU (default 256 MB, ``REPRO_ENC_CACHE_BYTES``);
+  the budget is a hard ceiling — an insert that cannot fit even after
+  evicting everything else is itself dropped from the memory tier, so
+  ``nbytes`` never exceeds ``max_bytes``;
+- an optional on-disk tier (``REPRO_ENC_CACHE_DIR`` or the ``disk_dir``
+  argument). By default this is one ``.npz`` per document, and disk hits
+  are promoted back into memory. With ``shard_docs > 0``
+  (``REPRO_ENC_CACHE_SHARD_DOCS``) documents are instead appended to
+  **mmap shards**: flat ``.npy`` files of ``shard_docs`` concatenated
+  documents with a JSON offset index alongside. Shard hits are served as
+  zero-copy ``np.load(..., mmap_mode="r")`` slice views and are *not*
+  promoted into the memory tier — the OS page cache already holds the
+  hot pages, so an XL corpus can stream through a small memory budget
+  without thrashing the LRU.
 
 Set ``REPRO_ENC_CACHE=0`` to disable the cache entirely (the provider then
 wires no cache into the models it builds).
@@ -21,6 +32,8 @@ wires no cache into the models it builds).
 from __future__ import annotations
 
 import hashlib
+import json
+import os
 from collections import OrderedDict
 from pathlib import Path
 
@@ -55,14 +68,25 @@ class EncodeCache:
     """Bounded LRU over per-document arrays with an optional disk tier."""
 
     def __init__(self, max_bytes: int = _DEFAULT_MAX_BYTES,
-                 disk_dir: "str | Path | None" = None):
+                 disk_dir: "str | Path | None" = None,
+                 shard_docs: int = 0):
         self.max_bytes = int(max_bytes)
         self.disk_dir = Path(disk_dir) if disk_dir else None
+        self.shard_docs = int(shard_docs)
         self._entries: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
         self._bytes = 0
+        # Sharding state: docs awaiting flush, the per-namespace shard
+        # offset index, which .idx.json files were already folded in,
+        # and this process's next shard sequence number.
+        self._pending: "dict[str, list]" = {}
+        self._shard_index: "dict[str, dict]" = {}
+        self._scanned: "dict[str, set]" = {}
+        self._mmaps: "dict[str, np.ndarray]" = {}
+        self._shard_seq = 0
         self.hits = 0
         self.misses = 0
         self.disk_hits = 0
+        self.shard_hits = 0
         self.evictions = 0
 
     @classmethod
@@ -71,17 +95,34 @@ class EncodeCache:
         if not _env.enc_cache_enabled():
             return None
         return cls(max_bytes=_env.enc_cache_bytes(_DEFAULT_MAX_BYTES),
-                   disk_dir=_env.enc_cache_dir())
+                   disk_dir=_env.enc_cache_dir(),
+                   shard_docs=_env.enc_cache_shard_docs())
+
+    @property
+    def sharded(self) -> bool:
+        """Whether the disk tier writes mmap shards instead of per-doc npz."""
+        return self.disk_dir is not None and self.shard_docs > 0
 
     # -- lookup ---------------------------------------------------------------
     def get(self, namespace: str, key: str) -> "np.ndarray | None":
-        """Cached array for (namespace, key), consulting both tiers."""
+        """Cached array for (namespace, key), consulting every tier."""
         entry = self._entries.get((namespace, key))
         if entry is not None:
             self._entries.move_to_end((namespace, key))
             self.hits += 1
             obs.count("enc_cache.hits")
             return entry
+        if self.sharded:
+            entry = self._shard_get(namespace, key)
+            if entry is not None:
+                # Served straight off the mmap: no promotion, the page
+                # cache is the warm tier for shard-resident documents.
+                self.hits += 1
+                self.disk_hits += 1
+                self.shard_hits += 1
+                obs.count("enc_cache.hits")
+                obs.count("enc_cache.shard_hits")
+                return entry
         if self.disk_dir is not None:
             path = self._disk_path(namespace, key)
             if path.exists():
@@ -104,7 +145,12 @@ class EncodeCache:
     def put(self, namespace: str, key: str, value: np.ndarray) -> None:
         """Insert ``value``, evicting least-recently-used entries over budget."""
         self._insert(namespace, key, value)
-        if self.disk_dir is not None:
+        if self.sharded:
+            pending = self._pending.setdefault(namespace, [])
+            pending.append((key, value))
+            if len(pending) >= self.shard_docs:
+                self._flush_namespace(namespace)
+        elif self.disk_dir is not None:
             path = self._disk_path(namespace, key)
             if not path.exists():
                 path.parent.mkdir(parents=True, exist_ok=True)
@@ -117,6 +163,14 @@ class EncodeCache:
         previous = self._entries.pop(full_key, None)
         if previous is not None:
             self._bytes -= previous.nbytes
+        if value.nbytes > self.max_bytes:
+            # The value alone exceeds the whole budget (e.g. an oversized
+            # disk-hit promotion): admitting it would flush every other
+            # entry and still leave nbytes over max_bytes. The caller
+            # already holds the array (and a disk copy may exist), so the
+            # memory tier just declines it — max_bytes is a hard ceiling.
+            self.evictions += 1
+            return
         self._entries[full_key] = value
         self._bytes += value.nbytes
         while self._bytes > self.max_bytes and len(self._entries) > 1:
@@ -127,6 +181,96 @@ class EncodeCache:
     def _disk_path(self, namespace: str, key: str) -> Path:
         assert self.disk_dir is not None
         return self.disk_dir / namespace / f"{key}.npz"
+
+    # -- mmap shards -----------------------------------------------------------
+    def _flush_namespace(self, namespace: str) -> None:
+        """Write ``namespace``'s pending docs as one mmap shard + index."""
+        pending = self._pending.get(namespace) or []
+        if not pending:
+            return
+        self._pending[namespace] = []
+        arrays = [np.ascontiguousarray(value) for _, value in pending]
+        dtype = np.dtype(arrays[0].dtype)
+        flat = np.concatenate(
+            [a.reshape(-1).astype(dtype, copy=False) for a in arrays]
+        )
+        index: dict = {"dtype": str(dtype), "docs": {}}
+        offset = 0
+        for (key, _), array in zip(pending, arrays):
+            index["docs"][key] = [offset, list(array.shape)]
+            offset += array.size
+        directory = self.disk_dir / namespace
+        directory.mkdir(parents=True, exist_ok=True)
+        stem = f"shard_{os.getpid()}_{self._shard_seq}"
+        self._shard_seq += 1
+        data_path = directory / f"{stem}.npy"
+        tmp_data = directory / f"{stem}.tmp.npy"
+        np.save(tmp_data, flat)
+        tmp_data.replace(data_path)
+        # The data file lands before its index: readers discover shards
+        # through .idx.json files, so a crash between the two renames
+        # leaves an orphaned (ignored) .npy, never a dangling index.
+        idx_path = directory / f"{stem}.idx.json"
+        tmp_idx = directory / f"{stem}.tmp.idx.json"
+        tmp_idx.write_text(json.dumps(index))
+        tmp_idx.replace(idx_path)
+        obs.count("enc_cache.shards_written")
+
+    def flush_shards(self) -> None:
+        """Flush every namespace's pending documents to disk shards."""
+        if not self.sharded:
+            return
+        for namespace in list(self._pending):
+            self._flush_namespace(namespace)
+
+    def _shard_get(self, namespace: str, key: str) -> "np.ndarray | None":
+        """Mmap-backed view of ``key`` from the namespace's shards."""
+        docs = self._shard_index.get(namespace, {})
+        location = docs.get(key)
+        if location is None:
+            self._rescan_shards(namespace)
+            location = self._shard_index.get(namespace, {}).get(key)
+            if location is None:
+                return None
+        path, offset, shape, dtype = location
+        try:
+            # One open mmap per shard file: repeated hits are a dict
+            # lookup plus a zero-copy slice view, not an np.load each.
+            flat = self._mmaps.get(path)
+            if flat is None:
+                flat = np.load(path, mmap_mode="r")
+                self._mmaps[path] = flat
+            size = int(np.prod(np.asarray(shape, dtype=np.int64)))
+            return flat[offset:offset + size].reshape(shape)
+        except (OSError, ValueError):
+            # Shard vanished or is unreadable: forget it and miss.
+            self._mmaps.pop(path, None)
+            self._scanned.get(namespace, set()).discard(Path(path).name)
+            self._shard_index[namespace] = {
+                k: v for k, v in self._shard_index.get(namespace, {}).items()
+                if v[0] != path
+            }
+            return None
+
+    def _rescan_shards(self, namespace: str) -> None:
+        """Fold any new shard indexes (e.g. from worker processes) in."""
+        directory = self.disk_dir / namespace
+        if not directory.is_dir():
+            return
+        seen = self._scanned.setdefault(namespace, set())
+        docs = self._shard_index.setdefault(namespace, {})
+        for idx_path in sorted(directory.glob("shard_*.idx.json")):
+            if idx_path.name in seen:
+                continue
+            seen.add(idx_path.name)
+            try:
+                index = json.loads(idx_path.read_text())
+            except (OSError, ValueError):
+                continue
+            data_path = str(idx_path.with_name(idx_path.name[: -len(".idx.json")] + ".npy"))
+            dtype = index.get("dtype", "float32")
+            for key, (offset, shape) in index.get("docs", {}).items():
+                docs[key] = (data_path, int(offset), list(shape), dtype)
 
     # -- maintenance ----------------------------------------------------------
     def clear(self) -> None:
@@ -150,6 +294,7 @@ class EncodeCache:
             "hits": self.hits,
             "misses": self.misses,
             "disk_hits": self.disk_hits,
+            "shard_hits": self.shard_hits,
             "evictions": self.evictions,
         }
 

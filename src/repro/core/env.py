@@ -21,10 +21,13 @@ Knob inventory
 ``REPRO_ENC_CACHE``         ``0`` disables the encode cache
 ``REPRO_ENC_CACHE_BYTES``   encode-cache memory-tier budget
 ``REPRO_ENC_CACHE_DIR``     encode-cache disk tier location
+``REPRO_ENC_CACHE_SHARD_DOCS``  docs per mmap disk shard (``0`` = off)
 ``REPRO_ENGINE_BUCKET``     ``0`` disables length bucketing
 ``REPRO_ENGINE_INFERENCE_MODE``  ``0`` keeps autograd on read paths
 ``REPRO_ENGINE_CACHE``      ``0`` skips the cache on model read paths
 ``REPRO_ENGINE_TOKEN_BUDGET``  padded tokens per inference batch
+``REPRO_ENGINE_FUSED_INFER``  ``1`` forces the packed predict-only forward
+``REPRO_ENGINE_BLOCK_ROWS``  query-block height for blocked attention
 ``REPRO_MODEL_DIR``         model-registry root (``repro.serve``)
 ``REPRO_NN_DTYPE``          default compute dtype (float32/float64)
 ``REPRO_NN_FUSED``          ``0`` selects composite autograd kernels
@@ -142,10 +145,28 @@ def enc_cache_dir() -> "Path | None":
     return env_path("REPRO_ENC_CACHE_DIR")
 
 
+def enc_cache_shard_docs() -> int:
+    """Docs per mmap disk shard (``REPRO_ENC_CACHE_SHARD_DOCS``; 0 = off)."""
+    return max(0, env_int("REPRO_ENC_CACHE_SHARD_DOCS", 0))
+
+
 def engine_token_budget() -> "int | None":
     """Padded tokens per inference batch (``REPRO_ENGINE_TOKEN_BUDGET``)."""
     budget = env_int("REPRO_ENGINE_TOKEN_BUDGET", None)
     return budget or None
+
+
+def engine_fused_infer() -> "bool | None":
+    """Packed predict-only forward (``REPRO_ENGINE_FUSED_INFER``).
+
+    Returns ``None`` when the knob is unset so callers can distinguish
+    "defaulted" from "explicitly forced" — quantized artifacts enable the
+    packed path by default but an explicit ``0`` must win.
+    """
+    raw = env_raw("REPRO_ENGINE_FUSED_INFER")
+    if raw is None:
+        return None
+    return env_flag("REPRO_ENGINE_FUSED_INFER", False)
 
 
 def model_dir() -> Path:

@@ -9,6 +9,8 @@ down by roughly two orders of magnitude; the benches compare method
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import numpy as np
 
 from repro.datasets.bundle import DatasetBundle, load_bundle
@@ -275,6 +277,18 @@ def _build_catalog() -> dict:
         n_train=300, n_test=150,
         description="5 well-separated domains for representation-quality figures",
     )
+
+    # ---- 10x "XL" variants for the perf-regression harness ------------------
+    # One per structural family (flat balanced, flat imbalanced, wide flat,
+    # metadata) so scale benchmarks stress different corpus shapes without
+    # 10x-ing the whole catalog (every profile is exercised by tests).
+    for base in ("agnews", "nyt_small", "dbpedia", "github_bio"):
+        profile = catalog[base].scaled(10.0)
+        catalog[f"{base}_xl"] = replace(
+            profile,
+            name=f"{base}_xl",
+            description=f"{catalog[base].description} (10x XL perf variant)",
+        )
     return catalog
 
 

@@ -30,6 +30,10 @@ Env knobs (read by :meth:`EngineConfig.from_env`):
 - ``REPRO_ENGINE_INFERENCE_MODE=0`` — keep recording autograd graphs
 - ``REPRO_ENGINE_CACHE=0`` — skip the encode cache on model read paths
 - ``REPRO_ENGINE_TOKEN_BUDGET=<int>`` — padded tokens per batch
+- ``REPRO_ENGINE_FUSED_INFER=1`` — run batches through the packed
+  predict-only forward (:mod:`repro.plm.infer`); float32-ulp-equivalent
+  to the Tensor path, not bit-identical. Quantized artifacts enable it
+  by default; ``=0`` forces the Tensor path even for those.
 """
 
 from __future__ import annotations
@@ -54,16 +58,19 @@ class EngineConfig:
     inference: bool = True
     cache: bool = True
     token_budget: "int | None" = None  # None -> batch_size * max_len
+    fused_infer: bool = False  # packed numpy forward (float32-ulp, not bit)
 
     @classmethod
     def from_env(cls, batch_size: int = 32) -> "EngineConfig":
         """Config honouring the ``REPRO_ENGINE_*`` environment knobs."""
+        forced = _env.engine_fused_infer()
         return cls(
             batch_size=batch_size,
             bucket=_env.env_flag("REPRO_ENGINE_BUCKET", True),
             inference=_env.env_flag("REPRO_ENGINE_INFERENCE_MODE", True),
             cache=_env.env_flag("REPRO_ENGINE_CACHE", True),
             token_budget=_env.engine_token_budget(),
+            fused_infer=bool(forced),
         )
 
     def grad_context(self):
@@ -115,13 +122,22 @@ def run_encoder(encoder: TransformerEncoder, sequences: list, pad_id: int,
     """
     max_len = encoder.config.max_len
     batches = plan_batches([len(s) for s in sequences], config, max_len)
+    packed = None
+    if config.fused_infer and config.inference:
+        from repro.nn import functional as F
+        if F.fused_enabled():
+            from repro.plm.infer import packed_encoder
+            packed = packed_encoder(encoder)
     for indices in batches:
         chunk = [sequences[i] for i in indices]
         ids, pad_mask = pad_batch(chunk, pad_id, max_len)
         with obs.span("encode:batch", docs=len(chunk),
                       width=int(ids.shape[1])):
             with config.grad_context():
-                hidden = encoder(ids, pad_mask=pad_mask)
+                if packed is not None:
+                    hidden = Tensor(packed.forward(ids, pad_mask))
+                else:
+                    hidden = encoder(ids, pad_mask=pad_mask)
                 per_batch(indices, ids, pad_mask, hidden)
         if obs.enabled():
             obs.count("plm.batches")

@@ -13,6 +13,18 @@ process and vice versa — ``Module.load_state_dict`` casts checkpoints to
 the receiving parameters' dtype, so the parameters must be created at the
 archive's dtype first.
 
+Predict-only archives can be **quantized** (``quantize="int8"`` or
+``"float16"``). int8 stores every matrix-shaped parameter as int8 codes
+plus per-row float32 absmax scales (``scale_<i>``); vectors (biases,
+norm gains) stay at full precision — they are tiny and their error would
+be amplified by every token. float16 halves every float array. Both
+variants dequantize back to the archive's compute dtype at load, and the
+loaded engine defaults to the packed predict-only forward
+(:mod:`repro.plm.infer`) — quantization already forfeited bit-exactness
+with the trainer, so the faster float32-ulp kernel costs nothing
+further. Dequantization is deterministic, so a quantized archive loads
+bit-identically across processes and hosts.
+
 Corrupt or truncated archives raise
 :class:`~repro.core.exceptions.ArtifactError` naming the file, never a
 bare numpy/zipfile/JSON error.
@@ -22,27 +34,73 @@ from __future__ import annotations
 
 import json
 import zipfile
+from dataclasses import replace
 from pathlib import Path
 
 import numpy as np
 
+from repro.core import env as _env
 from repro.core.exceptions import ArtifactError
 from repro.nn.tensor import default_dtype
 from repro.plm.config import PLMConfig
 from repro.plm.encoder import TransformerEncoder
+from repro.plm.engine import EngineConfig
 from repro.plm.model import PretrainedLM
 from repro.text.vocabulary import Vocabulary
 
+#: Supported ``quantize=`` values for :func:`save_plm` / export_artifact.
+QUANTIZE_MODES = ("int8", "float16")
 
-def save_plm(plm: PretrainedLM, path: "str | Path") -> Path:
-    """Serialize ``plm`` to ``path`` (``.npz`` appended if missing)."""
+
+def quantize_int8(array: np.ndarray) -> tuple:
+    """Per-row absmax int8 codes and float32 scales for a float matrix.
+
+    The scale keeps the row's leading axis with trailing singleton dims,
+    so ``codes * scales`` broadcasts back to ``array.shape``. All-zero
+    rows get scale 1.0 (codes are already 0), avoiding 0/0.
+    """
+    reduce_axes = tuple(range(1, array.ndim))
+    absmax = np.abs(array).max(axis=reduce_axes, keepdims=True)
+    scales = (absmax / 127.0).astype(np.float32)
+    scales[absmax == 0.0] = np.float32(1.0)
+    codes = np.rint(array / scales).astype(np.int8)
+    return codes, scales
+
+
+def dequantize_int8(codes: np.ndarray, scales: np.ndarray,
+                    dtype: str) -> np.ndarray:
+    """Reconstruct the float matrix from int8 codes and per-row scales."""
+    return (codes.astype(dtype) * scales.astype(dtype))
+
+
+def save_plm(plm: PretrainedLM, path: "str | Path",
+             quantize: "str | None" = None) -> Path:
+    """Serialize ``plm`` to ``path`` (``.npz`` appended if missing).
+
+    ``quantize`` selects a predict-only weight format (see module
+    docstring); ``None`` keeps the lossless full-precision archive.
+    """
+    if quantize is not None and quantize not in QUANTIZE_MODES:
+        raise ArtifactError(
+            f"unknown quantize mode {quantize!r} "
+            f"(expected one of {QUANTIZE_MODES})"
+        )
     path = Path(path)
     encoder = plm.encoder
     vocab = encoder.vocabulary
     tokens = [vocab.token(i) for i in range(len(vocab))]
     counts = [vocab.frequency(t) for t in tokens]
     state = encoder.state_dict()
-    payload = {f"param_{i}": array for i, array in enumerate(state)}
+    payload = {}
+    for i, array in enumerate(state):
+        if quantize == "int8" and array.ndim >= 2:
+            codes, scales = quantize_int8(array)
+            payload[f"param_{i}"] = codes
+            payload[f"scale_{i}"] = scales
+        elif quantize == "float16":
+            payload[f"param_{i}"] = array.astype(np.float16)
+        else:
+            payload[f"param_{i}"] = array
     payload["meta"] = np.asarray(
         json.dumps(
             {
@@ -51,8 +109,10 @@ def save_plm(plm: PretrainedLM, path: "str | Path") -> Path:
                 "counts": counts,
                 "n_params": len(state),
                 # The compute dtype the parameters were trained at; load
-                # rebuilds the encoder under it for bit-exact round-trips.
+                # rebuilds the encoder under it for bit-exact round-trips
+                # (quantized variants dequantize back to this dtype).
                 "dtype": str(np.dtype(state[0].dtype)) if state else "float32",
+                "quantize": quantize,
             }
         ),
         dtype=np.str_,
@@ -71,7 +131,16 @@ def load_plm(path: "str | Path") -> PretrainedLM:
     try:
         with np.load(path, allow_pickle=False) as data:
             meta = json.loads(str(data["meta"]))
-            arrays = [data[f"param_{i}"] for i in range(meta["n_params"])]
+            quantize = meta.get("quantize")
+            dtype = meta.get("dtype") or "float32"
+            arrays = []
+            for i in range(meta["n_params"]):
+                array = data[f"param_{i}"]
+                if quantize == "int8" and array.dtype == np.int8:
+                    array = dequantize_int8(array, data[f"scale_{i}"], dtype)
+                elif quantize == "float16":
+                    array = array.astype(dtype)
+                arrays.append(array)
     except FileNotFoundError:
         raise ArtifactError(f"PLM archive {path} does not exist") from None
     except (zipfile.BadZipFile, OSError, ValueError, KeyError,
@@ -88,7 +157,8 @@ def load_plm(path: "str | Path") -> PretrainedLM:
     # Pre-dtype-field archives fall back to the stored arrays' dtype (npz
     # preserves it); either way the encoder is built at the archive dtype
     # so load_state_dict's cast is the identity.
-    dtype = meta.get("dtype") or (str(arrays[0].dtype) if arrays else "float32")
+    if not meta.get("dtype"):
+        dtype = str(arrays[0].dtype) if arrays else "float32"
     rng = np.random.default_rng(0)  # weights are overwritten below
     try:
         with default_dtype(dtype):
@@ -102,4 +172,12 @@ def load_plm(path: "str | Path") -> PretrainedLM:
     # round-tripped through disk shares cached encodings with its source.
     from repro.plm.provider import shared_encode_cache
 
-    return PretrainedLM(encoder, enc_cache=shared_encode_cache())
+    engine_config = EngineConfig.from_env()
+    if quantize is not None and _env.engine_fused_infer() is None:
+        # Quantized archives are predict-only and already non-bit-exact
+        # with the trainer, so they default to the packed fused forward.
+        # An explicit REPRO_ENGINE_FUSED_INFER=0 wins (handled above:
+        # from_env folds a forced value in; None means "defaulted").
+        engine_config = replace(engine_config, fused_infer=True)
+    return PretrainedLM(encoder, enc_cache=shared_encode_cache(),
+                        engine_config=engine_config)

@@ -13,6 +13,16 @@ nothing ``fit`` needed:
   cache) swapped out via pickle persistent ids, so the heavy weights
   live in the npz archives and process-local caches never serialize.
 
+``export_artifact(..., quantize="int8"|"float16")`` writes the PLM
+archives in a quantized predict-only format (see :mod:`repro.plm.io`).
+Because quantization is lossy, the export runs an **accuracy-delta
+gate**: the quantized artifact is reloaded from the staging directory,
+both models predict a caller-supplied probe corpus, and the export is
+refused (:class:`ArtifactError`, nothing published) if macro-F1 between
+the two prediction sets drops more than ``max_accuracy_delta``
+percentage points. The measured delta is recorded in the manifest under
+``quantize_check``.
+
 Writes are atomic: the directory is assembled under a temp name and
 renamed into place, so readers never observe a half-written artifact.
 Loads verify digests by default and raise
@@ -38,12 +48,16 @@ from repro.core.base import MultiLabelTextClassifier
 from repro.core.enc_cache import EncodeCache
 from repro.core.exceptions import ArtifactError
 from repro.core.types import Corpus, Document
-from repro.plm.io import load_plm, save_plm
+from repro.plm.io import QUANTIZE_MODES, load_plm, save_plm
 from repro.plm.model import PretrainedLM
 
 ARTIFACT_SCHEMA = 1
 MANIFEST = "manifest.json"
 STATE = "state.pkl"
+
+#: Default accuracy-delta gate: quantized predictions may diverge from
+#: full-precision ones by at most this many macro-F1 percentage points.
+DEFAULT_MAX_ACCURACY_DELTA = 0.5
 
 
 def as_corpus(docs, name: str = "request") -> Corpus:
@@ -130,20 +144,82 @@ def _combined_digest(files: dict) -> str:
 
 
 # ---------------------------------------------------------------------------
+# Quantization gate
+# ---------------------------------------------------------------------------
+
+def _prediction_delta(ref_preds: list, quant_preds: list) -> float:
+    """Macro-F1 divergence, in percentage points, between two predictions.
+
+    The full-precision predictions act as gold; 0.0 means the quantized
+    model predicts identically on the probe set. Multi-label predictions
+    (tuples/lists of labels) are scored as per-label binary F1 averaged
+    over the union of predicted labels.
+    """
+    from repro.evaluation.metrics import macro_f1
+
+    if not ref_preds:
+        return 0.0
+    if ref_preds and isinstance(ref_preds[0], (tuple, list, set, frozenset)):
+        labels = sorted({l for p in ref_preds for l in p}
+                        | {l for p in quant_preds for l in p})
+        if not labels:
+            return 0.0
+        f1s = []
+        for label in labels:
+            gold = [int(label in p) for p in ref_preds]
+            pred = [int(label in p) for p in quant_preds]
+            f1s.append(macro_f1(gold, pred, labels=[1]))
+        score = float(np.mean(np.asarray(f1s, dtype=np.float64)))
+    else:
+        score = macro_f1(list(ref_preds), list(quant_preds))
+    return (1.0 - score) * 100.0
+
+
+def _reload_from_staging(tmp: Path, plm_files: list):
+    """The quantized clone of the staged model (plms + state re-read)."""
+    plms = [load_plm(tmp / name) for name in plm_files]
+    with open(tmp / STATE, "rb") as fh:
+        return _ImportUnpickler(fh, plms).load()
+
+
+# ---------------------------------------------------------------------------
 # Export
 # ---------------------------------------------------------------------------
 
 def export_artifact(model, path: "str | Path", *,
                     provenance: "dict | None" = None,
-                    overwrite: bool = False) -> Path:
+                    overwrite: bool = False,
+                    quantize: "str | None" = None,
+                    probe=None,
+                    max_accuracy_delta: "float | None" = DEFAULT_MAX_ACCURACY_DELTA) -> Path:
     """Snapshot fitted ``model`` into artifact directory ``path``.
 
     ``model`` is any fitted classifier with ``predict`` (the
     :mod:`repro.core.base` contract). ``provenance`` is recorded verbatim
     in the manifest (dataset profile, seed, config — anything that lets a
     reader re-derive the training run).
+
+    ``quantize`` writes the PLM archives in a lossy predict-only format
+    (``"int8"`` or ``"float16"``). A quantized export must pass the
+    accuracy-delta gate: ``probe`` (a corpus, strings, or token lists of
+    held-out documents) is predicted by both the full-precision model
+    and the staged quantized artifact, and the export raises
+    :class:`ArtifactError` — publishing nothing — if macro-F1 between
+    the two drops more than ``max_accuracy_delta`` percentage points.
+    Passing ``max_accuracy_delta=None`` explicitly skips the gate (the
+    manifest then records no ``quantize_check``).
     """
     path = Path(path)
+    if quantize is not None and quantize not in QUANTIZE_MODES:
+        raise ArtifactError(
+            f"unknown quantize mode {quantize!r} "
+            f"(expected one of {QUANTIZE_MODES})"
+        )
+    if quantize is not None and max_accuracy_delta is not None and probe is None:
+        raise ArtifactError(
+            "quantized export requires a probe corpus for the "
+            "accuracy-delta gate (or max_accuracy_delta=None to opt out)"
+        )
     if path.exists():
         if not overwrite:
             raise ArtifactError(f"artifact {path} already exists")
@@ -159,7 +235,8 @@ def export_artifact(model, path: "str | Path", *,
         shutil.rmtree(tmp)
     tmp.mkdir(parents=True)
     try:
-        with obs.span("serve:export", method=type(model).__name__):
+        with obs.span("serve:export", method=type(model).__name__,
+                      quantize=quantize or "none"):
             plms: list[PretrainedLM] = []
             buffer = io.BytesIO()
             _ExportPickler(buffer, plms).dump(model)
@@ -167,7 +244,32 @@ def export_artifact(model, path: "str | Path", *,
             plm_files = []
             for i, plm in enumerate(plms):
                 plm_files.append(f"plm_{i}.npz")
-                save_plm(plm, tmp / f"plm_{i}.npz")
+                save_plm(plm, tmp / f"plm_{i}.npz", quantize=quantize)
+
+            quantize_check = None
+            if quantize is not None and max_accuracy_delta is not None:
+                probe_corpus = as_corpus(probe, name="probe")
+                if len(probe_corpus) == 0:
+                    raise ArtifactError(
+                        "quantized export probe corpus is empty"
+                    )
+                staged = _reload_from_staging(tmp, plm_files)
+                ref_preds = model.predict(probe_corpus)
+                quant_preds = staged.predict(probe_corpus)
+                delta = _prediction_delta(list(ref_preds), list(quant_preds))
+                if delta > max_accuracy_delta:
+                    raise ArtifactError(
+                        f"refusing to publish {quantize} artifact: "
+                        f"accuracy delta {delta:.2f} macro-F1 points on "
+                        f"{len(probe_corpus)} probe docs exceeds the "
+                        f"{max_accuracy_delta:.2f}-point gate"
+                    )
+                quantize_check = {
+                    "probe_docs": len(probe_corpus),
+                    "max_accuracy_delta": float(max_accuracy_delta),
+                    "accuracy_delta": round(float(delta), 4),
+                }
+                obs.count("serve.quantize_gate_passed")
 
             files = {}
             for name in [STATE, *plm_files]:
@@ -184,6 +286,8 @@ def export_artifact(model, path: "str | Path", *,
                 "labels": list(label_set.labels) if label_set is not None else None,
                 "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
                 "plms": plm_files,
+                "quantize": quantize,
+                "quantize_check": quantize_check,
                 "files": files,
                 "digest": _combined_digest(files),
                 "provenance": dict(provenance or {}),
@@ -270,6 +374,11 @@ class ServableModel:
     @property
     def multi_label(self) -> bool:
         return bool(self.manifest.get("multi_label"))
+
+    @property
+    def quantize(self) -> "str | None":
+        """Weight format of the artifact (``int8``/``float16``/None)."""
+        return self.manifest.get("quantize")
 
     def predict(self, docs) -> list:
         """Predicted label (or label tuple, multi-label) per document."""

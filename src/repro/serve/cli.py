@@ -84,6 +84,13 @@ def _cmd_export(args) -> int:
     model.fit(bundle.train_corpus, supervision)
     trained = time.time() - start
     registry = ModelRegistry(args.root)
+    probe = None
+    if args.quantize:
+        # Gate probe: held-out test documents the method never saw in fit.
+        probe = bundle.test_corpus[: args.probe_docs]
+        print(f"quantizing to {args.quantize} "
+              f"(gate: {args.max_accuracy_delta} macro-F1 points "
+              f"on {len(probe)} probe docs)...")
     version = registry.publish(name, model, provenance={
         "profile": args.profile,
         "seed": args.seed,
@@ -92,8 +99,10 @@ def _cmd_export(args) -> int:
         "method": info.name,
         "train_docs": len(bundle.train_corpus),
         "train_seconds": round(trained, 2),
-    })
-    print(f"published {name}@v{version:04d} "
+    }, quantize=args.quantize, probe=probe,
+        max_accuracy_delta=args.max_accuracy_delta)
+    suffix = f" [{args.quantize}]" if args.quantize else ""
+    print(f"published {name}@v{version:04d}{suffix} "
           f"({registry.version_dir(name, version)}) [{trained:.1f}s train]")
     return 0
 
@@ -186,6 +195,16 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("--supervision", default=None,
                         choices=["labels", "keywords", "docs"],
                         help="supervision format (default: method's first)")
+    export.add_argument("--quantize", default=None,
+                        choices=["int8", "float16"],
+                        help="publish quantized predict-only weights "
+                             "(gated on probe-set accuracy delta)")
+    export.add_argument("--max-accuracy-delta", type=float, default=0.5,
+                        help="macro-F1 points the quantized model may "
+                             "lose on the probe set (default: 0.5)")
+    export.add_argument("--probe-docs", type=int, default=64,
+                        help="held-out documents for the quantization "
+                             "gate (default: 64)")
     export.set_defaults(fn=_cmd_export)
 
     lst = sub.add_parser("list", help="list published models")

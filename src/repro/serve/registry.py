@@ -139,25 +139,38 @@ class ModelRegistry:
                 "latest": versions[-1],
                 "method": manifest.get("method"),
                 "labels": len(manifest.get("labels") or []),
+                "quantize": manifest.get("quantize") or "-",
                 "created": manifest.get("created"),
             })
         return rows
 
     # -- mutation ------------------------------------------------------------
     def publish(self, name: str, model, *,
-                provenance: "dict | None" = None) -> int:
+                provenance: "dict | None" = None,
+                quantize: "str | None" = None,
+                probe=None,
+                max_accuracy_delta: "float | None" = None) -> int:
         """Export fitted ``model`` as the next version of ``name``.
 
         Returns the assigned version number. The version directory is
         written atomically, so concurrent readers either see the previous
-        ``latest`` or the complete new one.
+        ``latest`` or the complete new one. ``quantize``/``probe``/
+        ``max_accuracy_delta`` pass through to
+        :func:`~repro.serve.artifacts.export_artifact`; a quantized
+        publish that fails the accuracy-delta gate assigns no version.
         """
         _check_name(name)
         versions = self.versions(name)
         version = (versions[-1] + 1) if versions else 1
         target = self.version_dir(name, version)
         target.parent.mkdir(parents=True, exist_ok=True)
-        export_artifact(model, target, provenance=provenance)
+        kwargs = {}
+        if quantize is not None:
+            kwargs["quantize"] = quantize
+            kwargs["probe"] = probe
+            if max_accuracy_delta is not None:
+                kwargs["max_accuracy_delta"] = max_accuracy_delta
+        export_artifact(model, target, provenance=provenance, **kwargs)
         return version
 
     def load(self, name: str, version: "int | str" = LATEST,

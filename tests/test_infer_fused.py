@@ -1,0 +1,136 @@
+"""Packed fused-infer path: float32-ulp equivalence with the Tensor path.
+
+The oracle is the Tensor-based encoder under ``inference_mode``: the
+packed forward mirrors its fused op order exactly, so outputs must
+agree to float32 ulp on every batch shape — padded, unpadded, blocked,
+unblocked — and the engine must fall back to the Tensor path whenever
+the fused kernels are globally disabled.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.plm import infer
+from repro.plm.encoder import pad_batch
+from repro.plm.engine import EngineConfig
+from repro.plm.infer import PackedEncoder, packed_encoder
+from repro.plm.model import PretrainedLM
+from repro.nn.tensor import inference_mode
+
+pytestmark = pytest.mark.engine
+
+#: One float32 ulp at the ~1e0 magnitudes layer-norm outputs live at,
+#: with headroom for one reassociated BLAS accumulation.
+ULP_ATOL = 2e-6
+
+
+def _batch(plm, token_lists):
+    vocab = plm.vocabulary
+    seqs = [vocab.encode(t)[: plm.max_len] for t in token_lists]
+    return pad_batch(seqs, vocab.pad_id, plm.max_len)
+
+
+def _tensor_forward(plm, ids, mask):
+    plm.encoder.eval()
+    with inference_mode():
+        return plm.encoder(ids, pad_mask=mask).data
+
+
+def test_packed_matches_tensor_path_on_padded_batch(tiny_plm, agnews_small):
+    docs = agnews_small.test_corpus.token_lists()[:16]
+    ids, mask = _batch(tiny_plm, docs)
+    assert mask.any(), "mixed-length batch should carry padding"
+    reference = _tensor_forward(tiny_plm, ids, mask)
+    packed = PackedEncoder(tiny_plm.encoder)
+    np.testing.assert_allclose(packed.forward(ids, mask), reference,
+                               atol=ULP_ATOL, rtol=0)
+
+
+def test_packed_matches_on_unpadded_single_doc(tiny_plm, agnews_small):
+    tokens = agnews_small.test_corpus.token_lists()[0]
+    while len(tokens) < tiny_plm.max_len:
+        tokens = tokens + tokens
+    ids, mask = _batch(tiny_plm, [tokens[: tiny_plm.max_len]])
+    assert not mask.any()
+    reference = _tensor_forward(tiny_plm, ids, mask)
+    packed = PackedEncoder(tiny_plm.encoder)
+    np.testing.assert_allclose(packed.forward(ids, mask), reference,
+                               atol=ULP_ATOL, rtol=0)
+
+
+def test_blocked_scores_match_unblocked(tiny_plm, agnews_small):
+    docs = agnews_small.test_corpus.token_lists()[:8]
+    ids, mask = _batch(tiny_plm, docs)
+    whole = PackedEncoder(tiny_plm.encoder, block=ids.shape[1]).forward(ids, mask)
+    for block in (1, 3, 5):
+        blocked = PackedEncoder(tiny_plm.encoder, block=block).forward(ids, mask)
+        # Same math over row slices; BLAS may pick a different kernel per
+        # block height, so agreement is to float32 ulp rather than bits.
+        np.testing.assert_allclose(blocked, whole, atol=ULP_ATOL, rtol=0)
+
+
+def test_block_rows_env_override(monkeypatch):
+    monkeypatch.setenv("REPRO_ENGINE_BLOCK_ROWS", "7")
+    assert infer.block_rows() == 7
+    monkeypatch.setenv("REPRO_ENGINE_BLOCK_ROWS", "0")
+    assert infer.block_rows() == 1  # clamped to a sane minimum
+    monkeypatch.delenv("REPRO_ENGINE_BLOCK_ROWS")
+    assert infer.block_rows() == infer._DEFAULT_BLOCK_ROWS
+
+
+def test_packed_rejects_overlong_sequences(tiny_plm):
+    packed = PackedEncoder(tiny_plm.encoder)
+    ids = np.zeros((1, tiny_plm.max_len + 1), dtype=np.int64)
+    with pytest.raises(ValueError, match="exceeds max_len"):
+        packed.forward(ids, np.zeros_like(ids, dtype=bool))
+
+
+def test_packed_encoder_is_cached_per_encoder(tiny_plm):
+    first = packed_encoder(tiny_plm.encoder)
+    assert packed_encoder(tiny_plm.encoder) is first
+
+
+def test_engine_fused_infer_end_to_end(tiny_plm, agnews_small, monkeypatch):
+    docs = agnews_small.test_corpus.token_lists()[:12]
+    baseline = PretrainedLM(tiny_plm.encoder, enc_cache=None).doc_embeddings(docs)
+
+    calls = {"n": 0}
+    real = infer.packed_encoder
+
+    def counting(encoder):
+        calls["n"] += 1
+        return real(encoder)
+
+    monkeypatch.setattr(infer, "packed_encoder", counting)
+    fused_plm = PretrainedLM(tiny_plm.encoder, enc_cache=None,
+                             engine_config=EngineConfig(fused_infer=True))
+    fused = fused_plm.doc_embeddings(docs)
+    assert calls["n"] > 0, "fused_infer should route through the packed path"
+    np.testing.assert_allclose(fused, baseline, atol=ULP_ATOL, rtol=0)
+
+
+def test_set_fused_false_disables_packed_path(tiny_plm, agnews_small,
+                                              monkeypatch):
+    docs = agnews_small.test_corpus.token_lists()[:6]
+    calls = {"n": 0}
+    real = infer.packed_encoder
+
+    def counting(encoder):
+        calls["n"] += 1
+        return real(encoder)
+
+    monkeypatch.setattr(infer, "packed_encoder", counting)
+    plm = PretrainedLM(tiny_plm.encoder, enc_cache=None,
+                       engine_config=EngineConfig(fused_infer=True))
+    F.set_fused(False)
+    try:
+        slow = plm.doc_embeddings(docs)
+    finally:
+        F.set_fused(True)
+    assert calls["n"] == 0, "set_fused(False) must veto the packed path"
+    fast = plm.doc_embeddings(docs)
+    assert calls["n"] > 0
+    np.testing.assert_allclose(fast, slow, atol=ULP_ATOL, rtol=0)

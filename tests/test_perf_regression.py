@@ -1,0 +1,230 @@
+"""Perf-regression harness: history store, calibrated gate, CI schemas.
+
+The acceptance contract: a synthetic 2x slowdown appended to a history
+file fails the gate on any host (the tolerance product is capped below
+2x), ordinary drift passes, ``write_bench_artifact`` stamps every
+artifact and history record with git SHA + host calibration, and a
+``BENCH_*.json`` nobody registered fails the artifact check.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import re
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCHMARKS = Path(__file__).resolve().parent.parent / "benchmarks"
+if str(BENCHMARKS) not in sys.path:
+    sys.path.insert(0, str(BENCHMARKS))
+
+import check_bench_artifacts as cba  # noqa: E402
+import check_regression as cr  # noqa: E402
+import hostcal  # noqa: E402
+
+
+def _load_bench_conftest():
+    """The benchmarks conftest under a non-colliding module name."""
+    name = "bench_conftest_for_tests"
+    if name in sys.modules:
+        return sys.modules[name]
+    spec = importlib.util.spec_from_file_location(name,
+                                                 BENCHMARKS / "conftest.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+pytestmark = pytest.mark.harness
+
+
+def _record(seconds: float, speedup: float = 2.0, jitter: float = 1.1,
+            host: str = "hostA", sha: str = "cafe") -> dict:
+    return {
+        "name": "serving",
+        "sha": sha,
+        "host": host,
+        "created": "2026-08-01T00:00:00Z",
+        "calibration": {"batch_gain": 5.0, "jitter": jitter},
+        "metrics": {"unbatched_seconds": seconds, "speedup": speedup},
+    }
+
+
+def _write_history(directory: Path, name: str, records: list) -> Path:
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{name}.jsonl"
+    path.write_text("".join(json.dumps(r) + "\n" for r in records))
+    return path
+
+
+# ---------------------------------------------------------------------------
+# The gate
+# ---------------------------------------------------------------------------
+
+def test_synthetic_2x_slowdown_fails(tmp_path):
+    records = [_record(1.0) for _ in range(4)] + [_record(2.0)]
+    _write_history(tmp_path, "serving", records)
+    report = cr.check_all(tmp_path, ["serving"])
+    assert report["regressed"] == ["serving"]
+    bad = [c for c in report["results"][0]["comparisons"] if c["regressed"]]
+    assert [c["metric"] for c in bad] == ["unbatched_seconds"]
+    assert bad[0]["ratio"] == 2.0
+    assert bad[0]["tolerance"] < 2.0
+
+
+def test_modest_drift_passes(tmp_path):
+    records = [_record(1.0) for _ in range(4)] + [_record(1.05)]
+    _write_history(tmp_path, "serving", records)
+    report = cr.check_all(tmp_path, ["serving"])
+    assert report["regressed"] == []
+
+
+def test_higher_is_better_direction(tmp_path):
+    # Wall time steady, but the speedup ratio halved: still a regression.
+    records = [_record(1.0, speedup=4.0) for _ in range(4)]
+    records.append(_record(1.0, speedup=2.0))
+    _write_history(tmp_path, "serving", records)
+    report = cr.check_all(tmp_path, ["serving"])
+    assert report["regressed"] == ["serving"]
+    bad = [c for c in report["results"][0]["comparisons"] if c["regressed"]]
+    assert [c["metric"] for c in bad] == ["speedup"]
+
+
+def test_single_record_has_no_baseline(tmp_path):
+    _write_history(tmp_path, "serving", [_record(1.0)])
+    report = cr.check_all(tmp_path, ["serving"])
+    assert report["results"][0]["status"] == "no baseline"
+    assert report["regressed"] == []
+
+
+def test_baselines_window_is_bounded(tmp_path):
+    # Old slow records beyond --last must not drag the median up.
+    records = ([_record(9.0) for _ in range(10)]
+               + [_record(1.0) for _ in range(5)] + [_record(1.9)])
+    _write_history(tmp_path, "serving", records)
+    report = cr.check_all(tmp_path, ["serving"], last=5)
+    result = report["results"][0]
+    assert result["n_baselines"] == 5
+    seconds = [c for c in result["comparisons"]
+               if c["metric"] == "unbatched_seconds"][0]
+    assert seconds["baseline_median"] == 1.0
+    assert seconds["regressed"]  # 1.9x over a 1.0 median breaches 1.5x
+
+
+def test_tolerance_widens_with_jitter_but_stays_capped():
+    calm = [_record(1.0, jitter=1.0) for _ in range(3)]
+    assert cr.tolerance_for(_record(1.0, jitter=1.0), calm) == 1.5
+    # A noisier current host widens the allowance, but never to 2x.
+    assert cr.tolerance_for(_record(1.0, jitter=1.2), calm) == pytest.approx(1.8)
+    assert cr.tolerance_for(_record(1.0, jitter=50.0), calm) <= cr.TOLERANCE_CAP
+    assert cr.TOLERANCE_CAP < 2.0
+
+
+def test_tolerance_widens_across_hosts():
+    baselines = [_record(1.0, host="hostA") for _ in range(3)]
+    same = cr.tolerance_for(_record(1.0, host="hostA"), baselines)
+    other = cr.tolerance_for(_record(1.0, host="hostB"), baselines)
+    assert other == pytest.approx(same * cr.CROSS_HOST_WIDENING)
+
+
+def test_main_exits_nonzero_and_writes_report(tmp_path, capsys):
+    records = [_record(1.0) for _ in range(3)] + [_record(2.0)]
+    _write_history(tmp_path / "history", "serving", records)
+    report_path = tmp_path / "BENCH_regression.json"
+    rc = cr.main(["--history", str(tmp_path / "history"),
+                  "--report", str(report_path), "serving"])
+    assert rc == 1
+    assert "REGRESSED" in capsys.readouterr().err
+    report = json.loads(report_path.read_text())
+    assert report["regressed"] == ["serving"]
+    assert report["meta"]["calibration"]["jitter"] >= 1.0
+
+    # Fixing the regression turns the same invocation green.
+    _write_history(tmp_path / "history", "serving",
+                   records[:-1] + [_record(1.01)])
+    assert cr.main(["--history", str(tmp_path / "history"),
+                    "--report", str(report_path), "serving"]) == 0
+
+
+def test_every_registered_metric_has_a_schema():
+    # A history name the gate checks must be an artifact CI validates.
+    assert set(cr.METRICS) <= set(cba.SCHEMAS)
+
+
+# ---------------------------------------------------------------------------
+# Artifact schema check
+# ---------------------------------------------------------------------------
+
+def _valid_serving_payload() -> dict:
+    return {
+        "unbatched_seconds": 1.0, "batched_seconds": 0.5, "speedup": 2.0,
+        "batched_p50_ms": 5.0, "batched_p99_ms": 9.0,
+        "unbatched_p50_ms": 10.0, "unbatched_p99_ms": 20.0,
+        "n_requests": 64, "n_clients": 8, "batches": 9, "shed_demo": {},
+    }
+
+
+def test_unknown_bench_artifact_fails_full_check(tmp_path, monkeypatch):
+    monkeypatch.setattr(cba, "HERE", tmp_path)
+    (tmp_path / "BENCH_serving.json").write_text(
+        json.dumps(_valid_serving_payload()))
+    assert cba.main([]) == 0
+    (tmp_path / "BENCH_mystery.json").write_text("{}")
+    assert cba.unknown_artifacts(tmp_path) == ["mystery"]
+    assert cba.main([]) == 1
+
+
+def test_missing_keys_and_non_numeric_values_fail(tmp_path, monkeypatch):
+    monkeypatch.setattr(cba, "HERE", tmp_path)
+    payload = _valid_serving_payload()
+    payload.pop("speedup")
+    payload["batched_seconds"] = "fast"
+    (tmp_path / "BENCH_serving.json").write_text(json.dumps(payload))
+    problems = cba.check_artifact("serving")
+    assert any("speedup" in p for p in problems)
+    assert any("batched_seconds" in p and "numeric" in p for p in problems)
+
+
+# ---------------------------------------------------------------------------
+# Stamping and the history store
+# ---------------------------------------------------------------------------
+
+def test_write_bench_artifact_stamps_and_appends_history(tmp_path,
+                                                         monkeypatch):
+    bc = _load_bench_conftest()
+    monkeypatch.setattr(bc, "ARTIFACT_DIR", tmp_path)
+    monkeypatch.setattr(bc, "HISTORY_DIR", tmp_path / "history")
+
+    payload = {"seconds": 1.25, "speedup": 2.0, "full": False,
+               "rows": [{"Method": "XClass"}], "label": "demo"}
+    path = bc.write_bench_artifact("demo", payload)
+    assert path == tmp_path / "BENCH_demo.json"
+
+    written = json.loads(path.read_text())
+    meta = written["meta"]
+    assert re.fullmatch(r"[0-9a-f]{40}", meta["sha"])
+    assert meta["host"] == hostcal.host() != ""
+    assert meta["calibration"]["batch_gain"] > 0
+    assert meta["calibration"]["jitter"] >= 1.0
+
+    bc.write_bench_artifact("demo", payload)
+    lines = (tmp_path / "history" / "demo.jsonl").read_text().splitlines()
+    assert len(lines) == 2
+    record = json.loads(lines[0])
+    assert record["name"] == "demo" and record["sha"] == meta["sha"]
+    # Only scalar numerics survive into metrics: no tables, no strings,
+    # and `full` (a bool) is not a perf number.
+    assert record["metrics"] == {"seconds": 1.25, "speedup": 2.0}
+
+
+def test_stamp_matches_git_head():
+    import subprocess
+
+    head = subprocess.run(["git", "rev-parse", "HEAD"],
+                          cwd=BENCHMARKS, capture_output=True,
+                          text=True).stdout.strip()
+    assert hostcal.git_sha() == head
