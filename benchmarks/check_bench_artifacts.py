@@ -54,6 +54,13 @@ SCHEMAS = {
                     "unbatched_p50_ms", "unbatched_p99_ms"],
         "present": ["n_requests", "n_clients", "batches", "shed_demo"],
     },
+    "serving_pool": {
+        "numeric": ["closed_rps_r1", "closed_rps_r2", "closed_rps_r4",
+                    "speedup_4v1", "min_speedup",
+                    "p50_ms_r4", "p99_ms_r4", "p999_ms_r4"],
+        "present": ["replicas", "n_clients", "open_rate_rps",
+                    "calibration"],
+    },
     "quantized": {
         "numeric": ["float32_seconds", "quantized_seconds", "speedup",
                     "min_speedup", "accuracy_delta", "max_accuracy_delta",

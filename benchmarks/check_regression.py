@@ -65,6 +65,12 @@ METRICS = {
         "speedup": "higher",
         "batched_p99_ms": "lower",
     },
+    "serving_pool": {
+        "closed_rps_r1": "higher",
+        "closed_rps_r4": "higher",
+        "speedup_4v1": "higher",
+        "p99_ms_r4": "lower",
+    },
     "quantized": {
         "float32_seconds": "lower",
         "quantized_seconds": "lower",
@@ -154,10 +160,14 @@ def compare(name: str, records: list, last: int = DEFAULT_LAST) -> dict:
     """Compare the newest record of ``name`` against its baselines.
 
     Returns ``{"name", "status", "comparisons": [...]}`` where status is
-    ``ok``, ``regressed``, or ``no baseline``.
+    ``ok``, ``regressed``, or ``no baseline``. An empty or single-record
+    history (a fresh clone, or a bench's very first run) is not an
+    error: the result carries ``"baseline": "insufficient-history"`` and
+    the gate passes vacuously — it needs committed history to bite.
     """
     if len(records) < 2:
         return {"name": name, "status": "no baseline",
+                "baseline": "insufficient-history",
                 "n_baselines": max(0, len(records) - 1), "comparisons": []}
     current = records[-1]
     baselines = records[-1 - last:-1]

@@ -39,6 +39,15 @@ class ArtifactError(ReproError):
     """
 
 
+class DanglingReference(ArtifactError):
+    """Raised when a registry alias points at a version that no longer exists.
+
+    Distinct from a plain missing version: the alias file itself is the
+    corrupt state, so callers can repair (repoint or delete the alias)
+    instead of treating the whole model as gone.
+    """
+
+
 class ServingError(ReproError):
     """Base class for model-serving failures (`repro.serve`)."""
 

@@ -128,7 +128,7 @@ def main(argv: "list | None" = None) -> int:
         if trace_dir is not None:
             tracer = obs.disable()
             path = tracer.write(Path(trace_dir) / f"trace_{name}.jsonl")
-            print(f"[trace] {path}")
+            print(obs.trace_footer(tracer, path))
     print(f"\n[{time.time() - start:.1f}s]")
     return 0
 

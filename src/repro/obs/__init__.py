@@ -48,6 +48,9 @@ __all__ = [
     "span",
     "count",
     "counter",
+    "gauge",
+    "gauge_value",
+    "trace_footer",
 ]
 
 #: The active run-scoped tracer; ``None`` means every hook is a no-op.
@@ -117,6 +120,41 @@ def counter(name: str) -> float:
     if current is None:
         return 0
     return current.counters.get(name, 0)
+
+
+def gauge(name: str, value: float) -> None:
+    """Record a high-water-mark gauge; no-op when tracing is disabled.
+
+    Gauges keep the *peak* observed level (queue depth, busy replicas)
+    rather than a running sum, and merge across worker exports by ``max``
+    (see :meth:`Tracer.gauge` / :meth:`Tracer.absorb`).
+    """
+    current = _TRACER
+    if current is None:
+        return
+    current.gauge(name, value)
+
+
+def gauge_value(name: str) -> float:
+    """Current peak of gauge ``name`` (0 when unset or disabled)."""
+    current = _TRACER
+    if current is None:
+        return 0
+    return current.gauges.get(name, 0)
+
+
+def trace_footer(tracer: Tracer, path) -> str:
+    """The one-line ``[trace]`` footer CLIs print after writing a trace.
+
+    Includes the recorded gauge peaks (queue depth, busy replicas) so
+    the load high-water marks are visible without opening the JSONL.
+    """
+    line = f"[trace] {path}"
+    if tracer.gauges:
+        shown = " ".join(f"{name}={tracer.gauges[name]:g}"
+                         for name in sorted(tracer.gauges))
+        line += f" [gauges {shown}]"
+    return line
 
 
 def _profile_op(qualname: str) -> None:

@@ -95,6 +95,7 @@ class Tracer:
     def __init__(self, name: str = "run"):
         self.name = name
         self.counters: "dict[str, float]" = {}
+        self.gauges: "dict[str, float]" = {}
         self._events: "list[dict]" = []
         self._stack: "list[str]" = []
         self._start = time.monotonic()
@@ -106,6 +107,17 @@ class Tracer:
 
     def count(self, name: str, n: float = 1) -> None:
         self.counters[name] = self.counters.get(name, 0) + n
+
+    def gauge(self, name: str, value: float) -> None:
+        """Record a high-water-mark gauge (merges by ``max``, not sum).
+
+        Gauges capture instantaneous levels — queue depth, busy replicas
+        — where summing across observations (or across workers) would be
+        meaningless; the trace keeps the peak.
+        """
+        current = self.gauges.get(name)
+        if current is None or value > current:
+            self.gauges[name] = value
 
     def current_path(self) -> str:
         """Slash-joined names of the open spans (empty at top level)."""
@@ -122,6 +134,7 @@ class Tracer:
         return {
             "events": [e for e in self._events if e["type"] == "span"],
             "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
         }
 
     def absorb(self, payload: dict, prefix: "str | None" = None) -> None:
@@ -140,15 +153,21 @@ class Tracer:
             self._events.append(event)
         for name, value in payload.get("counters", {}).items():
             self.count(name, value)
+        for name, value in payload.get("gauges", {}).items():
+            self.gauge(name, value)
 
     # -- finalization -------------------------------------------------------
     def finalize(self) -> "Tracer":
         """Append the counters and end events (idempotent)."""
         if not self._finalized:
             self._finalized = True
+            # Gauges fold into the counters event (schema stays v1);
+            # gauge names never collide with counter names by convention
+            # (serve.queue_depth vs serve.requests etc.).
+            values = {**self.counters, **self.gauges}
             self._events.append({
                 "type": "counters",
-                "values": {k: self.counters[k] for k in sorted(self.counters)},
+                "values": {k: values[k] for k in sorted(values)},
             })
             self._events.append({
                 "type": "end",

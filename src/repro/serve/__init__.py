@@ -12,9 +12,15 @@ pipelines can be persisted, named, and served:
   digest verification on load;
 - :mod:`repro.serve.engine` — a thread-safe micro-batching server that
   coalesces concurrent classify requests into the PLM engine's batched
-  encode path, with deadlines and load-shedding backpressure.
+  encode path, with deadlines and load-shedding backpressure;
+- :mod:`repro.serve.pool` — a multi-process replica pool: N worker
+  engines over one shared-memory weight set (:mod:`repro.serve.shm`),
+  least-loaded dispatch, typed cross-process error propagation;
+- :mod:`repro.serve.http` — the stdlib JSON/HTTP front door over a pool
+  (``/classify`` with 429/504 backpressure codes, ``/healthz``,
+  ``/stats``).
 
-CLI: ``python -m repro serve export|list|inspect|predict|evict``.
+CLI: ``python -m repro serve export|list|inspect|predict|pool|evict``.
 """
 
 from repro.serve.artifacts import (
@@ -26,7 +32,10 @@ from repro.serve.artifacts import (
     read_manifest,
 )
 from repro.serve.engine import ServeConfig, ServingEngine
+from repro.serve.http import PoolServer
+from repro.serve.pool import PoolConfig, PoolRequest, ReplicaPool
 from repro.serve.registry import ModelRegistry
+from repro.serve.shm import SharedArrays, attach_arrays, publish_arrays
 
 __all__ = [
     "ARTIFACT_SCHEMA",
@@ -38,4 +47,11 @@ __all__ = [
     "ModelRegistry",
     "ServeConfig",
     "ServingEngine",
+    "PoolConfig",
+    "PoolRequest",
+    "PoolServer",
+    "ReplicaPool",
+    "SharedArrays",
+    "attach_arrays",
+    "publish_arrays",
 ]

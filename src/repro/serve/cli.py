@@ -6,6 +6,7 @@ Verbs::
     list      one row per published model (versions, method, labels)
     inspect   dump a model version's manifest as JSON
     predict   classify documents through the micro-batching engine
+    pool      serve a model over a multi-process replica pool + HTTP
     evict     delete a model version (or a whole model with --all)
 
 Examples::
@@ -14,6 +15,7 @@ Examples::
         --scale 0.5 --name agnews-westclass
     python -m repro serve list
     python -m repro serve predict agnews-westclass --text "the team won"
+    python -m repro serve pool agnews-westclass --replicas 4 --port 8321
     python -m repro serve inspect agnews-westclass@1
     python -m repro serve evict agnews-westclass --all
 
@@ -29,11 +31,14 @@ import sys
 import time
 from pathlib import Path
 
+from repro import obs
 from repro.core.exceptions import ReproError
 from repro.core.registry import method_registry
 from repro.datasets import available_profiles, load_profile
 from repro.evaluation.reporting import format_table
 from repro.serve.engine import ServeConfig, ServingEngine
+from repro.serve.http import PoolServer
+from repro.serve.pool import PoolConfig, ReplicaPool
 from repro.serve.registry import ModelRegistry, parse_ref
 
 
@@ -158,6 +163,51 @@ def _cmd_predict(args) -> int:
     return 0
 
 
+def _cmd_pool(args) -> int:
+    registry = ModelRegistry(args.root)
+    name, version = parse_ref(args.model)
+    resolved = registry.resolve(name, version)
+    if args.trace is not None:
+        obs.enable(f"serve:pool:{name}")
+    config = PoolConfig(replicas=args.replicas, max_queue=args.max_queue,
+                        max_batch_docs=args.batch,
+                        default_deadline_s=args.deadline,
+                        warmup=not args.no_warmup,
+                        verify=not args.no_verify)
+    pool = ReplicaPool(registry.version_dir(name, resolved), config=config)
+    server = PoolServer(pool, host=args.host, port=args.port).start()
+    try:
+        host, port = server.address
+        print(f"listening on http://{host}:{port} "
+              f"({name}@v{resolved:04d}, {args.replicas} replica(s), "
+              f"segments: {len(pool.shm_segments())})", flush=True)
+        if args.port_file:
+            Path(args.port_file).write_text(f"{host} {port}\n")
+        try:
+            if args.max_seconds is not None:
+                time.sleep(args.max_seconds)
+            else:
+                while True:
+                    time.sleep(3600)
+        except KeyboardInterrupt:
+            print("shutting down...", file=sys.stderr)
+    finally:
+        server.close()
+        pool.close()
+        stats = pool.stats()
+        print(f"[pool] dispatched={stats['dispatched']} "
+              f"completed={stats['completed']} failed={stats['failed']} "
+              f"shed={stats['shed']} deaths={stats['replica_deaths']} "
+              f"replica_busy_max={stats['replica_busy_max']}",
+              file=sys.stderr)
+        if args.trace is not None:
+            tracer = obs.disable()
+            path = tracer.write(Path(args.trace)
+                                / f"trace_pool_{name}.jsonl")
+            print(obs.trace_footer(tracer, path))
+    return 0
+
+
 def _cmd_evict(args) -> int:
     registry = ModelRegistry(args.root)
     name, version = parse_ref(args.model)
@@ -229,6 +279,36 @@ def build_parser() -> argparse.ArgumentParser:
     predict.add_argument("--no-warmup", action="store_true",
                          help="skip the warm-up predict")
     predict.set_defaults(fn=_cmd_predict)
+
+    pool = sub.add_parser("pool",
+                          help="serve over a multi-process replica pool")
+    pool.add_argument("model", help="name or name@version")
+    pool.add_argument("--replicas", type=int, default=2,
+                      help="worker processes (default: 2)")
+    pool.add_argument("--host", default="127.0.0.1",
+                      help="bind address (default: 127.0.0.1)")
+    pool.add_argument("--port", type=int, default=8321,
+                      help="bind port; 0 picks an ephemeral one "
+                           "(default: 8321)")
+    pool.add_argument("--max-queue", type=int, default=32,
+                      help="per-replica in-flight bound before 429s")
+    pool.add_argument("--batch", type=int, default=64,
+                      help="per-replica micro-batch document budget")
+    pool.add_argument("--deadline", type=float, default=None,
+                      help="default per-request deadline in seconds")
+    pool.add_argument("--max-seconds", type=float, default=None,
+                      help="serve for N seconds then exit "
+                           "(default: until interrupted)")
+    pool.add_argument("--port-file", default=None,
+                      help="write '<host> <port>' here once bound "
+                           "(for scripts/tests)")
+    pool.add_argument("--trace", default=None, metavar="DIR",
+                      help="write a merged pool trace JSONL under DIR")
+    pool.add_argument("--no-verify", action="store_true",
+                      help="skip artifact digest verification")
+    pool.add_argument("--no-warmup", action="store_true",
+                      help="skip per-replica warm-up predicts")
+    pool.set_defaults(fn=_cmd_pool)
 
     evict = sub.add_parser("evict", help="delete a model version")
     evict.add_argument("model", help="name@version (or name with --all)")

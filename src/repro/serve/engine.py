@@ -26,7 +26,9 @@ intake, drains what is queued, then joins the batcher thread.
 Instrumentation (:mod:`repro.obs`): ``serve:enqueue`` / ``serve:batch``
 / ``serve:predict`` spans and ``serve.requests`` / ``serve.batches`` /
 ``serve.batched_docs`` / ``serve.shed`` / ``serve.deadline_miss``
-counters; :meth:`ServingEngine.stats` mirrors the counters tracer-free.
+counters plus a ``serve.queue_depth`` high-water gauge;
+:meth:`ServingEngine.stats` mirrors the counters tracer-free
+(``queue_depth_max`` is the gauge's peak).
 """
 
 from __future__ import annotations
@@ -117,7 +119,7 @@ class ServingEngine:
         self._abort = False
         self._stats = {"requests": 0, "served": 0, "batches": 0,
                        "batched_docs": 0, "shed": 0, "deadline_miss": 0,
-                       "errors": 0}
+                       "errors": 0, "queue_depth_max": 0}
         if self.config.warmup and hasattr(model, "warmup"):
             model.warmup()
         self._thread = threading.Thread(target=self._loop,
@@ -151,8 +153,12 @@ class ServingEngine:
                     )
                 self._pending.append(request)
                 self._stats["requests"] += 1
+                depth = len(self._pending)
+                if depth > self._stats["queue_depth_max"]:
+                    self._stats["queue_depth_max"] = depth
                 self._not_empty.notify()
         obs.count("serve.requests")
+        obs.gauge("serve.queue_depth", depth)
         return request
 
     def classify(self, docs, deadline_s: "float | None" = None,

@@ -8,22 +8,31 @@ per version::
             v0001/            # artifact (manifest.json, state.pkl, plm_*.npz)
             v0002/
 
-Versions are monotonically increasing integers assigned at publish time;
-``latest`` resolves to the highest one. Publishing is atomic (the
-artifact store renames a fully-written directory into place), loads
-digest-verify by default, and ``evict`` removes a version (or a whole
-model). Names are restricted to ``[a-z0-9._-]`` so registry paths stay
-shell- and URL-safe.
+Versions are monotonically increasing integers assigned at publish time.
+``latest`` is a *persisted alias* — a one-line ``latest`` file in the
+model directory, written atomically at publish and repointed on evict
+(to the newest remaining version; removed with the model when the last
+version goes), so the alias can never dangle through registry
+operations. A hand-damaged alias (pointing at a version that no longer
+exists) resolves to a typed
+:class:`~repro.core.exceptions.DanglingReference` naming the repair;
+registries written before the alias existed fall back to the highest
+on-disk version. Publishing is atomic (the artifact store renames a
+fully-written directory into place), loads digest-verify by default,
+and ``evict`` removes a version (or a whole model). Names are
+restricted to ``[a-z0-9._-]`` so registry paths stay shell- and
+URL-safe.
 """
 
 from __future__ import annotations
 
+import os
 import re
 import shutil
 from pathlib import Path
 
 from repro.core import env as _env
-from repro.core.exceptions import ArtifactError
+from repro.core.exceptions import ArtifactError, DanglingReference
 from repro.serve.artifacts import (
     ServableModel,
     export_artifact,
@@ -93,15 +102,57 @@ class ModelRegistry:
                 found.append(int(match.group(1)))
         return sorted(found)
 
+    # -- the latest alias ----------------------------------------------------
+    def _alias_path(self, name: str) -> Path:
+        return self.model_dir(name) / LATEST
+
+    def _read_alias(self, name: str) -> "int | None":
+        """The persisted alias target, or None (pre-alias registry)."""
+        path = self._alias_path(name)
+        try:
+            text = path.read_text().strip()
+        except FileNotFoundError:
+            return None
+        match = _VERSION_RE.match(text)
+        if not match:
+            raise ArtifactError(
+                f"registry alias {path} is corrupt (contains {text!r}); "
+                "delete it to fall back to the highest version"
+            )
+        return int(match.group(1))
+
+    def _write_alias(self, name: str, version: int) -> None:
+        """Atomically point ``latest`` at ``version``."""
+        path = self._alias_path(name)
+        tmp = path.with_name(f".{LATEST}.tmp-{os.getpid()}")
+        tmp.write_text(f"v{version:04d}\n")
+        os.replace(tmp, path)
+
     def resolve(self, name: str, version: "int | str" = LATEST) -> int:
-        """Resolve ``version`` (int, ``"7"``, ``"v0007"``, ``"latest"``)."""
+        """Resolve ``version`` (int, ``"7"``, ``"v0007"``, ``"latest"``).
+
+        ``latest`` reads the persisted alias; an alias pointing at a
+        version that no longer exists raises
+        :class:`DanglingReference` (repair by re-publishing, evicting
+        through the registry, or deleting the alias file).
+        """
         versions = self.versions(name)
         if not versions:
             raise ArtifactError(
                 f"model {name!r} has no published versions under {self.root}"
             )
         if version == LATEST:
-            return versions[-1]
+            alias = self._read_alias(name)
+            if alias is None:
+                return versions[-1]
+            if alias not in versions:
+                raise DanglingReference(
+                    f"latest alias of model {name!r} points at "
+                    f"v{alias:04d}, which no longer exists "
+                    f"(published: {versions}); re-publish, evict via the "
+                    "registry, or delete the alias file to repair"
+                )
+            return alias
         if isinstance(version, str):
             match = _VERSION_RE.match(version)
             if match:
@@ -132,11 +183,12 @@ class ModelRegistry:
         rows = []
         for name in self.models():
             versions = self.versions(name)
-            manifest = read_manifest(self.version_dir(name, versions[-1]))
+            latest = self.resolve(name)
+            manifest = read_manifest(self.version_dir(name, latest))
             rows.append({
                 "name": name,
                 "versions": len(versions),
-                "latest": versions[-1],
+                "latest": latest,
                 "method": manifest.get("method"),
                 "labels": len(manifest.get("labels") or []),
                 "quantize": manifest.get("quantize") or "-",
@@ -171,6 +223,7 @@ class ModelRegistry:
             if max_accuracy_delta is not None:
                 kwargs["max_accuracy_delta"] = max_accuracy_delta
         export_artifact(model, target, provenance=provenance, **kwargs)
+        self._write_alias(name, version)
         return version
 
     def load(self, name: str, version: "int | str" = LATEST,
@@ -182,7 +235,10 @@ class ModelRegistry:
     def evict(self, name: str, version: "int | str | None" = None) -> list:
         """Delete one version (or, with ``version=None``, every version).
 
-        Returns the version numbers removed.
+        Returns the version numbers removed. Evicting the version the
+        ``latest`` alias points at repoints it to the newest remaining
+        version; evicting the last version removes the model (alias
+        included), so the alias never dangles.
         """
         if version is None:
             removed = self.versions(name)
@@ -190,9 +246,13 @@ class ModelRegistry:
                 shutil.rmtree(self.model_dir(name))
             return removed
         resolved = self.resolve(name, version)
+        alias = self._read_alias(name)
         shutil.rmtree(self.version_dir(name, resolved))
-        if not self.versions(name):
+        remaining = self.versions(name)
+        if not remaining:
             shutil.rmtree(self.model_dir(name), ignore_errors=True)
+        elif alias == resolved:
+            self._write_alias(name, remaining[-1])
         return [resolved]
 
     def __repr__(self) -> str:

@@ -1,0 +1,194 @@
+"""Shared-memory publication of PLM weight arrays for the replica pool.
+
+One host, N replica processes, one weight set: the pool parent reads an
+artifact's PLM archives once (:func:`repro.plm.io.read_plm_arrays`),
+copies every parameter array into a single
+:class:`multiprocessing.shared_memory.SharedMemory` segment per archive,
+and ships only a small *spec* dict (segment name + per-array offset/
+shape/dtype) to the workers. Each worker maps the segment and rebuilds
+its encoder over zero-copy numpy views
+(:func:`repro.plm.io.build_plm` with ``copy=False``), so replica RAM
+cost is page-table entries, not weights.
+
+Layout: arrays are packed C-contiguous at 64-byte-aligned offsets (so
+the packed-inference path's ``np.ascontiguousarray`` snapshots are
+no-ops and BLAS sees aligned rows). Views are marked read-only —
+inference never writes weights, and an accidental write would corrupt
+every replica at once.
+
+Ownership and cleanup: the creating process owns the segment and is the
+only one that ``unlink``\\ s it (on :meth:`SharedArrays.close`, or at
+interpreter exit via an ``atexit`` sweep as a crash backstop). Pool
+workers are *spawned children* of the publisher, so they share its
+``resource_tracker`` process: their attach-side registration is a
+duplicate entry in the same tracker set (a no-op), worker exits never
+trigger tracker cleanup, and if the publisher dies without closing, the
+shared tracker unlinks the segment itself — a second backstop. POSIX
+keeps an unlinked segment alive until the last map drops, so the parent
+can unlink even while workers (or their corpses) still hold mappings.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import secrets
+import threading
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.core.exceptions import ServingError
+
+#: Offset alignment for every array in a segment (cache line / AVX-512).
+ALIGN = 64
+
+_LIVE_LOCK = threading.Lock()
+#: Segment names created (and therefore owned) by this process.
+_LIVE_OWNED: "set[str]" = set()
+
+
+def _align(offset: int) -> int:
+    return (offset + ALIGN - 1) & ~(ALIGN - 1)
+
+
+@atexit.register
+def _cleanup_owned() -> None:
+    """Unlink any still-live owned segments at interpreter exit."""
+    with _LIVE_LOCK:
+        names = list(_LIVE_OWNED)
+        _LIVE_OWNED.clear()
+    for name in names:
+        try:
+            segment = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            continue
+        segment.close()
+        try:
+            segment.unlink()
+        except FileNotFoundError:
+            pass
+
+
+class SharedArrays:
+    """A list of numpy arrays living in one shared-memory segment.
+
+    Built by :func:`publish_arrays` (owner side) or
+    :func:`attach_arrays` (worker side). ``arrays`` holds read-only
+    views over the segment in publication order; ``spec`` is the
+    picklable description workers attach from.
+    """
+
+    def __init__(self, segment: shared_memory.SharedMemory, spec: dict,
+                 owner: bool):
+        self._segment = segment
+        self.spec = spec
+        self.owner = owner
+        self._closed = False
+        self.arrays = []
+        for entry in spec["arrays"]:
+            view = np.ndarray(tuple(entry["shape"]),
+                              dtype=np.dtype(entry["dtype"]),
+                              buffer=segment.buf, offset=entry["offset"])
+            view.flags.writeable = False
+            self.arrays.append(view)
+
+    @property
+    def name(self) -> str:
+        return self.spec["name"]
+
+    @property
+    def nbytes(self) -> int:
+        return self.spec["nbytes"]
+
+    def close(self) -> None:
+        """Drop the views and the mapping; the owner also unlinks.
+
+        Idempotent. Owner close is the reference-count release: POSIX
+        destroys the segment once every other attached process exits
+        (cleanly or not), so a worker crash cannot leak it.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self.arrays = []
+        try:
+            self._segment.close()
+        except BufferError:
+            # A still-exported view (e.g. captured by a PackedEncoder in
+            # this process) pins the mapping; the unlink below still
+            # removes the name, and the mapping dies with the process.
+            pass
+        if self.owner:
+            with _LIVE_LOCK:
+                _LIVE_OWNED.discard(self.name)
+            try:
+                self._segment.unlink()
+            except FileNotFoundError:
+                pass
+
+    def __enter__(self) -> "SharedArrays":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def __repr__(self) -> str:
+        return (f"SharedArrays(name={self.name!r}, "
+                f"n={len(self.spec['arrays'])}, nbytes={self.nbytes}, "
+                f"owner={self.owner})")
+
+
+def publish_arrays(arrays: list, label: str = "plm") -> SharedArrays:
+    """Copy ``arrays`` into a fresh shared-memory segment (owner side).
+
+    The segment name embeds the pid and random bits, so concurrent pools
+    on one host never collide. Returns the owning handle; pass
+    ``handle.spec`` (picklable) to workers for :func:`attach_arrays`.
+    """
+    entries = []
+    offset = 0
+    for array in arrays:
+        array = np.ascontiguousarray(array)
+        offset = _align(offset)
+        entries.append({"offset": offset, "shape": list(array.shape),
+                        "dtype": str(array.dtype)})
+        offset += array.nbytes
+    nbytes = max(offset, 1)  # zero-size segments are not portable
+    name = f"repro-{label}-{os.getpid()}-{secrets.token_hex(4)}"
+    try:
+        segment = shared_memory.SharedMemory(name=name, create=True,
+                                             size=nbytes)
+    except OSError as exc:
+        raise ServingError(
+            f"cannot create shared-memory segment {name!r} "
+            f"({nbytes} bytes): {exc}"
+        ) from exc
+    with _LIVE_LOCK:
+        _LIVE_OWNED.add(segment.name)
+    for array, entry in zip(arrays, entries):
+        target = np.ndarray(array.shape, dtype=array.dtype,
+                            buffer=segment.buf, offset=entry["offset"])
+        target[...] = array
+        del target  # release the exported buffer before any close()
+    spec = {"name": segment.name, "nbytes": nbytes, "arrays": entries}
+    return SharedArrays(segment, spec, owner=True)
+
+
+def attach_arrays(spec: dict) -> SharedArrays:
+    """Map an existing segment described by ``spec`` (worker side).
+
+    Attaching registers the name with ``resource_tracker`` a second
+    time; because pool workers share the publisher's tracker process
+    that is a set-level no-op, and the publishing process keeps sole
+    ownership of the unlink.
+    """
+    try:
+        segment = shared_memory.SharedMemory(name=spec["name"])
+    except FileNotFoundError:
+        raise ServingError(
+            f"shared-memory segment {spec['name']!r} does not exist "
+            "(pool closed or publisher died?)"
+        ) from None
+    return SharedArrays(segment, spec, owner=False)

@@ -114,6 +114,51 @@ def test_export_absorb_reroots_and_sums():
     assert parent.counters["work"] == 3
 
 
+def test_gauges_keep_the_peak_and_merge_by_max():
+    obs.enable("gauges")
+    obs.gauge("serve.queue_depth", 3)
+    obs.gauge("serve.queue_depth", 7)
+    obs.gauge("serve.queue_depth", 2)  # below the peak: ignored
+    assert obs.gauge_value("serve.queue_depth") == 7
+    assert obs.gauge_value("unset") == 0
+
+    tracer = obs.disable()
+    assert tracer.gauges == {"serve.queue_depth": 7}
+    # Gauges fold into the counters event so the JSONL schema stays v1.
+    counters = [e for e in tracer.events() if e["type"] == "counters"]
+    assert counters[0]["values"]["serve.queue_depth"] == 7
+
+    # Disabled: all gauge hooks are no-ops.
+    assert obs.gauge("anything", 1) is None
+    assert obs.gauge_value("anything") == 0
+
+
+def test_absorb_merges_worker_gauges_max_wise():
+    parent = Tracer("pool")
+    parent.gauge("pool.replica_busy", 2)
+    for peak in (1, 4, 3):
+        child = Tracer("replica")
+        child.gauge("pool.replica_busy", peak)
+        parent.absorb(child.export(), prefix="pool/replica")
+    assert parent.gauges["pool.replica_busy"] == 4  # max, never a sum
+
+
+def test_trace_footer_lists_gauge_peaks(tmp_path):
+    obs.enable("footer")
+    obs.count("serve.requests", 5)
+    tracer = obs.disable()
+    path = tracer.write(tmp_path / "t.jsonl")
+    assert obs.trace_footer(tracer, path) == f"[trace] {path}"
+
+    obs.enable("footer2")
+    obs.gauge("serve.queue_depth", 9)
+    obs.gauge("pool.replica_busy", 2)
+    tracer = obs.disable()
+    path = tracer.write(tmp_path / "t2.jsonl")
+    assert obs.trace_footer(tracer, path) == (
+        f"[trace] {path} [gauges pool.replica_busy=2 serve.queue_depth=9]")
+
+
 # ---------------------------------------------------------------------------
 # JSONL round-trip and report
 # ---------------------------------------------------------------------------

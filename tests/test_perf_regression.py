@@ -97,8 +97,29 @@ def test_higher_is_better_direction(tmp_path):
 def test_single_record_has_no_baseline(tmp_path):
     _write_history(tmp_path, "serving", [_record(1.0)])
     report = cr.check_all(tmp_path, ["serving"])
-    assert report["results"][0]["status"] == "no baseline"
+    result = report["results"][0]
+    assert result["status"] == "no baseline"
+    assert result["baseline"] == "insufficient-history"
+    assert result["n_baselines"] == 0
     assert report["regressed"] == []
+
+
+def test_empty_and_missing_history_pass_vacuously(tmp_path):
+    # A fresh clone: the history file may be empty or absent entirely.
+    _write_history(tmp_path, "serving", [])
+    report = cr.check_all(tmp_path, ["serving", "serving_pool"])
+    assert report["regressed"] == []
+    assert report["checked"] == 2
+    for result in report["results"]:
+        assert result["status"] == "no baseline"
+        assert result["baseline"] == "insufficient-history"
+        assert result["comparisons"] == []
+    # main() exits 0 on the same input instead of crashing the gate.
+    rc = cr.main(["serving", "--history", str(tmp_path),
+                  "--report", str(tmp_path / "report.json")])
+    assert rc == 0
+    written = json.loads((tmp_path / "report.json").read_text())
+    assert written["results"][0]["baseline"] == "insufficient-history"
 
 
 def test_baselines_window_is_bounded(tmp_path):
@@ -187,6 +208,28 @@ def test_missing_keys_and_non_numeric_values_fail(tmp_path, monkeypatch):
     problems = cba.check_artifact("serving")
     assert any("speedup" in p for p in problems)
     assert any("batched_seconds" in p and "numeric" in p for p in problems)
+
+
+def test_serving_pool_artifact_is_registered(tmp_path, monkeypatch):
+    # The pool bench is wired into both CI gates: schema + regression.
+    assert "serving_pool" in cba.SCHEMAS
+    assert cr.METRICS["serving_pool"]["speedup_4v1"] == "higher"
+    assert cr.METRICS["serving_pool"]["p99_ms_r4"] == "lower"
+
+    monkeypatch.setattr(cba, "HERE", tmp_path)
+    payload = {
+        "closed_rps_r1": 700.0, "closed_rps_r2": 1200.0,
+        "closed_rps_r4": 1400.0, "speedup_4v1": 2.0, "min_speedup": 1.8,
+        "p50_ms_r4": 2.0, "p99_ms_r4": 6.0, "p999_ms_r4": 11.0,
+        "replicas": {}, "n_clients": 8, "open_rate_rps": 900.0,
+        "calibration": {"jitter": 1.0},
+    }
+    (tmp_path / "BENCH_serving_pool.json").write_text(json.dumps(payload))
+    assert cba.check_artifact("serving_pool") == []
+    payload.pop("p999_ms_r4")
+    (tmp_path / "BENCH_serving_pool.json").write_text(json.dumps(payload))
+    assert any("p999_ms_r4" in p
+               for p in cba.check_artifact("serving_pool"))
 
 
 # ---------------------------------------------------------------------------

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import json
 import os
+import shutil
 import subprocess
 import sys
 import threading
@@ -23,6 +24,7 @@ import pytest
 from repro import obs
 from repro.core.exceptions import (
     ArtifactError,
+    DanglingReference,
     DeadlineExceeded,
     Overloaded,
     ServingError,
@@ -499,3 +501,149 @@ def test_serve_cli_unknown_method_and_missing_model(tmp_path, capsys):
     assert "unknown method" in capsys.readouterr().err
     assert main(["--root", root, "inspect", "ghost"]) == 1
     assert "no published versions" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# Registry latest alias
+# ---------------------------------------------------------------------------
+
+def test_publish_writes_latest_alias_file(fitted_westclass, tmp_path):
+    registry = ModelRegistry(tmp_path)
+    registry.publish("aliased", fitted_westclass)
+    registry.publish("aliased", fitted_westclass)
+    alias = registry.model_dir("aliased") / "latest"
+    assert alias.read_text() == "v0002\n"
+    assert registry.resolve("aliased") == 2
+
+
+def test_evict_of_latest_repoints_alias(fitted_westclass, tmp_path):
+    registry = ModelRegistry(tmp_path)
+    for _ in range(3):
+        registry.publish("aliased", fitted_westclass)
+
+    # Evicting what latest points at repoints it to the newest survivor.
+    assert registry.evict("aliased", 3) == [3]
+    alias = registry.model_dir("aliased") / "latest"
+    assert alias.read_text() == "v0002\n"
+    assert registry.resolve("aliased") == 2
+
+    # Evicting a non-latest version leaves the alias alone.
+    assert registry.evict("aliased", 1) == [1]
+    assert registry.resolve("aliased") == 2
+
+    # Evicting the last version removes the model, alias included.
+    assert registry.evict("aliased", 2) == [2]
+    assert registry.models() == []
+    assert not registry.model_dir("aliased").exists()
+
+
+def test_hand_dangled_alias_is_typed_error(fitted_westclass, tmp_path):
+    registry = ModelRegistry(tmp_path)
+    registry.publish("dangle", fitted_westclass)
+    registry.publish("dangle", fitted_westclass)
+    # Delete the aliased version behind the registry's back.
+    shutil.rmtree(registry.version_dir("dangle", 2))
+
+    with pytest.raises(DanglingReference, match="v0002"):
+        registry.resolve("dangle")
+    with pytest.raises(ArtifactError):  # DanglingReference IS-A ArtifactError
+        registry.load("dangle")
+    # Explicit versions keep working while latest is broken.
+    assert registry.resolve("dangle", 1) == 1
+    # Deleting the alias file repairs via the highest-version fallback.
+    (registry.model_dir("dangle") / "latest").unlink()
+    assert registry.resolve("dangle") == 1
+
+
+def test_pre_alias_registry_falls_back_to_highest(fitted_westclass, tmp_path):
+    registry = ModelRegistry(tmp_path)
+    registry.publish("old-layout", fitted_westclass)
+    registry.publish("old-layout", fitted_westclass)
+    # A registry written before the alias existed has no latest file.
+    (registry.model_dir("old-layout") / "latest").unlink()
+    assert registry.resolve("old-layout") == 2
+    info = registry.inspect("old-layout")
+    assert info["version"] == 2
+
+
+def test_corrupt_alias_is_typed_error(fitted_westclass, tmp_path):
+    registry = ModelRegistry(tmp_path)
+    registry.publish("mangled", fitted_westclass)
+    (registry.model_dir("mangled") / "latest").write_text("not-a-version\n")
+    with pytest.raises(ArtifactError, match="corrupt"):
+        registry.resolve("mangled")
+
+
+# ---------------------------------------------------------------------------
+# Engine lifecycle races
+# ---------------------------------------------------------------------------
+
+def test_submit_after_close_raises_typed_error_immediately():
+    engine = ServingEngine(CountingModel(), ServeConfig(warmup=False))
+    engine.close()
+    start = time.monotonic()
+    with pytest.raises(ServingError, match="closed"):
+        engine.submit([["tok"]])
+    assert time.monotonic() - start < 1.0  # raises, never hangs
+
+
+def test_close_drain_resolves_every_accepted_request_exactly_once(monkeypatch):
+    """Concurrent submitters racing close(drain=True).
+
+    Every request the engine *accepted* must settle exactly once (no
+    lost futures, no double resolution), and every submit that loses the
+    race must raise the typed closed error rather than hang.
+    """
+    from repro.serve import engine as engine_mod
+
+    settlements = []  # every Request.resolve/fail call lands here
+
+    class AuditedRequest(engine_mod.Request):
+        def resolve(self, result):
+            settlements.append(self)
+            super().resolve(result)
+
+        def fail(self, error):
+            settlements.append(self)
+            super().fail(error)
+
+    monkeypatch.setattr(engine_mod, "Request", AuditedRequest)
+    engine = ServingEngine(CountingModel(),
+                           ServeConfig(warmup=False, max_queue=100_000,
+                                       batch_window_s=0.001))
+    n_submitters = 4
+    accepted: list = []
+    closed_errors: list = []
+    barrier = threading.Barrier(n_submitters + 1)
+
+    def submitter():
+        barrier.wait()
+        while True:
+            try:
+                accepted.append(engine.submit([["tok"] * 3]))
+            except Overloaded:
+                continue
+            except ServingError as exc:
+                closed_errors.append(exc)
+                return
+
+    threads = [threading.Thread(target=submitter)
+               for _ in range(n_submitters)]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    time.sleep(0.05)  # let the race build a backlog
+    engine.close(drain=True)
+    for t in threads:
+        t.join(30)
+        assert not t.is_alive(), "submitter hung instead of erroring"
+
+    assert len(closed_errors) == n_submitters
+    assert all("closed" in str(exc) for exc in closed_errors)
+    assert accepted, "race produced no accepted requests"
+    # Exactly-once settlement, and drain means resolution, not failure.
+    assert len(settlements) == len(accepted)
+    assert len({id(r) for r in settlements}) == len(settlements)
+    for request in accepted:
+        assert request.done()
+        assert request.wait(5) == ["label-3"]

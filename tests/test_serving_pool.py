@@ -1,0 +1,365 @@
+"""Replica-pool tests: shared weights, dispatch, HTTP front door, CLI.
+
+The contract under test: a pool of worker processes over one
+shared-memory weight set answers bit-identically to a single in-process
+:class:`ServingEngine`; backpressure and deadline errors cross the
+process boundary *typed*; a crashed worker fails only its own in-flight
+requests and never leaks a ``/dev/shm`` segment; and the HTTP layer maps
+those errors onto 429/504/503 status codes.
+
+The fake models here are module-level classes on purpose: pool workers
+are ``spawn`` processes that unpickle the artifact's ``state.pkl``, so
+everything it references must be importable from a fresh interpreter.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import signal
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import (
+    DeadlineExceeded,
+    Overloaded,
+    ServingError,
+)
+from repro.datasets import load_profile
+from repro.methods import XClass
+from repro.serve import (
+    ModelRegistry,
+    PoolConfig,
+    PoolServer,
+    ReplicaPool,
+    ServeConfig,
+    ServingEngine,
+    attach_arrays,
+    export_artifact,
+    publish_arrays,
+)
+
+pytestmark = pytest.mark.serving
+
+SHM_DIR = Path("/dev/shm")
+
+
+class SlowModel:
+    """Picklable fake whose predict blocks (drives overload/deadline)."""
+
+    def __init__(self, delay_s: float = 0.25):
+        self.delay_s = delay_s
+
+    def predict(self, docs):
+        time.sleep(self.delay_s)
+        return ["slow"] * len(docs)
+
+
+@pytest.fixture(scope="module")
+def pool_bundle():
+    return load_profile("agnews", seed=0, scale=0.2)
+
+
+@pytest.fixture(scope="module")
+def pool_registry(pool_bundle, tiny_plm, tmp_path_factory):
+    model = XClass(plm=tiny_plm, seed=0)
+    model.fit(pool_bundle.train_corpus, pool_bundle.label_names())
+    registry = ModelRegistry(tmp_path_factory.mktemp("pool-registry"))
+    registry.publish("pool-x", model, provenance={"test": "serving_pool"})
+    return registry
+
+
+@pytest.fixture(scope="module")
+def xpool(pool_registry):
+    config = PoolConfig(replicas=2, batch_window_s=0.001, warmup=False)
+    with ReplicaPool.from_registry(pool_registry, "pool-x",
+                                   config=config) as pool:
+        yield pool
+
+
+@pytest.fixture(scope="module")
+def http_server(xpool):
+    with PoolServer(xpool, port=0).start() as server:
+        yield server
+
+
+@pytest.fixture()
+def slow_pool(tmp_path):
+    path = export_artifact(SlowModel(), tmp_path / "slow")
+    pool = ReplicaPool(path, config=PoolConfig(
+        replicas=1, max_queue=4, batch_window_s=0.0, warmup=False))
+    yield pool
+    pool.close()
+
+
+def _http(server, method, path, body=None):
+    conn = http.client.HTTPConnection(*server.address, timeout=60)
+    try:
+        headers = {"Content-Type": "application/json"} if body else {}
+        conn.request(method, path, body=body, headers=headers)
+        resp = conn.getresponse()
+        payload = json.loads(resp.read().decode("utf-8"))
+        return resp.status, payload, dict(resp.getheaders())
+    finally:
+        conn.close()
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory publication
+# ---------------------------------------------------------------------------
+
+def test_shm_publish_attach_roundtrip_and_cleanup():
+    arrays = [np.arange(12, dtype=np.float32).reshape(3, 4),
+              np.arange(7, dtype=np.int8),
+              np.full((2, 5), 0.5, dtype=np.float64)]
+    handle = publish_arrays(arrays, label="unit")
+    try:
+        assert (SHM_DIR / handle.name).exists()
+        for entry in handle.spec["arrays"]:
+            assert entry["offset"] % 64 == 0  # aligned for BLAS rows
+
+        attached = attach_arrays(handle.spec)
+        for mine, theirs in zip(arrays, attached.arrays):
+            np.testing.assert_array_equal(mine, theirs)
+            assert not theirs.flags.writeable
+        with pytest.raises(ValueError):
+            attached.arrays[0][0, 0] = 99.0  # weights are read-only
+
+        # Non-owner close never unlinks.
+        attached.close()
+        assert (SHM_DIR / handle.name).exists()
+    finally:
+        handle.close()
+    assert not (SHM_DIR / handle.name).exists()
+    handle.close()  # idempotent
+
+    with pytest.raises(ServingError, match="does not exist"):
+        attach_arrays(handle.spec)
+
+
+# ---------------------------------------------------------------------------
+# Pool dispatch and equivalence
+# ---------------------------------------------------------------------------
+
+def test_pool_matches_single_engine_bit_identical(xpool, pool_registry,
+                                                  pool_bundle):
+    docs = pool_bundle.test_corpus.token_lists()[:16]
+    with ServingEngine(pool_registry.load("pool-x"),
+                       ServeConfig(warmup=False)) as engine:
+        expected = engine.classify(docs, timeout=120)
+
+    # Whole-batch and per-doc dispatch both reproduce the single engine.
+    assert xpool.classify(docs, timeout=120) == list(expected)
+    singles = [xpool.submit([doc]) for doc in docs]
+    assert [r.wait(120)[0] for r in singles] == list(expected)
+    assert xpool.labels == pool_registry.load("pool-x").labels
+
+
+def test_pool_spreads_load_and_reports_stats(xpool, pool_bundle):
+    docs = pool_bundle.test_corpus.token_lists()[:12]
+    requests = [xpool.submit([doc]) for doc in docs]
+    for request in requests:
+        request.wait(120)
+        assert request.done() and request.latency_s >= 0
+
+    stats = xpool.stats(refresh=True)
+    assert stats["alive"] == 2 and stats["replicas"] == 2
+    assert stats["completed"] >= len(docs)
+    assert stats["replica_busy_max"] >= 2  # both replicas held work at once
+    engines = stats["engines"]
+    assert len(engines) == 2
+    # Least-loaded dispatch actually used both workers.
+    assert all(e.get("requests", 0) > 0 for e in engines)
+
+
+def test_pool_shm_segments_live_then_cleaned(pool_registry):
+    config = PoolConfig(replicas=2, warmup=False)
+    pool = ReplicaPool.from_registry(pool_registry, "pool-x", config=config)
+    segments = pool.shm_segments()
+    assert segments, "an XClass artifact must publish PLM weights"
+    for name in segments:
+        assert (SHM_DIR / name).exists()
+    pool.close()
+    for name in segments:
+        assert not (SHM_DIR / name).exists(), f"leaked segment {name}"
+    with pytest.raises(ServingError, match="closed"):
+        pool.submit([["late"]])
+
+
+# ---------------------------------------------------------------------------
+# Typed errors across the process boundary
+# ---------------------------------------------------------------------------
+
+def test_pool_overload_sheds_typed(slow_pool):
+    accepted = [slow_pool.submit([[f"d{i}"]]) for i in range(4)]
+    with pytest.raises(Overloaded, match="max_queue"):
+        slow_pool.submit([["overflow"]])
+    assert slow_pool.stats()["shed"] == 1
+    for request in accepted:
+        assert request.wait(60) == ["slow"]
+
+
+def test_pool_deadline_miss_is_typed(slow_pool):
+    slow_pool.submit([["blocker"]])
+    # Let the worker batcher pull the blocker into predict (0.25s) so
+    # the late request queues behind it instead of coalescing with it.
+    time.sleep(0.1)
+    late = slow_pool.submit([["late"]], deadline_s=0.05)
+    with pytest.raises(DeadlineExceeded):
+        late.wait(60)
+    assert slow_pool.stats()["deadline_miss"] == 1
+
+
+def test_replica_crash_fails_inflight_and_pool_survives(tmp_path):
+    path = export_artifact(SlowModel(), tmp_path / "slow")
+    pool = ReplicaPool(path, config=PoolConfig(
+        replicas=2, max_queue=8, batch_window_s=0.0, warmup=False))
+    try:
+        doomed = pool.submit([["a"]])
+        victim = next(r for r in pool.stats()["per_replica"]
+                      if r["in_flight"] == 1)
+        os.kill(victim["pid"], signal.SIGKILL)
+        with pytest.raises(ServingError, match="died"):
+            doomed.wait(30)
+
+        deadline = time.monotonic() + 10
+        while pool.alive_count() > 1 and time.monotonic() < deadline:
+            time.sleep(0.05)
+        stats = pool.stats()
+        assert stats["alive"] == 1 and stats["replica_deaths"] == 1
+        # The survivor keeps serving.
+        assert pool.classify([["b"]], timeout=60) == ["slow"]
+    finally:
+        pool.close()
+
+
+def test_all_replicas_dead_is_typed_and_segments_unlinked(pool_registry):
+    pool = ReplicaPool.from_registry(
+        pool_registry, "pool-x", config=PoolConfig(replicas=2, warmup=False))
+    segments = pool.shm_segments()
+    try:
+        for entry in pool.stats()["per_replica"]:
+            os.kill(entry["pid"], signal.SIGKILL)
+        deadline = time.monotonic() + 10
+        while pool.alive_count() > 0 and time.monotonic() < deadline:
+            time.sleep(0.05)
+        with pytest.raises(ServingError, match="no live replicas"):
+            pool.submit([["x"]])
+    finally:
+        pool.close()
+    # Even after every worker was SIGKILLed, the owner unlink ran.
+    for name in segments:
+        assert not (SHM_DIR / name).exists(), f"leaked segment {name}"
+
+
+# ---------------------------------------------------------------------------
+# HTTP front door
+# ---------------------------------------------------------------------------
+
+def test_http_healthz_and_stats(http_server):
+    status, payload, _ = _http(http_server, "GET", "/healthz")
+    assert status == 200
+    assert payload == {"status": "ok", "alive": 2}
+
+    status, payload, _ = _http(http_server, "GET", "/stats")
+    assert status == 200
+    assert payload["alive"] == 2
+    assert len(payload["engines"]) == 2
+
+    status, _, _ = _http(http_server, "GET", "/nope")
+    assert status == 404
+
+
+def test_http_classify_matches_pool(http_server, xpool, pool_bundle):
+    docs = pool_bundle.test_corpus.token_lists()[:4]
+    expected = xpool.classify(docs, timeout=120)
+    status, payload, _ = _http(http_server, "POST", "/classify",
+                               json.dumps({"docs": docs}))
+    assert status == 200
+    assert payload == {"labels": list(expected)}
+
+
+def test_http_bad_requests_are_400(http_server):
+    for body in ("{nope", json.dumps({"docs": []}), json.dumps({"no": 1}),
+                 json.dumps({"docs": [["d"]], "deadline_s": "soon"})):
+        status, payload, _ = _http(http_server, "POST", "/classify", body)
+        assert status == 400
+        assert payload["error"] == "bad-request"
+
+
+def test_http_backpressure_maps_to_429_and_504(tmp_path):
+    path = export_artifact(SlowModel(), tmp_path / "slow")
+    pool = ReplicaPool(path, config=PoolConfig(
+        replicas=1, max_queue=2, batch_window_s=0.0, warmup=False))
+    try:
+        with PoolServer(pool, port=0).start() as server:
+            blockers = [pool.submit([["a"]]), pool.submit([["b"]])]
+            status, payload, headers = _http(
+                server, "POST", "/classify", json.dumps({"docs": [["c"]]}))
+            assert status == 429
+            assert payload["error"] == "overloaded"
+            assert headers.get("Retry-After") == "1"
+            for request in blockers:
+                request.wait(60)
+
+            pool.submit([["blocker"]])
+            status, payload, _ = _http(
+                server, "POST", "/classify",
+                json.dumps({"docs": [["late"]], "deadline_s": 0.05}))
+            assert status == 504
+            assert payload["error"] == "deadline-exceeded"
+    finally:
+        pool.close()
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def test_cli_pool_serves_http_and_exits_clean(pool_registry, tmp_path,
+                                              pool_bundle, capsys):
+    from repro.serve.cli import main
+
+    port_file = tmp_path / "port.txt"
+    rc: dict = {}
+
+    def run():
+        rc["value"] = main(["--root", str(pool_registry.root), "pool",
+                            "pool-x", "--replicas", "2", "--port", "0",
+                            "--max-seconds", "5",
+                            "--port-file", str(port_file), "--no-warmup"])
+
+    thread = threading.Thread(target=run)
+    thread.start()
+    try:
+        deadline = time.monotonic() + 60
+        while not port_file.exists() and time.monotonic() < deadline:
+            time.sleep(0.1)
+        assert port_file.exists(), "pool CLI never wrote its port file"
+        host, port = port_file.read_text().split()
+
+        conn = http.client.HTTPConnection(host, int(port), timeout=60)
+        try:
+            conn.request("GET", "/healthz")
+            assert conn.getresponse().read() is not None
+            doc = pool_bundle.test_corpus.token_lists()[0]
+            conn.request("POST", "/classify",
+                         body=json.dumps({"docs": [doc]}),
+                         headers={"Content-Type": "application/json"})
+            resp = conn.getresponse()
+            assert resp.status == 200
+            assert json.loads(resp.read().decode())["labels"]
+        finally:
+            conn.close()
+    finally:
+        thread.join(90)
+    assert not thread.is_alive(), "pool CLI failed to exit after max-seconds"
+    assert rc["value"] == 0
+    out = capsys.readouterr()
+    assert "listening on http://" in out.out
+    assert "[pool] dispatched=" in out.err
