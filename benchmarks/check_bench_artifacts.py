@@ -71,6 +71,12 @@ SCHEMAS = {
         "numeric": ["encode_seconds", "docs_per_second", "cache_max_bytes"],
         "present": ["profile", "n_docs", "cache", "shard_files"],
     },
+    "dag_pipeline": {
+        "numeric": ["cold_seconds", "dirty_seconds", "warm_seconds",
+                    "dirty_speedup", "min_dirty_speedup", "warm_speedup",
+                    "dedup_ratio", "nodes_executed_warm"],
+        "present": ["tables", "nodes_total", "nodes_merged", "calibration"],
+    },
     "regression": {
         "numeric": ["checked"],
         "present": ["regressed", "results", "meta"],

@@ -81,6 +81,14 @@ METRICS = {
         "encode_seconds": "lower",
         "docs_per_second": "higher",
     },
+    "dag_pipeline": {
+        "cold_seconds": "lower",
+        "dirty_seconds": "lower",
+        "warm_seconds": "lower",
+        "dirty_speedup": "higher",
+        "warm_speedup": "higher",
+        "dedup_ratio": "higher",
+    },
     "training": {
         "pretrain_speedup": "higher",
         "fit_speedup": "higher",
@@ -138,22 +146,38 @@ def _jitter(record: dict) -> float:
         return 1.0
 
 
-def tolerance_for(current: dict, baselines: list) -> float:
-    """Host-calibrated drift allowance for one comparison.
+def tolerance_detail(current: dict, baselines: list) -> dict:
+    """Host-calibrated drift allowance, with every adjustment itemized.
 
     Base 1.5x, widened by how much noisier the current host is than the
     baselines were (jitter ratio, capped) and by a small cross-host
     factor when the hostname changed; the product is capped below 2x so
-    a synthetic 2x slowdown always regresses.
+    a synthetic 2x slowdown always regresses. The returned breakdown is
+    attached to the report payload, so a gate decision taken under e.g.
+    the cross-host widening is auditable from the CI artifact alone.
     """
-    tolerance = BASE_TOLERANCE
     baseline_jitter = _median([_jitter(b) for b in baselines])
-    ratio = _jitter(current) / max(baseline_jitter, 1.0)
-    tolerance *= min(max(ratio, 1.0), MAX_JITTER_WIDENING)
+    jitter_ratio = _jitter(current) / max(baseline_jitter, 1.0)
+    jitter_widening = min(max(jitter_ratio, 1.0), MAX_JITTER_WIDENING)
     hosts = {b.get("host") for b in baselines} | {current.get("host")}
-    if len(hosts - {None, "unknown"}) > 1:
-        tolerance *= CROSS_HOST_WIDENING
-    return min(tolerance, TOLERANCE_CAP)
+    cross_host = len(hosts - {None, "unknown"}) > 1
+    cross_host_widening = CROSS_HOST_WIDENING if cross_host else 1.0
+    raw = BASE_TOLERANCE * jitter_widening * cross_host_widening
+    return {
+        "base": BASE_TOLERANCE,
+        "jitter_ratio": round(float(jitter_ratio), 4),
+        "jitter_widening": round(float(jitter_widening), 4),
+        "cross_host": cross_host,
+        "cross_host_widening": cross_host_widening,
+        "capped": raw > TOLERANCE_CAP,
+        "tolerance": min(raw, TOLERANCE_CAP),
+    }
+
+
+def tolerance_for(current: dict, baselines: list) -> float:
+    """Host-calibrated drift allowance for one comparison (see
+    :func:`tolerance_detail` for the itemized breakdown)."""
+    return tolerance_detail(current, baselines)["tolerance"]
 
 
 def compare(name: str, records: list, last: int = DEFAULT_LAST) -> dict:
@@ -172,7 +196,8 @@ def compare(name: str, records: list, last: int = DEFAULT_LAST) -> dict:
     current = records[-1]
     baselines = records[-1 - last:-1]
     registry = METRICS.get(name, {})
-    tolerance = tolerance_for(current, baselines)
+    detail = tolerance_detail(current, baselines)
+    tolerance = detail["tolerance"]
     comparisons = []
     regressed = False
     for metric, direction in sorted(registry.items()):
@@ -204,6 +229,7 @@ def compare(name: str, records: list, last: int = DEFAULT_LAST) -> dict:
         "status": "regressed" if regressed else "ok",
         "sha": current.get("sha"),
         "n_baselines": len(baselines),
+        "tolerance_detail": detail,
         "comparisons": comparisons,
     }
 
@@ -255,6 +281,12 @@ def main(argv: "list | None" = None) -> int:
         print(f"{marker}: {result['name']} "
               f"({len(result['comparisons'])} metrics vs "
               f"{result['n_baselines']} baselines)")
+        detail = result.get("tolerance_detail")
+        if detail and detail.get("cross_host"):
+            print(f"  note: cross-host baseline — tolerance widened "
+                  f"x{detail['cross_host_widening']} to "
+                  f"{detail['tolerance']:.4f}"
+                  + (" (capped)" if detail.get("capped") else ""))
         for c in result["comparisons"]:
             if c["regressed"]:
                 print(f"  REGRESSED {c['metric']}: {c['current']} vs median "

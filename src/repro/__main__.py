@@ -18,6 +18,10 @@ def main(argv: "list | None" = None) -> int:
         from repro.serve.cli import main as serve_main
 
         return serve_main(argv[1:])
+    if argv and argv[0] == "experiments":
+        # Explicit subcommand form: ``python -m repro experiments
+        # cache-prune`` etc. — same runner, verb stripped.
+        argv = argv[1:]
     from repro.experiments.cli import main as experiments_main
 
     return experiments_main(argv)

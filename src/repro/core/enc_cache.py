@@ -34,6 +34,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 from collections import OrderedDict
 from pathlib import Path
 
@@ -82,12 +83,15 @@ class EncodeCache:
         self._shard_index: "dict[str, dict]" = {}
         self._scanned: "dict[str, set]" = {}
         self._mmaps: "dict[str, np.ndarray]" = {}
+        self._dir_state: "dict[str, int]" = {}
+        self._scan_lock = threading.Lock()
         self._shard_seq = 0
         self.hits = 0
         self.misses = 0
         self.disk_hits = 0
         self.shard_hits = 0
         self.evictions = 0
+        self.rescans = 0
 
     @classmethod
     def from_env(cls) -> "EncodeCache | None":
@@ -243,9 +247,13 @@ class EncodeCache:
             size = int(np.prod(np.asarray(shape, dtype=np.int64)))
             return flat[offset:offset + size].reshape(shape)
         except (OSError, ValueError):
-            # Shard vanished or is unreadable: forget it and miss.
+            # Shard vanished or is unreadable: forget it and miss. The
+            # directory-state memo is dropped too, so the next miss
+            # rescans even if the deletion didn't touch the dir mtime.
             self._mmaps.pop(path, None)
-            self._scanned.get(namespace, set()).discard(Path(path).name)
+            self._dir_state.pop(namespace, None)
+            idx_name = Path(path).name[: -len(".npy")] + ".idx.json"
+            self._scanned.get(namespace, set()).discard(idx_name)
             self._shard_index[namespace] = {
                 k: v for k, v in self._shard_index.get(namespace, {}).items()
                 if v[0] != path
@@ -253,24 +261,45 @@ class EncodeCache:
             return None
 
     def _rescan_shards(self, namespace: str) -> None:
-        """Fold any new shard indexes (e.g. from worker processes) in."""
+        """Fold any new shard indexes (e.g. from worker processes) in.
+
+        Memoized on the namespace directory's mtime: when no writer has
+        touched the directory since the last scan, this is one ``stat``
+        — O(1) on the miss hot path instead of a glob plus JSON reads.
+        The state is recorded *before* scanning, so an index landing
+        mid-scan bumps the mtime past the memo and the next miss
+        rescans.
+        """
         directory = self.disk_dir / namespace
-        if not directory.is_dir():
-            return
-        seen = self._scanned.setdefault(namespace, set())
-        docs = self._shard_index.setdefault(namespace, {})
-        for idx_path in sorted(directory.glob("shard_*.idx.json")):
-            if idx_path.name in seen:
-                continue
-            seen.add(idx_path.name)
-            try:
-                index = json.loads(idx_path.read_text())
-            except (OSError, ValueError):
-                continue
-            data_path = str(idx_path.with_name(idx_path.name[: -len(".idx.json")] + ".npy"))
-            dtype = index.get("dtype", "float32")
-            for key, (offset, shape) in index.get("docs", {}).items():
-                docs[key] = (data_path, int(offset), list(shape), dtype)
+        try:
+            state = os.stat(directory).st_mtime_ns
+        except OSError:
+            return  # no directory yet: nothing to fold
+        # One scanner at a time: a second thread arriving mid-fold must
+        # wait for the complete index rather than skipping names the
+        # first thread claimed in `seen` and missing on its lookup.
+        with self._scan_lock:
+            if self._dir_state.get(namespace) == state:
+                return
+            self.rescans += 1
+            obs.count("enc_cache.rescans")
+            seen = self._scanned.setdefault(namespace, set())
+            docs = self._shard_index.setdefault(namespace, {})
+            for idx_path in sorted(directory.glob("shard_*.idx.json")):
+                if idx_path.name in seen:
+                    continue
+                seen.add(idx_path.name)
+                try:
+                    index = json.loads(idx_path.read_text())
+                except (OSError, ValueError):
+                    continue
+                data_path = str(
+                    idx_path.with_name(
+                        idx_path.name[: -len(".idx.json")] + ".npy"))
+                dtype = index.get("dtype", "float32")
+                for key, (offset, shape) in index.get("docs", {}).items():
+                    docs[key] = (data_path, int(offset), list(shape), dtype)
+            self._dir_state[namespace] = state
 
     # -- maintenance ----------------------------------------------------------
     def clear(self) -> None:
@@ -296,6 +325,7 @@ class EncodeCache:
             "disk_hits": self.disk_hits,
             "shard_hits": self.shard_hits,
             "evictions": self.evictions,
+            "rescans": self.rescans,
         }
 
     def __repr__(self) -> str:

@@ -1,5 +1,12 @@
-"""Experiment harness: one spec per paper table/figure."""
+"""Experiment harness: one spec per paper table/figure.
 
+Tables compile into a content-addressed artifact DAG
+(:mod:`repro.experiments.dag`) executed by
+:mod:`repro.experiments.scheduler`; the flat :class:`RowSpec` engine
+remains as the compatibility shim and the worker substrate.
+"""
+
+from repro.experiments.dag import ArtifactGraph, DagNode, TableRequest
 from repro.experiments.engine import (
     RowSpec,
     RunReport,
@@ -12,17 +19,30 @@ from repro.experiments.runner import (
     evaluate_multilabel,
     run_rows,
 )
+from repro.experiments.scheduler import (
+    DagReport,
+    run_graph,
+    run_requests,
+    take_last_dag_report,
+)
 from repro.experiments import figures, tables
 
 __all__ = [
+    "ArtifactGraph",
+    "DagNode",
+    "DagReport",
     "RowSpec",
     "RunReport",
+    "TableRequest",
     "derive_row_seed",
     "evaluate_flat",
     "evaluate_multilabel",
+    "run_graph",
+    "run_requests",
     "run_rows",
     "run_specs",
     "take_last_report",
+    "take_last_dag_report",
     "tables",
     "figures",
 ]

@@ -6,8 +6,20 @@ Regenerate any paper table or figure without pytest::
     python -m repro.experiments.cli westclass
     python -m repro.experiments.cli micol --full --seed 1
     python -m repro.experiments.cli xclass --jobs 4
+    python -m repro.experiments.cli xclass lotclass --jobs 4
+    python -m repro.experiments.cli lotclass --select lotclass.agnews/Ours
+    python -m repro.experiments.cli cache-prune
     python -m repro.experiments.cli pca-figure
     python -m repro.experiments.cli westclass --trace /tmp/traces
+
+Tables compile into one content-addressed artifact graph
+(:mod:`repro.experiments.dag`): naming several tables in one invocation
+shares their corpus/encode nodes, warm re-runs reuse every node from the
+artifact store, and ``--select`` forces just the named subgraph to
+recompute (``table.row`` for one row node, ``+node`` to include its
+ancestors, ``node+`` its dependents). The ``[dag]`` footer reports
+reused-vs-executed node counts. ``cache-prune`` sweeps row-memo and
+DAG-artifact entries left behind by old source trees.
 
 ``--trace DIR`` (or ``REPRO_TRACE=DIR``) records the run through
 :mod:`repro.obs` and writes ``DIR/trace_<experiment>.jsonl``; render it
@@ -24,7 +36,7 @@ from pathlib import Path
 from repro import obs
 from repro.core import env as _env
 from repro.evaluation.reporting import format_table
-from repro.experiments import engine, figures, tables
+from repro.experiments import engine, figures, scheduler, tables
 
 TABLES = {
     "westclass": (tables.westclass_table, "WeSTClass results table"),
@@ -64,13 +76,61 @@ def _run_figure(name: str, seed: int) -> None:
         print(f"clustering accuracy: {result['clustering_accuracy']:.3f}")
 
 
+def _dag_footer() -> "str | None":
+    report = scheduler.take_last_dag_report()
+    if report is None:
+        return None
+    return (f"\n[dag] nodes={report.nodes} reused={report.reused} "
+            f"executed={report.executed} errors={report.errors} "
+            f"merged={report.merged} jobs={report.jobs} "
+            f"{report.seconds:.1f}s")
+
+
+def _engine_footer() -> "str | None":
+    report = engine.take_last_report()
+    if report is None:
+        return None
+    return (f"\n[engine] rows={report.rows} memo_hits={report.hits} "
+            f"computed={report.misses} errors={report.errors} "
+            f"timeouts={report.timeouts} jobs={report.jobs} "
+            f"{report.seconds:.1f}s")
+
+
+def _cache_prune(seed: int, fast: bool) -> int:
+    """Sweep row-memo and DAG-store entries from dead source trees.
+
+    Row entries survive on their stamped source digest. DAG artifacts
+    additionally survive when their content digest is reachable from the
+    currently compiled graphs — the scoped-digest scheme means a method
+    edit re-addresses only that method's subgraph, so untouched nodes'
+    artifacts stay live across source changes and must not be swept.
+    """
+    graph_digests: "set[str]" = set()
+    for build in tables.REQUESTS.values():
+        from repro.experiments.dag import ArtifactGraph
+
+        graph = ArtifactGraph()
+        for node in build(seed, fast).nodes:
+            graph.add(node)
+        graph_digests.update(graph.digests().values())
+    rows_dir = engine.default_cache_dir()
+    kept_rows, removed_rows = engine.RowMemo(rows_dir).prune()
+    kept_dag, removed_dag = engine.RowMemo(
+        scheduler.dag_store_dir(rows_dir)).prune(keep_keys=graph_digests)
+    print(f"rows: kept {kept_rows}, removed {removed_rows} ({rows_dir})")
+    print(f"dag:  kept {kept_dag}, removed {removed_dag} "
+          f"({scheduler.dag_store_dir(rows_dir)})")
+    return 0
+
+
 def main(argv: "list | None" = None) -> int:
     """Entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
         description="Regenerate the tutorial's tables and figures."
     )
-    parser.add_argument("experiment", nargs="?",
-                        help="experiment id (see --list)")
+    parser.add_argument("experiment", nargs="*",
+                        help="experiment id(s) (see --list); several tables "
+                             "share one artifact graph; or 'cache-prune'")
     parser.add_argument("--list", action="store_true",
                         help="list available experiments")
     parser.add_argument("--seed", type=int, default=0)
@@ -84,6 +144,11 @@ def main(argv: "list | None" = None) -> int:
     parser.add_argument("--timeout", type=float, default=None,
                         help="per-row timeout in seconds (parallel runs; "
                              "default: REPRO_ROW_TIMEOUT or none)")
+    parser.add_argument("--select", action="append", default=None,
+                        metavar="NODE",
+                        help="force-recompute a DAG subgraph: 'table.row' "
+                             "for one node, '+node' with ancestors, 'node+' "
+                             "with dependents (repeatable)")
     parser.add_argument("--trace", type=Path, default=None, metavar="DIR",
                         help="write a JSONL run trace into DIR "
                              "(default: REPRO_TRACE or off)")
@@ -98,36 +163,56 @@ def main(argv: "list | None" = None) -> int:
             print(f"  {key:<22} {description}")
         return 0
 
-    name = args.experiment
-    if name not in FIGURES and name not in TABLES:
-        print(f"unknown experiment {name!r}; use --list", file=sys.stderr)
-        return 2
+    names = list(args.experiment)
+    if names == ["cache-prune"]:
+        return _cache_prune(args.seed, not args.full)
+    for name in names:
+        if name not in FIGURES and name not in TABLES:
+            print(f"unknown experiment {name!r}; use --list", file=sys.stderr)
+            return 2
+
+    run_kwargs = dict(jobs=args.jobs,
+                      use_cache=False if args.no_cache else None,
+                      timeout=args.timeout)
+    # Tables with a compile hook share ONE artifact graph per invocation
+    # (cross-table corpus/encode dedup); the rest run individually.
+    batched = [n for n in names if n in tables.REQUESTS]
+    label = "+".join(names)
 
     trace_dir = args.trace if args.trace is not None else _env.trace_dir()
     if trace_dir is not None:
-        obs.enable(f"cli:{name}")
+        obs.enable(f"cli:{label}")
     start = time.time()
     try:
-        with obs.span(f"cli:{name}"):
-            if name in FIGURES:
-                _run_figure(name, args.seed)
-            else:
+        with obs.span(f"cli:{label}"):
+            if batched:
+                requests = [tables.REQUESTS[n](args.seed, not args.full)
+                            for n in batched]
+                results = scheduler.run_requests(requests,
+                                                 select=args.select,
+                                                 **run_kwargs)
+                for name in batched:
+                    _, description = TABLES[name]
+                    print(format_table(results[name], title=description))
+                footer = _dag_footer()
+                if footer:
+                    print(footer)
+            for name in names:
+                if name in batched:
+                    continue
+                if name in FIGURES:
+                    _run_figure(name, args.seed)
+                    continue
                 fn, description = TABLES[name]
-                rows = fn(seed=args.seed, fast=not args.full, jobs=args.jobs,
-                          use_cache=False if args.no_cache else None,
-                          timeout=args.timeout)
+                rows = fn(seed=args.seed, fast=not args.full, **run_kwargs)
                 print(format_table(rows, title=description))
-                report = engine.take_last_report()
-                if report is not None:
-                    print(f"\n[engine] rows={report.rows} "
-                          f"memo_hits={report.hits} "
-                          f"computed={report.misses} errors={report.errors} "
-                          f"timeouts={report.timeouts} jobs={report.jobs} "
-                          f"{report.seconds:.1f}s")
+                footer = _dag_footer() or _engine_footer()
+                if footer:
+                    print(footer)
     finally:
         if trace_dir is not None:
             tracer = obs.disable()
-            path = tracer.write(Path(trace_dir) / f"trace_{name}.jsonl")
+            path = tracer.write(Path(trace_dir) / f"trace_{label}.jsonl")
             print(obs.trace_footer(tracer, path))
     print(f"\n[{time.time() - start:.1f}s]")
     return 0

@@ -5,6 +5,15 @@ supervision cells), yet the seed harness ran them strictly serially and
 recomputed every row on every regeneration. This module executes
 :class:`RowSpec` lists with three independent layers:
 
+.. note::
+   The flat :class:`RowSpec` path below is the *compatibility shim*:
+   tables now compile into the content-addressed artifact DAG
+   (:mod:`repro.experiments.dag`) and run through
+   :mod:`repro.experiments.scheduler`, which reuses this module's
+   worker pool, memo store, seeding, and error conventions node by
+   node. ``run_specs`` remains the supported entry point for ad-hoc
+   row lists and keeps the legacy row-memo semantics.
+
 - **Deterministic sharded seeding** — each row's method seed is derived
   from ``(table_seed, row_name)`` by :func:`derive_row_seed`, so a row's
   numbers depend only on its own identity, never on execution order or
@@ -221,11 +230,58 @@ class RowMemo:
                              "seconds": payload.get("seconds", 0.0)}
         try:
             self.directory.mkdir(parents=True, exist_ok=True)
+            # Stamp the source digest the entry was written under so
+            # prune() can tell live entries from leftovers of old
+            # checkouts without recomputing any keys.
+            disk = dict(payload)
+            disk.setdefault("tree", source_version())
             tmp = self.directory / f".{key}.{os.getpid()}.tmp"
-            tmp.write_text(json.dumps(payload, sort_keys=True))
+            tmp.write_text(json.dumps(disk, sort_keys=True))
             os.replace(tmp, self.directory / f"{key}.json")
         except OSError:
             pass  # a read-only cache dir degrades to memory-only
+
+    def prune(self, keep_digest: "str | None" = None,
+              keep_keys=()) -> tuple:
+        """Sweep entries from dead source trees; returns (kept, removed).
+
+        An entry survives if its stamped ``tree`` equals ``keep_digest``
+        (default: the current :func:`source_version`) or its key is in
+        ``keep_keys`` — the escape hatch for the DAG artifact store,
+        whose scoped digests can outlive a whole-tree change (the
+        ``cache-prune`` CLI passes the compiled graph's digests).
+        Unstamped or unreadable entries are removed: they predate the
+        stamp and cannot be keyed by any current run.
+        """
+        if keep_digest is None:
+            keep_digest = source_version()
+        keep_keys = frozenset(keep_keys)
+        kept = removed = 0
+        try:
+            entries = sorted(self.directory.glob("*.json"))
+        except OSError:
+            return (0, 0)
+        for path in entries:
+            key = path.stem
+            if key in keep_keys:
+                kept += 1
+                continue
+            try:
+                payload = json.loads(path.read_text())
+                tree = (payload.get("tree")
+                        if isinstance(payload, dict) else None)
+            except (OSError, ValueError):
+                tree = None
+            if tree == keep_digest:
+                kept += 1
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            _MEMO_MEMORY.pop(key, None)
+            removed += 1
+        return (kept, removed)
 
 
 # ---------------------------------------------------------------------------
@@ -245,6 +301,10 @@ def _execute_row(spec: RowSpec, row_seed: int) -> tuple:
 
 
 def _row_span_name(spec: RowSpec) -> str:
+    # An empty table marks a DAG node riding the worker protocol
+    # (repro.experiments.scheduler); its span carries the node name.
+    if not spec.table:
+        return f"node:{spec.name}"
     return f"row:{spec.table}/{spec.name}"
 
 

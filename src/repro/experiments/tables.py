@@ -68,7 +68,14 @@ from repro.core.supervision import LabelNames as _LabelNames
 from repro.core.supervision import require as _require
 from repro.datasets import load_profile
 from repro.evaluation.metrics import macro_f1, micro_f1
-from repro.experiments.engine import SKIP_ROW, RowSpec, run_specs
+from repro.experiments.dag import DagNode, TableRequest, scope_for
+from repro.experiments.engine import (
+    SKIP_ROW,
+    RowSpec,
+    derive_row_seed,
+    run_specs,
+)
+from repro.experiments.scheduler import run_requests
 from repro.experiments.runner import (
     evaluate_flat,
     evaluate_multilabel,
@@ -126,12 +133,123 @@ def _make(entry: tuple, seed: int, **inject):
 
 
 def _specs(table: str, seed: int, fast: bool, items: list) -> list:
-    """RowSpecs for ``(name, runner, kwargs, static, dataset)`` tuples."""
+    """RowSpecs for ``(name, runner, kwargs, static, dataset)`` tuples.
+
+    Compatibility shim: tables now compile through :func:`_table_request`
+    into the artifact DAG; this path remains for ad-hoc row lists.
+    """
     return [
         RowSpec(table=table, name=name, runner=runner, kwargs=kwargs,
                 static=static, dataset=dataset, fast=fast)
         for name, runner, kwargs, static, dataset in items
     ]
+
+
+# ---------------------------------------------------------------------------
+# DAG compilation (see repro.experiments.dag / .scheduler)
+# ---------------------------------------------------------------------------
+
+def _corpus_node(node_seed: int, profile: str, table_seed: int) -> dict:
+    """Build (and per-process cache) a dataset bundle; returns its shape.
+
+    The artifact is the build itself — rows re-derive bundles from
+    ``(profile, table_seed)`` in whatever process they land in, so this
+    node carries only a fingerprint, not the bundle.
+    """
+    bundle = _bundle(profile, table_seed)
+    return {"train_docs": len(bundle.train_corpus),
+            "test_docs": len(bundle.test_corpus)}
+
+
+def _encode_view(profile: str, seed: int, view: str):
+    """Bundle whose train corpus seeds the PLM: ``plain`` (as generated)
+    or ``auto`` (coarse level-1 when the profile has a tree)."""
+    return (_xclass_bundle(profile, seed) if view == "auto"
+            else _bundle(profile, seed))
+
+
+def _encode_node(node_seed: int, profile: str, view: str,
+                 table_seed: int) -> dict:
+    """Pre-train the profile's PLM and stream every document through it.
+
+    Materializes per-document hidden states into the shared
+    :class:`~repro.core.enc_cache.EncodeCache` disk tier, so every row
+    node downstream — in any worker process, for any table — encodes
+    against warm shards instead of re-running the forward pass.
+    """
+    bundle = _encode_view(profile, table_seed, view)
+    plm = _plm(bundle, table_seed)
+    docs = (list(bundle.train_corpus.token_lists())
+            + list(bundle.test_corpus.token_lists()))
+    for start in range(0, len(docs), 64):  # bounded-memory streaming
+        plm.encode_tokens(docs[start:start + 64])
+    if plm.enc_cache is not None:
+        plm.enc_cache.flush_shards()
+    return {"docs_encoded": len(docs),
+            "namespace": plm.cache_namespace if plm.enc_cache else ""}
+
+
+def _table_request(table: str, seed: int, items: list,
+                   post=None) -> TableRequest:
+    """Compile row declarations into a :class:`TableRequest`.
+
+    ``items`` are ``(row, runner, kwargs, static, profile, view,
+    needs_plm, scope)`` tuples. Each row gets a ``corpus:`` dependency
+    and — when the method consumes the PLM — an ``encode:`` dependency;
+    corpus and encode nodes are declared once per ``(profile, view)``
+    here and dedup *across* tables when requests merge into one graph.
+    Row node seeds are :func:`derive_row_seed` of the table seed and
+    the row name — the identical seed the RowSpec shim derives, which
+    is what makes DAG output bit-identical to the legacy serial path.
+    A ``runner=None`` item is a static row, emitted as-is.
+    """
+    nodes: "list[DagNode]" = []
+    declared: "set[str]" = set()
+    row_names: "list[str]" = []
+
+    def declare(node: DagNode) -> str:
+        if node.name not in declared:
+            declared.add(node.name)
+            nodes.append(node)
+        return node.name
+
+    for row, runner, kwargs, static, profile, view, needs_plm, scope in items:
+        name = f"{table}.{row}"
+        row_names.append(name)
+        if runner is None:
+            declare(DagNode(kind="row", name=name, static=static,
+                            table=table, row=row))
+            continue
+        corpus = declare(DagNode(
+            kind="corpus", name=f"corpus:{profile}@{seed}",
+            runner=_corpus_node,
+            kwargs={"profile": profile, "table_seed": seed},
+            seed=derive_row_seed(seed, f"corpus:{profile}"),
+        ))
+        deps = [corpus]
+        if needs_plm:
+            deps.append(declare(DagNode(
+                kind="encode", name=f"encode:{profile}@{seed}/{view}",
+                runner=_encode_node,
+                kwargs={"profile": profile, "view": view,
+                        "table_seed": seed},
+                deps=(corpus,),
+                seed=derive_row_seed(seed, f"encode:{profile}/{view}"),
+            )))
+        declare(DagNode(kind="row", name=name, runner=runner, kwargs=kwargs,
+                        deps=tuple(deps), scope=tuple(scope), table=table,
+                        row=row, static=static,
+                        seed=derive_row_seed(seed, row)))
+    return TableRequest(table=table, nodes=nodes, row_names=row_names,
+                        post=post)
+
+
+def _run_table(request: TableRequest, *, jobs, use_cache, timeout,
+               select=None, cache_dir=None) -> list:
+    """Run one compiled table through the scheduler; returns its rows."""
+    return run_requests([request], jobs=jobs, use_cache=use_cache,
+                        timeout=timeout, cache_dir=cache_dir,
+                        select=select)[request.table]
 
 
 # ---------------------------------------------------------------------------
@@ -177,20 +295,27 @@ def _westclass_row(row_seed: int, profile: str, method: str,
     return row
 
 
+def westclass_request(seed: int = 0, fast: bool = True) -> TableRequest:
+    """Compiled WeSTClass pipeline: 3 corpora x 3 supervision types."""
+    datasets = ["agnews"] if fast else ["nyt_small", "agnews", "yelp"]
+    return _table_request("westclass", seed, [
+        (f"{name}/{method}", _westclass_row,
+         {"profile": name, "method": method, "table_seed": seed},
+         {"Dataset": name, "Method": method}, name, "plain", False,
+         scope_for(_WESTCLASS_METHODS[method][0]))
+        for name in datasets for method in _WESTCLASS_METHODS
+    ])
+
+
 def westclass_table(seed: int = 0, fast: bool = True, *,
                     jobs: "int | None" = None,
                     use_cache: "bool | None" = None,
-                    timeout: "float | None" = None) -> list:
+                    timeout: "float | None" = None,
+                    select=None, cache_dir=None) -> list:
     """WeSTClass results table: 3 corpora x 3 supervision types."""
-    datasets = ["agnews"] if fast else ["nyt_small", "agnews", "yelp"]
-    specs = _specs("westclass", seed, fast, [
-        (f"{name}/{method}", _westclass_row,
-         {"profile": name, "method": method, "table_seed": seed},
-         {"Dataset": name, "Method": method}, f"{name}@{seed}")
-        for name in datasets for method in _WESTCLASS_METHODS
-    ])
-    return run_specs(specs, table_seed=seed, jobs=jobs, use_cache=use_cache,
-                     timeout=timeout)
+    return _run_table(westclass_request(seed, fast), jobs=jobs,
+                      use_cache=use_cache, timeout=timeout, select=select,
+                      cache_dir=cache_dir)
 
 
 # ---------------------------------------------------------------------------
@@ -225,25 +350,37 @@ def _conwea_row(row_seed: int, profile: str, view: str, method: str,
     return {"Micro-F1": metrics["micro_f1"], "Macro-F1": metrics["macro_f1"]}
 
 
-def conwea_table(seed: int = 0, fast: bool = True, *,
-                 jobs: "int | None" = None,
-                 use_cache: "bool | None" = None,
-                 timeout: "float | None" = None) -> list:
-    """ConWea results: coarse/fine views of two tree corpora + ablations."""
+def conwea_request(seed: int = 0, fast: bool = True) -> TableRequest:
+    """Compiled ConWea pipeline: coarse/fine views + ablations.
+
+    Both views fit against the *base* bundle's PLM (the views share the
+    text), so every row of a profile hangs off one ``plain`` encode node.
+    """
     profiles = ["nyt_fine"] if fast else ["nyt_fine", "twenty_news"]
     items = []
     for name in profiles:
         for view in ("coarse", "fine"):
             for method in _CONWEA_METHODS:
+                cls, _, needs = _CONWEA_METHODS[method]
                 items.append((
                     f"{name}-{view}/{method}", _conwea_row,
                     {"profile": name, "view": view, "method": method,
                      "table_seed": seed},
                     {"View": f"{name}-{view}", "Method": method},
-                    f"{name}@{seed}",
+                    name, "plain", "plm" in needs, scope_for(cls),
                 ))
-    return run_specs(_specs("conwea", seed, fast, items), table_seed=seed,
-                     jobs=jobs, use_cache=use_cache, timeout=timeout)
+    return _table_request("conwea", seed, items)
+
+
+def conwea_table(seed: int = 0, fast: bool = True, *,
+                 jobs: "int | None" = None,
+                 use_cache: "bool | None" = None,
+                 timeout: "float | None" = None,
+                 select=None, cache_dir=None) -> list:
+    """ConWea results: coarse/fine views of two tree corpora + ablations."""
+    return _run_table(conwea_request(seed, fast), jobs=jobs,
+                      use_cache=use_cache, timeout=timeout, select=select,
+                      cache_dir=cache_dir)
 
 
 # ---------------------------------------------------------------------------
@@ -271,21 +408,32 @@ def _lotclass_prediction_row(row_seed: int, theme: str, word: str,
     }
 
 
+def lotclass_prediction_request(seed: int = 0, fast: bool = True,
+                                word: str = "goal",
+                                themes: tuple = ("sports", "business"),
+                                ) -> TableRequest:
+    """Compiled Table-1 pipeline (``fast`` accepted for registry
+    uniformity; the demonstration has no full variant)."""
+    return _table_request("lotclass-predictions", seed, [
+        (f"agnews/{theme}/{word}", _lotclass_prediction_row,
+         {"theme": theme, "word": word, "table_seed": seed},
+         {}, "agnews", "plain", True, ())
+        for theme in themes
+    ])
+
+
 def lotclass_prediction_rows(seed: int = 0, word: str = "goal",
                              themes: tuple = ("sports", "business"), *,
                              jobs: "int | None" = None,
                              use_cache: "bool | None" = None,
-                             timeout: "float | None" = None) -> list:
+                             timeout: "float | None" = None,
+                             select=None, cache_dir=None) -> list:
     """Paper Table 1 analog: MLM predictions for one surface form in two
     different topical contexts."""
-    specs = _specs("lotclass-predictions", seed, True, [
-        (f"agnews/{theme}/{word}", _lotclass_prediction_row,
-         {"theme": theme, "word": word, "table_seed": seed},
-         {}, f"agnews@{seed}")
-        for theme in themes
-    ])
-    return run_specs(specs, table_seed=seed, jobs=jobs, use_cache=use_cache,
-                     timeout=timeout)
+    return _run_table(lotclass_prediction_request(seed, word=word,
+                                                  themes=themes),
+                      jobs=jobs, use_cache=use_cache, timeout=timeout,
+                      select=select, cache_dir=cache_dir)
 
 
 # ---------------------------------------------------------------------------
@@ -317,21 +465,29 @@ def _lotclass_row(row_seed: int, profile: str, method: str,
     return {"Accuracy": metrics["micro_f1"]}
 
 
+def lotclass_request(seed: int = 0, fast: bool = True) -> TableRequest:
+    """Compiled LOTClass pipeline."""
+    datasets = ["agnews"] if fast else ["agnews", "dbpedia", "imdb",
+                                       "amazon_polarity"]
+    return _table_request("lotclass", seed, [
+        (f"{name}/{method}", _lotclass_row,
+         {"profile": name, "method": method, "table_seed": seed},
+         {"Dataset": name, "Method": method}, name, "plain",
+         "plm" in _LOTCLASS_METHODS[method][2],
+         scope_for(_LOTCLASS_METHODS[method][0]))
+        for name in datasets for method in _LOTCLASS_METHODS
+    ])
+
+
 def lotclass_table(seed: int = 0, fast: bool = True, *,
                    jobs: "int | None" = None,
                    use_cache: "bool | None" = None,
-                   timeout: "float | None" = None) -> list:
+                   timeout: "float | None" = None,
+                   select=None, cache_dir=None) -> list:
     """LOTClass results table (accuracy, label names only)."""
-    datasets = ["agnews"] if fast else ["agnews", "dbpedia", "imdb",
-                                       "amazon_polarity"]
-    specs = _specs("lotclass", seed, fast, [
-        (f"{name}/{method}", _lotclass_row,
-         {"profile": name, "method": method, "table_seed": seed},
-         {"Dataset": name, "Method": method}, f"{name}@{seed}")
-        for name in datasets for method in _LOTCLASS_METHODS
-    ])
-    return run_specs(specs, table_seed=seed, jobs=jobs, use_cache=use_cache,
-                     timeout=timeout)
+    return _run_table(lotclass_request(seed, fast), jobs=jobs,
+                      use_cache=use_cache, timeout=timeout, select=select,
+                      cache_dir=cache_dir)
 
 
 # ---------------------------------------------------------------------------
@@ -355,19 +511,25 @@ def _xclass_stats_row(row_seed: int, profile: str, table_seed: int) -> dict:
     return _xclass_bundle(profile, table_seed).stats()
 
 
+def xclass_dataset_request(seed: int = 0, fast: bool = True) -> TableRequest:
+    """Compiled X-Class dataset-statistics pipeline."""
+    names = XCLASS_PROFILES_FAST if fast else XCLASS_PROFILES_FULL
+    return _table_request("xclass-data", seed, [
+        (f"{name}/stats", _xclass_stats_row,
+         {"profile": name, "table_seed": seed}, {}, name, "plain", False, ())
+        for name in names
+    ])
+
+
 def xclass_dataset_table(seed: int = 0, fast: bool = True, *,
                          jobs: "int | None" = None,
                          use_cache: "bool | None" = None,
-                         timeout: "float | None" = None) -> list:
+                         timeout: "float | None" = None,
+                         select=None, cache_dir=None) -> list:
     """X-Class dataset-statistics table."""
-    names = XCLASS_PROFILES_FAST if fast else XCLASS_PROFILES_FULL
-    specs = _specs("xclass-data", seed, fast, [
-        (f"{name}/stats", _xclass_stats_row,
-         {"profile": name, "table_seed": seed}, {}, f"{name}@{seed}")
-        for name in names
-    ])
-    return run_specs(specs, table_seed=seed, jobs=jobs, use_cache=use_cache,
-                     timeout=timeout)
+    return _run_table(xclass_dataset_request(seed, fast), jobs=jobs,
+                      use_cache=use_cache, timeout=timeout, select=select,
+                      cache_dir=cache_dir)
 
 
 _XCLASS_METHODS = {
@@ -393,20 +555,28 @@ def _xclass_row(row_seed: int, profile: str, method: str,
     return {"Micro-F1": metrics["micro_f1"], "Macro-F1": metrics["macro_f1"]}
 
 
+def xclass_request(seed: int = 0, fast: bool = True) -> TableRequest:
+    """Compiled X-Class pipeline (rows fit on the ``auto`` view)."""
+    names = XCLASS_PROFILES_FAST if fast else XCLASS_PROFILES_FULL
+    return _table_request("xclass", seed, [
+        (f"{name}/{method}", _xclass_row,
+         {"profile": name, "method": method, "table_seed": seed},
+         {"Dataset": name, "Method": method}, name, "auto",
+         "plm" in _XCLASS_METHODS[method][2],
+         scope_for(_XCLASS_METHODS[method][0]))
+        for name in names for method in _XCLASS_METHODS
+    ])
+
+
 def xclass_table(seed: int = 0, fast: bool = True, *,
                  jobs: "int | None" = None,
                  use_cache: "bool | None" = None,
-                 timeout: "float | None" = None) -> list:
+                 timeout: "float | None" = None,
+                 select=None, cache_dir=None) -> list:
     """X-Class results table (micro/macro F1, label names only)."""
-    names = XCLASS_PROFILES_FAST if fast else XCLASS_PROFILES_FULL
-    specs = _specs("xclass", seed, fast, [
-        (f"{name}/{method}", _xclass_row,
-         {"profile": name, "method": method, "table_seed": seed},
-         {"Dataset": name, "Method": method}, f"{name}@{seed}")
-        for name in names for method in _XCLASS_METHODS
-    ])
-    return run_specs(specs, table_seed=seed, jobs=jobs, use_cache=use_cache,
-                     timeout=timeout)
+    return _run_table(xclass_request(seed, fast), jobs=jobs,
+                      use_cache=use_cache, timeout=timeout, select=select,
+                      cache_dir=cache_dir)
 
 
 # ---------------------------------------------------------------------------
@@ -459,21 +629,29 @@ def _promptclass_row(row_seed: int, profile: str, method: str,
     return {"Micro-F1": metrics["micro_f1"], "Macro-F1": metrics["macro_f1"]}
 
 
+def promptclass_request(seed: int = 0, fast: bool = True) -> TableRequest:
+    """Compiled PromptClass pipeline (rows fit on the ``auto`` view)."""
+    datasets = ["agnews"] if fast else ["agnews", "twenty_news", "yelp",
+                                       "imdb"]
+    return _table_request("promptclass", seed, [
+        (f"{name}/{method}", _promptclass_row,
+         {"profile": name, "method": method, "table_seed": seed},
+         {"Dataset": name, "Method": method}, name, "auto",
+         "plm" in _PROMPTCLASS_METHODS[method][2],
+         scope_for(_PROMPTCLASS_METHODS[method][0]))
+        for name in datasets for method in _PROMPTCLASS_METHODS
+    ])
+
+
 def promptclass_table(seed: int = 0, fast: bool = True, *,
                       jobs: "int | None" = None,
                       use_cache: "bool | None" = None,
-                      timeout: "float | None" = None) -> list:
+                      timeout: "float | None" = None,
+                      select=None, cache_dir=None) -> list:
     """PromptClass results table (micro/macro F1, label names only)."""
-    datasets = ["agnews"] if fast else ["agnews", "twenty_news", "yelp",
-                                       "imdb"]
-    specs = _specs("promptclass", seed, fast, [
-        (f"{name}/{method}", _promptclass_row,
-         {"profile": name, "method": method, "table_seed": seed},
-         {"Dataset": name, "Method": method}, f"{name}@{seed}")
-        for name in datasets for method in _PROMPTCLASS_METHODS
-    ])
-    return run_specs(specs, table_seed=seed, jobs=jobs, use_cache=use_cache,
-                     timeout=timeout)
+    return _run_table(promptclass_request(seed, fast), jobs=jobs,
+                      use_cache=use_cache, timeout=timeout, select=select,
+                      cache_dir=cache_dir)
 
 
 # ---------------------------------------------------------------------------
@@ -528,21 +706,28 @@ def _weshclass_row(row_seed: int, profile: str, method: str,
     return row
 
 
+def weshclass_request(seed: int = 0, fast: bool = True) -> TableRequest:
+    """Compiled WeSHClass pipeline (no PLM rows; corpus nodes only)."""
+    profiles = ["arxiv_tree"] if fast else ["nyt_fine", "arxiv_tree",
+                                            "yelp_tree"]
+    return _table_request("weshclass", seed, [
+        (f"{name}/{method}", _weshclass_row,
+         {"profile": name, "method": method, "table_seed": seed},
+         {"Dataset": name, "Method": method}, name, "plain", False,
+         scope_for(_WESHCLASS_METHODS[method][0]))
+        for name in profiles for method in _WESHCLASS_METHODS
+    ])
+
+
 def weshclass_table(seed: int = 0, fast: bool = True, *,
                     jobs: "int | None" = None,
                     use_cache: "bool | None" = None,
-                    timeout: "float | None" = None) -> list:
+                    timeout: "float | None" = None,
+                    select=None, cache_dir=None) -> list:
     """WeSHClass results table: trees x {KEYWORDS, DOCS} + ablations."""
-    profiles = ["arxiv_tree"] if fast else ["nyt_fine", "arxiv_tree",
-                                            "yelp_tree"]
-    specs = _specs("weshclass", seed, fast, [
-        (f"{name}/{method}", _weshclass_row,
-         {"profile": name, "method": method, "table_seed": seed},
-         {"Dataset": name, "Method": method}, f"{name}@{seed}")
-        for name in profiles for method in _WESHCLASS_METHODS
-    ])
-    return run_specs(specs, table_seed=seed, jobs=jobs, use_cache=use_cache,
-                     timeout=timeout)
+    return _run_table(weshclass_request(seed, fast), jobs=jobs,
+                      use_cache=use_cache, timeout=timeout, select=select,
+                      cache_dir=cache_dir)
 
 
 # ---------------------------------------------------------------------------
@@ -638,21 +823,39 @@ def _taxoclass_row(row_seed: int, profile: str, method: str,
 _TAXOCLASS_METHODS = ("WeSHClass", "SS-PCEM", "Semi-BERT", "Hier-0Shot-TC",
                       "TaxoClass")
 
+# The taxoclass runner branches instead of reading a method dict, so its
+# compile-time facts (PLM consumption, method-unit scope) live here.
+_TAXOCLASS_PLM = ("Semi-BERT", "Hier-0Shot-TC", "TaxoClass")
+_TAXOCLASS_SCOPE = {
+    "WeSHClass": scope_for(WeSHClass),
+    "SS-PCEM": scope_for(PCEM),
+    "Semi-BERT": scope_for(SemiBERT),
+    "Hier-0Shot-TC": scope_for(HierZeroShotTC),
+    "TaxoClass": scope_for(TaxoClass),
+}
+
+
+def taxoclass_request(seed: int = 0, fast: bool = True) -> TableRequest:
+    """Compiled TaxoClass pipeline."""
+    profiles = ["amazon_dag"] if fast else ["amazon_dag", "dbpedia_dag"]
+    return _table_request("taxoclass", seed, [
+        (f"{name}/{method}", _taxoclass_row,
+         {"profile": name, "method": method, "table_seed": seed},
+         {"Dataset": name, "Method": method}, name, "plain",
+         method in _TAXOCLASS_PLM, _TAXOCLASS_SCOPE[method])
+        for name in profiles for method in _TAXOCLASS_METHODS
+    ])
+
 
 def taxoclass_table(seed: int = 0, fast: bool = True, *,
                     jobs: "int | None" = None,
                     use_cache: "bool | None" = None,
-                    timeout: "float | None" = None) -> list:
+                    timeout: "float | None" = None,
+                    select=None, cache_dir=None) -> list:
     """TaxoClass results table (Example-F1, P@1) on DAG profiles."""
-    profiles = ["amazon_dag"] if fast else ["amazon_dag", "dbpedia_dag"]
-    specs = _specs("taxoclass", seed, fast, [
-        (f"{name}/{method}", _taxoclass_row,
-         {"profile": name, "method": method, "table_seed": seed},
-         {"Dataset": name, "Method": method}, f"{name}@{seed}")
-        for name in profiles for method in _TAXOCLASS_METHODS
-    ])
-    return run_specs(specs, table_seed=seed, jobs=jobs, use_cache=use_cache,
-                     timeout=timeout)
+    return _run_table(taxoclass_request(seed, fast), jobs=jobs,
+                      use_cache=use_cache, timeout=timeout, select=select,
+                      cache_dir=cache_dir)
 
 
 # ---------------------------------------------------------------------------
@@ -684,11 +887,8 @@ def _metacat_row(row_seed: int, profile: str, method: str,
     return {"Micro-F1": metrics["micro_f1"], "Macro-F1": metrics["macro_f1"]}
 
 
-def metacat_tables(seed: int = 0, fast: bool = True, *,
-                   jobs: "int | None" = None,
-                   use_cache: "bool | None" = None,
-                   timeout: "float | None" = None) -> list:
-    """MetaCat Tables 2+3: micro and macro F1 on the metadata profiles."""
+def metacat_request(seed: int = 0, fast: bool = True) -> TableRequest:
+    """Compiled MetaCat pipeline (static ``-`` rows stay off the pool)."""
     profiles = ["github_bio"] if fast else ["github_bio", "github_ai",
                                             "github_sec", "amazon_meta",
                                             "twitter"]
@@ -702,15 +902,27 @@ def metacat_tables(seed: int = 0, fast: bool = True, *,
                 items.append((f"{name}/{method}", None, {},
                               {"Dataset": name, "Method": method,
                                "Micro-F1": "-", "Macro-F1": "-"},
-                              f"{name}@{seed}"))
+                              name, "plain", False, ()))
                 continue
             items.append((f"{name}/{method}", _metacat_row,
                           {"profile": name, "method": method,
                            "table_seed": seed},
                           {"Dataset": name, "Method": method},
-                          f"{name}@{seed}"))
-    return run_specs(_specs("metacat", seed, fast, items), table_seed=seed,
-                     jobs=jobs, use_cache=use_cache, timeout=timeout)
+                          name, "plain",
+                          "plm" in _METACAT_METHODS[method][2],
+                          scope_for(_METACAT_METHODS[method][0])))
+    return _table_request("metacat", seed, items)
+
+
+def metacat_tables(seed: int = 0, fast: bool = True, *,
+                   jobs: "int | None" = None,
+                   use_cache: "bool | None" = None,
+                   timeout: "float | None" = None,
+                   select=None, cache_dir=None) -> list:
+    """MetaCat Tables 2+3: micro and macro F1 on the metadata profiles."""
+    return _run_table(metacat_request(seed, fast), jobs=jobs,
+                      use_cache=use_cache, timeout=timeout, select=select,
+                      cache_dir=cache_dir)
 
 
 # ---------------------------------------------------------------------------
@@ -784,65 +996,89 @@ def _micol_row(row_seed: int, profile: str, method: str,
     }
 
 
+def _micol_post(profiles: list, seed: int, significance: bool):
+    """Post-assembly hook: pop hidden P@5 scores, mark significance.
+
+    Runs in the parent over the assembled rows — table-level work that
+    compares rows against each other has no single-node home, so it
+    rides on the request, not the graph.
+    """
+
+    def post(rows: list) -> list:
+        from repro.evaluation.significance import paired_bootstrap_pvalue
+
+        # Per-document P@5 scores ride along as a hidden column; pop
+        # them before rendering and (optionally) run the significance
+        # pass.
+        per_profile: "dict[str, dict[str, np.ndarray]]" = {}
+        for row in rows:
+            scores = row.pop("_p5_scores", None)
+            if scores is not None:
+                per_profile.setdefault(row["Dataset"], {})[row["Method"]] = (
+                    np.asarray(scores)
+                )
+        if significance:
+            for name in profiles:
+                per_method_scores = per_profile.get(name, {})
+                # The paper's ** markers: significantly below the best
+                # MICoL variant under a paired bootstrap on per-document
+                # P@5.
+                micol_names = [m for m in per_method_scores
+                               if m.startswith("MICoL")]
+                if not micol_names:
+                    continue
+                best_micol = max(micol_names,
+                                 key=lambda m: per_method_scores[m].mean())
+                reference = per_method_scores[best_micol]
+                for row in rows:
+                    if row["Dataset"] != name:
+                        continue
+                    method_name = row["Method"]
+                    if method_name.startswith(("MICoL", "MATCH")):
+                        row["sig"] = ""
+                        continue
+                    if method_name not in per_method_scores:
+                        continue  # error row: no per-document scores
+                    p_value = paired_bootstrap_pvalue(
+                        reference, per_method_scores[method_name], seed=seed
+                    )
+                    row["sig"] = "**" if p_value < 0.01 else (
+                        "*" if p_value < 0.05 else ""
+                    )
+        return rows
+
+    return post
+
+
+def micol_request(seed: int = 0, fast: bool = True,
+                  significance: bool = True) -> TableRequest:
+    """Compiled MICoL pipeline with the significance post-pass."""
+    profiles = ["magcs"] if fast else ["magcs", "pubmed"]
+    return _table_request("micol", seed, [
+        (f"{name}/{method}", _micol_row,
+         {"profile": name, "method": method, "table_seed": seed},
+         {"Dataset": name, "Method": method}, name, "plain",
+         method not in ("Doc2Vec", "SciBERT"),
+         scope_for(MICoL, MATCH))
+        for name in profiles for method in _MICOL_METHODS
+    ], post=_micol_post(profiles, seed, significance))
+
+
 def micol_table(seed: int = 0, fast: bool = True,
                 significance: bool = True, *,
                 jobs: "int | None" = None,
                 use_cache: "bool | None" = None,
-                timeout: "float | None" = None) -> list:
+                timeout: "float | None" = None,
+                select=None, cache_dir=None) -> list:
     """MICoL results table (P@k, NDCG@k) with the MATCH crossover rows.
 
     With ``significance`` on, zero-shot rows whose per-document P@5 is
     significantly below the best MICoL variant (one-sided paired
     bootstrap, p < 0.01) carry the paper's ``**`` marker.
     """
-    from repro.evaluation.significance import paired_bootstrap_pvalue
-
-    profiles = ["magcs"] if fast else ["magcs", "pubmed"]
-    specs = _specs("micol", seed, fast, [
-        (f"{name}/{method}", _micol_row,
-         {"profile": name, "method": method, "table_seed": seed},
-         {"Dataset": name, "Method": method}, f"{name}@{seed}")
-        for name in profiles for method in _MICOL_METHODS
-    ])
-    rows = run_specs(specs, table_seed=seed, jobs=jobs, use_cache=use_cache,
-                     timeout=timeout)
-    # Per-document P@5 scores ride along as a hidden column; pop them
-    # before rendering and (optionally) run the significance pass.
-    per_profile: "dict[str, dict[str, np.ndarray]]" = {}
-    for row in rows:
-        scores = row.pop("_p5_scores", None)
-        if scores is not None:
-            per_profile.setdefault(row["Dataset"], {})[row["Method"]] = (
-                np.asarray(scores)
-            )
-    if significance:
-        for name in profiles:
-            per_method_scores = per_profile.get(name, {})
-            # The paper's ** markers: significantly below the best MICoL
-            # variant under a paired bootstrap on per-document P@5.
-            micol_names = [m for m in per_method_scores
-                           if m.startswith("MICoL")]
-            if not micol_names:
-                continue
-            best_micol = max(micol_names,
-                             key=lambda m: per_method_scores[m].mean())
-            reference = per_method_scores[best_micol]
-            for row in rows:
-                if row["Dataset"] != name:
-                    continue
-                method_name = row["Method"]
-                if method_name.startswith(("MICoL", "MATCH")):
-                    row["sig"] = ""
-                    continue
-                if method_name not in per_method_scores:
-                    continue  # error row: no per-document scores
-                p_value = paired_bootstrap_pvalue(
-                    reference, per_method_scores[method_name], seed=seed
-                )
-                row["sig"] = "**" if p_value < 0.01 else (
-                    "*" if p_value < 0.05 else ""
-                )
-    return rows
+    return _run_table(micol_request(seed, fast, significance), jobs=jobs,
+                      use_cache=use_cache, timeout=timeout, select=select,
+                      cache_dir=cache_dir)
 
 
 class _StaticConceptRanker(_MLBase):
@@ -885,3 +1121,26 @@ def summary_table() -> list:
     """The tutorial's closing capability matrix, generated from the
     method registry."""
     return summary_rows()
+
+
+# ---------------------------------------------------------------------------
+# Request registry
+# ---------------------------------------------------------------------------
+
+#: Table name -> ``(seed, fast) -> TableRequest`` compile hook. The CLI
+#: compiles every requested table through this registry into ONE shared
+#: graph, so corpus/encode nodes dedup across tables in a single run.
+#: ``summary`` is registry-generated (no pipeline) and stays off the DAG.
+REQUESTS = {
+    "westclass": westclass_request,
+    "conwea": conwea_request,
+    "lotclass-predictions": lotclass_prediction_request,
+    "lotclass": lotclass_request,
+    "xclass-data": xclass_dataset_request,
+    "xclass": xclass_request,
+    "promptclass": promptclass_request,
+    "weshclass": weshclass_request,
+    "taxoclass": taxoclass_request,
+    "metacat": metacat_request,
+    "micol": micol_request,
+}

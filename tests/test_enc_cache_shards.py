@@ -192,6 +192,88 @@ def test_corrupt_shard_is_forgotten_not_fatal(tmp_path, rng):
     assert reader.misses == 1
 
 
+def test_shard_rescan_memoized_while_directory_unchanged(tmp_path, rng):
+    writer = EncodeCache(max_bytes=1 << 20, disk_dir=tmp_path, shard_docs=2)
+    value = _doc(rng, tokens=4)
+    writer.put("ns", "a", value)
+    writer.flush_shards()
+
+    reader = EncodeCache(max_bytes=1 << 20, disk_dir=tmp_path, shard_docs=2)
+    np.testing.assert_array_equal(reader.get("ns", "a"), value)
+    assert reader.rescans == 1  # first miss in the tier pays one scan
+    # Repeated misses with an untouched directory are one stat() each,
+    # not a re-glob: the rescan counter must not move.
+    assert reader.get("ns", "absent0") is None
+    assert reader.get("ns", "absent1") is None
+    assert reader.rescans == 1
+    assert reader.stats()["rescans"] == 1
+
+
+def test_directory_mtime_change_triggers_exactly_one_rescan(tmp_path, rng):
+    writer = EncodeCache(max_bytes=1 << 20, disk_dir=tmp_path, shard_docs=2)
+    first = _doc(rng, tokens=4)
+    writer.put("ns", "a", first)
+    writer.flush_shards()
+    reader = EncodeCache(max_bytes=1 << 20, disk_dir=tmp_path, shard_docs=2)
+    np.testing.assert_array_equal(reader.get("ns", "a"), first)
+    assert reader.rescans == 1
+
+    late = _doc(rng, tokens=6)
+    writer.put("ns", "late0", late)
+    writer.put("ns", "late1", late)
+    # Writing the shard touches the namespace dir; bump the mtime
+    # explicitly so the test does not depend on filesystem timestamp
+    # granularity.
+    directory = tmp_path / "ns"
+    stat = os.stat(directory)
+    os.utime(directory, ns=(stat.st_atime_ns, stat.st_mtime_ns + 1))
+
+    np.testing.assert_array_equal(reader.get("ns", "late0"), late)
+    assert reader.rescans == 2
+    # The fresh scan re-memoizes: further misses stay scan-free.
+    assert reader.get("ns", "absent") is None
+    assert reader.rescans == 2
+
+
+def test_missing_namespace_directory_records_no_memo(tmp_path, rng):
+    reader = EncodeCache(max_bytes=1 << 20, disk_dir=tmp_path, shard_docs=2)
+    assert reader.get("ns", "w0") is None  # no directory yet: no scan
+    assert reader.rescans == 0
+
+    writer = EncodeCache(max_bytes=1 << 20, disk_dir=tmp_path, shard_docs=2)
+    value = _doc(rng, tokens=4)
+    writer.put("ns", "w0", value)
+    writer.put("ns", "w1", value)
+    np.testing.assert_array_equal(reader.get("ns", "w0"), value)
+    assert reader.rescans == 1
+
+
+def test_vanished_shard_invalidates_rescan_memo(tmp_path, rng):
+    writer = EncodeCache(max_bytes=1 << 20, disk_dir=tmp_path, shard_docs=2)
+    value = _doc(rng, tokens=4)
+    writer.put("ns", "a", value)
+    writer.put("ns", "b", value)
+    reader = EncodeCache(max_bytes=1 << 20, disk_dir=tmp_path, shard_docs=2)
+    # A plain miss folds the index and memoizes the directory state
+    # without opening the shard's mmap (an open mmap would outlive the
+    # unlink below).
+    assert reader.get("ns", "zzz") is None
+    assert reader.rescans == 1
+
+    for shard in (tmp_path / "ns").rglob("shard_*.npy"):
+        shard.unlink()
+    assert reader.get("ns", "a") is None  # unreadable: forgotten, memo dropped
+
+    # A replacement shard reusing the SAME file name (same pid, reset
+    # sequence) must be re-folded: the error path discards the matching
+    # .idx.json from the scanned set and drops the directory memo.
+    writer2 = EncodeCache(max_bytes=1 << 20, disk_dir=tmp_path, shard_docs=2)
+    writer2.put("ns", "c", value)
+    writer2.put("ns", "d", value)
+    np.testing.assert_array_equal(reader.get("ns", "c"), value)
+    assert reader.rescans == 2
+
+
 def test_doc_key_stable_across_dtypes():
     ids32 = np.asarray([1, 2, 3], dtype=np.int32)
     ids64 = np.asarray([1, 2, 3], dtype=np.int64)

@@ -152,6 +152,47 @@ def test_tolerance_widens_across_hosts():
     assert other == pytest.approx(same * cr.CROSS_HOST_WIDENING)
 
 
+def test_tolerance_detail_itemizes_every_adjustment():
+    calm = [_record(1.0, jitter=1.0, host="hostA") for _ in range(3)]
+    detail = cr.tolerance_detail(_record(1.0, jitter=1.2, host="hostB"), calm)
+    assert detail["base"] == cr.BASE_TOLERANCE
+    assert detail["jitter_ratio"] == pytest.approx(1.2)
+    assert detail["jitter_widening"] == pytest.approx(1.2)
+    assert detail["cross_host"] is True
+    assert detail["cross_host_widening"] == cr.CROSS_HOST_WIDENING
+    assert detail["capped"] is False
+    assert detail["tolerance"] == pytest.approx(
+        cr.BASE_TOLERANCE * 1.2 * cr.CROSS_HOST_WIDENING)
+    # tolerance_for stays the plain-float view of the same computation.
+    assert cr.tolerance_for(_record(1.0, jitter=1.2, host="hostB"),
+                            calm) == detail["tolerance"]
+    # Max jitter widening alone stays under the cap (1.5 * 1.25 = 1.875);
+    # stacking the cross-host factor pushes past it and trips the flag.
+    wild = cr.tolerance_detail(_record(1.0, jitter=50.0, host="hostB"), calm)
+    assert wild["jitter_widening"] == cr.MAX_JITTER_WIDENING
+    assert wild["capped"] is True
+    assert wild["tolerance"] == cr.TOLERANCE_CAP
+
+
+def test_report_carries_tolerance_detail_and_logs_cross_host(tmp_path,
+                                                             capsys):
+    records = ([_record(1.0, host="hostA") for _ in range(3)]
+               + [_record(1.0, host="hostB")])
+    _write_history(tmp_path / "history", "serving", records)
+    report_path = tmp_path / "report.json"
+    rc = cr.main(["--history", str(tmp_path / "history"),
+                  "--report", str(report_path), "serving"])
+    assert rc == 0
+    assert "cross-host baseline" in capsys.readouterr().out
+    written = json.loads(report_path.read_text())
+    detail = written["results"][0]["tolerance_detail"]
+    assert detail["cross_host"] is True
+    assert detail["cross_host_widening"] == cr.CROSS_HOST_WIDENING
+    for comparison in written["results"][0]["comparisons"]:
+        assert comparison["tolerance"] == pytest.approx(detail["tolerance"],
+                                                        abs=1e-4)
+
+
 def test_main_exits_nonzero_and_writes_report(tmp_path, capsys):
     records = [_record(1.0) for _ in range(3)] + [_record(2.0)]
     _write_history(tmp_path / "history", "serving", records)
@@ -230,6 +271,29 @@ def test_serving_pool_artifact_is_registered(tmp_path, monkeypatch):
     (tmp_path / "BENCH_serving_pool.json").write_text(json.dumps(payload))
     assert any("p999_ms_r4" in p
                for p in cba.check_artifact("serving_pool"))
+
+
+def test_dag_pipeline_artifact_is_registered(tmp_path, monkeypatch):
+    # The DAG bench is wired into both CI gates: schema + regression.
+    assert "dag_pipeline" in cba.SCHEMAS
+    assert cr.METRICS["dag_pipeline"]["cold_seconds"] == "lower"
+    assert cr.METRICS["dag_pipeline"]["dirty_speedup"] == "higher"
+    assert cr.METRICS["dag_pipeline"]["dedup_ratio"] == "higher"
+
+    monkeypatch.setattr(cba, "HERE", tmp_path)
+    payload = {
+        "cold_seconds": 8.0, "dirty_seconds": 0.4, "warm_seconds": 0.05,
+        "dirty_speedup": 20.0, "min_dirty_speedup": 2.5,
+        "warm_speedup": 160.0, "dedup_ratio": 1.11,
+        "nodes_executed_warm": 0, "tables": [], "nodes_total": 9,
+        "nodes_merged": 1, "calibration": {"jitter": 1.0},
+    }
+    (tmp_path / "BENCH_dag_pipeline.json").write_text(json.dumps(payload))
+    assert cba.check_artifact("dag_pipeline") == []
+    payload.pop("dirty_speedup")
+    (tmp_path / "BENCH_dag_pipeline.json").write_text(json.dumps(payload))
+    assert any("dirty_speedup" in p
+               for p in cba.check_artifact("dag_pipeline"))
 
 
 # ---------------------------------------------------------------------------
