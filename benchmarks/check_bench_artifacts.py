@@ -71,6 +71,12 @@ SCHEMAS = {
         "numeric": ["encode_seconds", "docs_per_second", "cache_max_bytes"],
         "present": ["profile", "n_docs", "cache", "shard_files"],
     },
+    "pipeline": {
+        "numeric": ["docs_per_second", "p50_ms", "p99_ms",
+                    "steady_seconds", "fits"],
+        "present": ["profile", "n_docs", "ingested", "deduped",
+                    "classified", "calibration"],
+    },
     "dag_pipeline": {
         "numeric": ["cold_seconds", "dirty_seconds", "warm_seconds",
                     "dirty_speedup", "min_dirty_speedup", "warm_speedup",

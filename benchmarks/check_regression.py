@@ -25,9 +25,14 @@ Usage::
 With no names, every ``history/*.jsonl`` with a metric registry entry is
 checked. A history file with fewer than 2 records passes vacuously
 (``no baseline``) — the gate needs committed history to bite, which is
-exactly why ``write_bench_artifact`` appends on every bench run. Exits
-non-zero if any metric regressed; the full comparison report is written
-as a stamped JSON artifact for CI upload either way.
+exactly why ``write_bench_artifact`` appends on every bench run. A
+registered metric the baselines carry but the fresh record *lacks* is
+not a pass: the comparison reports status ``missing`` (a renamed or
+silently-dropped metric looks exactly like a regression that can no
+longer be measured), and a full-mode run (no explicit names) fails on
+it. Exits non-zero if any metric regressed (or went missing in full
+mode); the full comparison report is written as a stamped JSON artifact
+for CI upload either way.
 """
 
 from __future__ import annotations
@@ -96,6 +101,10 @@ METRICS = {
     "obs_overhead": {
         "enabled_ns_per_span": "lower",
         "enabled_ns_per_count": "lower",
+    },
+    "pipeline": {
+        "docs_per_second": "higher",
+        "p99_ms": "lower",
     },
     "conwea_table": _TABLE_METRICS,
     "lotclass_predictions": _TABLE_METRICS,
@@ -184,10 +193,13 @@ def compare(name: str, records: list, last: int = DEFAULT_LAST) -> dict:
     """Compare the newest record of ``name`` against its baselines.
 
     Returns ``{"name", "status", "comparisons": [...]}`` where status is
-    ``ok``, ``regressed``, or ``no baseline``. An empty or single-record
-    history (a fresh clone, or a bench's very first run) is not an
-    error: the result carries ``"baseline": "insufficient-history"`` and
-    the gate passes vacuously — it needs committed history to bite.
+    ``ok``, ``regressed``, ``missing``, or ``no baseline``. An empty or
+    single-record history (a fresh clone, or a bench's very first run)
+    is not an error: the result carries ``"baseline":
+    "insufficient-history"`` and the gate passes vacuously — it needs
+    committed history to bite. ``missing`` is the reverse hole: the
+    baselines carry a registered metric the fresh record doesn't — a
+    renamed or dropped metric must surface, not silently pass.
     """
     if len(records) < 2:
         return {"name": name, "status": "no baseline",
@@ -200,11 +212,25 @@ def compare(name: str, records: list, last: int = DEFAULT_LAST) -> dict:
     tolerance = detail["tolerance"]
     comparisons = []
     regressed = False
+    missing = False
     for metric, direction in sorted(registry.items()):
         value = current["metrics"].get(metric)
         history = [b["metrics"][metric] for b in baselines
                    if isinstance(b["metrics"].get(metric), (int, float))]
-        if not isinstance(value, (int, float)) or not history:
+        if not history:
+            # Metric never recorded by any baseline — nothing to
+            # compare against (a brand-new metric's first run).
+            continue
+        if not isinstance(value, (int, float)):
+            missing = True
+            comparisons.append({
+                "metric": metric,
+                "direction": direction,
+                "current": None,
+                "baseline_median": round(float(_median(history)), 6),
+                "n_baselines": len(history),
+                "status": "missing",
+            })
             continue
         baseline = _median(history)
         if direction == "lower":
@@ -223,10 +249,17 @@ def compare(name: str, records: list, last: int = DEFAULT_LAST) -> dict:
             "ratio": round(float(ratio), 4),
             "tolerance": round(float(tolerance), 4),
             "regressed": bad,
+            "status": "regressed" if bad else "ok",
         })
+    if regressed:
+        status = "regressed"
+    elif missing:
+        status = "missing"
+    else:
+        status = "ok"
     return {
         "name": name,
-        "status": "regressed" if regressed else "ok",
+        "status": status,
         "sha": current.get("sha"),
         "n_baselines": len(baselines),
         "tolerance_detail": detail,
@@ -249,6 +282,7 @@ def check_all(history_dir: Path = HISTORY_DIR, names: "list | None" = None,
     return {
         "checked": len(results),
         "regressed": [r["name"] for r in results if r["status"] == "regressed"],
+        "missing": [r["name"] for r in results if r["status"] == "missing"],
         "results": results,
     }
 
@@ -275,9 +309,10 @@ def main(argv: "list | None" = None) -> int:
     args.report.parent.mkdir(parents=True, exist_ok=True)
     args.report.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
 
+    full_mode = not args.names
     for result in report["results"]:
-        marker = {"ok": "ok", "no baseline": "ok (no baseline)"}.get(
-            result["status"], "REGRESSED")
+        marker = {"ok": "ok", "no baseline": "ok (no baseline)",
+                  "missing": "MISSING"}.get(result["status"], "REGRESSED")
         print(f"{marker}: {result['name']} "
               f"({len(result['comparisons'])} metrics vs "
               f"{result['n_baselines']} baselines)")
@@ -288,13 +323,24 @@ def main(argv: "list | None" = None) -> int:
                   f"{detail['tolerance']:.4f}"
                   + (" (capped)" if detail.get("capped") else ""))
         for c in result["comparisons"]:
-            if c["regressed"]:
+            if c.get("status") == "missing":
+                print(f"  MISSING {c['metric']}: baselines carry it "
+                      f"(median {c['baseline_median']}) but the fresh "
+                      "record doesn't — renamed or dropped?",
+                      file=sys.stderr)
+            elif c["regressed"]:
                 print(f"  REGRESSED {c['metric']}: {c['current']} vs median "
                       f"{c['baseline_median']} "
                       f"(ratio {c['ratio']} > tolerance {c['tolerance']})",
                       file=sys.stderr)
     print(f"report: {args.report}")
-    return 1 if report["regressed"] else 0
+    if report["regressed"]:
+        return 1
+    if report["missing"] and full_mode:
+        # In full mode a vanished metric fails the gate; a named run
+        # (developer iterating on one bench) only reports it.
+        return 1
+    return 0
 
 
 if __name__ == "__main__":

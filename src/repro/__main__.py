@@ -1,9 +1,10 @@
 """Package entry point: ``python -m repro <command>``.
 
 ``python -m repro serve ...`` routes to the serving CLI
-(:mod:`repro.serve.cli`); everything else falls through to the
-experiment runner (:mod:`repro.experiments.cli`), so
-``python -m repro westclass`` and ``python -m repro.experiments.cli
+(:mod:`repro.serve.cli`) and ``python -m repro pipeline ...`` to the
+streaming-pipeline CLI (:mod:`repro.pipeline.cli`); everything else
+falls through to the experiment runner (:mod:`repro.experiments.cli`),
+so ``python -m repro westclass`` and ``python -m repro.experiments.cli
 westclass`` are equivalent.
 """
 
@@ -18,6 +19,10 @@ def main(argv: "list | None" = None) -> int:
         from repro.serve.cli import main as serve_main
 
         return serve_main(argv[1:])
+    if argv and argv[0] == "pipeline":
+        from repro.pipeline.cli import main as pipeline_main
+
+        return pipeline_main(argv[1:])
     if argv and argv[0] == "experiments":
         # Explicit subcommand form: ``python -m repro experiments
         # cache-prune`` etc. — same runner, verb stripped.

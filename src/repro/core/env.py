@@ -29,6 +29,7 @@ Knob inventory
 ``REPRO_ENGINE_FUSED_INFER``  ``1`` forces the packed predict-only forward
 ``REPRO_ENGINE_BLOCK_ROWS``  query-block height for blocked attention
 ``REPRO_MODEL_DIR``         model-registry root (``repro.serve``)
+``REPRO_CORPUS_DIR``        streaming corpus-store root (``repro.pipeline``)
 ``REPRO_NN_DTYPE``          default compute dtype (float32/float64)
 ``REPRO_NN_FUSED``          ``0`` selects composite autograd kernels
 ``REPRO_NN_PROFILE``        ``1`` enables the per-op profile hook
@@ -177,6 +178,17 @@ def model_dir() -> Path:
     """
     return env_path("REPRO_MODEL_DIR",
                     Path.home() / ".cache" / "repro" / "models")
+
+
+def corpus_dir() -> Path:
+    """Streaming corpus-store root (``REPRO_CORPUS_DIR`` or XDG default).
+
+    The append-only corpus store (:mod:`repro.pipeline.store`) keeps one
+    directory per stream under this root: shard files, the predictions
+    log, and the resume checkpoint.
+    """
+    return env_path("REPRO_CORPUS_DIR",
+                    Path.home() / ".cache" / "repro" / "corpus")
 
 
 def nn_dtype() -> str:

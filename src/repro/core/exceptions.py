@@ -48,6 +48,36 @@ class DanglingReference(ArtifactError):
     """
 
 
+class PipelineError(ReproError):
+    """Base class for streaming-pipeline failures (`repro.pipeline`).
+
+    Every error raised by the ingestion pipeline — a mis-configured
+    stream, a corrupt corpus shard, a failed stage — is a subclass of
+    this type, so orchestrator callers can catch pipeline failures with
+    a single ``except`` clause. The invariant is enforced by an AST
+    lint (``tests/test_error_lint.py``): ``raise`` statements inside
+    ``repro.pipeline`` may only construct ``PipelineError`` subclasses.
+    """
+
+
+class CheckpointError(PipelineError):
+    """Raised for a missing, corrupt, or future-schema stream checkpoint.
+
+    Distinct from a generic pipeline failure: the checkpoint file itself
+    is the bad state, so callers can repair (delete the checkpoint to
+    restart the stream from scratch) instead of treating the whole
+    corpus store as lost.
+    """
+
+
+class StageFailure(PipelineError):
+    """Raised when a pipeline stage cannot process its batch.
+
+    Carries the stage name in the message; the orchestrator checkpoints
+    before re-raising, so a failed stage never loses acknowledged work.
+    """
+
+
 class ServingError(ReproError):
     """Base class for model-serving failures (`repro.serve`)."""
 

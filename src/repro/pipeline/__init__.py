@@ -1,0 +1,36 @@
+"""Streaming ingestion + online classification (``repro.pipeline``).
+
+The producer-side half of the serving story: documents arrive as a
+deterministic, cursor-resumable stream (:mod:`~repro.pipeline.source`),
+flow through typed stages — tokenize → dedupe → append-only corpus
+store (:mod:`~repro.pipeline.stages` / :mod:`~repro.pipeline.store`) —
+and are classified online through the serving stack while a drift
+monitor (:mod:`~repro.pipeline.drift`) decides when to retrain via the
+experiment engine and republish (:mod:`~repro.pipeline.refit`). The
+orchestrator (:mod:`~repro.pipeline.orchestrator`) wires it together
+with atomic checkpoints that make crash-resume byte-identical.
+
+CLI: ``python -m repro pipeline run/status/resume``.
+"""
+
+from repro.pipeline.drift import DriftMonitor, DriftPolicy
+from repro.pipeline.orchestrator import (
+    Pipeline,
+    PipelineConfig,
+    PipelineReport,
+    pipeline_status,
+)
+from repro.pipeline.source import StreamConfig, StreamSource
+from repro.pipeline.store import CorpusStore
+
+__all__ = [
+    "CorpusStore",
+    "DriftMonitor",
+    "DriftPolicy",
+    "Pipeline",
+    "PipelineConfig",
+    "PipelineReport",
+    "StreamConfig",
+    "StreamSource",
+    "pipeline_status",
+]

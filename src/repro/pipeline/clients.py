@@ -1,0 +1,180 @@
+"""Serving-side clients for the online-classification stage.
+
+Two backends over the same ``classify(docs) -> [(label, confidence)]``
+contract:
+
+- :class:`EngineClient` — an in-process
+  :class:`~repro.serve.engine.ServingEngine` over a registry artifact,
+  wrapped in :class:`ScoredServable` so every prediction carries its
+  confidence (the max class probability). This is the default: the
+  confidence feeds the drift monitor's decay signal.
+- :class:`PoolClient` — a multi-process
+  :class:`~repro.serve.pool.ReplicaPool` over the same artifact.
+  Workers return labels only, so confidences come back ``None`` and the
+  decay signal stays silent; histogram distance and OOV rate still
+  work.
+
+Both clients **pin an explicit registry version** — they never resolve
+``latest`` themselves. The orchestrator records the pinned version in
+every checkpoint, so a resumed run re-attaches to exactly the model the
+crashed run was serving (a later orphaned publish cannot change resumed
+predictions), and ``reload(version)`` is the one atomic switch point
+after a re-fit publishes. Other consumers of the registry still pick up
+``latest`` on their next resolve, exactly as before.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exceptions import PipelineError
+from repro.serve.engine import ServeConfig, ServingEngine
+from repro.serve.pool import PoolConfig, ReplicaPool
+from repro.serve.registry import ModelRegistry
+
+
+class ScoredServable:
+    """Wrap a :class:`~repro.serve.artifacts.ServableModel` so
+    ``predict`` returns ``(label, confidence)`` pairs.
+
+    The serving engine treats predict results as an opaque list aligned
+    with the input, so the tuples flow through batching and per-request
+    splitting untouched. Confidence is the max class probability from
+    ``scores``; a model without usable scores degrades to ``None``
+    confidences rather than failing the stream.
+    """
+
+    def __init__(self, servable):
+        self.servable = servable
+
+    @property
+    def labels(self):
+        return self.servable.labels
+
+    def warmup(self) -> None:
+        self.servable.warmup()
+
+    def predict(self, docs) -> list:
+        labels = self.servable.predict(docs)
+        try:
+            scores = np.asarray(self.servable.scores(docs), dtype=np.float64)
+            confidences = [float(c) for c in scores.max(axis=1)]
+        except Exception:
+            confidences = [None] * len(labels)
+        if len(confidences) != len(labels):
+            confidences = [None] * len(labels)
+        return list(zip(labels, confidences))
+
+
+class EngineClient:
+    """In-process micro-batching client over a pinned registry version."""
+
+    backend = "engine"
+
+    def __init__(self, registry: ModelRegistry, name: str, version: int, *,
+                 max_batch_docs: int = 64, warmup: bool = True):
+        self.registry = registry
+        self.name = name
+        self.version = int(version)
+        self._max_batch_docs = max_batch_docs
+        self._warmup = warmup
+        self._engine = self._start(self.version)
+
+    def _start(self, version: int) -> ServingEngine:
+        try:
+            servable = self.registry.load(self.name, version)
+        except Exception as exc:
+            raise PipelineError(
+                f"cannot load model {self.name}@v{version:04d} from "
+                f"{self.registry.root}: {exc}"
+            ) from exc
+        return ServingEngine(
+            ScoredServable(servable),
+            ServeConfig(max_batch_docs=self._max_batch_docs,
+                        warmup=self._warmup))
+
+    def classify(self, docs) -> list:
+        """``[(label, confidence)]`` aligned with ``docs`` (token lists)."""
+        try:
+            return self._engine.classify([doc.tokens for doc in docs])
+        except Exception as exc:
+            raise PipelineError(
+                f"classification through {self.name}@v{self.version:04d} "
+                f"failed: {exc}"
+            ) from exc
+
+    def reload(self, version: int) -> None:
+        """Atomically switch to ``version`` (drains the old engine)."""
+        fresh = self._start(version)
+        old, self._engine, self.version = self._engine, fresh, int(version)
+        old.close()
+
+    def close(self) -> None:
+        self._engine.close()
+
+
+class PoolClient:
+    """Multi-process replica-pool client over a pinned registry version.
+
+    Confidences are not available across the worker boundary, so
+    ``classify`` returns ``(label, None)`` pairs.
+    """
+
+    backend = "pool"
+
+    def __init__(self, registry: ModelRegistry, name: str, version: int, *,
+                 replicas: int = 2, max_batch_docs: int = 64,
+                 warmup: bool = True):
+        self.registry = registry
+        self.name = name
+        self.version = int(version)
+        self._replicas = replicas
+        self._max_batch_docs = max_batch_docs
+        self._warmup = warmup
+        self._pool = self._start(self.version)
+
+    def _start(self, version: int) -> ReplicaPool:
+        try:
+            return ReplicaPool.from_registry(
+                self.registry, self.name, version,
+                config=PoolConfig(replicas=self._replicas,
+                                  max_batch_docs=self._max_batch_docs,
+                                  warmup=self._warmup))
+        except Exception as exc:
+            raise PipelineError(
+                f"cannot start replica pool for "
+                f"{self.name}@v{version:04d}: {exc}"
+            ) from exc
+
+    def classify(self, docs) -> list:
+        try:
+            labels = self._pool.classify([doc.tokens for doc in docs])
+        except Exception as exc:
+            raise PipelineError(
+                f"pool classification through "
+                f"{self.name}@v{self.version:04d} failed: {exc}"
+            ) from exc
+        return [(label, None) for label in labels]
+
+    def reload(self, version: int) -> None:
+        """Atomically switch to ``version`` (drains the old pool)."""
+        fresh = self._start(version)
+        old, self._pool, self.version = self._pool, fresh, int(version)
+        old.close()
+
+    def close(self) -> None:
+        self._pool.close()
+
+
+def make_client(backend: str, registry: ModelRegistry, name: str,
+                version: int, *, replicas: int = 2, max_batch_docs: int = 64,
+                warmup: bool = True):
+    """Client factory for the orchestrator (``engine`` or ``pool``)."""
+    if backend == "engine":
+        return EngineClient(registry, name, version,
+                            max_batch_docs=max_batch_docs, warmup=warmup)
+    if backend == "pool":
+        return PoolClient(registry, name, version, replicas=replicas,
+                          max_batch_docs=max_batch_docs, warmup=warmup)
+    raise PipelineError(
+        f"unknown serving backend {backend!r} (use 'engine' or 'pool')")

@@ -1,0 +1,133 @@
+"""Drift-triggered re-fit through the experiment engine.
+
+When the drift monitor fires, the orchestrator calls :func:`run_refit`:
+the retrain is expressed as a one-row experiment —
+a :class:`~repro.experiments.engine.RowSpec` whose module-level
+:func:`refit_runner` rebuilds the training corpus from the corpus
+store, fits a fresh model, and publishes it as the next registry
+version — executed via
+:func:`~repro.experiments.engine.run_specs` (cache off: a re-fit must
+actually run). Going through the engine buys the usual guarantees for
+free: the row seed derives from ``(table_seed, row_name)`` and the row
+name carries the re-fit ordinal, so re-fit *N* of a stream trains
+identically wherever and whenever it runs — which is what makes
+crash-resume byte-identical even when the crash lands between a
+publish and the next checkpoint (the resumed run simply re-derives the
+same model).
+
+The registry publish happens *inside* the runner, so by the time
+``run_specs`` returns, consumers resolving ``latest`` already see the
+new version atomically; the orchestrator then reloads its own pinned
+client.
+"""
+
+from __future__ import annotations
+
+from repro.core.exceptions import PipelineError
+from repro.core.supervision import Keywords, LabelNames
+from repro.core.types import LabelSet
+
+REFIT_TABLE = "pipeline"
+
+
+def resolve_method(name: str):
+    """Method class for ``name`` (case/punctuation-insensitive)."""
+    from repro.core.registry import method_registry
+
+    wanted = name.lower().replace("-", "").replace("_", "")
+    for info in method_registry().values():
+        if info.name.lower().replace("-", "") == wanted and info.cls:
+            return info.cls
+    raise PipelineError(
+        f"unknown method {name!r} for pipeline re-fit"
+    )
+
+
+def build_supervision(kind: str, labels: list, keywords: "dict | None"):
+    """Weak supervision for the re-fit (``keywords`` or ``label-names``)."""
+    label_set = LabelSet(labels=tuple(labels))
+    if kind == "keywords":
+        if not keywords:
+            raise PipelineError(
+                "supervision 'keywords' needs a keyword map in the stream "
+                "meta"
+            )
+        return Keywords(label_set=label_set,
+                        keywords={label: list(words)
+                                  for label, words in keywords.items()})
+    if kind in ("label-names", "labelnames"):
+        return LabelNames(label_set=label_set)
+    raise PipelineError(
+        f"unknown supervision kind {kind!r} (use 'keywords' or "
+        "'label-names')"
+    )
+
+
+def refit_runner(row_seed: int, *, store_dir: str, train_docs: "int | None",
+                 method: str, method_kwargs: dict, supervision: str,
+                 labels: list, keywords: "dict | None", registry_root: str,
+                 model_name: str, provenance: dict) -> dict:
+    """One experiment row: rebuild corpus → fit → publish.
+
+    Module-level and driven entirely by JSON-safe kwargs, so it runs
+    identically in-process and in a spawn worker.
+    """
+    from repro.pipeline.store import CorpusStore
+    from repro.serve.registry import ModelRegistry
+
+    store = CorpusStore(store_dir)
+    corpus = store.corpus(limit=train_docs)
+    if not len(corpus):
+        raise PipelineError(
+            f"re-fit over empty corpus store {store_dir}"
+        )
+    cls = resolve_method(method)
+    model = cls(seed=row_seed, **dict(method_kwargs))
+    model.fit(corpus, build_supervision(supervision, labels, keywords))
+    registry = ModelRegistry(registry_root)
+    version = registry.publish(model_name, model, provenance=provenance)
+    return {"version": version, "train_docs": len(corpus)}
+
+
+def run_refit(*, store_dir, train_docs: "int | None", method: str,
+              method_kwargs: dict, supervision: str, labels: list,
+              keywords: "dict | None", registry_root, model_name: str,
+              ordinal: int, seed: int, jobs: int = 1,
+              reason: "str | None" = None) -> int:
+    """Retrain + publish; returns the new registry version.
+
+    ``ordinal`` is the re-fit count (0 = bootstrap fit), folded into the
+    row name so each re-fit derives a distinct but reproducible seed.
+    """
+    from repro.experiments.engine import RowSpec, run_specs
+
+    spec = RowSpec(
+        table=REFIT_TABLE,
+        name=f"refit-{model_name}-{ordinal:03d}",
+        runner=refit_runner,
+        kwargs={
+            "store_dir": str(store_dir),
+            "train_docs": train_docs,
+            "method": method,
+            "method_kwargs": dict(method_kwargs),
+            "supervision": supervision,
+            "labels": list(labels),
+            "keywords": keywords,
+            "registry_root": str(registry_root),
+            "model_name": model_name,
+            "provenance": {
+                "pipeline": model_name,
+                "refit_ordinal": ordinal,
+                "reason": reason or "drift",
+            },
+        },
+        static={"dataset": "stream", "method": method},
+        dataset="stream",
+    )
+    rows = run_specs([spec], table_seed=seed, jobs=jobs, use_cache=False)
+    row = rows[0]
+    if "error" in row:
+        raise PipelineError(
+            f"re-fit {spec.name!r} failed: {row['error']}"
+        )
+    return int(row["version"])

@@ -1,0 +1,213 @@
+"""Generator-backed document stream with resumable cursor positions.
+
+A :class:`StreamSource` turns a synthetic dataset profile into an
+append-only *stream*: document ``position`` 0, 1, 2, ... each minting a
+fresh :class:`~repro.core.types.Document` whose content is a pure
+function of the stream config and the position. That purity is the
+whole design: a cursor (an integer position) is a complete resume
+token, and re-reading any range after a crash yields byte-identical
+documents.
+
+The stream models the two phenomena the online pipeline has to survive:
+
+- **duplicates** — every ``duplicate_every``-th position re-emits the
+  *content* of an earlier position under a fresh ``doc_id`` (crawler
+  re-fetches, mirrored feeds). The dedupe stage is expected to drop
+  them by content hash.
+- **drift** — from position ``drift_at`` onward the label mixture
+  tilts toward ``drift_labels`` (weighted sampling without
+  replacement), and a slice of post-drift documents picks up tokens
+  from a novel lexicon the training vocabulary has never seen
+  (``drift_novel_rate``). Together these move all three drift
+  counters: label-histogram distance, OOV rate, and confidence decay.
+
+The emission schedule (which pool document appears at which position)
+is precomputed once in the constructor from a seeded generator, so
+``read`` is a slice, not a simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.exceptions import PipelineError
+from repro.core.types import Corpus, Document
+
+#: Tokens injected into post-drift documents to model novel vocabulary.
+NOVEL_LEXICON = tuple(f"neoterm{i}" for i in range(12))
+
+
+@dataclass(frozen=True)
+class StreamConfig:
+    """Everything that determines the stream's content.
+
+    Parameters
+    ----------
+    profile / seed / scale:
+        The catalog profile backing the stream (its generated train
+        corpus is the emission pool).
+    n_docs:
+        Stream length. Unique emissions are drawn without replacement,
+        so at most ``pool + duplicates`` positions exist; ``None``
+        streams the whole pool once (plus scheduled duplicates).
+    duplicate_every:
+        Every k-th position re-emits an earlier position's content
+        under a fresh doc id (``0`` disables duplicates).
+    drift_at:
+        Position where the label mixture shifts (``None`` = no drift).
+    drift_labels:
+        Labels over-sampled after the drift point.
+    drift_boost:
+        Sampling-weight multiplier for ``drift_labels`` post-drift.
+    drift_novel_rate:
+        Fraction of post-drift documents that gain novel tokens.
+    """
+
+    profile: str = "agnews"
+    seed: int = 0
+    scale: float = 1.0
+    n_docs: "int | None" = None
+    duplicate_every: int = 0
+    drift_at: "int | None" = None
+    drift_labels: tuple = ()
+    drift_boost: float = 8.0
+    drift_novel_rate: float = 0.0
+
+    def to_state(self) -> dict:
+        """JSON-safe form recorded in the stream checkpoint."""
+        return {
+            "profile": self.profile,
+            "seed": self.seed,
+            "scale": self.scale,
+            "n_docs": self.n_docs,
+            "duplicate_every": self.duplicate_every,
+            "drift_at": self.drift_at,
+            "drift_labels": list(self.drift_labels),
+            "drift_boost": self.drift_boost,
+            "drift_novel_rate": self.drift_novel_rate,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "StreamConfig":
+        state = dict(state)
+        state["drift_labels"] = tuple(state.get("drift_labels") or ())
+        return cls(**state)
+
+
+class StreamSource:
+    """Deterministic, cursor-resumable document stream over a profile."""
+
+    def __init__(self, config: StreamConfig):
+        self.config = config
+        from repro.datasets import load_profile
+
+        bundle = load_profile(config.profile, seed=config.seed,
+                              scale=config.scale)
+        self.label_set = bundle.label_set
+        self.keywords = {label: list(words) for label, words
+                         in bundle.keywords().keywords.items()}
+        self._pool = list(bundle.train_corpus)
+        for label in config.drift_labels:
+            if label not in self.label_set:
+                raise PipelineError(
+                    f"drift label {label!r} is not in profile "
+                    f"{config.profile!r} (labels: {list(self.label_set)})"
+                )
+        self._schedule = self._build_schedule()
+
+    # -- schedule ------------------------------------------------------------
+    def _build_schedule(self) -> list:
+        """Emission plan: one ``("doc", pool_index)`` or
+        ``("dup", earlier_position)`` entry per stream position."""
+        config = self.config
+        rng = np.random.default_rng(
+            np.random.SeedSequence([config.seed, 0x5EED]))
+        n_pool = len(self._pool)
+        drift_at = config.drift_at if config.drift_at is not None else n_pool
+
+        # Weighted order over the pool: uniform before the drift point,
+        # boosted toward drift_labels after it. Drawing without
+        # replacement keeps every unique emission's content unique, so
+        # only scheduled duplicates collide in the dedupe stage.
+        pre = rng.permutation(n_pool)
+        head = [int(i) for i in pre[:min(drift_at, n_pool)]]
+        rest = [int(i) for i in pre[min(drift_at, n_pool):]]
+        if rest and config.drift_labels:
+            weights = np.asarray(
+                [config.drift_boost
+                 if set(self._pool[i].labels) & set(config.drift_labels)
+                 else 1.0 for i in rest], dtype=np.float64)
+            order = rng.choice(len(rest), size=len(rest), replace=False,
+                               p=weights / weights.sum())
+            rest = [rest[int(i)] for i in order]
+        unique_order = head + rest
+
+        schedule: list = []
+        next_unique = 0
+        while True:
+            position = len(schedule)
+            if config.n_docs is not None and position >= config.n_docs:
+                break
+            is_dup = (config.duplicate_every
+                      and position
+                      and position % config.duplicate_every == 0)
+            if is_dup:
+                schedule.append(("dup", position // 2))
+            elif next_unique < len(unique_order):
+                schedule.append(("doc", unique_order[next_unique]))
+                next_unique += 1
+            elif config.n_docs is None:
+                break
+            else:
+                raise PipelineError(
+                    f"stream over profile {config.profile!r} asked for "
+                    f"{config.n_docs} docs but the pool holds only "
+                    f"{n_pool} unique documents "
+                    f"(+{position - next_unique} scheduled duplicates)"
+                )
+        return schedule
+
+    # -- reading -------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._schedule)
+
+    def _mint(self, position: int) -> Document:
+        kind, ref = self._schedule[position]
+        if kind == "dup":
+            original = self._mint(ref)
+            return Document(doc_id=f"s{position:07d}",
+                            tokens=list(original.tokens),
+                            labels=original.labels,
+                            metadata={"position": position,
+                                      "duplicate_of": original.doc_id})
+        source = self._pool[ref]
+        tokens = list(source.tokens)
+        config = self.config
+        if (config.drift_at is not None and position >= config.drift_at
+                and config.drift_novel_rate > 0):
+            # Deterministic pseudo-draw from the position alone, so a
+            # duplicate of a post-drift doc copies its novel tokens too.
+            draw = (position * 2654435761 % 997) / 997.0
+            if draw < config.drift_novel_rate:
+                tokens = tokens + [NOVEL_LEXICON[(position + i)
+                                                 % len(NOVEL_LEXICON)]
+                                   for i in range(3)]
+        return Document(doc_id=f"s{position:07d}", tokens=tokens,
+                        labels=source.labels,
+                        metadata={"position": position,
+                                  "origin": source.doc_id})
+
+    def read(self, cursor: int, max_docs: int) -> "tuple[int, list]":
+        """Up to ``max_docs`` documents from ``cursor``; returns
+        ``(next_cursor, docs)`` (empty docs = stream exhausted)."""
+        if cursor < 0:
+            raise PipelineError(f"stream cursor must be >= 0, got {cursor}")
+        end = min(cursor + max_docs, len(self._schedule))
+        return end, [self._mint(p) for p in range(cursor, end)]
+
+    def corpus(self, n: "int | None" = None) -> Corpus:
+        """The first ``n`` stream documents as a corpus (for tests)."""
+        _, docs = self.read(0, n if n is not None else len(self))
+        return Corpus(docs, name=f"stream-{self.config.profile}")

@@ -1,0 +1,145 @@
+"""Typed-error lint for the streaming pipeline.
+
+The orchestrator's contract is that any pipeline failure can be caught
+with ``except PipelineError`` — a bare ``ValueError`` escaping a stage
+would dodge the checkpoint-before-reraise handling and surface to CLI
+users as a traceback. This tier-1 test walks the ASTs of every module
+in ``repro.pipeline`` and fails on any ``raise`` whose exception is not
+constructed from a :class:`~repro.core.exceptions.PipelineError`
+subclass:
+
+- ``raise SomeError(...)`` — allowed only if ``SomeError`` is
+  ``PipelineError`` or one of its subclasses (checked against the live
+  class hierarchy in :mod:`repro.core.exceptions`, so a new subclass is
+  allowed the moment it's defined there);
+- bare ``raise`` (re-raise inside ``except``) is allowed — it preserves
+  an already-typed error;
+- anything else (``raise ValueError(...)``, ``raise exc`` of unknown
+  provenance) is a violation.
+
+Like the dtype lint, intentional exceptions go in ``ALLOWLIST`` as
+``(filename, exact stripped source line)`` pairs so waivers are visible
+in this file's diff; a staleness test prunes dead entries.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+from pathlib import Path
+
+import pytest
+
+import repro.pipeline
+from repro.core import exceptions as exc_mod
+from repro.core.exceptions import PipelineError
+
+pytestmark = pytest.mark.pipeline
+
+#: Names of PipelineError and every subclass defined in the exceptions
+#: module — the only exception types repro.pipeline may construct.
+TYPED = {
+    name for name, obj in inspect.getmembers(exc_mod, inspect.isclass)
+    if issubclass(obj, PipelineError)
+}
+
+#: (filename, stripped source line) pairs that may raise something else.
+#: Every entry must say why.
+ALLOWLIST: set = {
+    # The standard ``python -m`` entry-point idiom: SystemExit carries
+    # the process exit code, not a pipeline failure.
+    ("cli.py", "raise SystemExit(main())"),
+}
+
+
+def _module_files() -> list:
+    root = Path(repro.pipeline.__file__).resolve().parent
+    return sorted(root.glob("*.py"))
+
+
+def _raised_name(node: ast.Raise) -> "str | None":
+    """The exception class name a ``raise`` constructs, if literal."""
+    target = node.exc
+    if isinstance(target, ast.Call):
+        func = target.func
+        if isinstance(func, ast.Name):
+            return func.id
+        if isinstance(func, ast.Attribute):
+            return func.attr
+    if isinstance(target, ast.Name):
+        return target.id
+    return None
+
+
+def _violations(path: Path) -> list:
+    source = path.read_text()
+    lines = source.splitlines()
+    tree = ast.parse(source, filename=str(path))
+    found = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Raise):
+            continue
+        if node.exc is None:
+            continue  # bare re-raise preserves an already-typed error
+        name = _raised_name(node)
+        line = lines[node.lineno - 1].strip()
+        if name in TYPED:
+            continue
+        if (path.name, line) in ALLOWLIST:
+            continue
+        found.append(
+            f"{path.name}:{node.lineno}: raises "
+            f"{name or 'a non-literal exception'} (not a PipelineError "
+            f"subclass) — {line}"
+        )
+    return found
+
+
+def test_pipeline_raises_only_typed_errors():
+    problems = []
+    for path in _module_files():
+        problems.extend(_violations(path))
+    assert not problems, (
+        "untyped raises in repro.pipeline (raise a PipelineError "
+        "subclass, add one to repro.core.exceptions, or add a reviewed "
+        "ALLOWLIST entry):\n" + "\n".join(problems)
+    )
+
+
+def test_typed_set_tracks_the_exception_module():
+    # The lint's notion of "typed" must come from the live hierarchy,
+    # not a hand-copied list that rots when a subclass is added.
+    assert "PipelineError" in TYPED
+    assert "CheckpointError" in TYPED
+    assert "StageFailure" in TYPED
+    assert "ServingError" not in TYPED
+    assert "ValueError" not in TYPED
+
+
+def test_allowlist_entries_still_exist():
+    """Stale waivers must be pruned, not accumulate."""
+    live = set()
+    for path in _module_files():
+        stripped = {line.strip() for line in path.read_text().splitlines()}
+        for name, text in ALLOWLIST:
+            if name == path.name and text in stripped:
+                live.add((name, text))
+    assert live == ALLOWLIST, f"stale ALLOWLIST entries: {ALLOWLIST - live}"
+
+
+def test_lint_catches_an_untyped_raise(tmp_path):
+    # The lint itself must bite: a module raising ValueError is flagged,
+    # one raising a PipelineError subclass is clean.
+    bad = tmp_path / "bad_stage.py"
+    bad.write_text("def f():\n    raise ValueError('boom')\n")
+    assert _violations(bad), "lint missed a bare ValueError raise"
+    good = tmp_path / "good_stage.py"
+    good.write_text(
+        "from repro.core.exceptions import StageFailure\n"
+        "def f():\n"
+        "    try:\n"
+        "        raise StageFailure('typed')\n"
+        "    except Exception:\n"
+        "        raise\n"
+    )
+    assert not _violations(good)

@@ -218,6 +218,77 @@ def test_every_registered_metric_has_a_schema():
 
 
 # ---------------------------------------------------------------------------
+# Missing metrics (present in history, absent from the fresh record)
+# ---------------------------------------------------------------------------
+
+def _record_without_speedup(seconds: float) -> dict:
+    record = _record(seconds)
+    del record["metrics"]["speedup"]
+    return record
+
+
+def test_vanished_metric_reports_missing_not_ok(tmp_path):
+    # Baselines carry `speedup`; the fresh record dropped it. Before the
+    # fix this silently passed as `ok` — a renamed metric disabled its
+    # own regression check.
+    records = [_record(1.0) for _ in range(4)]
+    records.append(_record_without_speedup(1.0))
+    _write_history(tmp_path, "serving", records)
+    report = cr.check_all(tmp_path, ["serving"])
+    result = report["results"][0]
+    assert result["status"] == "missing"
+    assert report["missing"] == ["serving"]
+    assert report["regressed"] == []
+    gone = [c for c in result["comparisons"] if c.get("status") == "missing"]
+    assert [c["metric"] for c in gone] == ["speedup"]
+    assert gone[0]["current"] is None
+    assert gone[0]["baseline_median"] == 2.0
+
+
+def test_regression_outranks_missing(tmp_path):
+    # A record that both regressed and lost a metric reports `regressed`.
+    records = [_record(1.0) for _ in range(4)]
+    records.append(_record_without_speedup(2.5))
+    _write_history(tmp_path, "serving", records)
+    report = cr.check_all(tmp_path, ["serving"])
+    assert report["results"][0]["status"] == "regressed"
+    assert report["regressed"] == ["serving"]
+    assert report["missing"] == []
+
+
+def test_brand_new_metric_is_not_missing(tmp_path):
+    # The inverse hole: a metric no baseline ever recorded (its very
+    # first run) has nothing to compare against and stays quiet.
+    records = [_record_without_speedup(1.0) for _ in range(4)]
+    records.append(_record(1.0))
+    _write_history(tmp_path, "serving", records)
+    report = cr.check_all(tmp_path, ["serving"])
+    assert report["results"][0]["status"] == "ok"
+    assert report["missing"] == []
+
+
+def test_full_mode_fails_on_missing_but_named_mode_reports(tmp_path, capsys):
+    records = [_record(1.0) for _ in range(4)]
+    records.append(_record_without_speedup(1.0))
+    _write_history(tmp_path / "history", "serving", records)
+    report_path = tmp_path / "BENCH_regression.json"
+
+    # Named mode (developer iterating on one bench): reported, rc 0.
+    rc = cr.main(["--history", str(tmp_path / "history"),
+                  "--report", str(report_path), "serving"])
+    assert rc == 0
+    assert "MISSING speedup" in capsys.readouterr().err
+
+    # Full mode (CI gate): the vanished metric fails the run.
+    rc = cr.main(["--history", str(tmp_path / "history"),
+                  "--report", str(report_path)])
+    assert rc == 1
+    assert "MISSING speedup" in capsys.readouterr().err
+    report = json.loads(report_path.read_text())
+    assert report["missing"] == ["serving"]
+
+
+# ---------------------------------------------------------------------------
 # Artifact schema check
 # ---------------------------------------------------------------------------
 
