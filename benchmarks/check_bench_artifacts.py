@@ -87,6 +87,13 @@ SCHEMAS = {
         "numeric": ["checked"],
         "present": ["regressed", "results", "meta"],
     },
+    "taxogen": {
+        "numeric": ["edges_perturbed", "edges_recovered",
+                    "recovered_fraction", "min_recovered_fraction",
+                    "pristine_ops", "score_seconds", "repair_seconds"],
+        "present": ["profile", "n_seeds", "ops", "calibration", "full"],
+    },
+    "taxogen_table": _TABLE_SCHEMA,
     "conwea_table": _TABLE_SCHEMA,
     "lotclass_predictions": _TABLE_SCHEMA,
     "lotclass_table": _TABLE_SCHEMA,

@@ -106,6 +106,13 @@ METRICS = {
         "docs_per_second": "higher",
         "p99_ms": "lower",
     },
+    "taxogen": {
+        "recovered_fraction": "higher",
+        "pristine_ops": "lower",
+        "score_seconds": "lower",
+        "repair_seconds": "lower",
+    },
+    "taxogen_table": _TABLE_METRICS,
     "conwea_table": _TABLE_METRICS,
     "lotclass_predictions": _TABLE_METRICS,
     "lotclass_table": _TABLE_METRICS,

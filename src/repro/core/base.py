@@ -99,7 +99,7 @@ class MultiLabelTextClassifier(abc.ABC):
         out: list[tuple[str, ...]] = []
         for row in scores:
             if top_k is not None:
-                idx = np.argsort(-row)[:top_k]
+                idx = np.argsort(-row, kind="stable")[:top_k]
             else:
                 idx = np.flatnonzero(row >= threshold)
                 if idx.size == 0:
@@ -108,11 +108,16 @@ class MultiLabelTextClassifier(abc.ABC):
         return out
 
     def rank(self, corpus: Corpus) -> list[list[str]]:
-        """Full label ranking (best first) per document."""
+        """Full label ranking (best first) per document.
+
+        Ties break by label-set index (stable sort), so rankings are
+        deterministic across numpy versions and sort algorithms.
+        """
         scores = self.score(corpus)
         assert self.label_set is not None
         labels = self.label_set.labels
-        return [[labels[i] for i in np.argsort(-row)] for row in scores]
+        return [[labels[i] for i in np.argsort(-row, kind="stable")]
+                for row in scores]
 
     @abc.abstractmethod
     def _fit(self, corpus: Corpus, supervision: Supervision) -> None:

@@ -78,6 +78,33 @@ class StageFailure(PipelineError):
     """
 
 
+class TaxogenError(ReproError):
+    """Base class for taxonomy-construction failures (`repro.taxogen`).
+
+    Every error raised while proposing, scoring, or applying taxonomy
+    repairs is a subclass of this type, so callers can catch the whole
+    construction pipeline with a single ``except`` clause.
+    """
+
+
+class EdgeScoringError(TaxogenError):
+    """Raised when parent-child edge affinities cannot be computed.
+
+    Carries the offending node (or the evidence gap) in the message —
+    typically a label with no corpus evidence and no surface name, which
+    leaves the entailment head nothing to score.
+    """
+
+
+class RepairError(TaxogenError):
+    """Raised when a repair plan cannot be built or applied.
+
+    The plan itself is the bad state: an op referencing an unknown node,
+    a re-parent that would introduce a cycle, or a plan applied against
+    a taxonomy it was not computed for.
+    """
+
+
 class ServingError(ReproError):
     """Base class for model-serving failures (`repro.serve`)."""
 

@@ -14,7 +14,13 @@ from dataclasses import replace
 import numpy as np
 
 from repro.datasets.bundle import DatasetBundle, load_bundle
-from repro.datasets.profiles import ClassSpec, DatasetProfile, MetadataSpec, MixtureSpec
+from repro.datasets.profiles import (
+    ClassSpec,
+    DatasetProfile,
+    MetadataSpec,
+    MixtureSpec,
+    SectionSpec,
+)
 
 
 def _flat(name: str, themes: list, n_train: int, n_test: int,
@@ -196,6 +202,32 @@ def _build_catalog() -> dict:
         core_labels_per_doc=(1, 2), doc_len=(36, 72),
         mixture=multilabel_mixture,
         description="DBpedia-298 look-alike DAG (35 nodes, scaled)",
+    )
+
+    # ---- sectioned multi-label profile (FUTEX) ------------------------------
+    # Full-text papers: the title/abstract are short and densely topical,
+    # the body long and diffuse, the conclusion in between — the
+    # signal-quality gradient cross-section evidence aggregation exploits.
+    # Papers cite their fields: a heavier ancestor share (and fewer
+    # cross-class noise tokens) gives the taxonomy-construction workload a
+    # recoverable parent-child co-occurrence signal.
+    paper_mixture = MixtureSpec(core=0.38, ancestor=0.22, ambiguous=0.04,
+                                background=0.28, noise=0.08)
+    catalog["arxiv_sections"] = _dag(
+        "arxiv_sections",
+        ["science", "technology", "space", "energy"],
+        mids_per_top=2, leaves_per_mid=2,
+        n_train=400, n_test=200, domain="papers", criterion="fields",
+        core_labels_per_doc=(1, 3), doc_len=(48, 96),
+        mixture=paper_mixture,
+        sections=(
+            SectionSpec("title", weight=0.08, core_boost=2.5),
+            SectionSpec("abstract", weight=0.22, core_boost=1.8),
+            SectionSpec("body", weight=0.55, core_boost=0.6),
+            SectionSpec("conclusion", weight=0.15, core_boost=1.2),
+        ),
+        description="arXiv full-text look-alike: sectioned multi-label DAG "
+                    "(28 nodes, title/abstract/body/conclusion)",
     )
 
     # ---- metadata profiles (MetaCat) ----------------------------------------

@@ -10,7 +10,7 @@ explicit document-level supervision formats.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -111,9 +111,13 @@ def _ancestor_labels(world: GeneratorWorld, label: str) -> list:
 
 
 def _sample_tokens(world: GeneratorWorld, rng: np.random.Generator,
-                   core_labels: list, length: int) -> list:
-    """Draw ``length`` tokens for a document with the given core classes."""
-    mix = world.profile.mixture
+                   core_labels: list, length: int,
+                   mixture=None) -> list:
+    """Draw ``length`` tokens for a document with the given core classes.
+
+    ``mixture`` overrides the profile mixture (sectioned documents tilt
+    it per section)."""
+    mix = mixture if mixture is not None else world.profile.mixture
     ancestors: list[str] = []
     for label in core_labels:
         ancestors.extend(_ancestor_labels(world, label))
@@ -163,6 +167,40 @@ def _sample_tokens(world: GeneratorWorld, rng: np.random.Generator,
     return tokens
 
 
+def _sample_sectioned(world: GeneratorWorld, rng: np.random.Generator,
+                      core_labels: list, length: int) -> tuple:
+    """Tokens plus section spans for a section-structured document.
+
+    Each :class:`~repro.datasets.profiles.SectionSpec` receives a share
+    of the token budget proportional to its weight and samples with the
+    profile mixture tilted by its ``core_boost`` (renormalized inside
+    :func:`_sample_tokens`); the label-name injection probability is
+    split across sections by the same weights so the per-document name
+    coverage matches unsectioned profiles.
+    """
+    profile = world.profile
+    sections = profile.sections
+    weights = np.array([s.weight for s in sections], dtype=float)
+    weights = weights / weights.sum()
+    counts = rng.multinomial(max(length, len(sections)), weights)
+    tokens: list[str] = []
+    spans: list[dict] = []
+    for spec, share, count in zip(sections, weights, counts):
+        mix = replace(
+            profile.mixture,
+            core=profile.mixture.core * spec.core_boost,
+            name_prob=profile.mixture.name_prob * float(share),
+        )
+        # Every section materializes with at least one token, so span
+        # boundaries are always well-defined for section-aware readers.
+        sec_tokens = _sample_tokens(world, rng, core_labels,
+                                    max(1, int(count)), mixture=mix)
+        spans.append({"name": spec.name, "start": len(tokens),
+                      "end": len(tokens) + len(sec_tokens)})
+        tokens.extend(sec_tokens)
+    return tokens, spans
+
+
 def _choose_core_labels(world: GeneratorWorld, rng: np.random.Generator) -> list:
     """Pick the core class(es) of one document."""
     profile = world.profile
@@ -197,7 +235,12 @@ def generate_documents(world: GeneratorWorld, count: int,
     for i in range(count):
         core = _choose_core_labels(world, rng)
         length = int(rng.integers(lo, hi + 1))
-        tokens = _sample_tokens(world, rng, core, length)
+        metadata: dict = {"core_labels": list(core)}
+        if profile.sections:
+            tokens, spans = _sample_sectioned(world, rng, core, length)
+            metadata["sections"] = spans
+        else:
+            tokens = _sample_tokens(world, rng, core, length)
         if profile.multi_label and world.dag is not None and profile.include_ancestors_in_labels:
             labels = tuple(sorted(world.dag.closure(core)))
         else:
@@ -207,7 +250,7 @@ def generate_documents(world: GeneratorWorld, count: int,
                 doc_id=f"{id_prefix}{i}",
                 tokens=tokens,
                 labels=labels,
-                metadata={"core_labels": list(core)},
+                metadata=metadata,
             )
         )
     return docs

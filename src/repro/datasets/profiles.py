@@ -65,6 +65,28 @@ class MixtureSpec:
 
 
 @dataclass(frozen=True)
+class SectionSpec:
+    """One section of a section-structured document (FUTEX profiles).
+
+    Parameters
+    ----------
+    name:
+        Section id recorded in ``doc.metadata["sections"]``.
+    weight:
+        Relative share of the document's tokens this section receives.
+    core_boost:
+        Multiplier on the mixture's core probability inside this
+        section (renormalized). Values above 1 make the section more
+        topical (title/abstract), below 1 more diffuse (body), which is
+        the signal-quality gradient cross-section aggregation exploits.
+    """
+
+    name: str
+    weight: float = 1.0
+    core_boost: float = 1.0
+
+
+@dataclass(frozen=True)
 class MetadataSpec:
     """Metadata generation knobs (MetaCat / MICoL profiles).
 
@@ -104,6 +126,9 @@ class DatasetProfile:
     include_ancestors_in_labels: bool = True
     #: Extra factory-generated ambiguous words shared between class pairs.
     n_shared_ambiguous: int = 0
+    #: Section structure (empty = unsectioned). Sectioned documents carry
+    #: per-section token spans in ``doc.metadata["sections"]``.
+    sections: tuple = ()
     metadata: "MetadataSpec | None" = None
     domain: str = "news"
     criterion: str = "topics"

@@ -8,7 +8,13 @@ from repro.evaluation.metrics import (
     micro_f1,
     per_class_f1,
 )
-from repro.evaluation.ranking import example_f1, ndcg_at_k, precision_at_k
+from repro.evaluation.ranking import (
+    example_f1,
+    hierarchical_precision_recall,
+    label_f1,
+    ndcg_at_k,
+    precision_at_k,
+)
 from repro.evaluation.reporting import format_table
 from repro.evaluation.significance import bootstrap_interval, paired_bootstrap_pvalue
 
@@ -19,6 +25,8 @@ __all__ = [
     "f1_scores",
     "per_class_f1",
     "example_f1",
+    "label_f1",
+    "hierarchical_precision_recall",
     "precision_at_k",
     "ndcg_at_k",
     "confusion_matrix",

@@ -20,6 +20,86 @@ def example_f1(gold_sets: list, predicted_sets: list) -> float:
     return float(np.mean(scores))
 
 
+def label_f1(gold_sets: list, predicted_sets: list) -> float:
+    """Label-based macro F1 over label sets.
+
+    Each label occurring in any gold or predicted set is scored as an
+    independent binary problem (present/absent per document); the macro
+    average weights rare labels equally with frequent ones, which is
+    what separates it from :func:`example_f1` on long-tailed label
+    spaces.
+    """
+    if len(gold_sets) != len(predicted_sets):
+        raise ValueError("length mismatch")
+    labels = sorted({l for s in gold_sets for l in s}
+                    | {l for s in predicted_sets for l in s})
+    if not labels:
+        return 1.0
+    f1s = []
+    for label in labels:
+        tp = fp = fn = 0
+        for gold, pred in zip(gold_sets, predicted_sets):
+            in_gold, in_pred = label in gold, label in pred
+            tp += in_gold and in_pred
+            fp += in_pred and not in_gold
+            fn += in_gold and not in_pred
+        denom = 2 * tp + fp + fn
+        f1s.append(2 * tp / denom if denom else 0.0)
+    return float(np.mean(f1s))
+
+
+def _closed(labels, taxonomy) -> set:
+    """``labels`` plus their ancestors under ``taxonomy``.
+
+    ``taxonomy`` is a :class:`~repro.taxonomy.dag.LabelDAG` (has
+    ``closure``), a :class:`~repro.taxonomy.tree.LabelTree` (has
+    ``path_to_root``), or ``None`` (labels are their own closure).
+    Labels outside the taxonomy pass through unchanged rather than
+    erroring: prediction sets may contain labels a repaired taxonomy
+    dropped.
+    """
+    if taxonomy is None:
+        return set(labels)
+    out: set = set()
+    for label in labels:
+        out.add(label)
+        if hasattr(taxonomy, "closure"):
+            if label in taxonomy:
+                out |= taxonomy.closure([label])
+        elif label in taxonomy:
+            out |= set(taxonomy.path_to_root(label))
+    return out
+
+
+def hierarchical_precision_recall(gold_sets: list, predicted_sets: list,
+                                  taxonomy=None) -> dict:
+    """Hierarchical precision / recall / F1 over ancestor closures.
+
+    Standard hierarchical metrics (Kiritchenko et al.): every label set
+    is expanded to its ancestor closure before micro-averaged set
+    overlap, so predicting a near-miss sibling still earns credit for
+    the shared ancestors. With ``taxonomy=None`` the closure is the
+    identity and the numbers reduce to micro-averaged set P/R/F1.
+    """
+    if len(gold_sets) != len(predicted_sets):
+        raise ValueError("length mismatch")
+    hits = pred_total = gold_total = 0
+    for gold, pred in zip(gold_sets, predicted_sets):
+        gold_c = _closed(gold, taxonomy)
+        pred_c = _closed(pred, taxonomy)
+        hits += len(gold_c & pred_c)
+        pred_total += len(pred_c)
+        gold_total += len(gold_c)
+    precision = hits / pred_total if pred_total else 0.0
+    recall = hits / gold_total if gold_total else 0.0
+    denom = precision + recall
+    return {
+        "h_precision": precision,
+        "h_recall": recall,
+        "h_f1": 2 * precision * recall / denom if denom else 0.0,
+    }
+
+
 def per_example_precision_at_k(gold_sets: list, rankings: list, k: int) -> np.ndarray:
     """Per-document P@k scores (for bootstrap significance tests)."""
     if len(gold_sets) != len(rankings):

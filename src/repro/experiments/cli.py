@@ -52,6 +52,8 @@ TABLES = {
     "promptclass": (tables.promptclass_table, "PromptClass results table"),
     "weshclass": (tables.weshclass_table, "WeSHClass results table"),
     "taxoclass": (tables.taxoclass_table, "TaxoClass results table"),
+    "taxogen": (tables.taxogen_table,
+                "Taxonomy-repair ablation (given/perturbed/repaired)"),
     "metacat": (tables.metacat_tables, "MetaCat results tables"),
     "micol": (tables.micol_table, "MICoL results table"),
     "summary": (lambda seed=0, fast=True, **engine_kwargs:

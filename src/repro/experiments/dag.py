@@ -67,6 +67,7 @@ _DEFAULT_SOURCE_ROOT = Path(__file__).resolve().parents[1]  # src/repro
 #: units, folded transitively into the importer's effective digest.
 METHOD_UNIT_DEPS = {
     "methods/weshclass": ("methods/westclass",),
+    "methods/futex": ("methods/taxoclass",),
 }
 
 #: Method packages referenced from shared (non-``methods/``) code; they

@@ -85,6 +85,7 @@ from repro.experiments.views import coarse_view, dag_as_tree
 from repro.hin.metapath import P_COCITED_P, P_REF_P
 from repro.methods import (
     ConWea,
+    Futex,
     LOTClass,
     MetaCat,
     MICoL,
@@ -95,6 +96,12 @@ from repro.methods import (
     XClass,
 )
 from repro.plm.provider import get_pretrained_lm
+from repro.taxogen import (
+    EdgeScorer,
+    TaxonomyRepairer,
+    edge_recovery,
+    perturb_dag,
+)
 
 
 def _plm(bundle, seed: int):
@@ -859,6 +866,104 @@ def taxoclass_table(seed: int = 0, fast: bool = True, *,
 
 
 # ---------------------------------------------------------------------------
+# T-TAXOGEN
+# ---------------------------------------------------------------------------
+
+def _taxogen_taxonomy(bundle, arm: str, table_seed: int) -> tuple:
+    """The DAG an ablation arm classifies against, plus recovery stats.
+
+    ``given`` uses the profile's taxonomy as-is; ``perturbed`` damages it
+    deterministically (re-parents, leaf deletions, spurious edges);
+    ``repaired`` runs the entailment-scored repairer over the damaged
+    taxonomy and reports the edge-recovery fraction.
+    """
+    dag = bundle.dag
+    assert dag is not None
+    if arm == "given":
+        return dag, None
+    perturbed, perturbation = perturb_dag(
+        dag, seed=table_seed + 1, n_reparent=4, n_delete=2, n_spurious=2)
+    if arm == "perturbed":
+        return perturbed, None
+    scorer = EdgeScorer.from_bundle(bundle, plm=_plm(bundle, table_seed))
+    repaired, _plan = TaxonomyRepairer(scorer).repair_dag(perturbed)
+    return repaired, edge_recovery(perturbation, repaired)
+
+
+def _taxogen_leaf_supervision(bundle, dag):
+    """Leaf supervision restricted to labels the (damaged) taxonomy has."""
+    from repro.core.supervision import LabeledDocuments
+    from repro.core.types import LabelSet
+
+    sup = _taxoclass_leaf_supervision(bundle)
+    keep = {l: docs for l, docs in sup.documents.items() if l in dag}
+    label_set = LabelSet(
+        labels=tuple(sorted(keep)),
+        names={l: bundle.label_set.names.get(l, l) for l in keep},
+    )
+    return LabeledDocuments(label_set=label_set, documents=keep)
+
+
+def _taxogen_row(row_seed: int, profile: str, method: str, taxonomy: str,
+                 table_seed: int) -> dict:
+    bundle = _bundle(profile, table_seed)
+    dag, recovery = _taxogen_taxonomy(bundle, taxonomy, table_seed)
+    if method == "WeSHClass":
+        classifier = _PathAsSet(WeSHClass(tree=dag_as_tree(dag),
+                                          seed=table_seed), dag)
+        supervision = _taxogen_leaf_supervision(bundle, dag)
+    elif method == "FUTEX":
+        classifier = Futex(dag=dag, plm=_plm(bundle, table_seed),
+                           seed=table_seed)
+        supervision = bundle.label_names()
+    else:  # TaxoClass
+        classifier = TaxoClass(dag=dag, plm=_plm(bundle, table_seed),
+                               seed=table_seed)
+        supervision = bundle.label_names()
+    metrics = evaluate_multilabel(classifier, bundle, supervision, ks=(1,))
+    return {"Example-F1": metrics["example_f1"], "P@1": metrics["p@1"],
+            "EdgeRecovery": ("-" if recovery is None
+                             else round(recovery["recovered_fraction"], 3))}
+
+
+_TAXOGEN_METHODS_FAST = ("TaxoClass", "FUTEX")
+_TAXOGEN_METHODS = ("TaxoClass", "FUTEX", "WeSHClass")
+_TAXOGEN_ARMS = ("given", "perturbed", "repaired")
+_TAXOGEN_SCOPE = {
+    "TaxoClass": scope_for(TaxoClass),
+    "FUTEX": scope_for(Futex),
+    "WeSHClass": scope_for(WeSHClass),
+}
+
+
+def taxogen_request(seed: int = 0, fast: bool = True) -> TableRequest:
+    """Compiled taxonomy-repair ablation pipeline."""
+    methods = _TAXOGEN_METHODS_FAST if fast else _TAXOGEN_METHODS
+    profile = "arxiv_sections"
+    return _table_request("taxogen", seed, [
+        (f"{profile}/{method}/{arm}", _taxogen_row,
+         {"profile": profile, "method": method, "taxonomy": arm,
+          "table_seed": seed},
+         {"Dataset": profile, "Method": method, "Taxonomy": arm},
+         profile, "plain",
+         method in ("TaxoClass", "FUTEX") or arm == "repaired",
+         _TAXOGEN_SCOPE[method])
+        for method in methods for arm in _TAXOGEN_ARMS
+    ])
+
+
+def taxogen_table(seed: int = 0, fast: bool = True, *,
+                  jobs: "int | None" = None,
+                  use_cache: "bool | None" = None,
+                  timeout: "float | None" = None,
+                  select=None, cache_dir=None) -> list:
+    """Taxonomy-repair ablation (given vs perturbed vs repaired DAG)."""
+    return _run_table(taxogen_request(seed, fast), jobs=jobs,
+                      use_cache=use_cache, timeout=timeout, select=select,
+                      cache_dir=cache_dir)
+
+
+# ---------------------------------------------------------------------------
 # T-METACAT
 # ---------------------------------------------------------------------------
 
@@ -1141,6 +1246,7 @@ REQUESTS = {
     "promptclass": promptclass_request,
     "weshclass": weshclass_request,
     "taxoclass": taxoclass_request,
+    "taxogen": taxogen_request,
     "metacat": metacat_request,
     "micol": micol_request,
 }

@@ -5,6 +5,7 @@ Importing this package registers every method's capability descriptor in
 """
 
 from repro.methods.conwea import ConWea
+from repro.methods.futex import Futex
 from repro.methods.lotclass import LOTClass
 from repro.methods.metacat import MetaCat
 from repro.methods.micol import MICoL
@@ -24,4 +25,5 @@ __all__ = [
     "TaxoClass",
     "MetaCat",
     "MICoL",
+    "Futex",
 ]

@@ -1,0 +1,5 @@
+"""FUTEX: weakly supervised classification of section-structured text."""
+
+from repro.methods.futex.model import Futex, aggregate_sections, section_slices
+
+__all__ = ["Futex", "section_slices", "aggregate_sections"]

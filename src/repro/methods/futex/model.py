@@ -1,0 +1,211 @@
+"""The FUTEX full-text multi-label classifier.
+
+Pipeline (Zhang et al., KDD'23, adapted):
+
+1. **per-section relevance**: full-text documents are split along their
+   section spans (``doc.metadata["sections"]``) and every section is
+   scored against every class name with the NLI-style relevance model;
+2. **cross-section evidence aggregation**: sections are pooled with
+   confidence weights — a section that matches *some* class decisively
+   (title, abstract) outvotes diffuse body text;
+3. the aggregated relevance drives the same top-down exploration, core
+   classes, and one-vs-all self-training loop as TaxoClass, over
+   section-pooled document embeddings.
+
+Documents without section metadata degrade gracefully to a single
+whole-document section, making FUTEX a strict generalisation of the
+flat-document pipeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import MultiLabelTextClassifier
+from repro.core.registry import MethodInfo, register_method
+from repro.core.seeding import derive_rng
+from repro.core.supervision import LabelNames, Supervision, require
+from repro.core.types import Corpus, Document
+from repro.methods.taxoclass.exploration import candidate_matrix
+from repro.methods.taxoclass.model import _OneVsAllHead
+from repro.nn.tensor import get_default_dtype
+from repro.plm.model import PretrainedLM
+from repro.plm.provider import get_pretrained_lm, get_relevance_model
+from repro.taxonomy.dag import LabelDAG
+
+
+def section_slices(doc: Document) -> list:
+    """``(name, tokens)`` per section; whole doc when no section spans.
+
+    Spans are the generator's ``{"name", "start", "end"}`` records over
+    the token list; empty slices are dropped.
+    """
+    out = []
+    for span in doc.metadata.get("sections") or ():
+        tokens = doc.tokens[span["start"]: span["end"]]
+        if tokens:
+            out.append((span["name"], tokens))
+    if not out and doc.tokens:
+        out.append(("body", list(doc.tokens)))
+    return out
+
+
+def aggregate_sections(relevance: np.ndarray, spans: list,
+                       temp: float = 6.0) -> np.ndarray:
+    """Pool per-section relevance rows into per-document rows.
+
+    ``relevance`` is (n_sections_total, n_labels); ``spans`` holds the
+    per-document ``(start, end)`` ranges into those rows. Each section's
+    weight is a softmax over its most confident class score, so decisive
+    sections dominate the pooled evidence.
+    """
+    pooled = np.zeros((len(spans), relevance.shape[1]),
+                      dtype=relevance.dtype)
+    for i, (start, end) in enumerate(spans):
+        block = relevance[start:end]
+        if block.shape[0] == 0:
+            continue
+        conf = block.max(axis=1)
+        weights = np.exp(temp * (conf - conf.max()))
+        weights = weights / weights.sum()
+        pooled[i] = weights @ block
+    return pooled
+
+
+class Futex(MultiLabelTextClassifier):
+    """Section-structured hierarchical multi-label classification.
+
+    Parameters
+    ----------
+    dag:
+        The label DAG covering the supervision's label set.
+    beam / max_candidates:
+        Top-down exploration width and candidate cap.
+    core_top:
+        Core classes per document (top scorers among candidates).
+    rounds:
+        Bootstrap/self-training rounds after the initial fit.
+    section_temp:
+        Softmax temperature for cross-section confidence pooling.
+    """
+
+    def __init__(self, dag: LabelDAG, plm: "PretrainedLM | None" = None,
+                 beam: int = 3, max_candidates: int = 24, core_top: int = 2,
+                 rounds: int = 2, confidence: float = 0.75,
+                 section_temp: float = 6.0, seed=0):
+        super().__init__(seed=seed)
+        self.dag = dag
+        self.plm = plm
+        self.beam = beam
+        self.max_candidates = max_candidates
+        self.core_top = core_top
+        self.rounds = rounds
+        self.confidence = confidence
+        self.section_temp = section_temp
+        self._head: "_OneVsAllHead | None" = None
+        self._relevance = None
+
+    # -- section machinery ---------------------------------------------------
+    def _sectioned(self, corpus: Corpus) -> tuple:
+        """Flattened section token lists + per-doc (start, end) spans."""
+        token_lists, spans = [], []
+        for doc in corpus:
+            start = len(token_lists)
+            token_lists.extend(tokens for _, tokens in section_slices(doc))
+            spans.append((start, len(token_lists)))
+        return token_lists, spans
+
+    def _doc_relevance(self, corpus: Corpus, name_tokens: list) -> np.ndarray:
+        """Per-document relevance via cross-section aggregation."""
+        assert self._relevance is not None
+        token_lists, spans = self._sectioned(corpus)
+        per_section = self._relevance.relevance_matrix(token_lists,
+                                                       name_tokens)
+        return aggregate_sections(per_section, spans,
+                                  temp=self.section_temp)
+
+    def _features(self, corpus: Corpus) -> np.ndarray:
+        """Confidence-pooled section embeddings (falls back to doc mean)."""
+        assert self.plm is not None
+        token_lists, spans = self._sectioned(corpus)
+        section_emb = self.plm.doc_embeddings(token_lists)
+        features = np.zeros((len(corpus), section_emb.shape[1]),
+                            dtype=section_emb.dtype)
+        for i, (start, end) in enumerate(spans):
+            block = section_emb[start:end]
+            if block.shape[0]:
+                features[i] = block.mean(axis=0)
+        return features
+
+    # -- fit / score ---------------------------------------------------------
+    def _fit(self, corpus: Corpus, supervision: Supervision) -> None:
+        require(supervision, LabelNames)
+        assert self.label_set is not None
+        rng = derive_rng(self.rng, "futex")
+        if self.plm is None:
+            self.plm = get_pretrained_lm(target_corpus=corpus,
+                                         seed=int(rng.integers(2**16)) % 7)
+        self._relevance = get_relevance_model(self.plm)
+        labels = list(self.label_set)
+        name_tokens = [self.label_set.name_tokens(l) for l in labels]
+        relevance = self._doc_relevance(corpus, name_tokens)
+
+        candidates = candidate_matrix(self.dag, relevance, labels,
+                                      beam=self.beam,
+                                      max_candidates=self.max_candidates)
+        label_index = {l: i for i, l in enumerate(labels)}
+        n, m = len(corpus), len(labels)
+        targets = np.zeros((n, m), dtype=get_default_dtype())
+        known = np.zeros((n, m), dtype=get_default_dtype())
+        for i, cand in enumerate(candidates):
+            if not cand:
+                continue
+            ranked = sorted(cand, key=lambda l: relevance[i, label_index[l]],
+                            reverse=True)
+            positives = self.dag.closure(ranked[: self.core_top]) & set(labels)
+            for label in positives:
+                targets[i, label_index[label]] = 1.0
+            for label in set(cand) | positives:
+                known[i, label_index[label]] = 1.0
+        known = np.maximum(known, 0.15)
+
+        features = self._features(corpus)
+        self._head = _OneVsAllHead(
+            features.shape[1], m,
+            np.random.default_rng(int(rng.integers(2**31))))
+        self._head.fit(features, targets, mask=known, rng=rng)
+
+        for _ in range(self.rounds):
+            scores = self._head.scores(features)
+            new_targets = targets.copy()
+            new_known = known.copy()
+            for i in range(n):
+                confident_pos = np.flatnonzero(scores[i] >= self.confidence)
+                closed = self.dag.closure(
+                    {labels[j] for j in confident_pos}) & set(labels)
+                for label in closed:
+                    new_targets[i, label_index[label]] = 1.0
+                    new_known[i, label_index[label]] = 1.0
+                confident_neg = np.flatnonzero(
+                    scores[i] <= 1.0 - self.confidence)
+                new_known[i, confident_neg] = 1.0
+            self._head.fit(features, new_targets, mask=new_known, epochs=30,
+                           rng=rng)
+            targets, known = new_targets, new_known
+
+    def _score(self, corpus: Corpus) -> np.ndarray:
+        assert self._head is not None
+        return self._head.scores(self._features(corpus))
+
+
+register_method(
+    MethodInfo(
+        name="FUTEX",
+        venue="KDD'23",
+        structure="hierarchical",
+        label_arity="multi-label",
+        supervision=("LabelNames",),
+        backbone="pretrained-lm",
+        cls=Futex,
+    )
+)

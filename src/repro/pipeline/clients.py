@@ -1,7 +1,7 @@
 """Serving-side clients for the online-classification stage.
 
-Two backends over the same ``classify(docs) -> [(label, confidence)]``
-contract:
+Two backends over the same
+``classify(docs) -> [(label, confidence, topk)]`` contract:
 
 - :class:`EngineClient` — an in-process
   :class:`~repro.serve.engine.ServingEngine` over a registry artifact,
@@ -10,9 +10,9 @@ contract:
   confidence feeds the drift monitor's decay signal.
 - :class:`PoolClient` — a multi-process
   :class:`~repro.serve.pool.ReplicaPool` over the same artifact.
-  Workers return labels only, so confidences come back ``None`` and the
-  decay signal stays silent; histogram distance and OOV rate still
-  work.
+  Workers return labels only, so confidences and top-k scores come
+  back ``None`` and the decay signal stays silent; histogram distance
+  and OOV rate still work.
 
 Both clients **pin an explicit registry version** — they never resolve
 ``latest`` themselves. The orchestrator records the pinned version in
@@ -35,14 +35,20 @@ from repro.serve.registry import ModelRegistry
 
 class ScoredServable:
     """Wrap a :class:`~repro.serve.artifacts.ServableModel` so
-    ``predict`` returns ``(label, confidence)`` pairs.
+    ``predict`` returns ``(label, confidence, topk)`` triples.
 
     The serving engine treats predict results as an opaque list aligned
     with the input, so the tuples flow through batching and per-request
     splitting untouched. Confidence is the max class probability from
-    ``scores``; a model without usable scores degrades to ``None``
-    confidences rather than failing the stream.
+    ``scores``; ``topk`` holds the ``TOP_K`` highest-scoring
+    ``[label, score]`` pairs (ties broken by class order, scores rounded
+    so resumed runs replay byte-identical prediction logs). A model
+    without usable scores degrades to ``None`` for both rather than
+    failing the stream.
     """
+
+    #: Label scores kept per prediction record.
+    TOP_K = 3
 
     def __init__(self, servable):
         self.servable = servable
@@ -58,12 +64,20 @@ class ScoredServable:
         labels = self.servable.predict(docs)
         try:
             scores = np.asarray(self.servable.scores(docs), dtype=np.float64)
-            confidences = [float(c) for c in scores.max(axis=1)]
+            class_labels = list(self.servable.labels)
+            confidences, topks = [], []
+            for row in scores:
+                order = np.argsort(-row, kind="stable")[:self.TOP_K]
+                confidences.append(float(row.max()))
+                topks.append([[str(class_labels[j]), round(float(row[j]), 6)]
+                              for j in order])
         except Exception:
             confidences = [None] * len(labels)
+            topks = [None] * len(labels)
         if len(confidences) != len(labels):
             confidences = [None] * len(labels)
-        return list(zip(labels, confidences))
+            topks = [None] * len(labels)
+        return list(zip(labels, confidences, topks))
 
 
 class EngineClient:
@@ -94,7 +108,7 @@ class EngineClient:
                         warmup=self._warmup))
 
     def classify(self, docs) -> list:
-        """``[(label, confidence)]`` aligned with ``docs`` (token lists)."""
+        """``[(label, confidence, topk)]`` aligned with ``docs``."""
         try:
             return self._engine.classify([doc.tokens for doc in docs])
         except Exception as exc:
@@ -154,7 +168,7 @@ class PoolClient:
                 f"pool classification through "
                 f"{self.name}@v{self.version:04d} failed: {exc}"
             ) from exc
-        return [(label, None) for label in labels]
+        return [(label, None, None) for label in labels]
 
     def reload(self, version: int) -> None:
         """Atomically switch to ``version`` (drains the old pool)."""

@@ -125,8 +125,10 @@ class DriftMonitor:
     def observe(self, docs: list, predictions: list) -> None:
         """Fold one classified batch into the windows.
 
-        ``predictions`` holds one ``(label, confidence_or_None)`` pair
-        per document in ``docs``.
+        ``predictions`` holds one ``(label, confidence_or_None, ...)``
+        tuple per document in ``docs``; anything past the first two
+        slots (e.g. the top-k label scores the orchestrator logs) is
+        ignored here.
         """
         if len(docs) != len(predictions):
             raise PipelineError(
@@ -134,7 +136,8 @@ class DriftMonitor:
                 f"{len(docs)} documents"
             )
         policy = self.policy
-        for doc, (label, confidence) in zip(docs, predictions):
+        for doc, pred in zip(docs, predictions):
+            label, confidence = pred[0], pred[1]
             key = str(label)
             if self.reference_docs < policy.window:
                 self.reference_hist[key] = \

@@ -343,7 +343,9 @@ class Pipeline:
             result = stage.process(chunk)
             scored = result.extra["predictions"]
             records = []
-            for doc, (label, confidence) in zip(chunk, scored):
+            for doc, pred in zip(chunk, scored):
+                label, confidence = pred[0], pred[1]
+                topk = pred[2] if len(pred) > 2 else None
                 records.append({
                     "position": doc.metadata.get("position"),
                     "doc_id": doc.doc_id,
@@ -351,6 +353,7 @@ class Pipeline:
                     else list(label),
                     "confidence": (round(float(confidence), 6)
                                    if confidence is not None else None),
+                    "topk": topk,
                     "model_gen": self.generation,
                 })
             self.store.append_predictions(records)

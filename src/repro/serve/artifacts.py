@@ -147,19 +147,48 @@ def _combined_digest(files: dict) -> str:
 # Quantization gate
 # ---------------------------------------------------------------------------
 
+def _multilabel_kinds(preds: list) -> set:
+    """``{"multi"}``, ``{"single"}``, or both, over one prediction list.
+
+    Label *sets* (tuples/lists/sets of labels) are "multi"; bare labels
+    (strings/ints) are "single". Strings are iterable but must never be
+    treated as label collections — iterating one silently scores its
+    characters.
+    """
+    kinds = set()
+    for pred in preds:
+        if isinstance(pred, (tuple, list, set, frozenset)):
+            kinds.add("multi")
+        else:
+            kinds.add("single")
+    return kinds
+
+
 def _prediction_delta(ref_preds: list, quant_preds: list) -> float:
     """Macro-F1 divergence, in percentage points, between two predictions.
 
     The full-precision predictions act as gold; 0.0 means the quantized
     model predicts identically on the probe set. Multi-label predictions
     (tuples/lists of labels) are scored as per-label binary F1 averaged
-    over the union of predicted labels.
+    over the union of predicted labels. Mixing single- and multi-label
+    predictions — within either list, or between the reference and the
+    quantized model — is refused: it means the quantized reload changed
+    the model's prediction *shape*, which no F1 number can paper over.
     """
     from repro.evaluation.metrics import macro_f1
 
     if not ref_preds:
         return 0.0
-    if ref_preds and isinstance(ref_preds[0], (tuple, list, set, frozenset)):
+    kinds = _multilabel_kinds(ref_preds) | _multilabel_kinds(quant_preds)
+    if len(kinds) > 1:
+        raise ArtifactError(
+            "quantization gate cannot compare predictions of mixed "
+            "arity: reference and quantized models must both return "
+            "label sets (multi-label) or both return bare labels "
+            "(single-label). Re-export with a probe matching the "
+            "model's prediction contract, or fix the model reload."
+        )
+    if kinds == {"multi"}:
         labels = sorted({l for p in ref_preds for l in p}
                         | {l for p in quant_preds for l in p})
         if not labels:

@@ -1,0 +1,38 @@
+"""Taxonomy construction and repair (`repro.taxogen`).
+
+The last workload arc of the reproduction: instead of consuming a
+*given* taxonomy, this subsystem scores candidate parent-child edges
+with the PLM entailment head (:mod:`repro.taxogen.scoring`), plans and
+applies typed repairs — insert missing nodes, re-parent misplaced ones,
+prune spurious edges (:mod:`repro.taxogen.repair`) — and measures
+repair quality against seeded perturbations
+(:mod:`repro.taxogen.perturb`). Repaired taxonomies feed back into the
+TaxoClass/WeSHClass workloads through the ``taxogen`` experiment table.
+
+All failures surface as :class:`~repro.core.exceptions.TaxogenError`
+subclasses; scoring and repair are instrumented with ``repro.obs``
+spans (``taxogen:evidence`` / ``taxogen:score`` / ``taxogen:repair``)
+and per-op counters (``taxogen.ops.*``).
+"""
+
+from repro.taxogen.perturb import (
+    Perturbation,
+    edge_recovery,
+    perturb_dag,
+    perturb_tree,
+)
+from repro.taxogen.repair import RepairOp, RepairPlan, TaxonomyRepairer
+from repro.taxogen.scoring import ROOT_PRIOR, EdgeScorer, label_universe
+
+__all__ = [
+    "EdgeScorer",
+    "label_universe",
+    "ROOT_PRIOR",
+    "TaxonomyRepairer",
+    "RepairOp",
+    "RepairPlan",
+    "Perturbation",
+    "perturb_tree",
+    "perturb_dag",
+    "edge_recovery",
+]

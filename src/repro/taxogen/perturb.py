@@ -1,0 +1,216 @@
+"""Deterministic taxonomy perturbation + repair-recovery measurement.
+
+The bench story: perturb a known-good taxonomy (re-parent some nodes,
+delete some leaves, add spurious DAG edges), run the repairer, and
+measure the fraction of perturbed edges whose true parent assignment is
+restored. Perturbations are seeded and pure, so the same seed yields
+the same damage on every host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.exceptions import RepairError
+from repro.core.seeding import ensure_rng
+from repro.taxonomy.dag import LabelDAG
+from repro.taxonomy.tree import ROOT, LabelTree
+
+
+@dataclass(frozen=True)
+class Perturbation:
+    """Record of the damage done (the bench's answer key).
+
+    ``moved`` holds ``(node, true_parent, wrong_parent)`` triples,
+    ``deleted`` the leaves removed outright, ``spurious`` the extra
+    ``(parent, child)`` edges added (DAG mode only).
+    """
+
+    moved: tuple
+    deleted: tuple
+    spurious: tuple
+
+    @property
+    def n_edges(self) -> int:
+        return len(self.moved) + len(self.deleted) + len(self.spurious)
+
+
+def _tree_edges(tree: LabelTree) -> tuple:
+    return ([(tree.parent(n), n) for n in tree.nodes
+             if tree.parent(n) != ROOT],
+            tree.children(ROOT))
+
+
+def _dag_edges(dag: LabelDAG) -> tuple:
+    edges, top = [], []
+    for node in dag.nodes:
+        for parent in dag.parents(node):
+            (top.append(node) if parent == ROOT
+             else edges.append((parent, node)))
+    return edges, top
+
+
+def perturb_tree(tree: LabelTree, seed=0, n_reparent: int = 3,
+                 n_delete: int = 2) -> tuple:
+    """``(perturbed LabelTree, Perturbation)``.
+
+    Re-parents ``n_reparent`` non-top nodes to a random wrong parent
+    (outside their own subtree) and deletes ``n_delete`` leaves.
+    """
+    rng = ensure_rng(seed)
+    parent_of = {n: tree.parent(n) for n in tree.nodes}
+    moved, deleted = [], []
+
+    leaves = sorted(tree.leaves())
+    for _ in range(min(n_delete, max(0, len(leaves) - 1))):
+        victim = leaves.pop(int(rng.integers(len(leaves))))
+        deleted.append((victim, parent_of.pop(victim)))
+
+    movable = sorted(n for n, p in parent_of.items() if p != ROOT)
+    for _ in range(min(n_reparent, len(movable))):
+        node = movable.pop(int(rng.integers(len(movable))))
+        subtree = {node} | {m for m in parent_of
+                            if node in _path(parent_of, m)}
+        wrong = sorted(set(parent_of) - subtree - {parent_of[node]})
+        if not wrong:
+            continue
+        target = wrong[int(rng.integers(len(wrong)))]
+        moved.append((node, parent_of[node], target))
+        parent_of[node] = target
+
+    perturbed = LabelTree(parent_of)
+    return perturbed, Perturbation(moved=tuple(moved),
+                                   deleted=tuple(deleted), spurious=())
+
+
+def _path(parent_of: dict, node: str) -> set:
+    out, current = set(), node
+    while current != ROOT:
+        out.add(current)
+        current = parent_of[current]
+    return out
+
+
+def _reach(edge_set: set, node: str, forward: bool) -> set:
+    """Nodes reachable from ``node`` in the working edge set.
+
+    ``forward=True`` walks parent->child (descendants), ``False`` walks
+    child->parent (ancestors). Reachability must be computed on the
+    *working* graph — earlier perturbations may have opened paths the
+    original taxonomy did not have.
+    """
+    step: dict[str, set] = {}
+    for parent, child in edge_set:
+        src, dst = (parent, child) if forward else (child, parent)
+        step.setdefault(src, set()).add(dst)
+    seen: set[str] = set()
+    frontier = [node]
+    while frontier:
+        for nxt in step.get(frontier.pop(), ()):
+            if nxt not in seen:
+                seen.add(nxt)
+                frontier.append(nxt)
+    return seen
+
+
+def perturb_dag(dag: LabelDAG, seed=0, n_reparent: int = 3,
+                n_delete: int = 2, n_spurious: int = 2) -> tuple:
+    """``(perturbed LabelDAG, Perturbation)``.
+
+    Re-parents single-parent nodes, deletes leaves, and adds spurious
+    extra-parent edges between randomly chosen unrelated nodes.
+    """
+    rng = ensure_rng(seed)
+    edges, top = _dag_edges(dag)
+    edge_set = set(edges)
+    top_set = set(top)
+    moved, deleted, spurious = [], [], []
+
+    leaves = sorted(dag.leaves())
+    for _ in range(min(n_delete, max(0, len(leaves) - 1))):
+        victim = leaves.pop(int(rng.integers(len(leaves))))
+        for parent in dag.parents(victim):
+            if parent == ROOT:
+                top_set.discard(victim)
+                deleted.append((victim, ROOT))
+            else:
+                edge_set.discard((parent, victim))
+                deleted.append((victim, parent))
+
+    removed = {node for node, _ in deleted}
+    single = sorted(n for n in dag.nodes
+                    if n not in removed and dag.parents(n) != [ROOT]
+                    and len(dag.parents(n)) == 1)
+    for _ in range(min(n_reparent, len(single))):
+        node = single.pop(int(rng.integers(len(single))))
+        true_parent = dag.parents(node)[0]
+        forbidden = (_reach(edge_set, node, forward=True)
+                     | {node, true_parent} | removed)
+        wrong = sorted(set(dag.nodes) - forbidden)
+        if not wrong:
+            continue
+        target = wrong[int(rng.integers(len(wrong)))]
+        edge_set.discard((true_parent, node))
+        edge_set.add((target, node))
+        moved.append((node, true_parent, target))
+
+    alive = sorted(set(dag.nodes) - removed)
+    for _ in range(n_spurious):
+        child = alive[int(rng.integers(len(alive)))]
+        forbidden = (_reach(edge_set, child, forward=False)
+                     | _reach(edge_set, child, forward=True)
+                     | {child} | removed)
+        pool = sorted(set(alive) - forbidden)
+        pool = [p for p in pool if (p, child) not in edge_set]
+        if not pool:
+            continue
+        parent = pool[int(rng.integers(len(pool)))]
+        edge_set.add((parent, child))
+        spurious.append((parent, child))
+
+    try:
+        perturbed = LabelDAG(sorted(edge_set), top_level=sorted(top_set))
+    except Exception as exc:  # a degenerate draw — surface it typed
+        raise RepairError(f"perturbation produced an invalid DAG: {exc}") from exc
+    return perturbed, Perturbation(moved=tuple(moved),
+                                   deleted=tuple(deleted),
+                                   spurious=tuple(spurious))
+
+
+def edge_recovery(perturbation: Perturbation, repaired) -> dict:
+    """Fraction of perturbed edges the repair restored.
+
+    A *moved* node recovers when its true parent edge is back (and the
+    wrong one gone); a *deleted* node when it is re-inserted under its
+    true parent; a *spurious* edge when it is pruned. Returns per-kind
+    and overall fractions plus raw counts.
+    """
+    def has_edge(parent, child):
+        if child not in repaired:
+            return False
+        if hasattr(repaired, "parents"):
+            return parent in repaired.parents(child)
+        return repaired.parent(child) == parent
+
+    recovered = {"moved": 0, "deleted": 0, "spurious": 0}
+    for node, true_parent, wrong_parent in perturbation.moved:
+        if has_edge(true_parent, node) and not has_edge(wrong_parent, node):
+            recovered["moved"] += 1
+    for node, true_parent in perturbation.deleted:
+        if has_edge(true_parent, node):
+            recovered["deleted"] += 1
+    for parent, child in perturbation.spurious:
+        if not has_edge(parent, child):
+            recovered["spurious"] += 1
+
+    totals = {"moved": len(perturbation.moved),
+              "deleted": len(perturbation.deleted),
+              "spurious": len(perturbation.spurious)}
+    n = sum(totals.values())
+    out = {"edges_perturbed": n,
+           "edges_recovered": sum(recovered.values()),
+           "recovered_fraction": (sum(recovered.values()) / n) if n else 1.0}
+    for kind in totals:
+        out[f"{kind}_total"] = totals[kind]
+        out[f"{kind}_recovered"] = recovered[kind]
+    return out

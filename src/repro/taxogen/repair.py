@@ -1,0 +1,244 @@
+"""Taxonomy repair: insert missing nodes, re-parent misplaced ones,
+prune spurious edges.
+
+The repairer consumes an :class:`~repro.taxogen.scoring.EdgeScorer`
+affinity matrix and emits a typed :class:`RepairPlan` — an ordered op
+list that is computed *and* applied deterministically, so the same
+corpus, label universe, and taxonomy always yield the same repaired
+structure (the experiment DAG depends on that for bit-identical
+reruns).
+
+Op semantics (also DESIGN.md §15):
+
+- **prune** (DAG mode only): a multi-parent node drops parents whose
+  affinity falls below ``prune_ratio`` of its best parent's; the best
+  parent is never pruned, so no node is orphaned.
+- **reparent**: a node whose best eligible candidate parent beats its
+  current worst parent by ``margin`` swaps that edge. Candidates are
+  restricted to nodes currently in the taxonomy that are not the node
+  itself or one of its descendants (no cycles, by construction); the
+  virtual ROOT competes at :data:`~repro.taxogen.scoring.ROOT_PRIOR`.
+- **insert**: a label in the scored universe missing from the taxonomy
+  attaches under its best-scoring candidate parent (or ROOT).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import obs
+from repro.core.exceptions import RepairError, TaxonomyError
+from repro.taxogen.scoring import ROOT_PRIOR, EdgeScorer
+from repro.taxonomy.dag import LabelDAG
+from repro.taxonomy.tree import ROOT, LabelTree
+
+
+@dataclass(frozen=True)
+class RepairOp:
+    """One typed repair operation.
+
+    ``kind`` is ``"insert"``, ``"reparent"``, or ``"prune"``; ``parent``
+    is the edge's parent after the op (for prune: the parent removed);
+    ``old_parent`` is set for reparent ops; ``score`` is the affinity
+    that justified the op.
+    """
+
+    kind: str
+    node: str
+    parent: str
+    old_parent: "str | None" = None
+    score: float = 0.0
+
+
+@dataclass(frozen=True)
+class RepairPlan:
+    """The ordered ops plus the edge sets they transform between."""
+
+    ops: tuple
+    edges_before: tuple
+    edges_after: tuple
+    top_level_after: tuple
+
+    def counts(self) -> dict:
+        """Op tally by kind (all three keys always present)."""
+        out = {"insert": 0, "reparent": 0, "prune": 0}
+        for op in self.ops:
+            out[op.kind] += 1
+        return out
+
+
+def _parents_from_edges(edges, top_level) -> dict:
+    parents: dict[str, set] = {}
+    nodes: set[str] = set()
+    for parent, child in edges:
+        parents.setdefault(child, set()).add(parent)
+        nodes.add(child)
+        if parent != ROOT:
+            nodes.add(parent)
+    for node in top_level:
+        parents.setdefault(node, set()).add(ROOT)
+        nodes.add(node)
+    for node in nodes:
+        parents.setdefault(node, set())
+    return parents
+
+
+def _descendants(parents: dict, node: str) -> set:
+    children: dict[str, set] = {}
+    for child, ps in parents.items():
+        for parent in ps:
+            children.setdefault(parent, set()).add(child)
+    seen: set[str] = set()
+    frontier = [node]
+    while frontier:
+        current = frontier.pop()
+        for child in children.get(current, ()):
+            if child not in seen:
+                seen.add(child)
+                frontier.append(child)
+    return seen
+
+
+class TaxonomyRepairer:
+    """Plan and apply entailment-scored taxonomy repairs.
+
+    Parameters
+    ----------
+    scorer:
+        The edge scorer whose label universe defines which nodes exist.
+    margin:
+        Minimum affinity advantage a candidate parent needs over the
+        current one before a reparent fires (hysteresis against noise).
+    prune_ratio:
+        DAG mode: parents scoring below this fraction of the node's best
+        parent are pruned.
+    root_prior:
+        Affinity stand-in for the virtual ROOT as candidate parent.
+    """
+
+    def __init__(self, scorer: EdgeScorer, margin: float = 0.15,
+                 prune_ratio: float = 0.5, root_prior: float = ROOT_PRIOR):
+        self.scorer = scorer
+        self.margin = margin
+        self.prune_ratio = prune_ratio
+        self.root_prior = root_prior
+
+    # -- public entry points -------------------------------------------------
+    def repair_tree(self, tree: LabelTree) -> tuple:
+        """``(repaired LabelTree, RepairPlan)`` for a tree taxonomy."""
+        edges = [(tree.parent(n), n) for n in tree.nodes
+                 if tree.parent(n) != ROOT]
+        top = tree.children(ROOT)
+        plan = self.plan_edges(edges, top_level=top, multi_parent=False)
+        try:
+            repaired = LabelTree.from_edges(
+                [e for e in plan.edges_after], plan.top_level_after)
+        except TaxonomyError as exc:
+            raise RepairError(f"repaired tree is invalid: {exc}") from exc
+        return repaired, plan
+
+    def repair_dag(self, dag: LabelDAG) -> tuple:
+        """``(repaired LabelDAG, RepairPlan)`` for a DAG taxonomy."""
+        edges, top = [], []
+        for node in dag.nodes:
+            for parent in dag.parents(node):
+                if parent == ROOT:
+                    top.append(node)
+                else:
+                    edges.append((parent, node))
+        plan = self.plan_edges(edges, top_level=top, multi_parent=True)
+        try:
+            repaired = LabelDAG([e for e in plan.edges_after],
+                                top_level=plan.top_level_after)
+        except TaxonomyError as exc:
+            raise RepairError(f"repaired DAG is invalid: {exc}") from exc
+        return repaired, plan
+
+    # -- planning ------------------------------------------------------------
+    def plan_edges(self, edges, top_level=(), multi_parent: bool = False) -> RepairPlan:
+        """Compute the repair plan for a ``(parent, child)`` edge list."""
+        parents = _parents_from_edges(edges, top_level)
+        universe = list(self.scorer.labels)
+        index = {l: i for i, l in enumerate(universe)}
+        unknown = sorted(set(parents) - set(universe))
+        if unknown:
+            raise RepairError(
+                f"taxonomy nodes {unknown} are outside the scored label "
+                f"universe ({len(universe)} labels); score them or drop "
+                "them before repair"
+            )
+        affinity = self.scorer.affinity_matrix()
+
+        def score(child: str, parent: str) -> float:
+            if parent == ROOT:
+                return self.root_prior
+            return float(affinity[index[child], index[parent]])
+
+        ops: list[RepairOp] = []
+        with obs.span("taxogen:repair", nodes=len(parents),
+                      universe=len(universe)):
+            if multi_parent:
+                self._prune(parents, score, ops)
+            self._reparent(parents, score, ops)
+            self._insert(parents, universe, score, ops)
+        for op in ops:
+            obs.count(f"taxogen.ops.{op.kind}")
+
+        edges_after = tuple(sorted(
+            (parent, child) for child, ps in parents.items()
+            for parent in ps if parent != ROOT))
+        top_after = tuple(sorted(
+            child for child, ps in parents.items() if ROOT in ps))
+        return RepairPlan(
+            ops=tuple(ops),
+            edges_before=tuple(sorted(
+                (p, c) for p, c in edges)),
+            edges_after=edges_after,
+            top_level_after=top_after,
+        )
+
+    # -- op passes -----------------------------------------------------------
+    def _prune(self, parents: dict, score, ops: list) -> None:
+        for node in sorted(parents):
+            current = parents[node]
+            if len(current) < 2:
+                continue
+            scored = sorted(((score(node, p), p) for p in current),
+                            key=lambda t: (-t[0], t[1]))
+            best = scored[0][0]
+            for value, parent in scored[1:]:
+                if value < self.prune_ratio * best:
+                    current.discard(parent)
+                    ops.append(RepairOp(kind="prune", node=node,
+                                        parent=parent, score=value))
+
+    def _reparent(self, parents: dict, score, ops: list) -> None:
+        for node in sorted(parents):
+            current = parents[node]
+            if not current:
+                continue
+            worst = min(current, key=lambda p: (score(node, p), p))
+            worst_score = score(node, worst)
+            blocked = _descendants(parents, node) | {node} | current
+            candidates = [(score(node, p), p) for p in sorted(parents)
+                          if p not in blocked]
+            candidates.append((self.root_prior, ROOT)
+                              if ROOT not in current else (-1.0, ROOT))
+            best_score, best = max(candidates, key=lambda t: (t[0], t[1]))
+            if best_score > worst_score + self.margin:
+                current.discard(worst)
+                current.add(best)
+                ops.append(RepairOp(kind="reparent", node=node, parent=best,
+                                    old_parent=worst, score=best_score))
+
+    def _insert(self, parents: dict, universe: list, score, ops: list) -> None:
+        for node in sorted(set(universe) - set(parents)):
+            candidates = [(score(node, p), p) for p in sorted(parents)
+                          if p != node]
+            candidates.append((self.root_prior, ROOT))
+            best_score, best = max(candidates, key=lambda t: (t[0], t[1]))
+            parents[node] = {best}
+            ops.append(RepairOp(kind="insert", node=node, parent=best,
+                                score=best_score))

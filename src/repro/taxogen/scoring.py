@@ -1,0 +1,241 @@
+"""Edge affinity scoring with the PLM entailment head.
+
+Taxonomy construction reduces to asking, for every candidate parent-child
+pair, "is the parent's vocabulary entailed by text about the child?". The
+PLM entailment head (:class:`~repro.plm.nli.RelevanceModel`) supplies the
+*support* side of that question: its document-class relevance grid picks
+out, for every label, the corpus documents that are about it (softmax
+weights, so every document contributes in proportion to its relevance).
+
+Affinity itself is a lift statistic over that support. Two components,
+each column-standardised and summed:
+
+- **name lift** — how much more often the candidate parent's surface
+  name occurs in the child's support than in the corpus at large;
+- **lexicon lift** — the same statistic over the parent's *estimated
+  lexicon*: the tokens most over-represented in the parent's own
+  top-relevance documents relative to the corpus.
+
+Lift alone is nearly symmetric — it measures *relatedness*, not which
+node is the parent. A directional factor fixes that: candidate parents
+are discounted unless they look more *general* than the child (their
+name reaches more documents, their support is more spread out) and the
+lift asymmetry points child -> parent. The final affinity is
+
+``P(edge) = sigmoid(relatedness) * sigmoid(direction)``
+
+so affinities read as probabilities and compose with
+:data:`ROOT_PRIOR` (the stand-in score for attaching at the top
+level). Everything is deterministic: stable argsorts, sorted
+tie-breaks, and a cached matrix.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from repro import obs
+from repro.core.exceptions import EdgeScoringError
+from repro.core.types import Corpus, LabelSet
+
+#: Affinity assigned to the virtual ROOT as a candidate parent. A node
+#: whose best real parent scores below this (plus the repairer's margin)
+#: belongs at the top level.
+ROOT_PRIOR = 0.5
+
+#: Softmax temperature for turning relevance columns into doc weights.
+_SUPPORT_TEMP = 4.0
+
+#: Sigmoid scale for mapping summed z-scores to probabilities.
+_CALIBRATION = 1.5
+
+#: Sigmoid gain on the direction factor (generality + lift asymmetry).
+_DIRECTION_GAIN = 2.0
+
+
+def label_universe(bundle) -> LabelSet:
+    """Label set over *every* taxonomy node of ``bundle``.
+
+    Tree bundles expose only leaves through ``bundle.label_set``; edge
+    scoring needs internal nodes too (they are exactly the candidate
+    parents), so the universe is rebuilt from the generator world's
+    name table.
+    """
+    names = dict(bundle.world.names)
+    return LabelSet(labels=tuple(sorted(names)), names=names,
+                    descriptions=dict(bundle.label_set.descriptions))
+
+
+class EdgeScorer:
+    """Parent-child edge affinities over a label universe.
+
+    Parameters
+    ----------
+    relevance:
+        A fitted :class:`~repro.plm.nli.RelevanceModel`.
+    corpus:
+        Unlabeled documents providing per-node support.
+    label_set:
+        The label universe (ids + surface names) edges are scored over.
+    evidence_docs:
+        Top-relevance documents mined for each label's estimated lexicon.
+    evidence_tokens:
+        Size of the estimated lexicon kept per label.
+    """
+
+    def __init__(self, relevance, corpus: Corpus, label_set: LabelSet,
+                 evidence_docs: int = 12, evidence_tokens: int = 24):
+        if len(corpus) == 0:
+            raise EdgeScoringError(
+                "edge scoring needs a non-empty evidence corpus")
+        self.relevance = relevance
+        self.label_set = label_set
+        self.labels = list(label_set.labels)
+        self.evidence_docs = evidence_docs
+        self.evidence_tokens = evidence_tokens
+        self._name_tokens: dict[str, list] = {}
+        for label in self.labels:
+            tokens = list(label_set.name_tokens(label))
+            if not tokens:
+                raise EdgeScoringError(
+                    f"label {label!r} has no surface-name tokens; the "
+                    "entailment head has nothing to score it against"
+                )
+            self._name_tokens[label] = tokens
+        self._token_lists = corpus.token_lists()
+        self._lexicons: "dict[str, list] | None" = None
+        self._affinity: "np.ndarray | None" = None
+
+    @classmethod
+    def from_bundle(cls, bundle, plm=None, **kwargs) -> "EdgeScorer":
+        """Scorer over a bundle's train corpus and full node universe."""
+        from repro.plm.provider import get_pretrained_lm, get_relevance_model
+
+        if plm is None:
+            plm = get_pretrained_lm(target_corpus=bundle.train_corpus)
+        return cls(get_relevance_model(plm), bundle.train_corpus,
+                   label_universe(bundle), **kwargs)
+
+    # -- support ------------------------------------------------------------
+    def _support(self) -> tuple:
+        """(relevance grid, per-label soft doc weights), computed once."""
+        grid = self.relevance.relevance_matrix(
+            self._token_lists,
+            [self._name_tokens[l] for l in self.labels])
+        shifted = np.exp(_SUPPORT_TEMP * (grid - grid.max(axis=0,
+                                                          keepdims=True)))
+        weights = shifted / shifted.sum(axis=0, keepdims=True)
+        return grid, weights
+
+    def _estimate_lexicons(self, grid: np.ndarray) -> dict:
+        """Per-label estimated lexicons (over-represented support tokens)."""
+        global_counts: Counter = Counter(
+            t for tokens in self._token_lists for t in tokens)
+        total = sum(global_counts.values()) or 1
+        lexicons: dict[str, list] = {}
+        for j, label in enumerate(self.labels):
+            top = np.argsort(-grid[:, j], kind="stable")[: self.evidence_docs]
+            counts: Counter = Counter(
+                t for i in top for t in self._token_lists[int(i)])
+            mass = sum(counts.values()) or 1
+            scored = sorted(
+                ((count / mass - global_counts[t] / total, t)
+                 for t, count in counts.items()),
+                key=lambda pair: (-pair[0], pair[1]))
+            mined = [t for _, t in scored[: self.evidence_tokens]]
+            lexicons[label] = sorted(set(mined) | set(self._name_tokens[label]))
+        return lexicons
+
+    def evidence(self, label: str) -> list:
+        """The estimated lexicon mined for ``label`` (sorted tokens)."""
+        if self._lexicons is None:
+            self.affinity_matrix()
+        try:
+            return list(self._lexicons[label])
+        except KeyError:
+            raise EdgeScoringError(
+                f"label {label!r} is outside the scored universe "
+                f"({len(self.labels)} labels)"
+            ) from None
+
+    # -- affinities ---------------------------------------------------------
+    def _lift(self, token_sets: dict, weights: np.ndarray) -> np.ndarray:
+        """(child, parent) lift of each parent token set in child support."""
+        n_docs, n = len(self._token_lists), len(self.labels)
+        freq = np.zeros((n_docs, n))
+        for d, tokens in enumerate(self._token_lists):
+            length = len(tokens) or 1
+            counts = Counter(tokens)
+            for j, label in enumerate(self.labels):
+                freq[d, j] = sum(counts[t] for t in token_sets[label]) / length
+        base = freq.mean(axis=0) + 1e-9
+        return (freq.T @ weights).T / base
+
+    @staticmethod
+    def _standardize(matrix: np.ndarray) -> np.ndarray:
+        return ((matrix - matrix.mean(axis=0))
+                / (matrix.std(axis=0) + 1e-9))
+
+    def _generality(self, weights: np.ndarray) -> np.ndarray:
+        """Per-label generality: name reach + support spread (z-summed).
+
+        A parent's surface name occurs across the documents of *all* its
+        descendants, and its support weights are spread over them; a leaf
+        concentrates on its own few documents.
+        """
+        doc_sets = [set(tokens) for tokens in self._token_lists]
+        reach = np.array([
+            sum(1 for tokens in doc_sets
+                if not tokens.isdisjoint(self._name_tokens[label]))
+            for label in self.labels], dtype=float) / (len(doc_sets) or 1)
+        entropy = -(weights * np.log(weights + 1e-12)).sum(axis=0)
+        spread = np.exp(entropy)
+
+        def z(values):
+            return (values - values.mean()) / (values.std() + 1e-9)
+        return 1.5 * z(reach) + 0.5 * z(spread)
+
+    @staticmethod
+    def _direction(relatedness: np.ndarray,
+                   generality: np.ndarray) -> np.ndarray:
+        """(child, parent) direction score: positive when the column node
+        looks like the row node's ancestor."""
+        asymmetry = relatedness - relatedness.T
+        asymmetry = asymmetry / (asymmetry.std() + 1e-9)
+        return (generality[None, :] - generality[:, None]) + asymmetry
+
+    def affinity_matrix(self) -> np.ndarray:
+        """(n_labels, n_labels) grid: P(parent is an ancestor of child).
+
+        Row = child, column = candidate parent. Computed once and cached;
+        the diagonal (self-parenting) is forced to 0.
+        """
+        if self._affinity is None:
+            with obs.span("taxogen:evidence", labels=len(self.labels),
+                          docs=len(self._token_lists)):
+                grid, weights = self._support()
+                self._lexicons = self._estimate_lexicons(grid)
+            with obs.span("taxogen:score", labels=len(self.labels)):
+                names = {l: set(self._name_tokens[l]) for l in self.labels}
+                lexicons = {l: set(self._lexicons[l]) for l in self.labels}
+                summed = (self._standardize(self._lift(names, weights))
+                          + self._standardize(self._lift(lexicons, weights)))
+                related = 1.0 / (1.0 + np.exp(-summed / _CALIBRATION))
+                direction = self._direction(related,
+                                            self._generality(weights))
+                prob = related / (1.0 + np.exp(-_DIRECTION_GAIN * direction))
+                np.fill_diagonal(prob, 0.0)
+                self._affinity = prob
+            obs.gauge("taxogen.edges.scored", float(prob.size))
+        return self._affinity
+
+    def affinity(self, child: str, parent: str) -> float:
+        """Affinity of one directed ``parent -> child`` edge."""
+        index = {l: i for i, l in enumerate(self.labels)}
+        for node in (child, parent):
+            if node not in index:
+                raise EdgeScoringError(
+                    f"label {node!r} is outside the scored universe")
+        return float(self.affinity_matrix()[index[child], index[parent]])

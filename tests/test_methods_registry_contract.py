@@ -58,7 +58,8 @@ def test_flat_methods_predict_proba_contract(method_name, tiny_plm,
 def test_unfitted_methods_raise(tiny_plm, agnews_small):
     for name, info in method_registry().items():
         if info.backbone != "pretrained-lm" or name in ("WeSHClass",
-                                                        "TaxoClass"):
+                                                        "TaxoClass",
+                                                        "FUTEX"):
             continue
         clf = info.cls(plm=tiny_plm, seed=0)
         with pytest.raises(NotFittedError):

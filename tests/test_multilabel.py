@@ -1,0 +1,165 @@
+"""Multi-label workload: ranking-metric edge cases, sectioned profiles,
+and FUTEX's section machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import MultiLabelTextClassifier
+from repro.core.supervision import LabelNames
+from repro.core.types import Corpus, Document, LabelSet
+from repro.datasets import load_profile
+from repro.evaluation.ranking import (
+    example_f1,
+    hierarchical_precision_recall,
+    label_f1,
+    ndcg_at_k,
+    precision_at_k,
+)
+from repro.methods.futex import aggregate_sections, section_slices
+from repro.taxonomy.dag import LabelDAG
+
+pytestmark = pytest.mark.multilabel
+
+
+# ---------------------------------------------------------------------------
+# Ranking metrics: edge cases
+# ---------------------------------------------------------------------------
+
+def test_precision_at_k_empty_gold_scores_zero():
+    assert precision_at_k([set()], [["a", "b"]], k=2) == 0.0
+    # Mixed: the empty-gold doc contributes 0, not NaN.
+    assert precision_at_k([set(), {"a"}], [["a"], ["a"]], k=1) == 0.5
+
+
+def test_ndcg_empty_gold_scores_zero():
+    assert ndcg_at_k([set()], [["a", "b"]], k=2) == 0.0
+
+
+def test_k_larger_than_label_count():
+    # A 2-label ranking probed at k=5: P@k divides by k (so the score
+    # caps at 2/5) and NDCG pads the missing gain slots with zeros
+    # instead of erroring.
+    gold = [{"a", "b"}]
+    assert precision_at_k(gold, [["a", "b"]], k=5) == pytest.approx(2 / 5)
+    assert ndcg_at_k(gold, [["a", "b"]], k=5) == pytest.approx(1.0)
+    # Gold larger than the ranking: ideal DCG still uses min(|gold|, k).
+    assert ndcg_at_k([{"a", "b", "c"}], [["a"]], k=2) < 1.0
+
+
+def test_example_and_label_f1_empty_sets():
+    assert example_f1([set()], [set()]) == 1.0
+    assert label_f1([set()], [set()]) == 1.0
+    assert example_f1([{"a"}], [set()]) == 0.0
+
+
+def test_hierarchical_credit_for_sibling_miss():
+    dag = LabelDAG([("top", "a"), ("top", "b")], top_level=["top"])
+    flat = hierarchical_precision_recall([{"a"}], [{"b"}], taxonomy=None)
+    hier = hierarchical_precision_recall([{"a"}], [{"b"}], taxonomy=dag)
+    assert flat["h_f1"] == 0.0
+    assert hier["h_f1"] > 0.0  # shared ancestor earns partial credit
+    empty = hierarchical_precision_recall([{"a"}], [set()], taxonomy=dag)
+    assert empty["h_precision"] == 0.0 and empty["h_recall"] == 0.0
+
+
+class _FixedScore(MultiLabelTextClassifier):
+    """Returns a constant score matrix — for rank/predict contracts."""
+
+    def __init__(self, matrix):
+        super().__init__(seed=0)
+        self._matrix = np.asarray(matrix, dtype=float)
+
+    def _fit(self, corpus, supervision):
+        pass
+
+    def _score(self, corpus):
+        return self._matrix[: len(corpus)]
+
+
+def _fit_fixed(matrix, labels):
+    docs = [Document(doc_id=f"d{i}", text="", tokens=["t"])
+            for i in range(len(matrix))]
+    corpus = Corpus(docs, name="fixed")
+    clf = _FixedScore(matrix)
+    clf.fit(corpus, LabelNames(label_set=LabelSet(labels=tuple(labels))))
+    return clf, corpus
+
+
+def test_rank_breaks_ties_by_label_index():
+    # All-equal scores: the ranking must fall back to label-set order,
+    # deterministically, rather than whatever argsort feels like.
+    clf, corpus = _fit_fixed([[0.5, 0.5, 0.5]], ["c", "a", "b"])
+    assert clf.rank(corpus) == [["c", "a", "b"]]
+    assert clf.predict(corpus, top_k=2) == [("c", "a")]
+
+
+def test_rank_is_stable_under_partial_ties():
+    clf, corpus = _fit_fixed([[0.2, 0.9, 0.2, 0.9]], ["w", "x", "y", "z"])
+    assert clf.rank(corpus) == [["x", "z", "w", "y"]]
+
+
+# ---------------------------------------------------------------------------
+# Sectioned profile generation
+# ---------------------------------------------------------------------------
+
+def test_arxiv_sections_docs_carry_contiguous_spans():
+    bundle = load_profile("arxiv_sections", seed=0, scale=0.05)
+    profile_sections = [s.name for s in bundle.profile.sections]
+    assert profile_sections == ["title", "abstract", "body", "conclusion"]
+    for doc in list(bundle.train_corpus)[:20]:
+        spans = doc.metadata["sections"]
+        assert [s["name"] for s in spans] == profile_sections
+        cursor = 0
+        for span in spans:
+            assert span["start"] == cursor
+            assert span["end"] > span["start"]  # no empty sections
+            cursor = span["end"]
+        assert cursor == len(doc.tokens)
+
+
+def test_arxiv_sections_labels_are_ancestor_closed():
+    bundle = load_profile("arxiv_sections", seed=0, scale=0.05)
+    dag = bundle.dag
+    for doc in list(bundle.train_corpus)[:20]:
+        labels = set(doc.labels)
+        assert labels == dag.closure(doc.metadata["core_labels"])
+
+
+# ---------------------------------------------------------------------------
+# FUTEX section machinery
+# ---------------------------------------------------------------------------
+
+def test_section_slices_and_whole_doc_fallback():
+    doc = Document(doc_id="d", text="", tokens=list("abcdef"),
+                   metadata={"sections": [
+                       {"name": "title", "start": 0, "end": 2},
+                       {"name": "body", "start": 2, "end": 6}]})
+    assert section_slices(doc) == [("title", ["a", "b"]),
+                                   ("body", ["c", "d", "e", "f"])]
+    plain = Document(doc_id="p", text="", tokens=["x", "y"])
+    assert section_slices(plain) == [("body", ["x", "y"])]
+
+
+def test_section_slices_drops_empty_spans():
+    doc = Document(doc_id="d", text="", tokens=["a"],
+                   metadata={"sections": [
+                       {"name": "title", "start": 0, "end": 1},
+                       {"name": "body", "start": 1, "end": 1}]})
+    assert section_slices(doc) == [("title", ["a"])]
+
+
+def test_aggregate_sections_weights_confident_sections():
+    relevance = np.array([
+        [0.9, 0.1],   # doc 0, decisive section
+        [0.4, 0.35],  # doc 0, mushy section
+        [0.2, 0.8],   # doc 1, single section
+    ])
+    pooled = aggregate_sections(relevance, [(0, 2), (2, 3)], temp=6.0)
+    assert pooled.shape == (2, 2)
+    # Doc 0 pools toward its decisive section's distribution.
+    assert pooled[0, 0] > 0.7
+    # A single-section doc passes through unchanged.
+    assert np.allclose(pooled[1], relevance[2])
+    # An empty span yields a zero row rather than NaN.
+    empty = aggregate_sections(relevance, [(0, 0)])
+    assert np.all(empty == 0.0)

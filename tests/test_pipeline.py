@@ -331,6 +331,54 @@ def test_engine_backend_reports_confidences(tmp_path):
     assert records and all(
         r["confidence"] is not None and 0.0 <= r["confidence"] <= 1.0
         for r in records)
+    # The predictions log also carries the top-k label scores, best
+    # first, with the winner's score equal to the logged confidence.
+    for r in records:
+        topk = r["topk"]
+        assert 1 <= len(topk) <= 3
+        scores = [score for _, score in topk]
+        assert scores == sorted(scores, reverse=True)
+        assert scores[0] == pytest.approx(r["confidence"], abs=1e-6)
+        assert all(isinstance(label, str) for label, _ in topk)
+
+
+def test_scored_servable_topk_contract():
+    from repro.pipeline.clients import ScoredServable
+
+    class FakeServable:
+        labels = ["a", "b", "c", "d"]
+
+        def predict(self, docs):
+            return ["b"] * len(docs)
+
+        def scores(self, docs):
+            # Tied scores: top-k order must fall back to class order.
+            return [[0.1, 0.7, 0.7, 0.2]] * len(docs)
+
+    preds = ScoredServable(FakeServable()).predict([["t"], ["t"]])
+    assert len(preds) == 2
+    label, confidence, topk = preds[0]
+    assert label == "b" and confidence == pytest.approx(0.7)
+    assert topk == [["b", 0.7], ["c", 0.7], ["d", 0.2]]
+
+    class ScorelessServable(FakeServable):
+        def scores(self, docs):
+            raise RuntimeError("no scores on this model")
+
+    preds = ScoredServable(ScorelessServable()).predict([["t"]])
+    assert preds == [("b", None, None)]
+
+
+def test_drift_monitor_accepts_pairs_and_triples():
+    # Pool-backend predictions are (label, None, None) triples; older
+    # callers and tests pass bare pairs. Both must fold in.
+    from repro.core.types import Document
+
+    monitor = DriftMonitor(DriftPolicy(window=4), vocabulary=["known"])
+    docs = [Document(doc_id=f"d{i}", tokens=["known"]) for i in range(4)]
+    monitor.observe(docs[:2], [("a", 0.9), ("b", 0.8)])
+    monitor.observe(docs[2:], [("a", 0.9, [["a", 0.9]]), ("b", None, None)])
+    assert monitor.reference_docs == 4
 
 
 # ---------------------------------------------------------------------------

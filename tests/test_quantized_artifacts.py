@@ -154,6 +154,26 @@ def test_gate_refuses_and_publishes_nothing(fitted, quant_bundle, tmp_path,
     assert not target.exists()
 
 
+def test_gate_scores_multilabel_predictions():
+    delta = artifacts_mod._prediction_delta(
+        [("a", "b"), ("c",)], [("a", "b"), ("c",)])
+    assert delta == 0.0
+    diverged = artifacts_mod._prediction_delta(
+        [("a", "b"), ("c",)], [("a",), ("c", "b")])
+    assert diverged > 0.0
+
+
+def test_gate_refuses_mixed_arity_predictions():
+    # A quantized reload that changes the prediction *shape* (bare labels
+    # vs label sets) must fail typed, not produce a meaningless F1.
+    with pytest.raises(ArtifactError, match="mixed\\s+arity"):
+        artifacts_mod._prediction_delta(["a", "b"], [("a",), ("b",)])
+    with pytest.raises(ArtifactError, match="mixed\\s+arity"):
+        artifacts_mod._prediction_delta(["a", ("b",)], ["a", ("b",)])
+    # Strings are bare labels, never iterated as label collections.
+    assert artifacts_mod._prediction_delta(["ab", "cd"], ["ab", "cd"]) == 0.0
+
+
 def test_quantized_export_requires_probe(fitted, tmp_path):
     with pytest.raises(ArtifactError, match="probe"):
         export_artifact(fitted, tmp_path / "noprobe", quantize="int8")

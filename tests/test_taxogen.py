@@ -1,0 +1,245 @@
+"""Taxogen subsystem: edge scoring, repair ops, perturbation recovery.
+
+Repair semantics are exercised against a stub scorer with hand-built
+affinities, so each op (prune / reparent / insert) is pinned to an
+exact, fast scenario; the real PLM-backed scorer is covered end-to-end
+by ``benchmarks/bench_taxogen.py`` and the T-TAXOGEN table.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import (
+    EdgeScoringError,
+    RepairError,
+    ReproError,
+    TaxogenError,
+)
+from repro.core.types import Corpus, Document, LabelSet
+from repro.taxogen import (
+    EdgeScorer,
+    TaxonomyRepairer,
+    edge_recovery,
+    perturb_dag,
+    perturb_tree,
+)
+from repro.taxonomy.dag import LabelDAG
+from repro.taxonomy.tree import ROOT, LabelTree
+
+pytestmark = pytest.mark.multilabel
+
+
+class StubScorer:
+    """Fixed affinity grid standing in for the PLM-backed EdgeScorer."""
+
+    def __init__(self, labels, affinities):
+        self.labels = list(labels)
+        index = {l: i for i, l in enumerate(self.labels)}
+        self._matrix = np.zeros((len(labels), len(labels)))
+        for (child, parent), value in affinities.items():
+            self._matrix[index[child], index[parent]] = value
+
+    def affinity_matrix(self):
+        return self._matrix
+
+
+def test_exception_hierarchy():
+    assert issubclass(TaxogenError, ReproError)
+    assert issubclass(EdgeScoringError, TaxogenError)
+    assert issubclass(RepairError, TaxogenError)
+
+
+# ---------------------------------------------------------------------------
+# Repair ops against stub affinities
+# ---------------------------------------------------------------------------
+
+def test_reparent_moves_node_to_strong_parent():
+    scorer = StubScorer(
+        ["a", "b", "c"],
+        {("b", "a"): 0.9, ("c", "a"): 0.2, ("c", "b"): 0.9})
+    tree = LabelTree.from_edges([("a", "b"), ("a", "c")], top_level=["a"])
+    repaired, plan = TaxonomyRepairer(scorer).repair_tree(tree)
+    assert repaired.parent("c") == "b"
+    assert plan.counts() == {"insert": 0, "reparent": 1, "prune": 0}
+    (op,) = plan.ops
+    assert (op.kind, op.node, op.parent, op.old_parent) == \
+        ("reparent", "c", "b", "a")
+
+
+def test_reparent_respects_margin_hysteresis():
+    # The better parent exists but beats the current one by less than
+    # the margin — repair must leave the edge alone.
+    scorer = StubScorer(
+        ["a", "b", "c"],
+        {("b", "a"): 0.9, ("c", "a"): 0.80, ("c", "b"): 0.88})
+    tree = LabelTree.from_edges([("a", "b"), ("a", "c")], top_level=["a"])
+    repaired, plan = TaxonomyRepairer(scorer, margin=0.15).repair_tree(tree)
+    assert repaired.parent("c") == "a"
+    assert plan.ops == ()
+
+
+def test_insert_attaches_missing_node_at_best_parent():
+    scorer = StubScorer(
+        ["a", "b", "c", "d"],
+        {("b", "a"): 0.9, ("c", "a"): 0.9, ("d", "c"): 0.95})
+    tree = LabelTree.from_edges([("a", "b"), ("a", "c")], top_level=["a"])
+    repaired, plan = TaxonomyRepairer(scorer).repair_tree(tree)
+    assert repaired.parent("d") == "c"
+    assert plan.counts()["insert"] == 1
+
+
+def test_insert_falls_back_to_root():
+    # No candidate parent beats the ROOT prior: the orphan becomes a
+    # new top-level node instead of attaching somewhere weak.
+    scorer = StubScorer(
+        ["a", "b", "x"],
+        {("b", "a"): 0.9, ("x", "a"): 0.1, ("x", "b"): 0.1})
+    tree = LabelTree.from_edges([("a", "b")], top_level=["a"])
+    repaired, plan = TaxonomyRepairer(scorer).repair_tree(tree)
+    assert repaired.parent("x") == ROOT
+    assert any(op.kind == "insert" and op.parent == ROOT
+               for op in plan.ops)
+
+
+def test_prune_drops_weak_extra_parent_keeps_best():
+    scorer = StubScorer(
+        ["a", "b", "c"],
+        {("b", "a"): 0.9, ("c", "a"): 0.9, ("c", "b"): 0.2})
+    dag = LabelDAG([("a", "b"), ("a", "c"), ("b", "c")], top_level=["a"])
+    repaired, plan = TaxonomyRepairer(scorer).repair_dag(dag)
+    assert repaired.parents("c") == ["a"]
+    prunes = [op for op in plan.ops if op.kind == "prune"]
+    assert [(op.node, op.parent) for op in prunes] == [("c", "b")]
+
+
+def test_repair_is_deterministic():
+    scorer = StubScorer(
+        ["a", "b", "c", "d"],
+        {("b", "a"): 0.9, ("c", "a"): 0.2, ("c", "b"): 0.9,
+         ("d", "c"): 0.95})
+    tree = LabelTree.from_edges([("a", "b"), ("a", "c")], top_level=["a"])
+    first = TaxonomyRepairer(scorer).repair_tree(tree)[1]
+    second = TaxonomyRepairer(scorer).repair_tree(tree)[1]
+    assert first == second
+
+
+def test_repair_rejects_nodes_outside_universe():
+    scorer = StubScorer(["a", "b"], {("b", "a"): 0.9})
+    tree = LabelTree.from_edges([("a", "b"), ("a", "z")], top_level=["a"])
+    with pytest.raises(RepairError, match="outside the scored label"):
+        TaxonomyRepairer(scorer).repair_tree(tree)
+
+
+# ---------------------------------------------------------------------------
+# EdgeScorer plumbing with a fake relevance model
+# ---------------------------------------------------------------------------
+
+class FakeRelevance:
+    """Relevance = fraction of the class-name tokens present in the doc."""
+
+    def relevance_matrix(self, premises, hypothesis_names):
+        grid = np.zeros((len(premises), len(hypothesis_names)))
+        for i, tokens in enumerate(premises):
+            bag = set(tokens)
+            for j, name in enumerate(hypothesis_names):
+                grid[i, j] = sum(t in bag for t in name) / len(name)
+        return grid
+
+
+def _tiny_setup():
+    docs = [
+        Document(doc_id="d0", text="", tokens=["animal", "cat", "fur"]),
+        Document(doc_id="d1", text="", tokens=["animal", "dog", "bark"]),
+        Document(doc_id="d2", text="", tokens=["cat", "whisker", "fur"]),
+        Document(doc_id="d3", text="", tokens=["market", "price", "trade"]),
+    ]
+    labels = LabelSet(labels=("animal", "cat"),
+                      names={"animal": "animal", "cat": "cat"})
+    return Corpus(docs, name="tiny"), labels
+
+
+def test_edge_scorer_matrix_shape_and_cache():
+    corpus, labels = _tiny_setup()
+    scorer = EdgeScorer(FakeRelevance(), corpus, labels, evidence_docs=2,
+                        evidence_tokens=4)
+    matrix = scorer.affinity_matrix()
+    assert matrix.shape == (2, 2)
+    assert np.all(np.diag(matrix) == 0.0)
+    assert np.all((matrix >= 0.0) & (matrix <= 1.0))
+    assert scorer.affinity_matrix() is matrix  # cached, not recomputed
+
+
+def test_edge_scorer_evidence_contains_name_tokens():
+    corpus, labels = _tiny_setup()
+    scorer = EdgeScorer(FakeRelevance(), corpus, labels, evidence_docs=2,
+                        evidence_tokens=4)
+    lexicon = scorer.evidence("cat")
+    assert "cat" in lexicon
+    assert lexicon == sorted(lexicon)
+
+
+def test_edge_scorer_typed_errors():
+    corpus, labels = _tiny_setup()
+    with pytest.raises(EdgeScoringError, match="non-empty"):
+        EdgeScorer(FakeRelevance(), Corpus([], name="empty"), labels)
+    scorer = EdgeScorer(FakeRelevance(), corpus, labels)
+    with pytest.raises(EdgeScoringError, match="outside the scored"):
+        scorer.evidence("nope")
+    with pytest.raises(EdgeScoringError, match="outside the scored"):
+        scorer.affinity("cat", "nope")
+
+
+# ---------------------------------------------------------------------------
+# Perturbation + recovery accounting
+# ---------------------------------------------------------------------------
+
+def _toy_dag():
+    return LabelDAG(
+        [("t1", "m1"), ("t1", "m2"), ("t2", "m3"),
+         ("m1", "l1"), ("m1", "l2"), ("m2", "l3"),
+         ("m3", "l4"), ("m2", "l4")],
+        top_level=["t1", "t2"])
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+def test_perturb_dag_valid_and_seed_deterministic(seed):
+    dag = _toy_dag()
+    damaged, perturbation = perturb_dag(dag, seed=seed, n_reparent=2,
+                                        n_delete=1, n_spurious=1)
+    again, perturbation2 = perturb_dag(dag, seed=seed, n_reparent=2,
+                                       n_delete=1, n_spurious=1)
+    assert perturbation == perturbation2
+    assert sorted(damaged.nodes) == sorted(again.nodes)
+    assert perturbation.n_edges == (len(perturbation.moved)
+                                    + len(perturbation.deleted)
+                                    + len(perturbation.spurious))
+    assert perturbation.n_edges > 0
+    # The perturbed graph is a valid DAG that actually differs.
+    edges = {(p, c) for c in damaged.nodes for p in damaged.parents(c)}
+    original = {(p, c) for c in dag.nodes for p in dag.parents(c)}
+    assert edges != original
+
+
+def test_perturb_tree_moves_outside_subtree():
+    tree = LabelTree.from_edges(
+        [("t1", "m1"), ("t1", "m2"), ("m1", "l1"), ("m2", "l2")],
+        top_level=["t1"])
+    damaged, perturbation = perturb_tree(tree, seed=3, n_reparent=2,
+                                         n_delete=1)
+    for node, true_parent, wrong_parent in perturbation.moved:
+        assert damaged.parent(node) == wrong_parent
+        assert wrong_parent != true_parent
+    for victim, _parent in perturbation.deleted:
+        assert victim not in damaged
+
+
+def test_edge_recovery_bounds():
+    dag = _toy_dag()
+    damaged, perturbation = perturb_dag(dag, seed=2, n_reparent=2,
+                                        n_delete=1, n_spurious=1)
+    perfect = edge_recovery(perturbation, dag)
+    assert perfect["recovered_fraction"] == 1.0
+    assert perfect["edges_recovered"] == perfect["edges_perturbed"]
+    none = edge_recovery(perturbation, damaged)
+    assert none["recovered_fraction"] == 0.0
+    assert none["edges_recovered"] == 0
